@@ -1,0 +1,225 @@
+(* The benchmark harness.
+
+   Two halves:
+
+   1. The PAPER REPRODUCTION: one harness per table/figure of the
+      evaluation (Figs. 3, 4, 9, 10 and the reconstructed 11-15, plus
+      the design ablations), each printing the same rows/series the
+      paper reports.  `dune exec bench/main.exe` runs everything;
+      `dune exec bench/main.exe -- fig3 fig9` runs a subset;
+      `--scale 0.5` shrinks simulated durations.
+
+   2. MICRO-BENCHMARKS (Bechamel): throughput of the hot data
+      structures the simulator's credibility rests on — flow-table
+      lookup/insert, select-group hashing, event-heap churn, the packet
+      and OpenFlow wire codecs.  Run with `-- micro`. *)
+
+open Scotch_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Paper figures *)
+
+let figures :
+    (string * (seed:int -> scale:float -> Report.figure)) list =
+  [ ("fig3", fun ~seed ~scale -> Fig3.run ~seed ~scale ());
+    ("fig4", fun ~seed ~scale -> Fig4.run ~seed ~scale ());
+    ("fig9", fun ~seed ~scale -> Fig9.run ~seed ~scale ());
+    ("fig10", fun ~seed ~scale -> Fig10.run ~seed ~scale ());
+    ("fig11", fun ~seed ~scale -> Fig11.run ~seed ~scale ());
+    ("fig12", fun ~seed ~scale -> Fig12.run ~seed ~scale ());
+    ("fig13", fun ~seed ~scale -> Fig13.run ~seed ~scale ());
+    ("fig14", fun ~seed ~scale -> Fig14.run ~seed ~scale ());
+    ("fig15", fun ~seed ~scale -> Fig15.run ~seed ~scale ());
+    ("exp-fabric", fun ~seed ~scale -> Exp_fabric.run ~seed ~scale ());
+    ("ablation-lb", fun ~seed ~scale -> Ablation.run_lb ~seed ~scale ());
+    ("ablation-dedicated-port", fun ~seed ~scale -> Ablation.run_dedicated_port ~seed ~scale ());
+    ("ablation-withdrawal", fun ~seed ~scale -> Ablation.run_withdrawal ~seed ~scale ()) ]
+
+let run_figures names ~seed ~scale =
+  let todo =
+    if names = [] then figures
+    else
+      List.filter_map
+        (fun n ->
+          match List.assoc_opt n figures with
+          | Some f -> Some (n, f)
+          | None ->
+            Printf.eprintf "unknown figure %s (try: %s)\n" n
+              (String.concat " " (List.map fst figures));
+            None)
+        names
+  in
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      let fig = f ~seed ~scale in
+      let dt = Unix.gettimeofday () -. t0 in
+      Report.print fig;
+      Printf.printf "   [%s regenerated in %.1f s wall clock]\n\n%!" name dt)
+    todo
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks *)
+
+open Scotch_packet
+open Scotch_openflow
+open Scotch_switch
+open Scotch_util
+
+let mk_packet i =
+  Packet.tcp_syn ~flow_id:i ~created:0.0 ~src_mac:(Mac.of_host_id 1)
+    ~dst_mac:(Mac.of_host_id 2)
+    ~ip_src:(Ipv4_addr.of_int (0x0A000000 + i))
+    ~ip_dst:(Ipv4_addr.make 10 0 0 200) ~src_port:(1024 + (i land 0xFFF)) ~dst_port:80 ()
+
+let bench_flow_table_lookup () =
+  (* 1000 exact rules + miss rule; lookup hits the exact probe *)
+  let table = Flow_table.create ~table_id:0 () in
+  for i = 0 to 999 do
+    ignore
+      (Flow_table.insert table ~now:0.0 ~priority:10
+         ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet i)))
+         ~instructions:(Of_action.output (Of_types.Port_no.Physical 1))
+         ~idle_timeout:0.0 ~hard_timeout:0.0 ~cookie:0L)
+  done;
+  let probe = mk_packet 500 in
+  let ctx = Of_match.context ~in_port:1 probe in
+  Bechamel.Test.make ~name:"flow_table lookup (1k exact rules)"
+    (Bechamel.Staged.stage (fun () -> ignore (Flow_table.peek table ~now:0.0 ctx)))
+
+let bench_flow_table_insert () =
+  let table = Flow_table.create ~table_id:0 () in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"flow_table insert+replace"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         ignore
+           (Flow_table.insert table ~now:0.0 ~priority:10
+              ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet (!i land 0x3FF))))
+              ~instructions:(Of_action.output (Of_types.Port_no.Physical 1))
+              ~idle_timeout:0.0 ~hard_timeout:0.0 ~cookie:0L)))
+
+let bench_group_select () =
+  let gt = Group_table.create () in
+  ignore
+    (Group_table.apply gt
+       (Of_msg.Group_mod.add_select ~group_id:1
+          ~buckets:
+            (List.init 8 (fun i ->
+                 Of_msg.Group_mod.bucket
+                   [ Of_action.Output (Of_types.Port_no.Physical (10000 + i)) ]))));
+  let g = Option.get (Group_table.find gt 1) in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"select-group bucket choice (8 buckets)"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         ignore (Group_table.select_bucket g ~flow_hash:(Flow_key.hash (Packet.flow_key (mk_packet !i))))))
+
+let bench_event_heap () =
+  Bechamel.Test.make ~name:"event heap push+pop x100"
+    (Bechamel.Staged.stage (fun () ->
+         let e = Scotch_sim.Engine.create () in
+         for k = 1 to 100 do
+           ignore (Scotch_sim.Engine.schedule e ~delay:(float_of_int (k mod 17)) (fun () -> ()))
+         done;
+         Scotch_sim.Engine.run e))
+
+let bench_packet_codec () =
+  let pkt =
+    Packet.push_encap (Headers.Encap.mpls 7)
+      (Packet.push_encap (Headers.Encap.mpls 42) (mk_packet 1))
+  in
+  Bechamel.Test.make ~name:"packet serialize+parse (2 MPLS labels)"
+    (Bechamel.Staged.stage (fun () -> ignore (Codec.parse (Codec.serialize pkt))))
+
+let bench_of_wire () =
+  let fm =
+    Of_msg.Flow_mod.add ~priority:10 ~idle_timeout:10.0
+      ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet 1)))
+      ~instructions:(Of_action.output (Of_types.Port_no.Physical 2))
+      ()
+  in
+  let msg = Of_msg.make ~xid:1 (Of_msg.Flow_mod fm) in
+  Bechamel.Test.make ~name:"OpenFlow wire encode+decode (flow_mod)"
+    (Bechamel.Staged.stage (fun () -> ignore (Of_wire.decode (Of_wire.encode msg))))
+
+let bench_flow_key_hash () =
+  let keys = Array.init 256 (fun i -> Packet.flow_key (mk_packet i)) in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"flow-key FNV hash"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         ignore (Flow_key.hash keys.(!i land 255))))
+
+let bench_rng () =
+  let rng = Rng.create 1 in
+  Bechamel.Test.make ~name:"splitmix64 exponential draw"
+    (Bechamel.Staged.stage (fun () -> ignore (Rng.exponential rng ~rate:100.0)))
+
+let bench_simulation_throughput () =
+  (* end-to-end: events/second of a loaded Scotch simulation *)
+  Bechamel.Test.make ~name:"1 simulated second of scotch under 500 fl/s"
+    (Bechamel.Staged.stage (fun () ->
+         let net = Testbed.scotch_net () in
+         let attack = Testbed.attack_source net ~rate:500.0 in
+         Scotch_workload.Source.start attack;
+         Testbed.run_until net ~until:1.0))
+
+let run_micro () =
+  let open Bechamel in
+  let benchmarks =
+    Test.make_grouped ~name:"scotch"
+      [ bench_flow_table_lookup (); bench_flow_table_insert (); bench_group_select ();
+        bench_event_heap (); bench_packet_codec (); bench_of_wire (); bench_flow_key_hash ();
+        bench_rng (); bench_simulation_throughput () ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances benchmarks in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results2 = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-48s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-48s (no estimate)\n" name)
+        tbl)
+    results2
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1.0 and seed = ref 42 and micro = ref false and names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | "micro" :: rest ->
+      micro := true;
+      parse rest
+    | name :: rest ->
+      names := name :: !names;
+      parse rest
+  in
+  parse args;
+  if !micro then begin
+    print_endline "== micro-benchmarks (Bechamel) ==";
+    run_micro ()
+  end
+  else begin
+    Printf.printf
+      "Scotch (CoNEXT 2014) — full reproduction bench: every figure of the evaluation\n";
+    Printf.printf "(scale %.2f, seed %d; pass figure names to select, `micro` for Bechamel)\n\n"
+      !scale !seed;
+    run_figures (List.rev !names) ~seed:!seed ~scale:!scale;
+    print_endline "== micro-benchmarks (Bechamel) ==";
+    run_micro ()
+  end

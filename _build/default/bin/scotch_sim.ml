@@ -1,0 +1,107 @@
+(* scotch-sim: command-line driver regenerating every figure of the
+   Scotch paper (CoNEXT 2014) from the simulator, plus the ablations.
+
+   Each experiment subcommand prints the figure's rows/series; `all`
+   runs everything.  Use --scale to shrink/grow simulated durations and
+   --seed for a different deterministic run. *)
+
+open Cmdliner
+open Scotch_experiments
+
+type spec = {
+  name : string;
+  doc : string;
+  run : seed:int -> scale:float -> Report.figure;
+}
+
+let specs =
+  [ { name = "fig3";
+      doc = "Client flow failure fraction vs attack rate (HP / Pica8 / OVS)";
+      run = (fun ~seed ~scale -> Fig3.run ~seed ~scale ()) };
+    { name = "fig4";
+      doc = "Control-path profiling: Packet-In = insertion = success rate";
+      run = (fun ~seed ~scale -> Fig4.run ~seed ~scale ()) };
+    { name = "fig9";
+      doc = "Maximum flow-rule insertion rate (Pica8)";
+      run = (fun ~seed ~scale -> Fig9.run ~seed ~scale ()) };
+    { name = "fig10";
+      doc = "Data-path loss vs insertion rate at 500/1000/2000 pps";
+      run = (fun ~seed ~scale -> Fig10.run ~seed ~scale ()) };
+    { name = "fig11";
+      doc = "Ingress-port differentiation isolates the attacked port";
+      run = (fun ~seed ~scale -> Fig11.run ~seed ~scale ()) };
+    { name = "fig12";
+      doc = "Large-flow migration off the overlay";
+      run = (fun ~seed ~scale -> Fig12.run ~seed ~scale ()) };
+    { name = "fig13";
+      doc = "Control-plane capacity scaling with the vswitch pool";
+      run = (fun ~seed ~scale -> Fig13.run ~seed ~scale ()) };
+    { name = "fig14";
+      doc = "Extra one-way delay of the overlay relay";
+      run = (fun ~seed ~scale -> Fig14.run ~seed ~scale ()) };
+    { name = "fig15";
+      doc = "Trace-driven flash crowd: Scotch vs plain reactive";
+      run = (fun ~seed ~scale -> Fig15.run ~seed ~scale ()) };
+    { name = "exp-fabric";
+      doc = "Multi-rack fabric: destination-side switch protection";
+      run = (fun ~seed ~scale -> Exp_fabric.run ~seed ~scale ()) };
+    { name = "ablation-lb";
+      doc = "Group-table load balancing vs a single uplink vswitch";
+      run = (fun ~seed ~scale -> Ablation.run_lb ~seed ~scale ()) };
+    { name = "ablation-dedicated-port";
+      doc = "Dedicated controller data port vs Scotch vs plain reactive";
+      run = (fun ~seed ~scale -> Ablation.run_dedicated_port ~seed ~scale ()) };
+    { name = "ablation-withdrawal";
+      doc = "Overlay activation/withdrawal life cycle";
+      run = (fun ~seed ~scale -> Ablation.run_withdrawal ~seed ~scale ()) } ]
+
+let seed_arg =
+  let doc = "PRNG seed; runs are bit-for-bit reproducible for a given seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc =
+    "Duration scale factor: < 1 shrinks simulated time (faster, noisier), > 1 grows it."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let csv_arg =
+  let doc = "Also emit the series as CSV on stdout after the table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let emit_csv (fig : Report.figure) =
+  Printf.printf "# csv %s\n" fig.Report.id;
+  List.iter
+    (fun (s : Report.series) ->
+      List.iter
+        (fun (x, y) -> Printf.printf "%s,%s,%.6g,%.6g\n" fig.Report.id s.Report.label x y)
+        s.Report.points)
+    fig.Report.series
+
+let run_one spec seed scale csv =
+  let fig = spec.run ~seed ~scale in
+  Report.print fig;
+  if csv then emit_csv fig
+
+let cmd_of_spec spec =
+  let term = Term.(const (run_one spec) $ seed_arg $ scale_arg $ csv_arg) in
+  Cmd.v (Cmd.info spec.name ~doc:spec.doc) term
+
+let all_cmd =
+  let doc = "Run every experiment in sequence (the full paper reproduction)." in
+  let run seed scale csv = List.iter (fun spec -> run_one spec seed scale csv) specs in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ scale_arg $ csv_arg)
+
+let list_cmd =
+  let doc = "List experiments with the paper artifact each regenerates." in
+  let run () =
+    List.iter (fun spec -> Printf.printf "%-24s %s\n" spec.name spec.doc) specs
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "Scotch (CoNEXT 2014) reproduction: elastic SDN control-plane scaling" in
+  let info = Cmd.info "scotch-sim" ~version:"1.0.0" ~doc in
+  Cmd.group info (list_cmd :: all_cmd :: List.map cmd_of_spec specs)
+
+let () = exit (Cmd.eval main)

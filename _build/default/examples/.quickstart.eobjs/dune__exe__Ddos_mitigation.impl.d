@@ -1,0 +1,1 @@
+examples/ddos_mitigation.ml: Printf Scotch_core Scotch_experiments Scotch_workload Source Testbed

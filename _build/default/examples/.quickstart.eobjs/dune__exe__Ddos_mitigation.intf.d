@@ -1,0 +1,1 @@
+examples/ddos_mitigation.mli:

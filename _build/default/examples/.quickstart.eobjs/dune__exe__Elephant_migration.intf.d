@@ -1,0 +1,1 @@
+examples/elephant_migration.mli:

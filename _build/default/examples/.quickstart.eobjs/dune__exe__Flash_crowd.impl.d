@@ -1,0 +1,1 @@
+examples/flash_crowd.ml: Array List Printf Scotch_core Scotch_experiments Scotch_sim Scotch_topo Scotch_util Scotch_workload Sizes Testbed Tracegen

@@ -1,0 +1,1 @@
+examples/flash_crowd.mli:

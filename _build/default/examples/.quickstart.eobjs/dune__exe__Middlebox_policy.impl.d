@@ -1,0 +1,1 @@
+examples/middlebox_policy.ml: Array Flow_gen Host Middlebox Option Printf Scotch_core Scotch_experiments Scotch_packet Scotch_sim Scotch_topo Scotch_util Scotch_workload Source Testbed

@@ -1,0 +1,1 @@
+examples/middlebox_policy.mli:

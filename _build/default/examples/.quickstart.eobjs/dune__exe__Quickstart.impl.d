@@ -1,0 +1,1 @@
+examples/quickstart.ml: Host Ofa Printf Profile Scotch_controller Scotch_sim Scotch_switch Scotch_topo Scotch_util Scotch_workload Source Switch Topology

@@ -1,0 +1,45 @@
+(* DDoS mitigation: the paper's headline scenario.
+
+   A spoofed-source SYN flood saturates a Pica8 edge switch's OpenFlow
+   agent.  Without Scotch the legitimate client is locked out even
+   though the data plane is idle; with Scotch the overlay activates,
+   new flows detour through vswitches, and the client barely notices.
+
+   Run with: dune exec examples/ddos_mitigation.exe *)
+
+open Scotch_experiments
+open Scotch_workload
+
+let attack_rate = 3000.0
+let client_rate = 20.0
+let duration = 15.0
+
+let run ~scotch =
+  let net = Testbed.scotch_net ~scotch_enabled:scotch () in
+  let client = Testbed.client_source net ~i:0 ~rate:client_rate () in
+  let attack = Testbed.attack_source net ~rate:attack_rate in
+  Source.start client;
+  Source.start attack;
+  Testbed.run_until net ~until:duration;
+  let failure =
+    Source.failure_fraction client ~dst:net.Testbed.server ~since:2.0
+      ~until:(duration -. 1.0) ()
+  in
+  (net, failure)
+
+let () =
+  Printf.printf "Spoofed-source flood: %.0f flows/s; legitimate client: %.0f flows/s\n\n"
+    attack_rate client_rate;
+  let _, failure_off = run ~scotch:false in
+  Printf.printf "without Scotch: client flow failure fraction = %.3f\n" failure_off;
+  let net, failure_on = run ~scotch:true in
+  let c = Scotch_core.Scotch.counters net.Testbed.app in
+  Printf.printf "with Scotch:    client flow failure fraction = %.3f\n\n" failure_on;
+  Printf.printf "Scotch activity: %d activation(s); %d flows seen, %d over the overlay,\n"
+    c.Scotch_core.Scotch.activations c.Scotch_core.Scotch.flows_seen
+    c.Scotch_core.Scotch.flows_overlay;
+  Printf.printf "%d set up on physical paths, %d dropped.\n"
+    c.Scotch_core.Scotch.flows_physical c.Scotch_core.Scotch.flows_dropped;
+  Printf.printf "The flood is absorbed by the vswitch pool: the controller still sees\n";
+  Printf.printf "every new flow (full visibility for security tools), and the client's\n";
+  Printf.printf "flows keep getting physical paths thanks to ingress-port differentiation.\n"

@@ -1,0 +1,1 @@
+lib/controller/controller.ml: Hashtbl List Of_msg Of_types Ofa Option Scotch_openflow Scotch_sim Scotch_switch Scotch_topo Scotch_util Stats Switch

@@ -1,0 +1,1 @@
+lib/controller/controller.mli: Of_action Of_match Of_msg Of_types Scotch_openflow Scotch_packet Scotch_sim Scotch_switch Scotch_topo Scotch_util Switch

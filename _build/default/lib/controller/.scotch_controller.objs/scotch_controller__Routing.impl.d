@@ -1,0 +1,1 @@
+lib/controller/routing.ml: Controller Flow_key List Of_action Of_match Of_msg Of_types Packet Scotch_openflow Scotch_packet Scotch_topo

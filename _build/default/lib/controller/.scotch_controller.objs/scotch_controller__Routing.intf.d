@@ -1,0 +1,1 @@
+lib/controller/routing.mli: Controller Scotch_openflow

@@ -1,0 +1,184 @@
+(** The central OpenFlow controller (Ryu-like).
+
+    The controller is deliberately {e not} a bottleneck: "a single node
+    multithreaded controller can handle millions of PacketIn/sec" —
+    message handling costs only the control-channel latency.  What is
+    scarce is the switches' control-path capacity, which applications
+    must manage (that is Scotch's job).
+
+    Applications register callbacks; the first application whose
+    [packet_in] handler returns [true] consumes the event.  Replies to
+    controller-initiated requests (stats, echo, barrier) are routed back
+    to per-xid continuations. *)
+
+open Scotch_openflow
+open Scotch_switch
+open Scotch_util
+
+type sw = {
+  dpid : Of_types.datapath_id;
+  device : Switch.t;
+  send_raw : Of_msg.t -> unit; (* controller -> switch channel *)
+  pin_meter : Stats.Rate_meter.t; (* Packet-In arrival rate (§4.2 monitoring) *)
+  mutable alive : bool;
+  mutable last_echo_reply : float;
+  mutable flow_mods_sent : int;
+  mutable packet_outs_sent : int;
+}
+
+type app = {
+  app_name : string;
+  packet_in : sw -> Of_msg.Packet_in.t -> bool;
+  switch_dead : sw -> unit;
+}
+
+type counters = {
+  mutable packet_ins : int;
+  mutable flow_mods : int;
+  mutable unhandled_packet_ins : int;
+}
+
+type t = {
+  engine : Scotch_sim.Engine.t;
+  topo : Scotch_topo.Topology.t;
+  chan_rng : Scotch_util.Rng.t;
+      (* control-channel latency jitter: the management network is a
+         real packet network with variable queueing *)
+  switches : (int, sw) Hashtbl.t;
+  mutable apps : app list; (* in registration order *)
+  pending : (int, Of_msg.payload -> unit) Hashtbl.t; (* by xid *)
+  mutable next_xid : int;
+  counters : counters;
+  pin_window : float;
+}
+
+(** [create engine topo] builds a controller with a [pin_window]-second
+    sliding window for per-switch Packet-In rate monitoring. *)
+let create ?(pin_window = 1.0) engine topo =
+  { engine; topo; chan_rng = Scotch_util.Rng.create 0xC7A4;
+    switches = Hashtbl.create 16; apps = []; pending = Hashtbl.create 64;
+    next_xid = 1; counters = { packet_ins = 0; flow_mods = 0; unhandled_packet_ins = 0 };
+    pin_window }
+
+let engine t = t.engine
+let topo t = t.topo
+let counters t = t.counters
+
+let fresh_xid t =
+  let x = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  x
+
+(** [register_app t app] appends [app] to the dispatch chain. *)
+let register_app t app = t.apps <- t.apps @ [ app ]
+
+let app ?(packet_in = fun _ _ -> false) ?(switch_dead = fun _ -> ()) name =
+  { app_name = name; packet_in; switch_dead }
+
+let switch t dpid = Hashtbl.find_opt t.switches dpid
+let switch_exn t dpid = Hashtbl.find t.switches dpid
+let iter_switches t f = Hashtbl.iter (fun _ sw -> f sw) t.switches
+
+let handle_message t (sw : sw) (msg : Of_msg.t) =
+  match msg.Of_msg.payload with
+  | Of_msg.Packet_in pi ->
+    t.counters.packet_ins <- t.counters.packet_ins + 1;
+    Stats.Rate_meter.tick sw.pin_meter ~now:(Scotch_sim.Engine.now t.engine);
+    let handled = List.exists (fun a -> a.packet_in sw pi) t.apps in
+    if not handled then t.counters.unhandled_packet_ins <- t.counters.unhandled_packet_ins + 1
+  | Of_msg.Echo_reply ->
+    sw.last_echo_reply <- Scotch_sim.Engine.now t.engine;
+    sw.alive <- true
+  | Of_msg.Hello | Of_msg.Echo_request -> ()
+  | Of_msg.Flow_stats_reply _ | Of_msg.Table_stats_reply _ | Of_msg.Barrier_reply
+  | Of_msg.Error _ -> (
+    match Hashtbl.find_opt t.pending msg.Of_msg.xid with
+    | Some k ->
+      Hashtbl.remove t.pending msg.Of_msg.xid;
+      k msg.Of_msg.payload
+    | None -> ())
+  | Of_msg.Flow_mod _ | Of_msg.Group_mod _ | Of_msg.Packet_out _
+  | Of_msg.Flow_stats_request _ | Of_msg.Table_stats_request | Of_msg.Barrier_request -> ()
+
+(** [connect t device ~latency] attaches a switch over a control channel
+    with one-way [latency] (the management-port path of Fig. 2). *)
+let connect t device ~latency =
+  let dpid = Switch.dpid device in
+  if Hashtbl.mem t.switches dpid then invalid_arg "Controller.connect: duplicate dpid";
+  let jittered () = latency *. (0.9 +. Scotch_util.Rng.float t.chan_rng 0.2) in
+  let send_raw msg =
+    ignore
+      (Scotch_sim.Engine.schedule t.engine ~delay:(jittered ()) (fun () ->
+           Ofa.deliver_message (Switch.ofa device) msg))
+  in
+  let sw =
+    { dpid; device; send_raw; pin_meter = Stats.Rate_meter.create ~window:t.pin_window;
+      alive = true; last_echo_reply = 0.0; flow_mods_sent = 0; packet_outs_sent = 0 }
+  in
+  Hashtbl.replace t.switches dpid sw;
+  Ofa.connect_controller (Switch.ofa device) (fun msg ->
+      ignore
+        (Scotch_sim.Engine.schedule t.engine ~delay:(jittered ()) (fun () ->
+             handle_message t sw msg)));
+  sw
+
+(** {1 Sending} *)
+
+let send t (sw : sw) payload =
+  (match payload with
+  | Of_msg.Flow_mod _ ->
+    t.counters.flow_mods <- t.counters.flow_mods + 1;
+    sw.flow_mods_sent <- sw.flow_mods_sent + 1
+  | Of_msg.Packet_out _ -> sw.packet_outs_sent <- sw.packet_outs_sent + 1
+  | _ -> ());
+  sw.send_raw (Of_msg.make ~xid:(fresh_xid t) payload)
+
+(** [request t sw payload k] sends a request and calls [k] on the
+    matching reply. *)
+let request t (sw : sw) payload k =
+  let xid = fresh_xid t in
+  Hashtbl.replace t.pending xid k;
+  sw.send_raw (Of_msg.make ~xid payload)
+
+(** Install a flow rule. *)
+let install t sw ?(table_id = 0) ?(priority = 1) ?(idle_timeout = 0.0) ?(hard_timeout = 0.0)
+    ?(cookie = Of_types.cookie_none) ~match_ ~instructions () =
+  send t sw
+    (Of_msg.Flow_mod
+       (Of_msg.Flow_mod.add ~table_id ~priority ~idle_timeout ~hard_timeout ~cookie ~match_
+          ~instructions ()))
+
+(** Remove rules matching exactly. *)
+let uninstall t sw ?(table_id = 0) ?priority ~match_ () =
+  send t sw
+    (Of_msg.Flow_mod
+       { (Of_msg.Flow_mod.delete ~table_id ~match_ ()) with
+         Of_msg.Flow_mod.priority = Option.value priority ~default:0 })
+
+(** Send a Packet-Out executing [actions] on [packet]. *)
+let packet_out t sw ?(in_port = 0) ~actions packet =
+  send t sw (Of_msg.Packet_out (Of_msg.Packet_out.make ~in_port ~actions packet))
+
+(** Packet-In rate of a switch over the sliding window — the §4.2
+    congestion signal. *)
+let pin_rate t (sw : sw) = Stats.Rate_meter.rate sw.pin_meter ~now:(Scotch_sim.Engine.now t.engine)
+
+(** {1 Liveness (vswitch heartbeat, §5.6)} *)
+
+(** [start_heartbeat t ~period ~timeout] sends Echo requests every
+    [period] seconds to every connected switch; a switch that hasn't
+    replied within [timeout] is marked dead and every app's
+    [switch_dead] hook fires (once per transition). *)
+let start_heartbeat t ~period ~timeout =
+  let (_ : unit -> unit) =
+    Scotch_sim.Engine.every t.engine ~period (fun () ->
+         let now = Scotch_sim.Engine.now t.engine in
+         iter_switches t (fun sw ->
+             if sw.alive && now -. sw.last_echo_reply > timeout && sw.last_echo_reply > 0.0
+             then begin
+               sw.alive <- false;
+               List.iter (fun a -> a.switch_dead sw) t.apps
+             end;
+             send t sw Of_msg.Echo_request))
+  in
+  ()

@@ -1,0 +1,93 @@
+(** The central OpenFlow controller (Ryu-like).
+
+    Deliberately {e not} a bottleneck ("a single node multithreaded
+    controller can handle millions of PacketIn/sec") — message handling
+    costs only the control-channel latency.  What is scarce is the
+    switches' control-path capacity, which applications must manage
+    (that is Scotch's job).
+
+    Applications register callbacks; the first whose [packet_in]
+    handler returns [true] consumes the event.  Replies to
+    controller-initiated requests are routed back to per-xid
+    continuations. *)
+
+open Scotch_openflow
+open Scotch_switch
+
+(** Controller-side handle for one connected switch. *)
+type sw = {
+  dpid : Of_types.datapath_id;
+  device : Switch.t;
+  send_raw : Of_msg.t -> unit;
+  pin_meter : Scotch_util.Stats.Rate_meter.t;
+      (** Packet-In arrival rate — the §4.2 congestion signal *)
+  mutable alive : bool;
+  mutable last_echo_reply : float;
+  mutable flow_mods_sent : int;
+  mutable packet_outs_sent : int;
+}
+
+type app = {
+  app_name : string;
+  packet_in : sw -> Of_msg.Packet_in.t -> bool;
+  switch_dead : sw -> unit;
+}
+
+type counters = {
+  mutable packet_ins : int;
+  mutable flow_mods : int;
+  mutable unhandled_packet_ins : int;
+}
+
+type t
+
+(** [create engine topo] builds a controller with a [pin_window]-second
+    sliding window for per-switch Packet-In rate monitoring. *)
+val create : ?pin_window:float -> Scotch_sim.Engine.t -> Scotch_topo.Topology.t -> t
+
+val engine : t -> Scotch_sim.Engine.t
+val topo : t -> Scotch_topo.Topology.t
+val counters : t -> counters
+
+(** Append an application to the dispatch chain. *)
+val register_app : t -> app -> unit
+
+(** Build an app record from optional callbacks. *)
+val app :
+  ?packet_in:(sw -> Of_msg.Packet_in.t -> bool) -> ?switch_dead:(sw -> unit) -> string -> app
+
+val switch : t -> Of_types.datapath_id -> sw option
+val switch_exn : t -> Of_types.datapath_id -> sw
+val iter_switches : t -> (sw -> unit) -> unit
+
+(** Attach a switch over a control channel with one-way [latency] (the
+    management-port path of Fig. 2; ±10 % per-message jitter).  Raises
+    on duplicate dpids. *)
+val connect : t -> Switch.t -> latency:float -> sw
+
+(** Send one message (counted by kind). *)
+val send : t -> sw -> Of_msg.payload -> unit
+
+(** Send a request and call the continuation on the matching reply. *)
+val request : t -> sw -> Of_msg.payload -> (Of_msg.payload -> unit) -> unit
+
+(** Install a flow rule. *)
+val install :
+  t -> sw -> ?table_id:int -> ?priority:int -> ?idle_timeout:float -> ?hard_timeout:float ->
+  ?cookie:Of_types.cookie -> match_:Of_match.t -> instructions:Of_action.instructions ->
+  unit -> unit
+
+(** Remove rules matching exactly. *)
+val uninstall : t -> sw -> ?table_id:int -> ?priority:int -> match_:Of_match.t -> unit -> unit
+
+(** Send a Packet-Out executing [actions] on [packet]. *)
+val packet_out : t -> sw -> ?in_port:int -> actions:Of_action.t list ->
+  Scotch_packet.Packet.t -> unit
+
+(** Packet-In rate of a switch over the sliding window. *)
+val pin_rate : t -> sw -> float
+
+(** Send Echo requests every [period] seconds to every switch; one that
+    has not replied within [timeout] is marked dead and every app's
+    [switch_dead] hook fires once (§5.6 heartbeat). *)
+val start_heartbeat : t -> period:float -> timeout:float -> unit

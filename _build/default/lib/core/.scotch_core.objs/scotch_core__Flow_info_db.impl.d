@@ -1,0 +1,1 @@
+lib/core/flow_info_db.ml: Flow_key Scotch_packet

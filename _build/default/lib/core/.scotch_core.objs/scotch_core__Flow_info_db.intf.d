@@ -1,0 +1,1 @@
+lib/core/flow_info_db.mli: Flow_key Scotch_packet

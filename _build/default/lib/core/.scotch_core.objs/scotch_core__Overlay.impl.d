@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Hashtbl Host List Scotch_packet Scotch_switch Scotch_topo Switch Topology

@@ -1,0 +1,1 @@
+lib/core/overlay.mli: Hashtbl Host Scotch_packet Scotch_switch Scotch_topo Switch Topology

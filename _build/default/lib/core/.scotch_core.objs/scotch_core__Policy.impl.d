@@ -1,0 +1,1 @@
+lib/core/policy.ml: Config Flow_key Flow_mod Hashtbl Host Middlebox Of_action Of_match Of_msg Of_types Overlay Scotch_openflow Scotch_packet Scotch_switch Scotch_topo Topology

@@ -1,0 +1,1 @@
+lib/core/policy.mli: Flow_key Hashtbl Ipv4_addr Middlebox Of_msg Overlay Scotch_openflow Scotch_packet Scotch_topo Topology

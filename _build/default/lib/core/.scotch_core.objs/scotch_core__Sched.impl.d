@@ -1,0 +1,1 @@
+lib/core/sched.ml: Hashtbl List Queue Scotch_sim

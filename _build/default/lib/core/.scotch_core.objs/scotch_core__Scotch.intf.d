@@ -1,0 +1,1 @@
+lib/core/scotch.mli: Config Flow_info_db Overlay Policy Sched Scotch_controller Scotch_switch Switch

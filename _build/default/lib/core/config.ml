@@ -1,0 +1,82 @@
+(** Scotch configuration knobs.
+
+    Defaults follow the paper: R must stay below the loss-free rule
+    insertion rate measured in §6.1 (200/s for the Pica8), rule idle
+    timeouts are 10 s (§6.1), and thresholds implement the queue
+    semantics of Fig. 7. *)
+
+type t = {
+  rule_rate : float;
+      (** R: per-switch physical rule-install service rate (Fig. 7).
+          Every served flow also costs a Packet-Out on the same channel,
+          so 2R must not exceed the loss-free insertion rate (§6.1):
+          R = 80 keeps the switch under the 200 msg/s bound even through
+          OFA housekeeping windows. *)
+  activate_pin_rate : float;
+      (** Packet-In rate (per switch) that triggers overlay activation. *)
+  withdraw_flow_rate : float;
+      (** Attributed new-flow rate below which the overlay is withdrawn
+          for a switch (§5.5). *)
+  monitor_interval : float;  (** congestion monitor period, seconds *)
+  min_active_duration : float;
+      (** minimum time a switch stays on the overlay before withdrawal
+          is considered (guards against flapping) *)
+  overlay_threshold : int;
+      (** ingress-queue depth beyond which new flows are routed over the
+          overlay instead of waiting for physical setup *)
+  drop_threshold : int;
+      (** ingress-queue depth beyond which Packet-Ins are dropped *)
+  ingress_differentiation : bool;
+      (** per-ingress-port queues and round-robin (§5.2); [false]
+          collapses to one FIFO per switch (the Fig. 11 baseline) *)
+  elephant_pkt_rate : float;
+      (** packets/second above which a flow is a large (elephant) flow *)
+  stats_poll_interval : float;  (** vswitch flow-stats polling period *)
+  migration_enabled : bool;     (** large-flow migration (§5.3) *)
+  path_load_threshold : float;
+      (** maximum Packet-In rate allowed on every switch of a candidate
+          physical path before migrating a flow onto it *)
+  vswitch_rule_idle : float;    (** idle timeout of per-flow vswitch rules *)
+  physical_rule_idle : float;   (** idle timeout of per-flow physical rules *)
+  pin_rule_idle : float;        (** idle timeout of §5.5 withdrawal pin rules *)
+  heartbeat_period : float;     (** vswitch Echo period (§5.6) *)
+  heartbeat_timeout : float;    (** declare a vswitch dead after this *)
+  vswitches_per_switch : int;
+      (** how many vswitches each congested switch load-balances over *)
+  flow_group : (first_hop:int -> ingress_port:int -> Scotch_packet.Flow_key.t -> int) option;
+      (** Optional flow-grouping override for the fair scheduler (§5.2:
+          "we can classify the flows into different groups and enforce
+          fair sharing of the SDN network across groups", e.g. one group
+          per customer).  [None] keeps the paper's default example:
+          one group per ingress port of the first-hop switch. *)
+}
+
+let default =
+  { rule_rate = 80.0;
+    activate_pin_rate = 100.0;
+    withdraw_flow_rate = 50.0;
+    monitor_interval = 0.1;
+    min_active_duration = 5.0;
+    overlay_threshold = 20;
+    drop_threshold = 500;
+    ingress_differentiation = true;
+    elephant_pkt_rate = 500.0;
+    stats_poll_interval = 1.0;
+    migration_enabled = true;
+    path_load_threshold = 100.0;
+    vswitch_rule_idle = 30.0;
+    physical_rule_idle = 10.0;
+    pin_rule_idle = 30.0;
+    heartbeat_period = 1.0;
+    heartbeat_timeout = 3.0;
+    vswitches_per_switch = 4;
+    flow_group = None }
+
+(** Cookie values tagging Scotch-owned rules, so overlay (green) rules
+    can be withdrawn wholesale and told apart from per-flow (red)
+    rules — §5.4's two rule colors. *)
+let cookie_green = 0x5C07C4EEL (* shared overlay rules *)
+
+let cookie_red = 0x5C07C4EDL (* per-flow physical-path rules *)
+
+let cookie_vflow = 0x5C07C4EFL (* per-flow rules at overlay vswitches *)

@@ -1,0 +1,56 @@
+(** Scotch configuration knobs.  Defaults follow the paper: R stays
+    below the loss-free rule insertion rate measured in §6.1, rule
+    timeouts are 10 s, and thresholds implement the Fig. 7 queue
+    semantics. *)
+
+type t = {
+  rule_rate : float;
+      (** R: per-switch physical rule-install service rate (Fig. 7).
+          Every served flow also costs a Packet-Out on the same channel,
+          so 2R must not exceed the loss-free insertion rate (§6.1). *)
+  activate_pin_rate : float;
+      (** Packet-In rate (per switch) that triggers overlay activation. *)
+  withdraw_flow_rate : float;
+      (** Attributed new-flow rate below which the overlay is withdrawn
+          for a switch (§5.5). *)
+  monitor_interval : float;  (** congestion monitor period, seconds *)
+  min_active_duration : float;
+      (** minimum time on the overlay before withdrawal is considered *)
+  overlay_threshold : int;
+      (** ingress-queue depth beyond which new flows are routed over the
+          overlay instead of waiting for physical setup *)
+  drop_threshold : int;
+      (** ingress-queue depth beyond which Packet-Ins are dropped *)
+  ingress_differentiation : bool;
+      (** per-ingress-port queues and round-robin (§5.2); [false]
+          collapses to one FIFO per switch *)
+  elephant_pkt_rate : float;
+      (** packets/second above which a flow is a large (elephant) flow *)
+  stats_poll_interval : float;  (** vswitch flow-stats polling period *)
+  migration_enabled : bool;     (** large-flow migration (§5.3) *)
+  path_load_threshold : float;
+      (** maximum Packet-In rate allowed on every switch of a candidate
+          physical path before migrating a flow onto it *)
+  vswitch_rule_idle : float;    (** idle timeout of per-flow vswitch rules *)
+  physical_rule_idle : float;   (** idle timeout of per-flow physical rules *)
+  pin_rule_idle : float;        (** idle timeout of §5.5 withdrawal pin rules *)
+  heartbeat_period : float;     (** vswitch Echo period (§5.6) *)
+  heartbeat_timeout : float;    (** declare a vswitch dead after this *)
+  vswitches_per_switch : int;
+      (** how many vswitches each congested switch load-balances over *)
+  flow_group : (first_hop:int -> ingress_port:int -> Scotch_packet.Flow_key.t -> int) option;
+      (** Optional flow-grouping override for the fair scheduler (§5.2,
+          e.g. one group per customer); [None] = one group per ingress
+          port of the first-hop switch (the paper's example). *)
+}
+
+val default : t
+
+(** Cookie tagging Scotch's shared overlay (green) rules (§5.4). *)
+val cookie_green : Scotch_openflow.Of_types.cookie
+
+(** Cookie tagging per-flow physical-path (red) rules. *)
+val cookie_red : Scotch_openflow.Of_types.cookie
+
+(** Cookie tagging per-flow rules at overlay vswitches. *)
+val cookie_vflow : Scotch_openflow.Of_types.cookie

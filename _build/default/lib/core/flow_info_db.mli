@@ -1,0 +1,49 @@
+(** The Flow Info Database (§5.2): per-flow first-hop physical switch,
+    ingress port, current path kind and last polled packet count — the
+    state large-flow migration (§5.3) and withdrawal pinning (§5.5)
+    read. *)
+
+open Scotch_packet
+
+type path_kind =
+  | Pending  (** queued at the controller, no path yet *)
+  | Physical (** per-flow (red) rules on the physical network *)
+  | Overlay of { entry_vswitch : int }
+  | Dropped  (** shed past the dropping threshold *)
+
+type entry = {
+  key : Flow_key.t;
+  first_hop : int;
+  ingress_port : int;
+  created : float;
+  mutable kind : path_kind;
+  mutable migrating : bool;
+  mutable last_packet_count : int; (** at the previous stats poll *)
+  mutable last_active : float;     (** last time the flow was known alive *)
+}
+
+type t
+
+val create : unit -> t
+val find : t -> Flow_key.t -> entry option
+
+(** Record a new flow in [Pending] state; an existing entry wins
+    (Packet-In duplicates are common while a flow awaits setup). *)
+val admit : t -> key:Flow_key.t -> first_hop:int -> ingress_port:int -> now:float -> entry
+
+(** Transition a flow's path kind, keeping the per-kind counts
+    consistent. *)
+val set_kind : t -> entry -> path_kind -> unit
+
+val remove : t -> Flow_key.t -> unit
+val size : t -> int
+val overlay_count : t -> int
+val physical_count : t -> int
+val iter : t -> (entry -> unit) -> unit
+
+(** Flows on the overlay with first hop [dpid], recently alive
+    ([horizon] seconds) and longer than [min_packets] — the set pinned
+    during withdrawal (§5.5).  One-packet probes (the bulk of a spoofed
+    DDoS) need no pin. *)
+val overlay_flows_of_switch :
+  t -> ?horizon:float -> ?min_packets:int -> now:float -> int -> entry list

@@ -1,0 +1,173 @@
+(** Scotch overlay construction and bookkeeping (§4.1, §5.6).
+
+    The overlay has three tunnel classes:
+    + physical switch ↔ vswitch "uplink" tunnels (load-distribution);
+    + the fully connected vswitch mesh;
+    + vswitch → host delivery tunnels (one per host from the vswitch
+      covering its location/rack).
+
+    This module builds the tunnels, keeps the mapping tables the
+    controller needs — tunnel id → origin physical switch (§5.2), host →
+    covering vswitch — and tracks vswitch liveness/backup status. *)
+
+open Scotch_switch
+open Scotch_topo
+
+type vswitch_info = {
+  vsw : Switch.t;
+  mesh_out : (int, int) Hashtbl.t;    (* peer vswitch dpid -> outgoing tunnel id *)
+  host_tunnels : (int, int) Hashtbl.t; (* host ip (int) -> delivery tunnel id *)
+  mutable is_backup : bool;
+  mutable alive : bool;
+}
+
+type t = {
+  topo : Topology.t;
+  vswitches : (int, vswitch_info) Hashtbl.t; (* by dpid *)
+  (* physical dpid -> (vswitch dpid, uplink tunnel id) list *)
+  uplinks : (int, (int * int) list ref) Hashtbl.t;
+  (* uplink tunnel id -> origin physical switch dpid *)
+  tunnel_origin : (int, int) Hashtbl.t;
+  (* host ip (int) -> covering vswitch dpid *)
+  host_cover : (int, int) Hashtbl.t;
+}
+
+let create topo =
+  { topo; vswitches = Hashtbl.create 16; uplinks = Hashtbl.create 16;
+    tunnel_origin = Hashtbl.create 64; host_cover = Hashtbl.create 256 }
+
+let vswitch t dpid = Hashtbl.find_opt t.vswitches dpid
+
+let iter_vswitches t f = Hashtbl.iter (fun _ v -> f v) t.vswitches
+
+(** Active (alive, non-backup) vswitch infos. *)
+let active_vswitches t =
+  Hashtbl.fold (fun _ v acc -> if v.alive && not v.is_backup then v :: acc else acc)
+    t.vswitches []
+  |> List.sort (fun a b -> compare (Switch.dpid a.vsw) (Switch.dpid b.vsw))
+
+(** [add_vswitch t vsw ~backup] registers a vswitch and meshes it with
+    every vswitch already present ("we choose to form a fully connected
+    vswitch mesh in order to facilitate the overlay routing").  New
+    vswitches can join a running overlay (§5.6). *)
+let add_vswitch t vsw ~backup =
+  let dpid = Switch.dpid vsw in
+  if Hashtbl.mem t.vswitches dpid then invalid_arg "Overlay.add_vswitch: duplicate";
+  let info =
+    { vsw; mesh_out = Hashtbl.create 16; host_tunnels = Hashtbl.create 64; is_backup = backup;
+      alive = true }
+  in
+  Hashtbl.iter
+    (fun peer_dpid peer ->
+      let tid_ab, tid_ba = Topology.add_tunnel_switches t.topo vsw peer.vsw in
+      Hashtbl.replace info.mesh_out peer_dpid tid_ab;
+      Hashtbl.replace peer.mesh_out dpid tid_ba)
+    t.vswitches;
+  Hashtbl.replace t.vswitches dpid info
+
+(** [connect_switch t phys ~to_vswitches] builds uplink tunnels from a
+    physical switch to the named vswitches; records tunnel origins so
+    Packet-Ins arriving from a vswitch can be attributed (§5.2). *)
+let connect_switch t phys ~to_vswitches =
+  let dpid = Switch.dpid phys in
+  let ups =
+    match Hashtbl.find_opt t.uplinks dpid with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace t.uplinks dpid r;
+      r
+  in
+  List.iter
+    (fun vdpid ->
+      match vswitch t vdpid with
+      | None -> invalid_arg "Overlay.connect_switch: unknown vswitch"
+      | Some info ->
+        let tid_up, _tid_down = Topology.add_tunnel_switches t.topo phys info.vsw in
+        ups := (vdpid, tid_up) :: !ups;
+        Hashtbl.replace t.tunnel_origin tid_up dpid)
+    to_vswitches
+
+(** [cover_host t ~vswitch_dpid host] creates the delivery tunnel from
+    the covering vswitch to [host] and records the coverage. *)
+let cover_host t ~vswitch_dpid host =
+  match vswitch t vswitch_dpid with
+  | None -> invalid_arg "Overlay.cover_host: unknown vswitch"
+  | Some info ->
+    let tid = Topology.add_tunnel_to_host t.topo info.vsw host in
+    Hashtbl.replace info.host_tunnels (Scotch_packet.Ipv4_addr.to_int (Host.ip host)) tid;
+    Hashtbl.replace t.host_cover (Scotch_packet.Ipv4_addr.to_int (Host.ip host)) vswitch_dpid
+
+(** Origin physical switch of an uplink tunnel ("maintaining a table to
+    map the tunnel id to the physical switch id"). *)
+let origin_of_tunnel t tid = Hashtbl.find_opt t.tunnel_origin tid
+
+(** Covering vswitch of a destination IP, preferring an alive one: if
+    the recorded cover died, fall back to any alive vswitch that has a
+    delivery tunnel to this host. *)
+let cover_of_ip t ip =
+  let ip = Scotch_packet.Ipv4_addr.to_int ip in
+  match Hashtbl.find_opt t.host_cover ip with
+  | Some vd when (match vswitch t vd with Some v -> v.alive | None -> false) -> Some vd
+  | Some _ | None ->
+    Hashtbl.fold
+      (fun dpid v acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if v.alive && Hashtbl.mem v.host_tunnels ip then Some dpid else None)
+      t.vswitches None
+
+(** Delivery tunnel id from vswitch [vdpid] to host [ip]. *)
+let delivery_tunnel t ~vswitch_dpid ip =
+  match vswitch t vswitch_dpid with
+  | None -> None
+  | Some v -> Hashtbl.find_opt v.host_tunnels (Scotch_packet.Ipv4_addr.to_int ip)
+
+(** Mesh tunnel id from vswitch [src] to vswitch [dst]. *)
+let mesh_tunnel t ~src ~dst =
+  match vswitch t src with None -> None | Some v -> Hashtbl.find_opt v.mesh_out dst
+
+(** Uplink tunnels of a physical switch: [(vswitch dpid, tunnel id)]. *)
+let uplinks_of t dpid =
+  match Hashtbl.find_opt t.uplinks dpid with None -> [] | Some r -> !r
+
+(** Uplinks of [dpid] restricted to alive vswitches. *)
+let alive_uplinks_of t dpid =
+  List.filter
+    (fun (vdpid, _) -> match vswitch t vdpid with Some v -> v.alive | None -> false)
+    (uplinks_of t dpid)
+
+(** Mark a vswitch dead (heartbeat timeout).  Returns the first backup
+    promoted to active duty, if one was available. *)
+let mark_dead t dpid =
+  match vswitch t dpid with
+  | None -> None
+  | Some v ->
+    v.alive <- false;
+    let promoted =
+      Hashtbl.fold
+        (fun _ cand acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> if cand.alive && cand.is_backup then Some cand else None)
+        t.vswitches None
+    in
+    (match promoted with
+    | Some b ->
+      b.is_backup <- false;
+      Some (Switch.dpid b.vsw)
+    | None -> None)
+
+(** A recovered vswitch rejoins as a backup (§5.6: "the failed vswitch
+    can join back Scotch as a new or backup vswitch"). *)
+let mark_recovered t dpid =
+  match vswitch t dpid with
+  | None -> ()
+  | Some v ->
+    v.alive <- true;
+    v.is_backup <- true
+
+let size t = Hashtbl.length t.vswitches
+
+let alive_count t =
+  Hashtbl.fold (fun _ v acc -> if v.alive then acc + 1 else acc) t.vswitches 0

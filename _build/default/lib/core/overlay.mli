@@ -1,0 +1,64 @@
+(** Scotch overlay construction and bookkeeping (§4.1, §5.6): the
+    fully connected vswitch mesh, physical-switch uplink tunnels,
+    per-host delivery tunnels, the tunnel-id → origin-switch map
+    (§5.2), host coverage and vswitch liveness/backup state. *)
+
+open Scotch_switch
+open Scotch_topo
+
+type vswitch_info = {
+  vsw : Switch.t;
+  mesh_out : (int, int) Hashtbl.t;     (** peer vswitch dpid → outgoing tunnel id *)
+  host_tunnels : (int, int) Hashtbl.t; (** host ip (int) → delivery tunnel id *)
+  mutable is_backup : bool;
+  mutable alive : bool;
+}
+
+type t
+
+val create : Topology.t -> t
+val vswitch : t -> int -> vswitch_info option
+val iter_vswitches : t -> (vswitch_info -> unit) -> unit
+
+(** Alive, non-backup vswitches, sorted by dpid. *)
+val active_vswitches : t -> vswitch_info list
+
+(** Register a vswitch, meshing it with every vswitch already present
+    ("a fully connected vswitch mesh", §4.1).  New vswitches can join a
+    running overlay (§5.6). *)
+val add_vswitch : t -> Switch.t -> backup:bool -> unit
+
+(** Build uplink tunnels from a physical switch to the named vswitches,
+    recording tunnel origins for Packet-In attribution (§5.2). *)
+val connect_switch : t -> Switch.t -> to_vswitches:int list -> unit
+
+(** Create the delivery tunnel from a covering vswitch to a host; the
+    last registration becomes the primary cover. *)
+val cover_host : t -> vswitch_dpid:int -> Host.t -> unit
+
+(** Origin physical switch of an uplink tunnel ("a table to map the
+    tunnel id to the physical switch id"). *)
+val origin_of_tunnel : t -> int -> int option
+
+(** Covering vswitch of a destination, preferring an alive one and
+    falling back to any alive vswitch with a delivery tunnel. *)
+val cover_of_ip : t -> Scotch_packet.Ipv4_addr.t -> int option
+
+val delivery_tunnel : t -> vswitch_dpid:int -> Scotch_packet.Ipv4_addr.t -> int option
+val mesh_tunnel : t -> src:int -> dst:int -> int option
+
+(** Uplink tunnels of a physical switch: [(vswitch dpid, tunnel id)]. *)
+val uplinks_of : t -> int -> (int * int) list
+
+(** Uplinks restricted to alive vswitches. *)
+val alive_uplinks_of : t -> int -> (int * int) list
+
+(** Mark a vswitch dead (heartbeat timeout); returns the backup
+    promoted to active duty, if one was available. *)
+val mark_dead : t -> int -> int option
+
+(** A recovered vswitch rejoins as a backup (§5.6). *)
+val mark_recovered : t -> int -> unit
+
+val size : t -> int
+val alive_count : t -> int

@@ -1,0 +1,144 @@
+(** Per-switch flow-management scheduler (Fig. 7).
+
+    Three priority levels, served one item per [1/R] seconds:
+    + the {e admitted flow queue} — individual rule installs for flows
+      (re)admitted to the physical network — highest priority;
+    + the {e large flow migration queue};
+    + the {e ingress-port differentiation queues} — one FIFO per ingress
+      port, served round-robin — lowest priority.
+
+    "Such a priority order causes small flows to be forwarded on
+    physical paths only after all large flows are accommodated."
+
+    Items are thunks supplied by the Scotch application; this module
+    owns only ordering, thresholds and pacing. *)
+
+type counters = {
+  mutable served_admitted : int;
+  mutable served_large : int;
+  mutable served_ingress : int;
+  mutable diverted_overlay : int; (* ingress submissions past the overlay threshold *)
+  mutable dropped : int;          (* ingress submissions past the dropping threshold *)
+}
+
+type t = {
+  engine : Scotch_sim.Engine.t;
+  rate : float;
+  overlay_threshold : int;
+  drop_threshold : int;
+  differentiate : bool;
+  admitted : (unit -> unit) Queue.t;
+  large : (unit -> unit) Queue.t;
+  ingress : (int, (unit -> unit) Queue.t) Hashtbl.t;
+  mutable rr_order : int list; (* ports, round-robin cursor at head *)
+  mutable stop : (unit -> unit) option;
+  counters : counters;
+}
+
+let create engine ~rate ~overlay_threshold ~drop_threshold ~differentiate =
+  if rate <= 0.0 then invalid_arg "Sched.create: rate must be positive";
+  { engine; rate; overlay_threshold; drop_threshold; differentiate;
+    admitted = Queue.create (); large = Queue.create (); ingress = Hashtbl.create 8;
+    rr_order = []; stop = None;
+    counters =
+      { served_admitted = 0; served_large = 0; served_ingress = 0; diverted_overlay = 0;
+        dropped = 0 } }
+
+let counters t = t.counters
+
+let ingress_queue t port =
+  let port = if t.differentiate then port else 0 in
+  match Hashtbl.find_opt t.ingress port with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.ingress port q;
+    t.rr_order <- t.rr_order @ [ port ];
+    q
+
+(** [submit_ingress t ~port item] applies the Fig. 7 thresholds:
+    [`Queued] (item will run when served), [`Overlay] (past the overlay
+    threshold — caller must route the flow over the Scotch overlay) or
+    [`Drop] (past the dropping threshold). *)
+let submit_ingress t ~port item =
+  let q = ingress_queue t port in
+  let len = Queue.length q in
+  if len >= t.drop_threshold then begin
+    t.counters.dropped <- t.counters.dropped + 1;
+    `Drop
+  end
+  else if len >= t.overlay_threshold then begin
+    t.counters.diverted_overlay <- t.counters.diverted_overlay + 1;
+    `Overlay
+  end
+  else begin
+    Queue.push item q;
+    `Queued
+  end
+
+(** Enqueue a rule install for an admitted (physical-path) flow. *)
+let submit_admitted t item = Queue.push item t.admitted
+
+(** Enqueue a large-flow migration request. *)
+let submit_large t item = Queue.push item t.large
+
+let next_ingress t =
+  (* rotate through ports, skipping empty queues *)
+  let rec go n order =
+    if n = 0 then None
+    else
+      match order with
+      | [] -> None
+      | port :: rest -> (
+        let order' = rest @ [ port ] in
+        match Hashtbl.find_opt t.ingress port with
+        | Some q when not (Queue.is_empty q) ->
+          t.rr_order <- order';
+          Some (Queue.pop q)
+        | _ -> go (n - 1) order')
+  in
+  go (List.length t.rr_order) t.rr_order
+
+let serve_one t =
+  match Queue.take_opt t.admitted with
+  | Some item ->
+    t.counters.served_admitted <- t.counters.served_admitted + 1;
+    item ()
+  | None -> (
+    match Queue.take_opt t.large with
+    | Some item ->
+      t.counters.served_large <- t.counters.served_large + 1;
+      item ()
+    | None -> (
+      match next_ingress t with
+      | Some item ->
+        t.counters.served_ingress <- t.counters.served_ingress + 1;
+        item ()
+      | None -> ()))
+
+(** [start t] begins serving at rate R.  Idempotent. *)
+let start t =
+  match t.stop with
+  | Some _ -> ()
+  | None ->
+    let stop = Scotch_sim.Engine.every t.engine ~period:(1.0 /. t.rate) (fun () -> serve_one t) in
+    t.stop <- Some stop
+
+let stop t =
+  match t.stop with
+  | None -> ()
+  | Some f ->
+    f ();
+    t.stop <- None
+
+(** Pending rule installs in the admitted queue — the §5.3 signal that
+    a switch's control plane cannot absorb more physical-path setups. *)
+let admitted_backlog t = Queue.length t.admitted
+
+(** Total backlog across ingress queues (observability/tests). *)
+let ingress_backlog t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.ingress 0
+
+let ingress_queue_length t ~port =
+  let port = if t.differentiate then port else 0 in
+  match Hashtbl.find_opt t.ingress port with None -> 0 | Some q -> Queue.length q

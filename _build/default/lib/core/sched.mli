@@ -1,0 +1,54 @@
+(** Per-switch flow-management scheduler (Fig. 7 of the paper).
+
+    Three priority levels served one item per [1/R] seconds: the
+    {e admitted flow queue} (individual rule installs, highest), the
+    {e large flow migration queue}, then {e ingress-port
+    differentiation queues} (one FIFO per ingress port, round-robin).
+    "Such a priority order causes small flows to be forwarded on
+    physical paths only after all large flows are accommodated."
+
+    Items are thunks supplied by the Scotch application; this module
+    owns ordering, thresholds and pacing only. *)
+
+type counters = {
+  mutable served_admitted : int;
+  mutable served_large : int;
+  mutable served_ingress : int;
+  mutable diverted_overlay : int; (** submissions past the overlay threshold *)
+  mutable dropped : int;          (** submissions past the dropping threshold *)
+}
+
+type t
+
+(** [differentiate = false] collapses to a single FIFO (all ports map
+    to group 0). *)
+val create :
+  Scotch_sim.Engine.t -> rate:float -> overlay_threshold:int -> drop_threshold:int ->
+  differentiate:bool -> t
+
+val counters : t -> counters
+
+(** Apply the Fig. 7 thresholds: [`Queued] (runs when served),
+    [`Overlay] (route the flow over the Scotch overlay now) or
+    [`Drop]. *)
+val submit_ingress : t -> port:int -> (unit -> unit) -> [ `Queued | `Overlay | `Drop ]
+
+(** Enqueue a rule install for an admitted (physical-path) flow. *)
+val submit_admitted : t -> (unit -> unit) -> unit
+
+(** Enqueue a large-flow migration request. *)
+val submit_large : t -> (unit -> unit) -> unit
+
+(** Begin serving at rate R.  Idempotent. *)
+val start : t -> unit
+
+val stop : t -> unit
+
+(** Pending rule installs in the admitted queue — the §5.3 signal that
+    a switch's control plane cannot absorb more physical-path setups. *)
+val admitted_backlog : t -> int
+
+(** Total ingress backlog across ports. *)
+val ingress_backlog : t -> int
+
+val ingress_queue_length : t -> port:int -> int

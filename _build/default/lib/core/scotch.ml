@@ -1,0 +1,718 @@
+(** The Scotch controller application (§4–§5): overlay activation and
+    withdrawal, load-balanced redirection, ingress-port differentiation,
+    overlay routing, large-flow migration, middlebox policy consistency
+    and vswitch failure handling.
+
+    One instance manages a set of {e physical} switches (each gets a
+    Fig. 7 scheduler and a congestion monitor) and uses a pool of
+    {e overlay} vswitches.  Registered as a {!Scotch_controller.Controller}
+    application, it consumes every Packet-In relevant to Scotch. *)
+
+open Scotch_openflow
+open Scotch_switch
+open Scotch_packet
+open Scotch_util
+module C = Scotch_controller.Controller
+
+let group_id = 1
+let redirect_priority = 1
+let flow_priority = 10
+
+type managed = {
+  msw : C.sw;
+  sched : Sched.t;
+  attributed : Stats.Rate_meter.t; (* new-flow rate attributed to this switch *)
+  mutable active : bool;           (* overlay redirection installed *)
+  mutable activated_at : float;
+  mutable assigned : (int * int) list; (* (vswitch dpid, uplink tunnel id) in the group *)
+  mutable group_installed : bool;
+}
+
+type counters = {
+  mutable flows_seen : int;
+  mutable flows_overlay : int;       (* routed over the overlay *)
+  mutable flows_physical : int;      (* physical path installed (incl. migrations) *)
+  mutable flows_dropped : int;       (* shed past the dropping threshold *)
+  mutable flows_unroutable : int;
+  mutable elephants_detected : int;
+  mutable migrations_completed : int;
+  mutable activations : int;
+  mutable withdrawals : int;
+  mutable vswitch_failures : int;
+}
+
+type t = {
+  ctrl : C.t;
+  overlay : Overlay.t;
+  policy : Policy.t;
+  config : Config.t;
+  db : Flow_info_db.t;
+  managed : (int, managed) Hashtbl.t;
+  vswitch_handles : (int, C.sw) Hashtbl.t;
+  counters : counters;
+}
+
+let create ctrl overlay policy config =
+  { ctrl; overlay; policy; config; db = Flow_info_db.create ();
+    managed = Hashtbl.create 16; vswitch_handles = Hashtbl.create 16;
+    counters =
+      { flows_seen = 0; flows_overlay = 0; flows_physical = 0; flows_dropped = 0;
+        flows_unroutable = 0; elephants_detected = 0; migrations_completed = 0;
+        activations = 0; withdrawals = 0; vswitch_failures = 0 } }
+
+let counters t = t.counters
+let db t = t.db
+let config t = t.config
+let overlay t = t.overlay
+
+let engine t = C.engine t.ctrl
+let now t = Scotch_sim.Engine.now (engine t)
+
+let managed_of t dpid = Hashtbl.find_opt t.managed dpid
+
+(** {1 Registration} *)
+
+(** [register_vswitch t dev ~channel_latency] connects an overlay
+    vswitch to the controller and installs its table-miss rule (full
+    packets to the controller, §4.2). *)
+let register_vswitch t dev ~channel_latency =
+  let sw = C.connect t.ctrl dev ~latency:channel_latency in
+  Hashtbl.replace t.vswitch_handles (Switch.dpid dev) sw;
+  C.install t.ctrl sw ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+    ~instructions:Of_action.to_controller ();
+  sw
+
+(** [manage_switch t dev ~channel_latency] puts a physical switch under
+    Scotch management: controller connection, table-miss rule, Fig. 7
+    scheduler (started), congestion monitor state. *)
+let manage_switch t dev ~channel_latency =
+  let sw = C.connect t.ctrl dev ~latency:channel_latency in
+  let cfg = t.config in
+  let sched =
+    Sched.create (engine t) ~rate:cfg.Config.rule_rate
+      ~overlay_threshold:cfg.Config.overlay_threshold ~drop_threshold:cfg.Config.drop_threshold
+      ~differentiate:cfg.Config.ingress_differentiation
+  in
+  Sched.start sched;
+  let m =
+    { msw = sw; sched; attributed = Stats.Rate_meter.create ~window:1.0; active = false;
+      activated_at = 0.0; assigned = []; group_installed = false }
+  in
+  Hashtbl.replace t.managed (Switch.dpid dev) m;
+  C.install t.ctrl sw ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+    ~instructions:Of_action.to_controller ();
+  m
+
+let handle_of t dpid =
+  match Hashtbl.find_opt t.vswitch_handles dpid with
+  | Some sw -> Some sw
+  | None -> (
+    match managed_of t dpid with Some m -> Some m.msw | None -> C.switch t.ctrl dpid)
+
+let send_flow_mod t dpid fm =
+  match handle_of t dpid with
+  | Some sw -> C.send t.ctrl sw (Of_msg.Flow_mod fm)
+  | None -> ()
+
+(** {1 Activation (§4.2, §5.1)} *)
+
+(** Deterministic vswitch assignment: up to [vswitches_per_switch] alive
+    uplinks, rotated by dpid so different switches spread over the
+    pool. *)
+let select_assignment t dpid =
+  let ups =
+    Overlay.alive_uplinks_of t.overlay dpid |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let n = List.length ups in
+  if n = 0 then []
+  else begin
+    let k = Stdlib.min t.config.Config.vswitches_per_switch n in
+    let rot = dpid mod n in
+    let arr = Array.of_list ups in
+    List.init k (fun i -> arr.((rot + i) mod n))
+  end
+
+let buckets_of_assignment assigned =
+  List.map
+    (fun (_vdpid, tid) ->
+      Of_msg.Group_mod.bucket
+        [ Of_action.Output
+            (Of_types.Port_no.Physical (Scotch_topo.Topology.tunnel_port_of_id tid)) ])
+    assigned
+
+let install_group t m =
+  let gm =
+    if m.group_installed then
+      Of_msg.Group_mod.modify_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
+    else Of_msg.Group_mod.add_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
+  in
+  m.group_installed <- true;
+  C.send t.ctrl m.msw (Of_msg.Group_mod gm)
+
+(** [activate t m] turns on overlay redirection at a congested switch:
+    the two-table pipeline of §5.2 — table 0 tags the ingress port with
+    an inner MPLS label and continues to table 1, whose single rule
+    load-balances into the select group over vswitch tunnels. *)
+let activate t m =
+  let dpid = m.msw.C.dpid in
+  m.assigned <- select_assignment t dpid;
+  if m.assigned <> [] then begin
+    m.active <- true;
+    m.activated_at <- now t;
+    t.counters.activations <- t.counters.activations + 1;
+    install_group t m;
+    C.install t.ctrl m.msw ~table_id:1 ~priority:0 ~cookie:Config.cookie_green
+      ~match_:Of_match.wildcard
+      ~instructions:[ Of_action.Apply_actions [ Of_action.Group group_id ] ]
+      ();
+    List.iter
+      (fun port ->
+        C.install t.ctrl m.msw ~table_id:0 ~priority:redirect_priority
+          ~cookie:Config.cookie_green
+          ~match_:(Of_match.with_in_port port Of_match.wildcard)
+          ~instructions:
+            [ Of_action.Apply_actions [ Of_action.Push_mpls port ]; Of_action.Goto_table 1 ]
+          ())
+      (Switch.normal_ports m.msw.C.device)
+  end
+
+(** {1 Withdrawal (§5.5)} *)
+
+let withdraw t m =
+  m.active <- false;
+  t.counters.withdrawals <- t.counters.withdrawals + 1;
+  (* Step 1: pin flows currently on the overlay so they stay there,
+     paced through the admitted queue. *)
+  let dpid = m.msw.C.dpid in
+  let horizon = 2.0 *. t.config.Config.stats_poll_interval in
+  let pins = Flow_info_db.overlay_flows_of_switch t.db ~horizon ~now:(now t) dpid in
+  let remaining = ref (List.length pins) in
+  let remove_redirects () =
+    (* Step 2: remove the default redirection rules; new flows go back
+       to the OFA. *)
+    List.iter
+      (fun port ->
+        C.uninstall t.ctrl m.msw ~table_id:0 ~priority:redirect_priority
+          ~match_:(Of_match.with_in_port port Of_match.wildcard)
+          ())
+      (Switch.normal_ports m.msw.C.device)
+  in
+  if pins = [] then remove_redirects ()
+  else
+    List.iter
+      (fun (e : Flow_info_db.entry) ->
+        Sched.submit_admitted m.sched (fun () ->
+            C.install t.ctrl m.msw ~table_id:0 ~priority:Policy.green_priority
+              ~cookie:Config.cookie_green ~idle_timeout:t.config.Config.pin_rule_idle
+              ~match_:(Of_match.exact_flow e.Flow_info_db.key)
+              ~instructions:
+                [ Of_action.Apply_actions [ Of_action.Push_mpls e.Flow_info_db.ingress_port ];
+                  Of_action.Goto_table 1 ]
+              ();
+            decr remaining;
+            if !remaining = 0 then remove_redirects ()))
+      pins
+
+(** {1 Overlay routing (§4.1–4.2)} *)
+
+let vswitch_handle t vdpid = Hashtbl.find_opt t.vswitch_handles vdpid
+
+(** Entry vswitch the switch's select group will hash this flow to —
+    used when the first packet arrived directly (pre-activation) so the
+    controller's choice agrees with the data plane's. *)
+let predicted_entry t m key =
+  let assigned = if m.assigned <> [] then m.assigned else select_assignment t m.msw.C.dpid in
+  match assigned with
+  | [] -> None
+  | _ ->
+    let n = List.length assigned in
+    let vdpid, _ = List.nth assigned (Flow_key.hash key mod n) in
+    Some vdpid
+
+(** [route_overlay t e pkt ~entry] installs the overlay path for flow
+    [e]: a rule at the entry vswitch (pop the ingress label, forward
+    into the mesh / policy segment / delivery tunnel) and, if distinct,
+    a rule at the vswitch covering the destination; then Packet-Outs the
+    first packet at the entry vswitch. *)
+let route_overlay t (e : Flow_info_db.entry) pkt ~entry =
+  let key = e.Flow_info_db.key in
+  let dst_ip = Ipv4_addr.of_int (Ipv4_addr.to_int key.Flow_key.ip_dst) in
+  match Overlay.cover_of_ip t.overlay dst_ip with
+  | None ->
+    t.counters.flows_unroutable <- t.counters.flows_unroutable + 1;
+    Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+  | Some cover -> (
+    let entry_actions =
+      match Policy.classify t.policy key with
+      | Some seg -> (
+        (* policy flow: into the segment; green rules at S_U/S_D carry it
+           through the middlebox and on to the cover vswitch *)
+        match Policy.entry_tunnel seg ~vswitch_dpid:entry with
+        | Some tid ->
+          Some
+            [ Of_action.Pop_mpls;
+              Of_action.Output
+                (Of_types.Port_no.Physical (Scotch_topo.Topology.tunnel_port_of_id tid)) ]
+        | None -> None)
+      | None ->
+        if entry = cover then
+          match Overlay.delivery_tunnel t.overlay ~vswitch_dpid:entry dst_ip with
+          | Some tid ->
+            Some
+              [ Of_action.Pop_mpls;
+                Of_action.Output
+                  (Of_types.Port_no.Physical (Scotch_topo.Topology.tunnel_port_of_id tid)) ]
+          | None -> None
+        else
+          match Overlay.mesh_tunnel t.overlay ~src:entry ~dst:cover with
+          | Some tid ->
+            Some
+              [ Of_action.Pop_mpls;
+                Of_action.Output
+                  (Of_types.Port_no.Physical (Scotch_topo.Topology.tunnel_port_of_id tid)) ]
+          | None -> None
+    in
+    match (entry_actions, vswitch_handle t entry) with
+    | None, _ | _, None ->
+      t.counters.flows_unroutable <- t.counters.flows_unroutable + 1;
+      Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+    | Some actions, Some entry_sw ->
+      let cfg = t.config in
+      C.install t.ctrl entry_sw ~table_id:0 ~priority:flow_priority
+        ~idle_timeout:cfg.Config.vswitch_rule_idle ~cookie:Config.cookie_vflow
+        ~match_:(Of_match.exact_flow key)
+        ~instructions:[ Of_action.Apply_actions actions ]
+        ();
+      (if cover <> entry then
+         match (Overlay.delivery_tunnel t.overlay ~vswitch_dpid:cover dst_ip,
+                vswitch_handle t cover) with
+         | Some tid, Some cover_sw ->
+           C.install t.ctrl cover_sw ~table_id:0 ~priority:flow_priority
+             ~idle_timeout:cfg.Config.vswitch_rule_idle ~cookie:Config.cookie_vflow
+             ~match_:(Of_match.exact_flow key)
+             ~instructions:
+               (Of_action.output
+                  (Of_types.Port_no.Physical (Scotch_topo.Topology.tunnel_port_of_id tid)))
+             ()
+         | _ -> ());
+      C.packet_out t.ctrl entry_sw ~actions pkt;
+      (match e.Flow_info_db.kind with
+      | Flow_info_db.Overlay _ -> () (* reinstall after expiry/failure *)
+      | _ ->
+        t.counters.flows_overlay <- t.counters.flows_overlay + 1;
+        Flow_info_db.set_kind t.db e (Flow_info_db.Overlay { entry_vswitch = entry })))
+
+(** {1 Physical-path setup and migration (§5.3)} *)
+
+(** Install per-flow (red) rules for [e] along its physical path.  Rules
+    for every switch are paced through that switch's admitted queue,
+    destination-first; the first-hop rule is enqueued only after every
+    downstream rule has been sent, "so that packets are forwarded on the
+    new path only after all switches on the path are ready".
+    [first_packet] (if any) is Packet-Out at the first hop once its rule
+    is sent. *)
+let install_physical t (e : Flow_info_db.entry) ~first_packet ~on_complete =
+  let key = e.Flow_info_db.key in
+  let dst_ip = Ipv4_addr.of_int (Ipv4_addr.to_int key.Flow_key.ip_dst) in
+  let first_hop = e.Flow_info_db.first_hop in
+  let cfg = t.config in
+  let mk_rule dpid out_port =
+    ( dpid,
+      Of_msg.Flow_mod.add ~table_id:0 ~priority:Policy.red_priority
+        ~idle_timeout:cfg.Config.physical_rule_idle ~cookie:Config.cookie_red
+        ~match_:(Of_match.exact_flow key)
+        ~instructions:(Of_action.output (Of_types.Port_no.Physical out_port))
+        () )
+  in
+  let rules =
+    match Policy.classify t.policy key with
+    | Some seg -> (
+      match Policy.physical_path_through t.policy seg ~first_hop ~dst_ip with
+      | None -> None
+      | Some (plain_hops, exit_port) ->
+        Some
+          (List.map (fun (d, p) -> mk_rule d p) plain_hops
+          @ Policy.red_rules seg ~key ~exit_port))
+    | None -> (
+      match Scotch_topo.Topology.route_to_host (C.topo t.ctrl) ~src:first_hop ~dst_ip with
+      | None -> None
+      | Some hops -> Some (List.map (fun (d, p) -> mk_rule d p) hops))
+  in
+  match rules with
+  | None ->
+    t.counters.flows_unroutable <- t.counters.flows_unroutable + 1;
+    Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+  | Some rules ->
+    let first_hop_rules, downstream =
+      List.partition (fun (d, _) -> d = first_hop) rules
+    in
+    let finish () =
+      List.iter (fun (d, fm) -> send_flow_mod t d fm) first_hop_rules;
+      (match (first_packet, handle_of t first_hop) with
+      | Some pkt, Some sw ->
+        let out_action =
+          List.filter_map
+            (fun ((_ : int), (fm : Of_msg.Flow_mod.t)) ->
+              match Of_action.actions_of_instructions fm.Of_msg.Flow_mod.instructions with
+              | (Of_action.Output _ as a) :: _ -> Some a
+              | _ -> None)
+            first_hop_rules
+        in
+        (* the buffered packet may still carry the inner ingress label
+           it picked up on its way to a vswitch: strip it before
+           re-injecting on the physical path *)
+        if out_action <> [] then
+          C.packet_out t.ctrl sw ~actions:[ Of_action.Pop_mpls; List.hd out_action ] pkt
+      | _ -> ());
+      Flow_info_db.set_kind t.db e Flow_info_db.Physical;
+      t.counters.flows_physical <- t.counters.flows_physical + 1;
+      on_complete ()
+    in
+    if downstream = [] then finish ()
+    else begin
+      (* destination-first: reverse order of the path *)
+      let remaining = ref (List.length downstream) in
+      List.iter
+        (fun (d, fm) ->
+          let send () =
+            send_flow_mod t d fm;
+            decr remaining;
+            if !remaining = 0 then finish ()
+          in
+          match managed_of t d with
+          | Some dm -> Sched.submit_admitted dm.sched send
+          | None -> send ())
+        (List.rev downstream)
+    end
+
+(** Migration of one detected elephant (served from the large-flow
+    queue): recheck control-path load along the candidate path, then
+    install destination-first. *)
+let do_migration t (e : Flow_info_db.entry) =
+  let key = e.Flow_info_db.key in
+  let dst_ip = Ipv4_addr.of_int (Ipv4_addr.to_int key.Flow_key.ip_dst) in
+  let path_ok =
+    match Scotch_topo.Topology.route_to_host (C.topo t.ctrl) ~src:e.Flow_info_db.first_hop ~dst_ip with
+    | None -> false
+    | Some hops ->
+      List.for_all
+        (fun (d, _) ->
+          match handle_of t d with
+          | None -> false
+          | Some sw ->
+            C.pin_rate t.ctrl sw <= t.config.Config.path_load_threshold
+            && (match managed_of t d with
+               | None -> true
+               | Some dm ->
+                 float_of_int (Sched.admitted_backlog dm.sched) <= t.config.Config.rule_rate))
+        hops
+  in
+  if not path_ok then e.Flow_info_db.migrating <- false (* retry at next poll *)
+  else
+    install_physical t e ~first_packet:None ~on_complete:(fun () ->
+        e.Flow_info_db.migrating <- false;
+        t.counters.migrations_completed <- t.counters.migrations_completed + 1)
+
+(** Elephant detection: poll per-flow packet counts at the vswitches and
+    compare against the configured rate threshold. *)
+let flow_key_of_match (m : Of_match.t) =
+  match (m.Of_match.ip_src, m.Of_match.ip_dst, m.Of_match.ip_proto) with
+  | Some src, Some dst, Some proto ->
+    Some
+      (Flow_key.make
+         ~ip_src:(Ipv4_addr.of_int src.Of_match.value)
+         ~ip_dst:(Ipv4_addr.of_int dst.Of_match.value)
+         ~proto
+         ?l4_src:m.Of_match.l4_src ?l4_dst:m.Of_match.l4_dst ())
+  | _ -> None
+
+let poll_vswitch_stats t vdpid =
+  match vswitch_handle t vdpid with
+  | None -> ()
+  | Some sw ->
+    C.request t.ctrl sw
+      (Of_msg.Flow_stats_request { Of_msg.Stats.table_id = 0xFF; match_ = Of_match.wildcard })
+      (function
+        | Of_msg.Flow_stats_reply stats ->
+          List.iter
+            (fun (st : Of_msg.Stats.flow_stat) ->
+              if st.Of_msg.Stats.cookie = Config.cookie_vflow then
+                match flow_key_of_match st.Of_msg.Stats.match_ with
+                | None -> ()
+                | Some key -> (
+                  match Flow_info_db.find t.db key with
+                  | Some e -> (
+                    match e.Flow_info_db.kind with
+                    | Flow_info_db.Overlay { entry_vswitch } when entry_vswitch = vdpid ->
+                      let delta =
+                        st.Of_msg.Stats.packet_count - e.Flow_info_db.last_packet_count
+                      in
+                      e.Flow_info_db.last_packet_count <- st.Of_msg.Stats.packet_count;
+                      if delta > 0 then
+                        e.Flow_info_db.last_active <- now t;
+                      let rate =
+                        float_of_int delta /. t.config.Config.stats_poll_interval
+                      in
+                      if
+                        t.config.Config.migration_enabled
+                        && rate > t.config.Config.elephant_pkt_rate
+                        && not e.Flow_info_db.migrating
+                      then begin
+                        e.Flow_info_db.migrating <- true;
+                        t.counters.elephants_detected <- t.counters.elephants_detected + 1;
+                        match managed_of t e.Flow_info_db.first_hop with
+                        | Some m -> Sched.submit_large m.sched (fun () -> do_migration t e)
+                        | None -> e.Flow_info_db.migrating <- false
+                      end
+                    | _ -> ())
+                  | None -> ()))
+            stats
+        | _ -> ())
+
+(** Control-plane load check for a candidate physical path (§5.3: the
+    controller "checks the message rate of all switches on the path to
+    make sure their control plane is not overloaded").  Two signals per
+    hop: the Packet-In rate and the admitted-queue backlog (more than a
+    second of pending installs means the switch cannot absorb another
+    path). *)
+let path_overloaded t ~first_hop ~dst_ip =
+  match Scotch_topo.Topology.route_to_host (C.topo t.ctrl) ~src:first_hop ~dst_ip with
+  | None -> false (* unroutable is handled downstream *)
+  | Some hops ->
+    List.exists
+      (fun (d, _) ->
+        match managed_of t d with
+        | None -> false
+        | Some dm ->
+          C.pin_rate t.ctrl dm.msw > t.config.Config.path_load_threshold
+          || float_of_int (Sched.admitted_backlog dm.sched) > t.config.Config.rule_rate)
+      hops
+
+(** {1 Packet-In handling} *)
+
+let serve_new_flow t m (e : Flow_info_db.entry) pkt ~entry_vswitch =
+  (* fair-sharing group: per ingress port by default, or the operator's
+     classifier (e.g. per customer, §5.2) *)
+  let group =
+    match t.config.Config.flow_group with
+    | None -> e.Flow_info_db.ingress_port
+    | Some f ->
+      f ~first_hop:e.Flow_info_db.first_hop ~ingress_port:e.Flow_info_db.ingress_port
+        e.Flow_info_db.key
+  in
+  let route_via_overlay () =
+    let entry =
+      match entry_vswitch with
+      | Some v -> Some v
+      | None -> predicted_entry t m e.Flow_info_db.key
+    in
+    if not m.active then activate t m;
+    match entry with
+    | None ->
+      t.counters.flows_unroutable <- t.counters.flows_unroutable + 1;
+      Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+    | Some entry -> route_overlay t e pkt ~entry
+  in
+  let submit =
+    Sched.submit_ingress m.sched ~port:group (fun () ->
+        match e.Flow_info_db.kind with
+        | Flow_info_db.Pending ->
+          (* §5.3's path-load check applies to any physical setup: when a
+             switch downstream cannot absorb the rules, the flow stays on
+             the overlay instead of waiting forever. *)
+          let dst_ip =
+            Ipv4_addr.of_int (Ipv4_addr.to_int e.Flow_info_db.key.Flow_key.ip_dst)
+          in
+          if path_overloaded t ~first_hop:e.Flow_info_db.first_hop ~dst_ip then
+            route_via_overlay ()
+          else install_physical t e ~first_packet:(Some pkt) ~on_complete:(fun () -> ())
+        | Flow_info_db.Overlay _ | Flow_info_db.Physical | Flow_info_db.Dropped -> ())
+  in
+  match submit with
+  | `Queued -> ()
+  | `Overlay ->
+    (* beyond the control-plane capacity of the physical network: route
+       over the Scotch overlay (activating redirection if needed) *)
+    route_via_overlay ()
+  | `Drop ->
+    t.counters.flows_dropped <- t.counters.flows_dropped + 1;
+    Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+
+let handle_packet_in t (sw : C.sw) (pi : Of_msg.Packet_in.t) =
+  let pkt = pi.Of_msg.Packet_in.packet in
+  (* Attribute the Packet-In to its origin physical switch. *)
+  let origin =
+    match pi.Of_msg.Packet_in.tunnel_id with
+    | Some tid -> (
+      match Overlay.origin_of_tunnel t.overlay tid with
+      | Some origin_dpid ->
+        (* §5.2: physical switch id from the tunnel id, ingress port from
+           the inner MPLS label *)
+        let ingress = Option.value (Packet.outer_mpls_label pkt) ~default:0 in
+        Some (origin_dpid, ingress, Some sw.C.dpid)
+      | None -> None (* a mesh-tunnel arrival: handled below as a repair *))
+    | None -> (
+      match managed_of t sw.C.dpid with
+      | Some _ -> Some (sw.C.dpid, pi.Of_msg.Packet_in.in_port, None)
+      | None -> None)
+  in
+  match origin with
+  | None ->
+    (* A packet-in raised by a vswitch for a packet that arrived over a
+       mesh tunnel: the delivery rule at the covering vswitch lost a
+       race with the data packet (or expired).  Repair: reinstall the
+       delivery rule and forward the packet. *)
+    if Hashtbl.mem t.vswitch_handles sw.C.dpid && pi.Of_msg.Packet_in.tunnel_id <> None then begin
+      let key = Packet.flow_key pkt in
+      let dst_ip = Ipv4_addr.of_int (Ipv4_addr.to_int key.Flow_key.ip_dst) in
+      match Overlay.delivery_tunnel t.overlay ~vswitch_dpid:sw.C.dpid dst_ip with
+      | None -> false
+      | Some tid ->
+        let actions =
+          [ Of_action.Output
+              (Of_types.Port_no.Physical (Scotch_topo.Topology.tunnel_port_of_id tid)) ]
+        in
+        C.install t.ctrl sw ~table_id:0 ~priority:flow_priority
+          ~idle_timeout:t.config.Config.vswitch_rule_idle ~cookie:Config.cookie_vflow
+          ~match_:(Of_match.exact_flow key)
+          ~instructions:[ Of_action.Apply_actions actions ]
+          ();
+        C.packet_out t.ctrl sw ~actions pkt;
+        true
+    end
+    else false
+  | Some (origin_dpid, ingress_port, entry_vswitch) -> (
+    match managed_of t origin_dpid with
+    | None -> false
+    | Some m ->
+      Stats.Rate_meter.tick m.attributed ~now:(now t);
+      let key = Packet.flow_key pkt in
+      (match Flow_info_db.find t.db key with
+      | Some e -> (
+        match e.Flow_info_db.kind with
+        | Flow_info_db.Pending -> () (* duplicate while queued *)
+        | Flow_info_db.Overlay _ -> (
+          (* vswitch rule expired, or the flow rehashed after a vswitch
+             failure: (re)install the overlay path *)
+          match entry_vswitch with
+          | Some entry -> route_overlay t e pkt ~entry
+          | None -> (
+            match predicted_entry t m key with
+            | Some entry -> route_overlay t e pkt ~entry
+            | None -> ()))
+        | Flow_info_db.Physical | Flow_info_db.Dropped ->
+          (* red rule expired or flow retrying after shed: treat as new *)
+          Flow_info_db.remove t.db key;
+          t.counters.flows_seen <- t.counters.flows_seen + 1;
+          let e =
+            Flow_info_db.admit t.db ~key ~first_hop:origin_dpid ~ingress_port ~now:(now t)
+          in
+          serve_new_flow t m e pkt ~entry_vswitch)
+      | None ->
+        t.counters.flows_seen <- t.counters.flows_seen + 1;
+        let e =
+          Flow_info_db.admit t.db ~key ~first_hop:origin_dpid ~ingress_port ~now:(now t)
+        in
+        serve_new_flow t m e pkt ~entry_vswitch);
+      true)
+
+(** {1 vswitch failure (§5.6)} *)
+
+let rebalance_groups t =
+  Hashtbl.iter
+    (fun dpid m ->
+      if m.active then begin
+        let fresh = select_assignment t dpid in
+        if fresh <> m.assigned && fresh <> [] then begin
+          m.assigned <- fresh;
+          install_group t m
+        end
+      end)
+    t.managed
+
+let handle_switch_dead t (sw : C.sw) =
+  let dpid = sw.C.dpid in
+  if Hashtbl.mem t.vswitch_handles dpid then begin
+    t.counters.vswitch_failures <- t.counters.vswitch_failures + 1;
+    ignore (Overlay.mark_dead t.overlay dpid);
+    (* replace the failed vswitch in every select group (the backup
+       treats affected flows as new flows) *)
+    rebalance_groups t
+  end
+
+(** {1 Policy green rules} *)
+
+(** Install the shared green rules of every registered policy segment.
+    Call after all segments are added and switches connected. *)
+let setup_policy_rules t =
+  List.iter
+    (fun seg ->
+      List.iter (fun (dpid, fm) -> send_flow_mod t dpid fm) (Policy.green_rules t.policy t.overlay seg))
+    (Policy.segments t.policy)
+
+(** {1 The monitor loop and app registration} *)
+
+let monitor_tick t =
+  Hashtbl.iter
+    (fun _ m ->
+      let direct_rate = C.pin_rate t.ctrl m.msw in
+      let attr_rate = Stats.Rate_meter.rate m.attributed ~now:(now t) in
+      if (not m.active) && direct_rate > t.config.Config.activate_pin_rate then activate t m
+      else if
+        m.active
+        && now t -. m.activated_at > t.config.Config.min_active_duration
+        && attr_rate < t.config.Config.withdraw_flow_rate
+        && direct_rate < t.config.Config.activate_pin_rate
+      then withdraw t m)
+    t.managed
+
+(** [start t] launches the periodic machinery: the congestion monitor
+    (§4.2), vswitch stats polling for elephant detection (§5.3) and the
+    heartbeat (§5.6). *)
+let start t =
+  let cfg = t.config in
+  let (_ : unit -> unit) =
+    Scotch_sim.Engine.every (engine t) ~period:cfg.Config.monitor_interval (fun () ->
+        monitor_tick t)
+  in
+  let (_ : unit -> unit) =
+    Scotch_sim.Engine.every (engine t) ~period:cfg.Config.stats_poll_interval (fun () ->
+        Overlay.iter_vswitches t.overlay (fun v ->
+            if v.Overlay.alive then poll_vswitch_stats t (Switch.dpid v.Overlay.vsw)))
+  in
+  C.start_heartbeat t.ctrl ~period:cfg.Config.heartbeat_period
+    ~timeout:cfg.Config.heartbeat_timeout
+
+(** The controller application record; register it {e before} any
+    fallback routing app. *)
+let app t =
+  C.app
+    ~packet_in:(fun sw pi -> handle_packet_in t sw pi)
+    ~switch_dead:(fun sw -> handle_switch_dead t sw)
+    "scotch"
+
+(** {1 Elastic pool growth (§5.6)}
+
+    "We may also need to add new vswitches to increase the Scotch overlay
+    capacity or replace the departed vswitches." *)
+
+(** [add_vswitch_live t dev ~channel_latency ~as_backup] joins a new
+    vswitch to a {e running} overlay: meshes it with the existing pool,
+    builds uplink tunnels from every managed physical switch, registers
+    it with the controller, installs its table-miss rule and — unless it
+    joins as a backup — rebalances every active switch's select group to
+    start using it. *)
+let add_vswitch_live t dev ~channel_latency ~as_backup =
+  Overlay.add_vswitch t.overlay dev ~backup:as_backup;
+  Hashtbl.iter
+    (fun _ m -> Overlay.connect_switch t.overlay m.msw.C.device ~to_vswitches:[ Switch.dpid dev ])
+    t.managed;
+  let sw = register_vswitch t dev ~channel_latency in
+  if not as_backup then rebalance_groups t;
+  sw
+
+(** Convenience: is the overlay currently active for switch [dpid]? *)
+let is_active t dpid = match managed_of t dpid with Some m -> m.active | None -> false
+
+(** The scheduler of a managed switch (tests/observability). *)
+let sched_of t dpid = Option.map (fun m -> m.sched) (managed_of t dpid)

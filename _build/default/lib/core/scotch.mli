@@ -1,0 +1,70 @@
+(** The Scotch controller application (§4–§5 of the paper): overlay
+    activation and withdrawal, load-balanced redirection, ingress-port
+    differentiation, overlay routing, large-flow migration, middlebox
+    policy consistency and vswitch failure handling.
+
+    One instance manages a set of {e physical} switches (each gets a
+    Fig. 7 scheduler and a congestion monitor) and uses a pool of
+    overlay vswitches.  Register {!app} with the controller {e before}
+    any fallback routing app, then call {!start}. *)
+
+open Scotch_switch
+module C = Scotch_controller.Controller
+
+type counters = {
+  mutable flows_seen : int;
+  mutable flows_overlay : int;       (** routed over the overlay *)
+  mutable flows_physical : int;      (** physical path installed (incl. migrations) *)
+  mutable flows_dropped : int;       (** shed past the dropping threshold *)
+  mutable flows_unroutable : int;
+  mutable elephants_detected : int;
+  mutable migrations_completed : int;
+  mutable activations : int;
+  mutable withdrawals : int;
+  mutable vswitch_failures : int;
+}
+
+type t
+
+val create : C.t -> Overlay.t -> Policy.t -> Config.t -> t
+val counters : t -> counters
+val db : t -> Flow_info_db.t
+val config : t -> Config.t
+val overlay : t -> Overlay.t
+
+(** Connect an overlay vswitch to the controller and install its
+    table-miss rule (full packets to the controller, §4.2). *)
+val register_vswitch : t -> Switch.t -> channel_latency:float -> C.sw
+
+(** Hidden: the managed-switch record is internal. *)
+type managed
+
+(** Put a physical switch under Scotch management: controller
+    connection, table-miss rule, Fig. 7 scheduler (started), congestion
+    monitor state. *)
+val manage_switch : t -> Switch.t -> channel_latency:float -> managed
+
+(** Install the shared green rules of every registered policy segment;
+    call after all segments are added and switches connected (§5.4). *)
+val setup_policy_rules : t -> unit
+
+(** Launch the periodic machinery: the congestion monitor (§4.2),
+    vswitch stats polling for elephant detection (§5.3) and the
+    heartbeat (§5.6). *)
+val start : t -> unit
+
+(** The controller application record. *)
+val app : t -> C.app
+
+(** Join a new vswitch to a {e running} overlay (§5.6): meshes it with
+    the pool, builds uplink tunnels from every managed switch, installs
+    its table-miss rule and — unless it joins as a backup — rebalances
+    every active select group to start using it. *)
+val add_vswitch_live : t -> Switch.t -> channel_latency:float -> as_backup:bool -> C.sw
+
+(** Is the overlay currently active (redirection installed) for this
+    switch? *)
+val is_active : t -> int -> bool
+
+(** The Fig. 7 scheduler of a managed switch (observability/tests). *)
+val sched_of : t -> int -> Sched.t option

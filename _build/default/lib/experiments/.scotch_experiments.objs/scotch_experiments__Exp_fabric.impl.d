@@ -1,0 +1,1 @@
+lib/experiments/exp_fabric.ml: Array List Ofa Report Scotch_sim Scotch_switch Scotch_workload Source Switch Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Fig9 List Of_action Of_match Of_types Printf Profile Report Scotch_controller Scotch_openflow Scotch_sim Scotch_switch Scotch_topo Scotch_workload Source Switch Testbed

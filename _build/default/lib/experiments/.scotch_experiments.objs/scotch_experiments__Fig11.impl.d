@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Config Flow_gen Flow_info_db List Report Scotch Scotch_core Scotch_workload Source Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Config Flow_gen Hashtbl Printf Report Scotch Scotch_core Scotch_packet Scotch_sim Scotch_topo Scotch_util Scotch_workload Sizes Source Stdlib Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Array Config List Printf Report Scotch_core Scotch_sim Scotch_topo Scotch_util Scotch_workload Source Stdlib Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Config Flow_gen List Report Scotch_core Scotch_topo Scotch_util Scotch_workload Source Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Array Flow_gen List Printf Report Scotch_topo Scotch_util Scotch_workload Sizes Testbed Tracegen

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: List Profile Report Scotch_sim Scotch_switch Scotch_workload Source Testbed

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: List Profile Report Scotch_controller Scotch_sim Scotch_switch Scotch_topo Scotch_workload Source Switch Testbed

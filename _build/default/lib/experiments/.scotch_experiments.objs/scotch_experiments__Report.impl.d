@@ -1,0 +1,1 @@
+lib/experiments/report.ml: List Printf Scotch_util Stdlib Table_printer

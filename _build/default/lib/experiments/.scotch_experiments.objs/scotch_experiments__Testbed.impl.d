@@ -1,0 +1,1 @@
+lib/experiments/testbed.ml: Array Host List Middlebox Printf Profile Rng Scotch_controller Scotch_core Scotch_sim Scotch_switch Scotch_topo Scotch_util Scotch_workload Source Switch Topology

@@ -1,0 +1,1 @@
+lib/experiments/testbed.mli: Flow_gen Host Middlebox Profile Scotch_controller Scotch_core Scotch_packet Scotch_sim Scotch_switch Scotch_topo Scotch_util Scotch_workload Source Switch Topology

@@ -1,0 +1,74 @@
+(** Multi-rack fabric experiment: destination-side protection.
+
+    §1's argument for routing new flows entirely over the overlay:
+    "If an attacker spoofs packets from multiple sources to a single
+    destination, then even if we spread the new flows arriving at the
+    first hop hardware switch to multiple vswitches, the switch close
+    to the destination will still be overloaded since rules have to be
+    inserted there for each new flow.  To alleviate this problem,
+    Scotch forwards new flows on the overlay so that new rules are
+    initially only inserted at the vswitches and not the hardware
+    switches."
+
+    Setup: a leaf-spine fabric; attackers in three racks flood one
+    destination host in a fourth rack, a client in yet another position
+    keeps talking to the same destination.  Reported, vs aggregate
+    attack rate: the client flow failure fraction and — the
+    destination-side claim — the rule-install load absorbed by the
+    destination's ToR, for Scotch and the plain reactive baseline. *)
+
+open Scotch_workload
+open Scotch_switch
+
+let attack_rates = [ 500.; 1000.; 2000.; 4000. ]
+let client_rate = 20.0
+
+type point = {
+  failure : float;         (* client flow failure fraction *)
+  dst_tor_installs : float; (* rules/s absorbed by the destination ToR *)
+}
+
+let run_point ?(seed = 42) ~scotch ~attack_rate ~duration () =
+  let fb = Testbed.fabric ~seed ~scotch_enabled:scotch () in
+  (* destination: first host of rack 3; client: host in rack 0;
+     attackers: one host in each of racks 0, 1, 2 *)
+  let dst = fb.Testbed.f_hosts.(3).(0) in
+  let client = Testbed.fabric_client fb ~src:fb.Testbed.f_hosts.(0).(0) ~dst ~rate:client_rate in
+  let attackers =
+    List.map
+      (fun r ->
+        Testbed.fabric_attack fb ~src:fb.Testbed.f_hosts.(r).(1) ~dst
+          ~rate:(attack_rate /. 3.0))
+      [ 0; 1; 2 ]
+  in
+  Source.start client;
+  List.iter Source.start attackers;
+  Scotch_sim.Engine.run ~until:duration fb.Testbed.f_engine;
+  let dst_tor = fb.Testbed.f_tors.(3) in
+  let installs =
+    (Ofa.counters (Switch.ofa dst_tor)).Ofa.flow_mods_handled
+  in
+  { failure =
+      Source.failure_fraction client ~dst ~since:2.0 ~until:(duration -. 1.0) ();
+    dst_tor_installs = float_of_int installs /. duration }
+
+let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
+  let duration = 12.0 *. scale in
+  let sweep scotch =
+    List.map (fun r -> (r, run_point ~seed ~scotch ~attack_rate:r ~duration ())) attack_rates
+  in
+  let with_scotch = sweep true and baseline = sweep false in
+  { Report.id = "exp-fabric";
+    title =
+      "Multi-rack fabric: the destination-side switch is protected too (rules only at vswitches)";
+    x_label = "aggregate attack rate (flows/s)";
+    y_label = "fraction / rules-per-second";
+    series =
+      [ { Report.label = "client failure (Scotch)";
+          points = List.map (fun (x, p) -> (x, p.failure)) with_scotch };
+        { Report.label = "client failure (baseline)";
+          points = List.map (fun (x, p) -> (x, p.failure)) baseline };
+        { Report.label = "dst-ToR installs/s (Scotch)";
+          points = List.map (fun (x, p) -> (x, p.dst_tor_installs)) with_scotch };
+        { Report.label = "dst-ToR installs/s (baseline)";
+          points = List.map (fun (x, p) -> (x, p.dst_tor_installs)) baseline } ] }

@@ -1,0 +1,68 @@
+(** Fig. 10 — interaction of the switch data plane and control path:
+    data-path packet loss ratio vs attempted rule-insertion rate, with
+    concurrent data traffic at 500, 1000 and 2000 packets/s.
+
+    A forwarding rule for the data traffic is installed proactively;
+    the controller then inserts unrelated rules at a constant rate.
+    Expected shape (§6.2): low loss at low insertion rates, a sharp
+    turning point near 1300 rules/s, loss above 90 % past it, and
+    near-identical curves for all three data rates. *)
+
+open Scotch_openflow
+open Scotch_switch
+open Scotch_workload
+module C = Scotch_controller.Controller
+
+let insertion_rates = [ 100.; 200.; 400.; 600.; 800.; 1000.; 1150.; 1300.; 1500.; 2000. ]
+let data_rates = [ 500.; 1000.; 2000. ]
+
+let run_point ?(seed = 42) ~profile ~insertion_rate ~data_rate ~duration () =
+  let tb = Testbed.single ~seed ~profile ~client_rate:1.0 ~attack_rate:1.0 () in
+  (* proactive forwarding rule: client traffic never touches the OFA *)
+  (match
+     Switch.install_direct tb.Testbed.switch ~table_id:0 ~priority:20
+       ~match_:(Of_match.with_ip_dst (Scotch_topo.Host.ip tb.Testbed.server) Of_match.wildcard)
+       ~instructions:(Of_action.output (Of_types.Port_no.Physical Testbed.server_port))
+       ()
+   with
+  | Ok () -> ()
+  | Error `Table_full -> assert false);
+  (* CBR data traffic as one long pre-established flow *)
+  let n_packets = int_of_float (data_rate *. duration) in
+  ignore
+    (Source.launch_flow tb.Testbed.client_src
+       ~spec:{ Scotch_workload.Flow_gen.packets = n_packets; payload = 1000;
+               interval = 1.0 /. data_rate });
+  (* the controller hammers in unrelated rules *)
+  let counter = ref 0 in
+  Fig9.jittered_rate tb.Testbed.engine
+    (Scotch_sim.Engine.rng tb.Testbed.engine) ~rate:insertion_rate (fun () ->
+      incr counter;
+      C.install tb.Testbed.ctrl tb.Testbed.sw_handle ~table_id:0 ~priority:10
+        ~hard_timeout:5.0 ~match_:(Fig9.unique_match !counter)
+        ~instructions:(Of_action.output (Of_types.Port_no.Physical 1))
+        ());
+  Scotch_sim.Engine.run ~until:(duration +. 0.5) tb.Testbed.engine;
+  let sent = Source.packets_sent tb.Testbed.client_src in
+  let received = Scotch_topo.Host.received_packets tb.Testbed.server in
+  if sent = 0 then 0.0 else float_of_int (sent - received) /. float_of_int sent
+
+let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
+  let duration = 10.0 *. scale in
+  let series =
+    List.map
+      (fun data_rate ->
+        { Report.label = Printf.sprintf "%.0f pps" data_rate;
+          points =
+            List.map
+              (fun r ->
+                (r, run_point ~seed ~profile:Profile.pica8 ~insertion_rate:r ~data_rate
+                      ~duration ()))
+              insertion_rates })
+      data_rates
+  in
+  { Report.id = "fig10";
+    title = "Interaction of the data path and the control path (Pica8)";
+    x_label = "attempted insertion rate (rules/s)";
+    y_label = "datapath packet loss ratio";
+    series }

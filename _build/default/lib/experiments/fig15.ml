@@ -1,0 +1,77 @@
+(** Trace-driven experiment (§6 intro: "the trace driven experiment that
+    demonstrates the benefits of Scotch to the application performance
+    in a realistic network environment"; reconstructed — truncated in
+    §6).
+
+    A synthetic trace with heavy-tailed flow sizes and a flash-crowd
+    window (arrival rate × flash multiplier toward a hotspot server)
+    is replayed twice — plain reactive control vs Scotch.  Reported:
+    per-bin flow success fraction over time.  The baseline collapses
+    during the flash crowd; Scotch rides it out. *)
+
+open Scotch_workload
+
+let bin_width = 5.0
+
+let trace_params ~scale =
+  { Tracegen.duration = 60.0 *. scale;
+    base_rate = 40.0;
+    flash_start = 20.0 *. scale;
+    flash_end = 40.0 *. scale;
+    flash_multiplier = 30.0;
+    hotspot_fraction = 0.7;
+    num_sources = 4;
+    num_destinations = 3;
+    size_of = Sizes.pareto ~alpha:1.3 ~min_packets:2 ~max_packets:200 ~pkt_rate:200.0 () }
+
+let run_variant ?(seed = 42) ~scotch_enabled ~params () =
+  let net =
+    Testbed.scotch_net ~seed ~num_clients:params.Tracegen.num_sources
+      ~num_servers:params.Tracegen.num_destinations ~scotch_enabled ()
+  in
+  let rng = Scotch_util.Rng.create (seed + 17) in
+  let trace = Tracegen.generate rng params in
+  let sources =
+    Array.init params.Tracegen.num_sources (fun i -> Testbed.client_source net ~i ~rate:1.0 ())
+  in
+  let launched = Tracegen.replay net.Testbed.engine trace ~sources ~destinations:net.Testbed.servers in
+  Testbed.run_until net ~until:(params.Tracegen.duration +. 2.0);
+  (* per-bin success fraction *)
+  let nbins = int_of_float (params.Tracegen.duration /. bin_width) + 1 in
+  let total = Array.make nbins 0 and ok = Array.make nbins 0 in
+  List.iteri
+    (fun i (ev : Tracegen.flow_event) ->
+      match launched.(i) with
+      | None -> ()
+      | Some l ->
+        let bin = int_of_float (ev.Tracegen.at /. bin_width) in
+        if bin < nbins then begin
+          total.(bin) <- total.(bin) + 1;
+          let dst = net.Testbed.servers.(ev.Tracegen.dst) in
+          match Scotch_topo.Host.flow_record dst l.Flow_gen.flow_id with
+          | Some _ -> ok.(bin) <- ok.(bin) + 1
+          | None -> ()
+        end)
+    trace;
+  let points = ref [] in
+  for bin = nbins - 1 downto 0 do
+    if total.(bin) > 0 then
+      points :=
+        (float_of_int bin *. bin_width, float_of_int ok.(bin) /. float_of_int total.(bin))
+        :: !points
+  done;
+  !points
+
+let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
+  let params = trace_params ~scale in
+  { Report.id = "fig15";
+    title =
+      Printf.sprintf
+        "Trace-driven flash crowd (x%.0f burst during [%.0f,%.0f] s): flow success over time"
+        params.Tracegen.flash_multiplier params.Tracegen.flash_start params.Tracegen.flash_end;
+    x_label = "time (s)";
+    y_label = "flow success fraction (per 5 s bin)";
+    series =
+      [ { Report.label = "Scotch"; points = run_variant ~seed ~scotch_enabled:true ~params () };
+        { Report.label = "baseline (reactive)";
+          points = run_variant ~seed ~scotch_enabled:false ~params () } ] }

@@ -1,0 +1,47 @@
+(** Fig. 3 — control-plane throughput comparison under an attempted
+    DDoS: client flow failure fraction vs attacking flow rate, for the
+    HP Procurve, the Pica8 Pronto and Open vSwitch.
+
+    Setup per §3.2 (Fig. 2): one switch at a time; the client launches
+    10 new flows/s, the attacker 100–3800 spoofed-source flows/s; a flow
+    fails when no packet of it reaches the server.  Expected shape: all
+    switches degrade as the attack rate grows; the two hardware switches
+    fail far more than Open vSwitch, and the Pica8 is worst. *)
+
+open Scotch_switch
+open Scotch_workload
+
+let attack_rates = [ 100.; 500.; 1000.; 1500.; 2000.; 2500.; 3000.; 3800. ]
+
+let client_rate = 10.0
+
+(** One point: failure fraction of client flows at a given attack rate. *)
+let run_point ?(seed = 42) ~profile ~attack_rate ~duration () =
+  let tb = Testbed.single ~seed ~profile ~client_rate ~attack_rate () in
+  Source.start tb.Testbed.client_src;
+  Source.start tb.Testbed.attacker_src;
+  Scotch_sim.Engine.run ~until:(duration +. 1.0) tb.Testbed.engine;
+  Source.failure_fraction tb.Testbed.client_src ~dst:tb.Testbed.server ~since:2.0
+    ~until:(duration -. 1.0) ()
+
+let profiles =
+  [ ("HP Procurve", Profile.hp_procurve);
+    ("Pica8 Pronto", Profile.pica8);
+    ("Open vSwitch", Profile.open_vswitch) ]
+
+let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
+  let duration = 20.0 *. scale in
+  let series =
+    List.map
+      (fun (label, profile) ->
+        { Report.label;
+          points =
+            List.map (fun r -> (r, run_point ~seed ~profile ~attack_rate:r ~duration ()))
+              attack_rates })
+      profiles
+  in
+  { Report.id = "fig3";
+    title = "Physical switches and Open vSwitch control plane throughput comparison";
+    x_label = "attack rate (flows/s)";
+    y_label = "client flow failure fraction";
+    series }

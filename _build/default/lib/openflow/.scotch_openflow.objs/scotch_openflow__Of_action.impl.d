@@ -1,0 +1,1 @@
+lib/openflow/of_action.ml: Format List Of_types Port_no Scotch_packet String

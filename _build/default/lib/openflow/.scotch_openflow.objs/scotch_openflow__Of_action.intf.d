@@ -1,0 +1,1 @@
+lib/openflow/of_action.mli: Format Of_types Port_no Scotch_packet

@@ -1,0 +1,1 @@
+lib/openflow/of_match.ml: Flow_key Format Headers Int Int32 Ipv4_addr List Option Packet Printf Scotch_packet String

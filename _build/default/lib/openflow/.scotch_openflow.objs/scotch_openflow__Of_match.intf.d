@@ -1,0 +1,1 @@
+lib/openflow/of_match.mli: Flow_key Format Ipv4_addr Packet Scotch_packet

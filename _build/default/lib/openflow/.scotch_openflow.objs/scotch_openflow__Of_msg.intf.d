@@ -1,0 +1,1 @@
+lib/openflow/of_msg.mli: Format Of_action Of_match Of_types Packet_in_reason Scotch_packet

@@ -1,0 +1,1 @@
+lib/openflow/of_types.mli: Format

@@ -1,0 +1,1 @@
+lib/openflow/of_wire.ml: Buffer Bytes Fun Int32 Int64 List Of_action Of_match Of_msg Of_types Option Packet_in_reason Port_no Printf Scotch_packet

@@ -1,0 +1,1 @@
+lib/openflow/of_wire.mli: Bytes Of_msg

@@ -1,0 +1,62 @@
+(** OpenFlow actions and instructions (OpenFlow 1.3 subset).
+
+    Scotch needs: output to physical/tunnel/controller ports, group
+    indirection for load balancing, MPLS push/pop with label set (the
+    inner ingress-port label of §5.2), GRE key set/strip, and goto-table
+    for the two-table miss pipeline. *)
+
+open Of_types
+
+type t =
+  | Output of Port_no.t
+  | Group of group_id
+  | Push_mpls of int            (* push label (combines PUSH_MPLS + SET_FIELD) *)
+  | Pop_mpls
+  | Push_gre of int32           (* encapsulate with GRE key *)
+  | Pop_gre
+  | Set_eth_dst of Scotch_packet.Mac.t
+  | Set_eth_src of Scotch_packet.Mac.t
+  | Dec_ttl
+  | Drop                        (* explicit drop (empty action set) *)
+
+(** Instructions attached to a flow entry.  [Apply_actions] executes
+    immediately; [Goto_table] continues matching in a later table
+    (§5.2: "two flow tables are needed at the physical switch"). *)
+type instruction =
+  | Apply_actions of t list
+  | Goto_table of table_id
+
+type instructions = instruction list
+
+(** Actions contained in a list of instructions, in execution order. *)
+let actions_of_instructions instrs =
+  List.concat_map (function Apply_actions acts -> acts | Goto_table _ -> []) instrs
+
+(** Next table, if the instructions continue the pipeline. *)
+let goto_of_instructions instrs =
+  List.find_map (function Goto_table t -> Some t | Apply_actions _ -> None) instrs
+
+(** [output port] as a single-instruction list — the common case. *)
+let output port = [ Apply_actions [ Output port ] ]
+
+(** Send to the controller (Packet-In via action). *)
+let to_controller = [ Apply_actions [ Output Port_no.Controller ] ]
+
+let drop = [ Apply_actions [ Drop ] ]
+
+let pp fmt = function
+  | Output p -> Format.fprintf fmt "output(%a)" Port_no.pp p
+  | Group g -> Format.fprintf fmt "group(%d)" g
+  | Push_mpls l -> Format.fprintf fmt "push_mpls(%d)" l
+  | Pop_mpls -> Format.pp_print_string fmt "pop_mpls"
+  | Push_gre k -> Format.fprintf fmt "push_gre(%ld)" k
+  | Pop_gre -> Format.pp_print_string fmt "pop_gre"
+  | Set_eth_dst m -> Format.fprintf fmt "set_eth_dst(%a)" Scotch_packet.Mac.pp m
+  | Set_eth_src m -> Format.fprintf fmt "set_eth_src(%a)" Scotch_packet.Mac.pp m
+  | Dec_ttl -> Format.pp_print_string fmt "dec_ttl"
+  | Drop -> Format.pp_print_string fmt "drop"
+
+let pp_instruction fmt = function
+  | Apply_actions acts ->
+    Format.fprintf fmt "apply[%s]" (String.concat ";" (List.map (Format.asprintf "%a" pp) acts))
+  | Goto_table t -> Format.fprintf fmt "goto(%d)" t

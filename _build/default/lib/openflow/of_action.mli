@@ -1,0 +1,45 @@
+(** OpenFlow actions and instructions (OpenFlow 1.3 subset).
+
+    Scotch needs: output to physical/tunnel/controller ports, group
+    indirection for load balancing, MPLS push/pop with label set (the
+    ingress-port label of §5.2), GRE key push/strip and goto-table for
+    the two-table miss pipeline. *)
+
+open Of_types
+
+type t =
+  | Output of Port_no.t
+  | Group of group_id
+  | Push_mpls of int  (** push a label (PUSH_MPLS + SET_FIELD combined) *)
+  | Pop_mpls
+  | Push_gre of int32
+  | Pop_gre
+  | Set_eth_dst of Scotch_packet.Mac.t
+  | Set_eth_src of Scotch_packet.Mac.t
+  | Dec_ttl
+  | Drop              (** explicit drop (empty action set) *)
+
+(** Instructions attached to a flow entry: [Apply_actions] executes
+    immediately; [Goto_table] continues matching in a later table
+    (§5.2: "two flow tables are needed at the physical switch"). *)
+type instruction =
+  | Apply_actions of t list
+  | Goto_table of table_id
+
+type instructions = instruction list
+
+(** Actions contained in an instruction list, in execution order. *)
+val actions_of_instructions : instructions -> t list
+
+(** Next table, if the instructions continue the pipeline. *)
+val goto_of_instructions : instructions -> table_id option
+
+(** [output port] as a single-instruction list. *)
+val output : Port_no.t -> instructions
+
+(** Send to the controller (Packet-In via action). *)
+val to_controller : instructions
+
+val drop : instructions
+val pp : Format.formatter -> t -> unit
+val pp_instruction : Format.formatter -> instruction -> unit

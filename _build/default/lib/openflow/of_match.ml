@@ -1,0 +1,131 @@
+(** OpenFlow match structure (OXM-style, with per-field presence and
+    masks where OpenFlow 1.3 allows them), and evaluation against a
+    packet lookup context. *)
+
+open Scotch_packet
+
+(** The fields a switch extracts from a packet before table lookup.
+    [tunnel_id] is the logical tunnel the packet arrived on (set by the
+    datapath for packets entering via a tunnel port), mirroring
+    OXM_OF_TUNNEL_ID. *)
+type context = {
+  in_port : int;
+  tunnel_id : int option;
+  packet : Packet.t;
+}
+
+let context ?tunnel_id ~in_port packet = { in_port; tunnel_id; packet }
+
+(** A masked 32-bit IP prefix match. *)
+type masked = { value : int; mask : int }
+
+type t = {
+  in_port : int option;
+  eth_type : int option;
+  ip_src : masked option;
+  ip_dst : masked option;
+  ip_proto : int option;
+  l4_src : int option;
+  l4_dst : int option;
+  mpls_label : int option;  (* outermost label *)
+  gre_key : int32 option;   (* outermost GRE key *)
+  tunnel_id : int option;
+}
+
+(** The all-wildcard match: matches every packet.  Used (at priority 0)
+    for table-miss rules — Scotch's overlay redirection replaces exactly
+    this rule (§4: "the default rule at the switch is modified"). *)
+let wildcard =
+  { in_port = None; eth_type = None; ip_src = None; ip_dst = None; ip_proto = None;
+    l4_src = None; l4_dst = None; mpls_label = None; gre_key = None; tunnel_id = None }
+
+let with_in_port p t = { t with in_port = Some p }
+let with_eth_type et t = { t with eth_type = Some et }
+
+let with_ip_src ?(mask = Ipv4_addr.mask32) addr t =
+  { t with ip_src = Some { value = Ipv4_addr.to_int addr; mask } }
+
+let with_ip_dst ?(mask = Ipv4_addr.mask32) addr t =
+  { t with ip_dst = Some { value = Ipv4_addr.to_int addr; mask } }
+
+let with_ip_proto p t = { t with ip_proto = Some p }
+let with_l4_src p t = { t with l4_src = Some p }
+let with_l4_dst p t = { t with l4_dst = Some p }
+let with_mpls_label l t = { t with mpls_label = Some l }
+let with_gre_key k t = { t with gre_key = Some k }
+let with_tunnel_id id t = { t with tunnel_id = Some id }
+
+(** [exact_flow key] matches exactly the 5-tuple [key] — the per-flow
+    rule shape the reactive controller installs. *)
+let exact_flow (key : Flow_key.t) =
+  wildcard
+  |> with_ip_src (key.Flow_key.ip_src)
+  |> with_ip_dst (key.Flow_key.ip_dst)
+  |> with_ip_proto key.Flow_key.proto
+  |> with_l4_src key.Flow_key.l4_src
+  |> with_l4_dst key.Flow_key.l4_dst
+
+let check opt ~actual ~equal = match opt with None -> true | Some v -> equal v actual
+
+(** [matches t ctx] evaluates the match against a lookup context.  All
+    present fields must agree; IP fields compare the {e inner} packet
+    (the pipeline pops encapsulations before re-matching, as real
+    switches re-run the pipeline after a pop). *)
+let matches t (ctx : context) =
+  let p = ctx.packet in
+  let key = Packet.flow_key p in
+  check t.in_port ~actual:ctx.in_port ~equal:Int.equal
+  && check t.eth_type ~actual:p.Packet.eth.Headers.Ethernet.ethertype ~equal:Int.equal
+  && (match t.ip_src with
+     | None -> true
+     | Some { value; mask } ->
+       Ipv4_addr.matches ~addr:key.Flow_key.ip_src ~value ~mask)
+  && (match t.ip_dst with
+     | None -> true
+     | Some { value; mask } ->
+       Ipv4_addr.matches ~addr:key.Flow_key.ip_dst ~value ~mask)
+  && check t.ip_proto ~actual:key.Flow_key.proto ~equal:Int.equal
+  && check t.l4_src ~actual:key.Flow_key.l4_src ~equal:Int.equal
+  && check t.l4_dst ~actual:key.Flow_key.l4_dst ~equal:Int.equal
+  && (match t.mpls_label with
+     | None -> true
+     | Some l -> Packet.outer_mpls_label p = Some l)
+  && (match t.gre_key with
+     | None -> true
+     | Some k -> Packet.outer_gre_key p = Some k)
+  && match t.tunnel_id with None -> true | Some id -> ctx.tunnel_id = Some id
+
+(** Number of specified fields — a crude specificity measure used in
+    tests and for display. *)
+let specificity t =
+  let b = function None -> 0 | Some _ -> 1 in
+  b t.in_port + b t.eth_type + b t.ip_src + b t.ip_dst + b t.ip_proto + b t.l4_src
+  + b t.l4_dst + b t.mpls_label + b t.gre_key + b t.tunnel_id
+
+let is_wildcard t = specificity t = 0
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt t =
+  let parts = ref [] in
+  let add name s = parts := Printf.sprintf "%s=%s" name s :: !parts in
+  Option.iter (fun v -> add "in_port" (string_of_int v)) t.in_port;
+  Option.iter (fun v -> add "eth_type" (Printf.sprintf "0x%04x" v)) t.eth_type;
+  Option.iter
+    (fun { value; mask } ->
+      add "ip_src" (Ipv4_addr.to_string (Ipv4_addr.of_int value) ^
+                    if mask = Ipv4_addr.mask32 then "" else Printf.sprintf "/%08x" mask))
+    t.ip_src;
+  Option.iter
+    (fun { value; mask } ->
+      add "ip_dst" (Ipv4_addr.to_string (Ipv4_addr.of_int value) ^
+                    if mask = Ipv4_addr.mask32 then "" else Printf.sprintf "/%08x" mask))
+    t.ip_dst;
+  Option.iter (fun v -> add "ip_proto" (string_of_int v)) t.ip_proto;
+  Option.iter (fun v -> add "l4_src" (string_of_int v)) t.l4_src;
+  Option.iter (fun v -> add "l4_dst" (string_of_int v)) t.l4_dst;
+  Option.iter (fun v -> add "mpls" (string_of_int v)) t.mpls_label;
+  Option.iter (fun v -> add "gre_key" (Int32.to_string v)) t.gre_key;
+  Option.iter (fun v -> add "tunnel" (string_of_int v)) t.tunnel_id;
+  if !parts = [] then Format.pp_print_string fmt "match{*}"
+  else Format.fprintf fmt "match{%s}" (String.concat "," (List.rev !parts))

@@ -1,0 +1,158 @@
+(** OpenFlow message types exchanged between switches and the
+    controller: the subset Scotch exercises (flow/group modification,
+    Packet-In/Out, flow statistics for elephant detection, and Echo for
+    vswitch liveness, §5.6). *)
+
+open Of_types
+
+(** {1 Flow modification} *)
+
+module Flow_mod = struct
+  type command = Add | Modify | Delete
+
+  type t = {
+    command : command;
+    table_id : table_id;
+    priority : int;
+    match_ : Of_match.t;
+    instructions : Of_action.instructions;
+    idle_timeout : float;  (* seconds; 0 = none *)
+    hard_timeout : float;  (* seconds; 0 = none *)
+    cookie : cookie;
+  }
+
+  let add ?(table_id = 0) ?(priority = 1) ?(idle_timeout = 0.0) ?(hard_timeout = 0.0)
+      ?(cookie = cookie_none) ~match_ ~instructions () =
+    { command = Add; table_id; priority; match_; instructions; idle_timeout; hard_timeout;
+      cookie }
+
+  let delete ?(table_id = 0) ?(priority = 0) ~match_ () =
+    { command = Delete; table_id; priority; match_; instructions = []; idle_timeout = 0.0;
+      hard_timeout = 0.0; cookie = cookie_none }
+
+  let pp fmt t =
+    Format.fprintf fmt "flow_mod{%s t%d p%d %a}"
+      (match t.command with Add -> "add" | Modify -> "mod" | Delete -> "del")
+      t.table_id t.priority Of_match.pp t.match_
+end
+
+(** {1 Group modification (select groups for §5.1 load balancing)} *)
+
+module Group_mod = struct
+  type group_type = All | Select | Indirect | Fast_failover
+
+  type bucket = {
+    weight : int;
+    actions : Of_action.t list;
+  }
+
+  type command = Add | Modify | Delete
+
+  type t = {
+    command : command;
+    group_id : group_id;
+    group_type : group_type;
+    buckets : bucket list;
+  }
+
+  let bucket ?(weight = 1) actions = { weight; actions }
+
+  let add_select ~group_id ~buckets = { command = Add; group_id; group_type = Select; buckets }
+
+  let modify_select ~group_id ~buckets =
+    { command = Modify; group_id; group_type = Select; buckets }
+
+  let delete ~group_id = { command = Delete; group_id; group_type = Select; buckets = [] }
+end
+
+(** {1 Packet-In / Packet-Out} *)
+
+module Packet_in = struct
+  type t = {
+    buffer_id : int;               (* always [no_buffer]: full packets *)
+    reason : Packet_in_reason.t;
+    table_id : table_id;
+    in_port : int;
+    tunnel_id : int option;        (* metadata: tunnel the packet arrived on *)
+    packet : Scotch_packet.Packet.t;
+  }
+
+  let make ?(buffer_id = no_buffer) ?(table_id = 0) ?tunnel_id ~reason ~in_port packet =
+    { buffer_id; reason; table_id; in_port; tunnel_id; packet }
+end
+
+module Packet_out = struct
+  type t = {
+    in_port : int;
+    actions : Of_action.t list;
+    packet : Scotch_packet.Packet.t;
+  }
+
+  let make ?(in_port = 0) ~actions packet = { in_port; actions; packet }
+end
+
+(** {1 Statistics (multipart) — flow stats drive large-flow detection
+    (§5.3: "the controller sends the flow-stats query messages to the
+    vswitches, and collects the flow stats including packet counts")} *)
+
+module Stats = struct
+  type flow_stats_request = {
+    table_id : table_id;  (* 0xFF = all tables *)
+    match_ : Of_match.t;
+  }
+
+  type flow_stat = {
+    table_id : table_id;
+    priority : int;
+    match_ : Of_match.t;
+    packet_count : int;
+    byte_count : int;
+    duration : float;
+    cookie : cookie;
+  }
+
+  type flow_stats_reply = flow_stat list
+
+  type table_stats_reply = {
+    active_entries : int list; (* per table *)
+  }
+end
+
+(** {1 The message sum type} *)
+
+type payload =
+  | Hello
+  | Echo_request
+  | Echo_reply
+  | Flow_mod of Flow_mod.t
+  | Group_mod of Group_mod.t
+  | Packet_in of Packet_in.t
+  | Packet_out of Packet_out.t
+  | Flow_stats_request of Stats.flow_stats_request
+  | Flow_stats_reply of Stats.flow_stats_reply
+  | Table_stats_request
+  | Table_stats_reply of Stats.table_stats_reply
+  | Barrier_request
+  | Barrier_reply
+  | Error of string
+
+type t = { xid : xid; payload : payload }
+
+let make ~xid payload = { xid; payload }
+
+let kind_name t =
+  match t.payload with
+  | Hello -> "HELLO"
+  | Echo_request -> "ECHO_REQUEST"
+  | Echo_reply -> "ECHO_REPLY"
+  | Flow_mod _ -> "FLOW_MOD"
+  | Group_mod _ -> "GROUP_MOD"
+  | Packet_in _ -> "PACKET_IN"
+  | Packet_out _ -> "PACKET_OUT"
+  | Flow_stats_request _ -> "FLOW_STATS_REQUEST"
+  | Flow_stats_reply _ -> "FLOW_STATS_REPLY"
+  | Table_stats_request -> "TABLE_STATS_REQUEST"
+  | Table_stats_reply _ -> "TABLE_STATS_REPLY"
+  | Barrier_request -> "BARRIER_REQUEST"
+  | Barrier_reply -> "BARRIER_REPLY"
+  | Error _ -> "ERROR"

@@ -1,0 +1,124 @@
+(** OpenFlow messages exchanged between switches and the controller:
+    the subset Scotch exercises (flow/group modification,
+    Packet-In/Out, flow statistics for elephant detection, Echo for
+    vswitch liveness — §5.3, §5.6 of the paper). *)
+
+open Of_types
+
+module Flow_mod : sig
+  type command = Add | Modify | Delete
+
+  type t = {
+    command : command;
+    table_id : table_id;
+    priority : int;
+    match_ : Of_match.t;
+    instructions : Of_action.instructions;
+    idle_timeout : float; (** seconds; 0 = none *)
+    hard_timeout : float;
+    cookie : cookie;
+  }
+
+  val add :
+    ?table_id:table_id -> ?priority:int -> ?idle_timeout:float -> ?hard_timeout:float ->
+    ?cookie:cookie -> match_:Of_match.t -> instructions:Of_action.instructions -> unit -> t
+
+  val delete : ?table_id:table_id -> ?priority:int -> match_:Of_match.t -> unit -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Group modification — select groups implement §5.1's load
+    balancing. *)
+module Group_mod : sig
+  type group_type = All | Select | Indirect | Fast_failover
+
+  type bucket = {
+    weight : int;
+    actions : Of_action.t list;
+  }
+
+  type command = Add | Modify | Delete
+
+  type t = {
+    command : command;
+    group_id : group_id;
+    group_type : group_type;
+    buckets : bucket list;
+  }
+
+  val bucket : ?weight:int -> Of_action.t list -> bucket
+  val add_select : group_id:group_id -> buckets:bucket list -> t
+  val modify_select : group_id:group_id -> buckets:bucket list -> t
+  val delete : group_id:group_id -> t
+end
+
+module Packet_in : sig
+  type t = {
+    buffer_id : int;              (** always [no_buffer]: full packets *)
+    reason : Packet_in_reason.t;
+    table_id : table_id;
+    in_port : int;
+    tunnel_id : int option;       (** tunnel the packet arrived on *)
+    packet : Scotch_packet.Packet.t;
+  }
+
+  val make :
+    ?buffer_id:int -> ?table_id:table_id -> ?tunnel_id:int -> reason:Packet_in_reason.t ->
+    in_port:int -> Scotch_packet.Packet.t -> t
+end
+
+module Packet_out : sig
+  type t = {
+    in_port : int;
+    actions : Of_action.t list;
+    packet : Scotch_packet.Packet.t;
+  }
+
+  val make : ?in_port:int -> actions:Of_action.t list -> Scotch_packet.Packet.t -> t
+end
+
+(** Statistics (multipart): flow stats drive large-flow detection
+    (§5.3). *)
+module Stats : sig
+  type flow_stats_request = {
+    table_id : table_id; (** 0xFF = all tables *)
+    match_ : Of_match.t;
+  }
+
+  type flow_stat = {
+    table_id : table_id;
+    priority : int;
+    match_ : Of_match.t;
+    packet_count : int;
+    byte_count : int;
+    duration : float;
+    cookie : cookie;
+  }
+
+  type flow_stats_reply = flow_stat list
+
+  type table_stats_reply = {
+    active_entries : int list; (** per table *)
+  }
+end
+
+type payload =
+  | Hello
+  | Echo_request
+  | Echo_reply
+  | Flow_mod of Flow_mod.t
+  | Group_mod of Group_mod.t
+  | Packet_in of Packet_in.t
+  | Packet_out of Packet_out.t
+  | Flow_stats_request of Stats.flow_stats_request
+  | Flow_stats_reply of Stats.flow_stats_reply
+  | Table_stats_request
+  | Table_stats_reply of Stats.table_stats_reply
+  | Barrier_request
+  | Barrier_reply
+  | Error of string
+
+type t = { xid : xid; payload : payload }
+
+val make : xid:xid -> payload -> t
+val kind_name : t -> string

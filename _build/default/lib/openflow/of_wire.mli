@@ -1,0 +1,17 @@
+(** Binary wire codec for the OpenFlow message subset.
+
+    Framing follows OpenFlow 1.3: an 8-byte header (version 0x04, type,
+    length, xid) then a type-specific body; matches and actions are
+    TLV-encoded.  The guaranteed (and property-tested) invariant is
+    [decode (encode m) = m]. *)
+
+exception Parse_error of string
+
+val version : int
+
+(** Render one framed message. *)
+val encode : Of_msg.t -> Bytes.t
+
+(** Parse one framed message.  Raises {!Parse_error} on malformed
+    input (wrong version, bad length, unknown type, truncation). *)
+val decode : Bytes.t -> Of_msg.t

@@ -1,0 +1,1 @@
+lib/packet/codec.ml: Bytes Encap Ethernet Headers Int32 Ipv4 Ipv4_addr L4 List Mac Packet Printf Tcp Udp

@@ -1,0 +1,1 @@
+lib/packet/codec.mli: Bytes Packet

@@ -1,0 +1,1 @@
+lib/packet/flow_key.ml: Format Int64 Ipv4_addr Map Printf Set Stdlib

@@ -1,0 +1,1 @@
+lib/packet/flow_key.mli: Format Hashtbl Ipv4_addr Map Set

@@ -1,0 +1,1 @@
+lib/packet/headers.ml: Format Ipv4_addr Mac

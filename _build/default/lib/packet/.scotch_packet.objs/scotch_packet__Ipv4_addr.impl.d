@@ -1,0 +1,1 @@
+lib/packet/ipv4_addr.ml: Format Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/packet/ipv4_addr.mli: Format

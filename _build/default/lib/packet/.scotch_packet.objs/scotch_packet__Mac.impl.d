@@ -1,0 +1,1 @@
+lib/packet/mac.ml: Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/packet/mac.mli: Format

@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Encap Ethernet Flow_key Format Headers Ipv4 L4 List String Tcp Udp

@@ -1,0 +1,1 @@
+lib/packet/packet.mli: Encap Ethernet Flow_key Format Headers Ipv4 Ipv4_addr L4 Mac

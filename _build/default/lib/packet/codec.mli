@@ -1,0 +1,23 @@
+(** Byte-level serialization of {!Packet.t} to real wire format and
+    back.
+
+    The simulator never serializes packets on its hot path, but the
+    codec keeps the header model honest: property tests assert that
+    [parse (serialize p)] reconstructs every header field, and the byte
+    layouts follow the RFCs (Ethernet II, RFC 791 IPv4, RFC 793 TCP,
+    RFC 768 UDP, RFC 3032 MPLS, RFC 2890 GRE with key).  Checksums are
+    computed on write and ignored on read. *)
+
+exception Parse_error of string
+
+(** RFC 1071 Internet checksum over [len] bytes at [off]. *)
+val internet_checksum : Bytes.t -> off:int -> len:int -> int
+
+(** Render a packet as wire bytes.  GRE encapsulations add a synthetic
+    outer IPv4 delivery header; MPLS labels stack directly under
+    Ethernet; VLAN tags rewrite the Ethernet type chain. *)
+val serialize : Packet.t -> Bytes.t
+
+(** Reconstruct a packet from wire bytes, assigning fresh simulation
+    metadata.  Raises {!Parse_error} on malformed input. *)
+val parse : ?flow_id:int -> ?created:float -> Bytes.t -> Packet.t

@@ -1,0 +1,59 @@
+(** Canonical flow identity: the 5-tuple the OpenFlow controller keys its
+    Flow Info Database on, and that select-group load balancing hashes
+    (ECMP-style, §5.1). *)
+
+type t = {
+  ip_src : Ipv4_addr.t;
+  ip_dst : Ipv4_addr.t;
+  proto : int;
+  l4_src : int; (* 0 when the transport has no ports *)
+  l4_dst : int;
+}
+
+let make ?(l4_src = 0) ?(l4_dst = 0) ~ip_src ~ip_dst ~proto () =
+  { ip_src; ip_dst; proto; l4_src; l4_dst }
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+(** FNV-1a over the tuple fields; the select-group bucket chooser uses
+    this so that packets of one flow always take the same bucket
+    ("packets from the same flow follow the same overlay data path"). *)
+let hash (t : t) =
+  let fnv_prime = 0x100000001B3L in
+  let step h v =
+    Int64.mul (Int64.logxor h (Int64.of_int (v land 0xFFFFFFFF))) fnv_prime
+  in
+  let h = 0xCBF29CE484222325L in
+  let h = step h t.ip_src in
+  let h = step h t.ip_dst in
+  let h = step h t.proto in
+  let h = step h t.l4_src in
+  let h = step h t.l4_dst in
+  (* keep 62 bits so the result is non-negative on 63-bit OCaml ints *)
+  Int64.to_int (Int64.shift_right_logical h 2)
+
+let to_string t =
+  Printf.sprintf "%s:%d->%s:%d/%d"
+    (Ipv4_addr.to_string t.ip_src) t.l4_src (Ipv4_addr.to_string t.ip_dst) t.l4_dst t.proto
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Hashtbl = Stdlib.Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

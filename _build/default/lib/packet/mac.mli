@@ -1,0 +1,21 @@
+(** 48-bit Ethernet MAC addresses. *)
+
+type t = int
+
+(** Keep the low 48 bits of an int. *)
+val of_int : int -> t
+
+val to_int : t -> int
+val broadcast : t
+
+(** Parse ["aa:bb:cc:dd:ee:ff"].  Raises [Failure] on malformed input. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [of_host_id i] gives host [i] a stable locally-administered unicast
+    address. *)
+val of_host_id : int -> t

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Float Heap Int Printf Rng Scotch_util

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Scotch_util

@@ -1,0 +1,1 @@
+lib/sim/link.ml: Engine Packet Queue Scotch_packet

@@ -1,0 +1,1 @@
+lib/sim/link.mli: Engine Scotch_packet

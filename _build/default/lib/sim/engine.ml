@@ -1,0 +1,124 @@
+(** Discrete-event simulation engine.
+
+    Events are closures ordered by (time, sequence); the sequence number
+    makes simultaneous events fire in scheduling order, so runs are
+    fully deterministic.  One engine owns the master PRNG from which all
+    traffic sources split their streams. *)
+
+open Scotch_util
+
+type event = {
+  at : float;
+  seq : int;
+  mutable cancelled : bool;
+  run : unit -> unit;
+}
+
+(** Handle returned by {!schedule}; allows cancellation (e.g. pending
+    rule-timeout events when a rule is re-installed). *)
+type handle = event
+
+type t = {
+  mutable now : float;
+  mutable next_seq : int;
+  events : event Heap.t;
+  rng : Rng.t;
+  mutable processed : int;
+  mutable next_user_id : int;
+}
+
+let compare_events a b =
+  match Float.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+
+(** [create ~seed ()] makes an engine at time 0. *)
+let create ?(seed = 42) () =
+  { now = 0.0; next_seq = 0; events = Heap.create ~cmp:compare_events;
+    rng = Rng.create seed; processed = 0; next_user_id = 0 }
+
+(** Current simulation time, in seconds. *)
+let now t = t.now
+
+(** Master PRNG; call {!Scotch_util.Rng.split} to derive per-source
+    streams. *)
+let rng t = t.rng
+
+(** Number of events executed so far. *)
+let processed t = t.processed
+
+(** [schedule_at t ~at f] runs [f] at absolute time [at].  Scheduling in
+    the past raises [Invalid_argument]. *)
+let schedule_at t ~at run =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %.9f is before current time %.9f" at t.now);
+  let ev = { at; seq = t.next_seq; cancelled = false; run } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.events ev;
+  ev
+
+(** [schedule t ~delay f] runs [f] after [delay] seconds. *)
+let schedule t ~delay run =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.now +. delay) run
+
+(** [cancel h] prevents a scheduled event from running (O(1); the slot is
+    skipped at pop time). *)
+let cancel (h : handle) = h.cancelled <- true
+
+(** [step t] executes the next event; [false] when the queue is empty. *)
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some ev ->
+    if not ev.cancelled then begin
+      t.now <- ev.at;
+      t.processed <- t.processed + 1;
+      ev.run ()
+    end
+    else t.now <- ev.at;
+    true
+
+(** [run ?until t] executes events in order until the queue drains or
+    simulation time would exceed [until].  When stopped by [until], the
+    clock is advanced exactly to [until] and remaining events stay
+    queued. *)
+let run ?until t =
+  let continue () =
+    match (until, Heap.peek t.events) with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some ev -> ev.at <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with Some limit when limit > t.now -> t.now <- limit | _ -> ()
+
+(** [every t ~period ?until f] runs [f] every [period] seconds starting
+    at [now + period], stopping after [until] (if given).  Returns a
+    stop function. *)
+let every t ~period ?until f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let stopped = ref false in
+  let rec tick () =
+    if not !stopped then begin
+      match until with
+      | Some u when t.now > u -> ()
+      | _ ->
+        f ();
+        ignore (schedule t ~delay:period tick)
+    end
+  in
+  ignore (schedule t ~delay:period tick);
+  fun () -> stopped := true
+
+(** Pending event count (cancelled events included until popped). *)
+let pending t = Heap.length t.events
+
+(** Engine-scoped unique small integers, for allocations that must be
+    deterministic per run (e.g. traffic sources' ephemeral-port
+    windows) rather than global to the process. *)
+let fresh_user_id t =
+  let i = t.next_user_id in
+  t.next_user_id <- i + 1;
+  i

@@ -1,0 +1,55 @@
+(** Discrete-event simulation engine.
+
+    Events are closures ordered by (time, sequence); the sequence number
+    makes simultaneous events fire in scheduling order, so runs are
+    fully deterministic.  One engine owns the master PRNG from which all
+    traffic sources split their streams. *)
+
+type t
+
+(** Handle for cancelling a scheduled event. *)
+type handle
+
+(** [create ~seed ()] makes an engine at time 0. *)
+val create : ?seed:int -> unit -> t
+
+(** Current simulation time, in seconds. *)
+val now : t -> float
+
+(** Master PRNG; call {!Scotch_util.Rng.split} to derive per-source
+    streams. *)
+val rng : t -> Scotch_util.Rng.t
+
+(** Number of events executed so far. *)
+val processed : t -> int
+
+(** [schedule_at t ~at f] runs [f] at absolute time [at].  Raises
+    [Invalid_argument] when [at] is in the past. *)
+val schedule_at : t -> at:float -> (unit -> unit) -> handle
+
+(** [schedule t ~delay f] runs [f] after [delay] seconds.  Raises
+    [Invalid_argument] on negative delays. *)
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+
+(** Prevent a scheduled event from running; O(1). *)
+val cancel : handle -> unit
+
+(** Execute the next event; [false] when the queue is empty. *)
+val step : t -> bool
+
+(** [run ?until t] executes events in order until the queue drains or
+    simulation time would exceed [until]; when stopped by [until] the
+    clock is advanced exactly to it and remaining events stay queued. *)
+val run : ?until:float -> t -> unit
+
+(** [every t ~period ?until f] runs [f] every [period] seconds starting
+    at [now + period].  Returns a stop function. *)
+val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit -> unit
+
+(** Pending event count (cancelled events included until popped). *)
+val pending : t -> int
+
+(** Engine-scoped unique small integers, for allocations that must be
+    deterministic per run (e.g. traffic sources' ephemeral-port
+    windows) rather than global to the process. *)
+val fresh_user_id : t -> int

@@ -1,0 +1,39 @@
+(** Point-to-point simplex link with bandwidth, propagation delay and a
+    drop-tail queue.
+
+    Transmission is a busy server: a packet occupies the link for
+    [size / bandwidth] seconds, then arrives [latency] seconds later at
+    the sink; propagation overlaps with the next transmission.  When
+    more than [queue_capacity] packets wait, the tail is dropped. *)
+
+type t
+
+(** Raises [Invalid_argument] on non-positive bandwidth or negative
+    latency. *)
+val create :
+  Engine.t ->
+  name:string ->
+  bandwidth_bps:float ->
+  latency:float ->
+  queue_capacity:int ->
+  t
+
+(** Set the function receiving delivered packets. *)
+val connect : t -> (Scotch_packet.Packet.t -> unit) -> unit
+
+(** Enqueue a packet for transmission; drops (and counts) when the
+    queue is full. *)
+val send : t -> Scotch_packet.Packet.t -> unit
+
+val name : t -> string
+val delivered : t -> int
+val dropped : t -> int
+val bytes_delivered : t -> int
+val queue_length : t -> int
+val latency : t -> float
+val bandwidth_bps : t -> float
+
+(** Convenience bandwidth constants. *)
+val gbps : float -> float
+
+val mbps : float -> float

@@ -1,0 +1,1 @@
+lib/switch/flow_table.ml: Hashtbl Ipv4_addr List Of_action Of_match Of_msg Of_types Packet Scotch_openflow Scotch_packet

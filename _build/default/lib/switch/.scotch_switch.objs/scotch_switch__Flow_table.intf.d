@@ -1,0 +1,1 @@
+lib/switch/flow_table.mli: Of_action Of_match Of_msg Of_types Scotch_openflow

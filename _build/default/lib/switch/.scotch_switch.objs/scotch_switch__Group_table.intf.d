@@ -1,0 +1,1 @@
+lib/switch/group_table.mli: Of_msg Of_types Scotch_openflow

@@ -1,0 +1,1 @@
+lib/switch/ofa.ml: Float Of_msg Of_types Packet Profile Queue Scotch_openflow Scotch_packet Scotch_sim Scotch_util

@@ -1,0 +1,1 @@
+lib/switch/ofa.mli: Of_msg Of_types Packet Profile Scotch_openflow Scotch_packet Scotch_sim

@@ -1,0 +1,1 @@
+lib/switch/profile.mli: Format

@@ -1,0 +1,1 @@
+lib/switch/switch.mli: Flow_table Format Group_table Of_action Of_match Of_types Ofa Profile Scotch_openflow Scotch_packet Scotch_sim

@@ -1,0 +1,64 @@
+(** A single OpenFlow flow table: priority-ordered rules with masked
+    matches, per-rule counters, idle/hard timeouts and a bounded
+    capacity (the TCAM limit of §3.3).
+
+    Rules live in per-priority buckets; exact-5-tuple rules (the common
+    reactive shape) are probed in O(1) during lookup, non-exact rules
+    are scanned.  Expiry is lazy with periodic sweeps. *)
+
+open Scotch_openflow
+
+type rule = {
+  priority : int;
+  match_ : Of_match.t;
+  instructions : Of_action.instructions;
+  idle_timeout : float; (** 0 = none *)
+  hard_timeout : float;
+  cookie : Of_types.cookie;
+  installed_at : float;
+  mutable last_used : float;
+  mutable packet_count : int;
+  mutable byte_count : int;
+}
+
+type t
+
+val create : ?capacity:int -> table_id:Of_types.table_id -> unit -> t
+val table_id : t -> Of_types.table_id
+
+(** Remove expired rules; returns the number reaped. *)
+val sweep : t -> now:float -> int
+
+(** Live rule count (sweeps first; exact). *)
+val size : t -> now:float -> int
+
+(** Add a rule.  An equal (match, priority) pair replaces the old rule,
+    keeping its counters (OpenFlow ADD semantics).  [Error `Table_full]
+    at capacity, counted in {!insert_failures}. *)
+val insert :
+  t -> now:float -> priority:int -> match_:Of_match.t ->
+  instructions:Of_action.instructions -> idle_timeout:float -> hard_timeout:float ->
+  cookie:Of_types.cookie -> (unit, [ `Table_full ]) result
+
+(** Remove rules whose match equals [match_] (all priorities unless
+    given); returns the number removed. *)
+val delete : t -> ?priority:int -> match_:Of_match.t -> unit -> int
+
+(** Remove all rules tagged [cookie] (how Scotch withdraws its shared
+    overlay rules). *)
+val delete_by_cookie : t -> Of_types.cookie -> int
+
+(** Highest-priority live rule matching the context, updating its
+    counters and idle timer. *)
+val lookup : t -> now:float -> Of_match.context -> rule option
+
+(** Pure lookup: no counter updates. *)
+val peek : t -> now:float -> Of_match.context -> rule option
+
+(** Flow statistics for all live rules. *)
+val stats : t -> now:float -> Of_msg.Stats.flow_stat list
+
+(** Inserts rejected for capacity so far. *)
+val insert_failures : t -> int
+
+val iter_rules : t -> (rule -> unit) -> unit

@@ -1,0 +1,63 @@
+(** OpenFlow group table.
+
+    Scotch uses {e select} groups for load-balancing new flows across
+    vswitch tunnels (§5.1): one action bucket per tunnel, bucket chosen
+    by a hash of the flow id — "using a hash function based on the flow
+    id may be a likely choice for many vendors" — so all packets of a
+    flow take the same tunnel. *)
+
+open Scotch_openflow
+
+type group = {
+  group_id : Of_types.group_id;
+  group_type : Of_msg.Group_mod.group_type;
+  mutable buckets : Of_msg.Group_mod.bucket list;
+}
+
+type t = { groups : (Of_types.group_id, group) Hashtbl.t }
+
+let create () = { groups = Hashtbl.create 16 }
+
+let apply t (gm : Of_msg.Group_mod.t) =
+  match gm.command with
+  | Add ->
+    if Hashtbl.mem t.groups gm.group_id then Error `Group_exists
+    else begin
+      Hashtbl.replace t.groups gm.group_id
+        { group_id = gm.group_id; group_type = gm.group_type; buckets = gm.buckets };
+      Ok ()
+    end
+  | Modify -> (
+    match Hashtbl.find_opt t.groups gm.group_id with
+    | None -> Error `Unknown_group
+    | Some g ->
+      g.buckets <- gm.buckets;
+      Ok ())
+  | Delete ->
+    Hashtbl.remove t.groups gm.group_id;
+    Ok ()
+
+let find t gid = Hashtbl.find_opt t.groups gid
+
+(** [select_bucket g ~flow_hash] picks the bucket for a flow.  Select
+    groups hash the flow onto the weighted bucket list; [All] returns
+    every bucket; [Indirect] and [Fast_failover] use the first. *)
+let select_bucket g ~flow_hash : Of_msg.Group_mod.bucket list =
+  match (g.group_type, g.buckets) with
+  | _, [] -> []
+  | Of_msg.Group_mod.All, buckets -> buckets
+  | (Of_msg.Group_mod.Indirect | Of_msg.Group_mod.Fast_failover), b :: _ -> [ b ]
+  | Of_msg.Group_mod.Select, buckets ->
+    let total = List.fold_left (fun acc b -> acc + max 1 b.Of_msg.Group_mod.weight) 0 buckets in
+    let target = flow_hash mod total in
+    let rec go acc = function
+      | [] -> [ List.hd buckets ]
+      | b :: rest ->
+        let acc = acc + max 1 b.Of_msg.Group_mod.weight in
+        if target < acc then [ b ] else go acc rest
+    in
+    go 0 buckets
+
+let size t = Hashtbl.length t.groups
+
+let iter t f = Hashtbl.iter (fun _ g -> f g) t.groups

@@ -1,0 +1,29 @@
+(** OpenFlow group table.  Scotch uses {e select} groups to
+    load-balance new flows across vswitch tunnels (§5.1): one bucket
+    per tunnel, bucket chosen by a hash of the flow id so all packets
+    of a flow take the same tunnel. *)
+
+open Scotch_openflow
+
+type group = {
+  group_id : Of_types.group_id;
+  group_type : Of_msg.Group_mod.group_type;
+  mutable buckets : Of_msg.Group_mod.bucket list;
+}
+
+type t
+
+val create : unit -> t
+
+val apply :
+  t -> Of_msg.Group_mod.t -> (unit, [ `Group_exists | `Unknown_group ]) result
+
+val find : t -> Of_types.group_id -> group option
+
+(** Buckets to execute for a flow: [Select] hashes onto the weighted
+    bucket list, [All] returns every bucket, [Indirect]/[Fast_failover]
+    the first. *)
+val select_bucket : group -> flow_hash:int -> Of_msg.Group_mod.bucket list
+
+val size : t -> int
+val iter : t -> (group -> unit) -> unit

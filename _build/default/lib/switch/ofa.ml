@@ -1,0 +1,205 @@
+(** The OpenFlow Agent: the switch's software control plane.
+
+    "The OFA typically runs on a low end CPU that has limited processing
+    power … this can significantly limit the control path throughput"
+    (§3.1).  We model it as a single server with two bounded input
+    queues — controller messages (strict priority: the agent drains its
+    TCP socket eagerly) and outbound Packet-In jobs — plus a periodic
+    housekeeping stall during which the server pauses and queues
+    overflow.  Service times and capacities come from {!Profile}.
+
+    Effects of served jobs (rule installation, packet output, stats
+    reads) are delegated to the owning switch through a {!handler}. *)
+
+open Scotch_openflow
+open Scotch_packet
+
+type pin_job = {
+  in_port : int;
+  tunnel_id : int option;
+  reason : Of_types.Packet_in_reason.t;
+  packet : Packet.t;
+}
+
+type job =
+  | Packet_in_job of pin_job
+  | Message_job of Of_msg.t
+
+(** Switch-side effects the OFA triggers when jobs complete. *)
+type handler = {
+  install_flow : Of_msg.Flow_mod.t -> (unit, [ `Table_full ]) result;
+  modify_group : Of_msg.Group_mod.t -> (unit, [ `Group_exists | `Unknown_group ]) result;
+  execute_packet_out : Of_msg.Packet_out.t -> unit;
+  flow_stats : Of_msg.Stats.flow_stats_request -> Of_msg.Stats.flow_stats_reply;
+  table_stats : unit -> Of_msg.Stats.table_stats_reply;
+  on_flow_mod_rejected : unit -> unit; (* datapath reject stall hook *)
+}
+
+type counters = {
+  mutable pin_sent : int;          (* Packet-In messages emitted *)
+  mutable pin_dropped : int;       (* new-flow packets lost at the pin queue *)
+  mutable flow_mods_handled : int;
+  mutable flow_mods_dropped : int; (* controller messages lost at the queue *)
+  mutable msgs_handled : int;
+}
+
+type t = {
+  engine : Scotch_sim.Engine.t;
+  profile : Profile.t;
+  housekeeping_phase : float;
+      (* per-device offset of the maintenance window: real agents'
+         housekeeping clocks are not synchronized across devices *)
+  rng : Scotch_util.Rng.t;
+      (* ±5 % service-time jitter: exact identical service times in a
+         deterministic simulator phase-lock unrelated devices and create
+         correlation cascades no real agent exhibits *)
+  pin_queue : pin_job Queue.t;
+  cmsg_queue : Of_msg.t Queue.t;
+  mutable busy : bool;
+  mutable to_controller : Of_msg.t -> unit;
+  handler : handler;
+  counters : counters;
+  mutable next_xid : int;
+  mutable dead : bool; (* failure injection: a dead agent is silent *)
+}
+
+let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) engine ~profile ~handler =
+  { engine; profile; housekeeping_phase; rng = Scotch_util.Rng.create (jitter_seed lxor 0x0FA);
+    pin_queue = Queue.create (); cmsg_queue = Queue.create ();
+    busy = false; to_controller = (fun _ -> ()); handler;
+    counters =
+      { pin_sent = 0; pin_dropped = 0; flow_mods_handled = 0; flow_mods_dropped = 0;
+        msgs_handled = 0 };
+    next_xid = 1; dead = false }
+
+(** Wire the switch→controller direction (set by the control channel). *)
+let connect_controller t send = t.to_controller <- send
+
+let counters t = t.counters
+
+let fresh_xid t =
+  let x = t.next_xid in
+  t.next_xid <- t.next_xid + 1;
+  x
+
+(** End of the housekeeping window covering [now], if any. *)
+let housekeeping_end t ~now =
+  let p = t.profile.Profile.housekeeping_period in
+  if p <= 0.0 then None
+  else begin
+    let shifted = now -. t.housekeeping_phase in
+    let phase = Float.rem (Float.rem shifted p +. p) p in
+    if phase < t.profile.Profile.housekeeping_duration then
+      Some (now -. phase +. t.profile.Profile.housekeeping_duration)
+    else None
+  end
+
+let service_time t (job : job) =
+  let p = t.profile in
+  let base =
+    match job with
+    | Packet_in_job _ -> p.Profile.packet_in_service
+    | Message_job m -> (
+      match m.Of_msg.payload with
+      | Of_msg.Flow_mod _ -> p.Profile.flow_mod_service
+      | Of_msg.Packet_out _ -> p.Profile.packet_out_service
+      | _ -> p.Profile.misc_service)
+  in
+  base *. (0.95 +. Scotch_util.Rng.float t.rng 0.1)
+
+let execute t (job : job) =
+  let c = t.counters in
+  match job with
+  | Packet_in_job { in_port; tunnel_id; reason; packet } ->
+    c.pin_sent <- c.pin_sent + 1;
+    let pi = Of_msg.Packet_in.make ?tunnel_id ~reason ~in_port packet in
+    t.to_controller (Of_msg.make ~xid:(fresh_xid t) (Of_msg.Packet_in pi))
+  | Message_job msg -> (
+    c.msgs_handled <- c.msgs_handled + 1;
+    let reply payload = t.to_controller (Of_msg.make ~xid:msg.Of_msg.xid payload) in
+    match msg.Of_msg.payload with
+    | Of_msg.Flow_mod fm ->
+      c.flow_mods_handled <- c.flow_mods_handled + 1;
+      (match t.handler.install_flow fm with
+      | Ok () -> ()
+      | Error `Table_full -> reply (Of_msg.Error "table full"))
+    | Of_msg.Group_mod gm -> (
+      match t.handler.modify_group gm with
+      | Ok () -> ()
+      | Error `Group_exists -> reply (Of_msg.Error "group exists")
+      | Error `Unknown_group -> reply (Of_msg.Error "unknown group"))
+    | Of_msg.Packet_out po -> t.handler.execute_packet_out po
+    | Of_msg.Echo_request -> reply Of_msg.Echo_reply
+    | Of_msg.Flow_stats_request req -> reply (Of_msg.Flow_stats_reply (t.handler.flow_stats req))
+    | Of_msg.Table_stats_request -> reply (Of_msg.Table_stats_reply (t.handler.table_stats ()))
+    | Of_msg.Barrier_request -> reply Of_msg.Barrier_reply
+    | Of_msg.Hello | Of_msg.Echo_reply | Of_msg.Barrier_reply | Of_msg.Error _
+    | Of_msg.Flow_stats_reply _ | Of_msg.Table_stats_reply _ | Of_msg.Packet_in _ -> ())
+
+(** Failure injection (§5.6 testing): a dead OFA neither serves nor
+    accepts anything — in particular it stops answering Echo requests,
+    which is how the controller detects the failure. *)
+let set_dead t dead = t.dead <- dead
+
+let is_dead t = t.dead
+
+let rec serve t =
+  if t.dead then t.busy <- false
+  else begin
+  (* controller messages have strict priority over Packet-In generation *)
+  let job =
+    match Queue.take_opt t.cmsg_queue with
+    | Some m -> Some (Message_job m)
+    | None -> (
+      match Queue.take_opt t.pin_queue with
+      | Some j -> Some (Packet_in_job j)
+      | None -> None)
+  in
+  match job with
+  | None -> t.busy <- false
+  | Some job ->
+    t.busy <- true;
+    let now = Scotch_sim.Engine.now t.engine in
+    let start = match housekeeping_end t ~now with None -> now | Some e -> e in
+    let finish = start +. service_time t job in
+    ignore
+      (Scotch_sim.Engine.schedule_at t.engine ~at:finish (fun () ->
+           if not t.dead then begin
+             execute t job;
+             serve t
+           end))
+  end
+
+let kick t = if not t.busy then serve t
+
+(** [submit_packet_in t job] queues a new-flow packet for Packet-In
+    generation; drops it (counted) when the queue is full — this is the
+    control-path loss at the heart of §3.2. *)
+let submit_packet_in t (job : pin_job) =
+  if t.dead then t.counters.pin_dropped <- t.counters.pin_dropped + 1
+  else if Queue.length t.pin_queue >= t.profile.Profile.pin_queue_capacity then
+    t.counters.pin_dropped <- t.counters.pin_dropped + 1
+  else begin
+    Queue.push job t.pin_queue;
+    kick t
+  end
+
+(** [deliver_message t msg] is the controller→switch direction.  A full
+    queue drops the message; dropped FlowMods additionally trigger the
+    datapath reject-stall hook (TCAM thrash, Fig. 10). *)
+let deliver_message t (msg : Of_msg.t) =
+  if t.dead then ()
+  else if Queue.length t.cmsg_queue >= t.profile.Profile.ofa_queue_capacity then begin
+    (match msg.Of_msg.payload with
+    | Of_msg.Flow_mod _ ->
+      t.counters.flow_mods_dropped <- t.counters.flow_mods_dropped + 1;
+      t.handler.on_flow_mod_rejected ()
+    | _ -> ())
+  end
+  else begin
+    Queue.push msg t.cmsg_queue;
+    kick t
+  end
+
+(** Queue depths, for observability. *)
+let queue_depths t = (Queue.length t.cmsg_queue, Queue.length t.pin_queue)

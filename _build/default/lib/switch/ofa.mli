@@ -1,0 +1,68 @@
+(** The OpenFlow Agent: the switch's software control plane, and the
+    control-path bottleneck at the heart of the paper (§3.1).
+
+    One server, two bounded queues — controller messages (strict
+    priority) and outbound Packet-In jobs — plus a periodic
+    housekeeping stall during which queues overflow.  Service times and
+    capacities come from {!Profile}; ±5 % service jitter and a
+    per-device housekeeping phase prevent cross-device phase locking
+    (see DESIGN.md §3). *)
+
+open Scotch_openflow
+open Scotch_packet
+
+type pin_job = {
+  in_port : int;
+  tunnel_id : int option;
+  reason : Of_types.Packet_in_reason.t;
+  packet : Packet.t;
+}
+
+(** Switch-side effects triggered when jobs complete. *)
+type handler = {
+  install_flow : Of_msg.Flow_mod.t -> (unit, [ `Table_full ]) result;
+  modify_group : Of_msg.Group_mod.t -> (unit, [ `Group_exists | `Unknown_group ]) result;
+  execute_packet_out : Of_msg.Packet_out.t -> unit;
+  flow_stats : Of_msg.Stats.flow_stats_request -> Of_msg.Stats.flow_stats_reply;
+  table_stats : unit -> Of_msg.Stats.table_stats_reply;
+  on_flow_mod_rejected : unit -> unit; (** datapath reject-stall hook *)
+}
+
+type counters = {
+  mutable pin_sent : int;          (** Packet-In messages emitted *)
+  mutable pin_dropped : int;       (** new-flow packets lost at the pin queue *)
+  mutable flow_mods_handled : int;
+  mutable flow_mods_dropped : int; (** controller messages lost at the queue *)
+  mutable msgs_handled : int;
+}
+
+type t
+
+val create :
+  ?housekeeping_phase:float -> ?jitter_seed:int -> Scotch_sim.Engine.t -> profile:Profile.t ->
+  handler:handler -> t
+
+(** Wire the switch→controller direction (set by the control
+    channel). *)
+val connect_controller : t -> (Of_msg.t -> unit) -> unit
+
+val counters : t -> counters
+
+(** Failure injection (§5.6 testing): a dead agent neither serves nor
+    accepts anything — in particular it stops answering Echo requests,
+    which is how the controller detects the failure. *)
+val set_dead : t -> bool -> unit
+
+val is_dead : t -> bool
+
+(** Queue a new-flow packet for Packet-In generation; dropped (counted)
+    when the queue is full — the control-path loss of §3.2. *)
+val submit_packet_in : t -> pin_job -> unit
+
+(** The controller→switch direction.  A full queue drops the message;
+    dropped FlowMods additionally trigger the datapath reject-stall
+    hook (the TCAM thrash of Fig. 10). *)
+val deliver_message : t -> Of_msg.t -> unit
+
+(** (controller-message, Packet-In) queue depths, for observability. *)
+val queue_depths : t -> int * int

@@ -1,0 +1,339 @@
+(** An OpenFlow switch: data-plane pipeline + {!Ofa} control agent.
+
+    The same implementation models hardware switches and Open vSwitches;
+    only the {!Profile} differs.  The data plane is fast (profile pps,
+    microsecond latency); the control path is slow (the OFA's queues).
+
+    Ports are plain integers.  A port may be a {e tunnel endpoint}: on
+    output the packet is MPLS-encapsulated with the tunnel label, and on
+    input the label is stripped and exposed to the pipeline as
+    [tunnel_id] metadata — this is how the Scotch overlay rides the data
+    plane without touching any OFA (§4.1). *)
+
+open Scotch_openflow
+open Scotch_packet
+open Scotch_util
+
+(** Encapsulation a tunnel port applies; the paper's overlay works over
+    "any of the available tunneling protocols, such as GRE, MPLS,
+    MAC-in-MAC" (§4.1). *)
+type tunnel_encap = Mpls_tunnel | Gre_tunnel
+
+type port_kind = Normal | Tunnel of int (* tunnel id *)
+
+type port = {
+  port_id : int;
+  kind : port_kind;
+  encap : tunnel_encap; (* meaningful only for Tunnel ports *)
+  mutable out : Scotch_sim.Link.t option;
+}
+
+type counters = {
+  mutable rx : int;
+  mutable tx : int;
+  mutable dropped_blocked : int;   (* datapath stalled by TCAM writes *)
+  mutable dropped_capacity : int;  (* datapath pps exceeded *)
+  mutable dropped_no_rule : int;   (* table miss with no miss rule *)
+  mutable dropped_action : int;    (* explicit Drop / unconnected port *)
+}
+
+type t = {
+  engine : Scotch_sim.Engine.t;
+  dpid : Of_types.datapath_id;
+  name : string;
+  profile : Profile.t;
+  tables : Flow_table.t array;
+  groups : Group_table.t;
+  ports : (int, port) Hashtbl.t;
+  mutable ofa : Ofa.t option; (* set at creation; option breaks the cycle *)
+  dp_bucket : Token_bucket.t;
+  mutable dp_blocked_until : float;
+  mutable failed : bool; (* failure injection: data and control planes dead *)
+  counters : counters;
+}
+
+let ofa t = Option.get t.ofa
+
+let now t = Scotch_sim.Engine.now t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Output path *)
+
+let find_port t pid = Hashtbl.find_opt t.ports pid
+
+let transmit t (port : port) pkt =
+  match port.out with
+  | None -> t.counters.dropped_action <- t.counters.dropped_action + 1
+  | Some link ->
+    let pkt =
+      match (port.kind, port.encap) with
+      | Normal, _ -> pkt
+      | Tunnel tid, Mpls_tunnel -> Packet.push_encap (Headers.Encap.mpls tid) pkt
+      | Tunnel tid, Gre_tunnel -> Packet.push_encap (Headers.Encap.gre (Int32.of_int tid)) pkt
+    in
+    t.counters.tx <- t.counters.tx + 1;
+    ignore
+      (Scotch_sim.Engine.schedule t.engine ~delay:t.profile.Profile.forward_latency (fun () ->
+           Scotch_sim.Link.send link pkt))
+
+let output t ~in_port pid pkt =
+  match find_port t pid with
+  | None -> t.counters.dropped_action <- t.counters.dropped_action + 1
+  | Some port -> if port.port_id <> in_port then transmit t port pkt else ()
+
+let flood t ~in_port pkt =
+  Hashtbl.iter
+    (fun pid port ->
+      if pid <> in_port && port.kind = Normal then transmit t port pkt)
+    t.ports
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline *)
+
+let to_ofa t ~in_port ~tunnel_id ~reason pkt =
+  Ofa.submit_packet_in (ofa t) { Ofa.in_port; tunnel_id; reason; packet = pkt }
+
+(** Execute an action list; returns the (possibly rewritten) packet so
+    the pipeline can carry header pushes/pops into later tables. *)
+let rec apply_actions t ~(ctx : Of_match.context) ~via_miss pkt actions =
+  let in_port = ctx.Of_match.in_port in
+  match actions with
+  | [] -> pkt
+  | act :: rest ->
+    let continue pkt = apply_actions t ~ctx ~via_miss pkt rest in
+    (match act with
+    | Of_action.Output (Of_types.Port_no.Physical p) ->
+      output t ~in_port p pkt;
+      continue pkt
+    | Of_action.Output Of_types.Port_no.In_port ->
+      (match find_port t in_port with
+      | Some port -> transmit t port pkt
+      | None -> ());
+      continue pkt
+    | Of_action.Output Of_types.Port_no.Controller ->
+      let reason =
+        if via_miss then Of_types.Packet_in_reason.No_match
+        else Of_types.Packet_in_reason.Action
+      in
+      to_ofa t ~in_port ~tunnel_id:ctx.Of_match.tunnel_id ~reason pkt;
+      continue pkt
+    | Of_action.Output Of_types.Port_no.All ->
+      flood t ~in_port pkt;
+      continue pkt
+    | Of_action.Output (Of_types.Port_no.Local | Of_types.Port_no.Any) -> continue pkt
+    | Of_action.Group gid -> (
+      match Group_table.find t.groups gid with
+      | None ->
+        t.counters.dropped_action <- t.counters.dropped_action + 1;
+        continue pkt
+      | Some g ->
+        let flow_hash = Flow_key.hash (Packet.flow_key pkt) in
+        let buckets = Group_table.select_bucket g ~flow_hash in
+        List.iter
+          (fun (b : Of_msg.Group_mod.bucket) ->
+            ignore (apply_actions t ~ctx ~via_miss pkt b.Of_msg.Group_mod.actions))
+          buckets;
+        continue pkt)
+    | Of_action.Push_mpls label -> continue (Packet.push_encap (Headers.Encap.mpls label) pkt)
+    | Of_action.Pop_mpls -> (
+      match Packet.pop_encap pkt with
+      | Some (Headers.Encap.Mpls _, pkt') -> continue pkt'
+      | Some _ | None -> continue pkt)
+    | Of_action.Push_gre key -> continue (Packet.push_encap (Headers.Encap.gre key) pkt)
+    | Of_action.Pop_gre -> (
+      match Packet.pop_encap pkt with
+      | Some (Headers.Encap.Gre _, pkt') -> continue pkt'
+      | Some _ | None -> continue pkt)
+    | Of_action.Set_eth_dst mac ->
+      continue { pkt with Packet.eth = { pkt.Packet.eth with Headers.Ethernet.dst = mac } }
+    | Of_action.Set_eth_src mac ->
+      continue { pkt with Packet.eth = { pkt.Packet.eth with Headers.Ethernet.src = mac } }
+    | Of_action.Dec_ttl ->
+      continue { pkt with Packet.ip = Headers.Ipv4.decrement_ttl pkt.Packet.ip }
+    | Of_action.Drop ->
+      t.counters.dropped_action <- t.counters.dropped_action + 1;
+      continue pkt)
+
+let rec run_table t ~table_id ~(ctx : Of_match.context) pkt =
+  if table_id >= Array.length t.tables then
+    t.counters.dropped_no_rule <- t.counters.dropped_no_rule + 1
+  else begin
+    let table = t.tables.(table_id) in
+    let ctx = { ctx with Of_match.packet = pkt } in
+    match Flow_table.lookup table ~now:(now t) ctx with
+    | None ->
+      (* Bare table miss: OpenFlow 1.3 default is drop; controllers
+         install an explicit priority-0 miss rule when they want
+         Packet-Ins. *)
+      t.counters.dropped_no_rule <- t.counters.dropped_no_rule + 1
+    | Some rule ->
+      let via_miss = rule.Flow_table.priority = 0 && Of_match.is_wildcard rule.Flow_table.match_ in
+      let actions = Of_action.actions_of_instructions rule.Flow_table.instructions in
+      let pkt = apply_actions t ~ctx ~via_miss pkt actions in
+      (match Of_action.goto_of_instructions rule.Flow_table.instructions with
+      | Some next when next > table_id -> run_table t ~table_id:next ~ctx pkt
+      | Some _ | None -> ())
+  end
+
+(** [receive t ~in_port pkt] is the data-plane entry point: applies the
+    capacity and TCAM-stall gates, performs tunnel decapsulation, then
+    runs the pipeline from table 0. *)
+let receive t ~in_port pkt =
+  t.counters.rx <- t.counters.rx + 1;
+  let tnow = now t in
+  if t.failed then t.counters.dropped_action <- t.counters.dropped_action + 1
+  else if tnow < t.dp_blocked_until then
+    t.counters.dropped_blocked <- t.counters.dropped_blocked + 1
+  else if not (Token_bucket.take t.dp_bucket ~now:tnow) then
+    t.counters.dropped_capacity <- t.counters.dropped_capacity + 1
+  else begin
+    let tunnel_id, pkt =
+      match find_port t in_port with
+      | Some { kind = Tunnel tid; _ } -> (
+        (* strip the outer tunnel header and surface it as metadata *)
+        match Packet.pop_encap pkt with
+        | Some (Headers.Encap.Mpls { label }, pkt') when label = tid -> (Some tid, pkt')
+        | Some (Headers.Encap.Gre { key }, pkt') when Int32.to_int key = tid ->
+          (Some tid, pkt')
+        | _ -> (Some tid, pkt))
+      | _ -> (None, pkt)
+    in
+    let ctx = Of_match.context ?tunnel_id ~in_port pkt in
+    run_table t ~table_id:0 ~ctx pkt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let handler_of t : Ofa.handler =
+  { Ofa.install_flow =
+      (fun fm ->
+        match fm.Of_msg.Flow_mod.command with
+        | Of_msg.Flow_mod.Delete ->
+          Array.iter
+            (fun table ->
+              if Flow_table.table_id table = fm.Of_msg.Flow_mod.table_id then
+                ignore (Flow_table.delete table ~match_:fm.Of_msg.Flow_mod.match_ ()))
+            t.tables;
+          Ok ()
+        | Of_msg.Flow_mod.Add | Of_msg.Flow_mod.Modify ->
+          if fm.Of_msg.Flow_mod.table_id >= Array.length t.tables then Error `Table_full
+          else begin
+            let table = t.tables.(fm.Of_msg.Flow_mod.table_id) in
+            let result =
+              Flow_table.insert table ~now:(now t)
+                ~priority:fm.Of_msg.Flow_mod.priority ~match_:fm.Of_msg.Flow_mod.match_
+                ~instructions:fm.Of_msg.Flow_mod.instructions
+                ~idle_timeout:fm.Of_msg.Flow_mod.idle_timeout
+                ~hard_timeout:fm.Of_msg.Flow_mod.hard_timeout
+                ~cookie:fm.Of_msg.Flow_mod.cookie
+            in
+            (match result with
+            | Ok () ->
+              (* TCAM write stalls the forwarding pipeline (Fig. 10). *)
+              let stall = t.profile.Profile.tcam_write_stall in
+              if stall > 0.0 then
+                t.dp_blocked_until <- Stdlib.max t.dp_blocked_until (now t) +. stall
+            | Error `Table_full -> ());
+            result
+          end);
+    modify_group = (fun gm -> Group_table.apply t.groups gm);
+    execute_packet_out =
+      (fun po ->
+        let ctx = Of_match.context ~in_port:po.Of_msg.Packet_out.in_port po.Of_msg.Packet_out.packet in
+        ignore
+          (apply_actions t ~ctx ~via_miss:false po.Of_msg.Packet_out.packet
+             po.Of_msg.Packet_out.actions));
+    flow_stats =
+      (fun req ->
+        let tnow = now t in
+        Array.to_list t.tables
+        |> List.concat_map (fun table ->
+               if
+                 req.Of_msg.Stats.table_id = 0xFF
+                 || Flow_table.table_id table = req.Of_msg.Stats.table_id
+               then Flow_table.stats table ~now:tnow
+               else []));
+    table_stats =
+      (fun () ->
+        { Of_msg.Stats.active_entries =
+            Array.to_list (Array.map (fun table -> Flow_table.size table ~now:(now t)) t.tables)
+        });
+    on_flow_mod_rejected =
+      (fun () ->
+        let stall = t.profile.Profile.tcam_reject_stall in
+        if stall > 0.0 then
+          t.dp_blocked_until <- Stdlib.max t.dp_blocked_until (now t) +. stall) }
+
+(** [create engine ~dpid ~name ~profile ~num_tables ()] builds a switch
+    with [num_tables] flow tables (Scotch's two-table miss pipeline
+    needs at least 2). *)
+let create engine ~dpid ~name ~profile ?(num_tables = 2) () =
+  let tables =
+    Array.init num_tables (fun i ->
+        Flow_table.create ~capacity:profile.Profile.flow_table_capacity ~table_id:i ())
+  in
+  let t =
+    { engine; dpid; name; profile; tables; groups = Group_table.create ();
+      ports = Hashtbl.create 16; ofa = None;
+      dp_bucket = Token_bucket.create ~rate:profile.Profile.datapath_pps
+          ~burst:(Stdlib.max 32.0 (profile.Profile.datapath_pps /. 1000.0));
+      dp_blocked_until = 0.0; failed = false;
+      counters =
+        { rx = 0; tx = 0; dropped_blocked = 0; dropped_capacity = 0; dropped_no_rule = 0;
+          dropped_action = 0 } }
+  in
+  (* golden-ratio phase spread: devices' maintenance windows never line
+     up, whatever the dpid pattern *)
+  let housekeeping_phase =
+    Float.rem (0.6180339887 *. float_of_int dpid *. profile.Profile.housekeeping_period)
+      (Stdlib.max profile.Profile.housekeeping_period 1e-9)
+  in
+  t.ofa <- Some (Ofa.create ~housekeeping_phase ~jitter_seed:dpid engine ~profile ~handler:(handler_of t));
+  t
+
+(** [add_port t ~port_id ?kind link] attaches an outgoing link on a
+    port.  The peer is whatever the link's sink delivers to. *)
+let add_port t ~port_id ?(kind = Normal) ?(encap = Mpls_tunnel) link =
+  if Hashtbl.mem t.ports port_id then invalid_arg "Switch.add_port: duplicate port";
+  Hashtbl.replace t.ports port_id { port_id; kind; encap; out = Some link }
+
+(** Declare an input-only port (e.g. where only the peer sends). *)
+let add_input_port t ~port_id ?(kind = Normal) ?(encap = Mpls_tunnel) () =
+  if Hashtbl.mem t.ports port_id then invalid_arg "Switch.add_input_port: duplicate port";
+  Hashtbl.replace t.ports port_id { port_id; kind; encap; out = None }
+
+(** Failure injection: kill or revive both planes of the switch. *)
+let set_failed t failed =
+  t.failed <- failed;
+  Ofa.set_dead (ofa t) failed
+
+let is_failed t = t.failed
+
+(** Ids of the switch's normal (non-tunnel) ports, sorted. *)
+let normal_ports t =
+  Hashtbl.fold (fun pid p acc -> if p.kind = Normal then pid :: acc else acc) t.ports []
+  |> List.sort compare
+
+(** Ids of all ports, sorted. *)
+let all_ports t = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.ports [] |> List.sort compare
+
+let dpid t = t.dpid
+let name t = t.name
+let profile t = t.profile
+let counters t = t.counters
+let tables t = t.tables
+let table t i = t.tables.(i)
+let group_table t = t.groups
+
+(** Direct (test) access: install a rule bypassing the OFA. *)
+let install_direct t ~table_id ~priority ~match_ ~instructions ?(idle_timeout = 0.0)
+    ?(hard_timeout = 0.0) ?(cookie = Of_types.cookie_none) () =
+  Flow_table.insert t.tables.(table_id) ~now:(now t) ~priority ~match_ ~instructions
+    ~idle_timeout ~hard_timeout ~cookie
+
+let pp fmt t = Format.fprintf fmt "switch{%s dpid=%d %a}" t.name t.dpid Profile.pp t.profile
+
+(** Time until which the forwarding pipeline is stalled by TCAM writes
+    (observability; equals [now] or earlier when not stalled). *)
+let blocked_until t = t.dp_blocked_until

@@ -1,0 +1,79 @@
+(** An OpenFlow switch: data-plane pipeline + {!Ofa} control agent.
+
+    The same implementation models hardware switches and Open vSwitches;
+    only the {!Profile} differs.  Ports are integers; a port may be a
+    tunnel endpoint — on output the packet is encapsulated with the
+    tunnel id, on input the header is stripped and exposed to the
+    pipeline as [tunnel_id] metadata.  This is how the Scotch overlay
+    rides the data plane without touching any OFA (§4.1). *)
+
+open Scotch_openflow
+
+(** Encapsulation a tunnel port applies (§4.1: "GRE, MPLS, MAC-in-MAC,
+    etc."). *)
+type tunnel_encap = Mpls_tunnel | Gre_tunnel
+
+type port_kind = Normal | Tunnel of int (** tunnel id *)
+
+type counters = {
+  mutable rx : int;
+  mutable tx : int;
+  mutable dropped_blocked : int;   (** datapath stalled by TCAM writes *)
+  mutable dropped_capacity : int;  (** datapath pps exceeded *)
+  mutable dropped_no_rule : int;   (** table miss with no miss rule *)
+  mutable dropped_action : int;    (** explicit Drop / unconnected port *)
+}
+
+type t
+
+(** [create engine ~dpid ~name ~profile ~num_tables ()] builds a switch
+    with [num_tables] flow tables (Scotch's two-table miss pipeline
+    needs at least 2, the default). *)
+val create :
+  Scotch_sim.Engine.t -> dpid:Of_types.datapath_id -> name:string -> profile:Profile.t ->
+  ?num_tables:int -> unit -> t
+
+(** The switch's control agent. *)
+val ofa : t -> Ofa.t
+
+(** Data-plane entry point: capacity and TCAM-stall gates, tunnel
+    decapsulation, then the pipeline from table 0. *)
+val receive : t -> in_port:int -> Scotch_packet.Packet.t -> unit
+
+(** Attach an outgoing link on a port; the peer is whatever the link's
+    sink delivers to.  Raises on duplicate port ids. *)
+val add_port :
+  t -> port_id:int -> ?kind:port_kind -> ?encap:tunnel_encap -> Scotch_sim.Link.t -> unit
+
+(** Declare an input-only port (where only the peer sends). *)
+val add_input_port : t -> port_id:int -> ?kind:port_kind -> ?encap:tunnel_encap -> unit -> unit
+
+(** Failure injection: kill or revive both planes. *)
+val set_failed : t -> bool -> unit
+
+val is_failed : t -> bool
+
+(** Ids of the normal (non-tunnel) ports, sorted. *)
+val normal_ports : t -> int list
+
+val all_ports : t -> int list
+val dpid : t -> Of_types.datapath_id
+val name : t -> string
+val profile : t -> Profile.t
+val counters : t -> counters
+val tables : t -> Flow_table.t array
+val table : t -> int -> Flow_table.t
+val group_table : t -> Group_table.t
+
+(** Install a rule directly, bypassing the OFA (tests and proactive
+    setup). *)
+val install_direct :
+  t -> table_id:int -> priority:int -> match_:Of_match.t ->
+  instructions:Of_action.instructions -> ?idle_timeout:float -> ?hard_timeout:float ->
+  ?cookie:Of_types.cookie -> unit -> (unit, [ `Table_full ]) result
+
+val pp : Format.formatter -> t -> unit
+
+(** Time until which the forwarding pipeline is stalled by TCAM writes
+    (observability; equals [now] or earlier when not stalled). *)
+val blocked_until : t -> float

@@ -1,0 +1,1 @@
+lib/topo/host.ml: Format Hashtbl Ipv4_addr Mac Packet Scotch_packet Scotch_sim Scotch_util

@@ -1,0 +1,1 @@
+lib/topo/middlebox.mli: Flow_key Packet Scotch_packet Scotch_sim

@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Hashtbl Host Ipv4_addr List Middlebox Of_types Printf Queue Scotch_openflow Scotch_packet Scotch_sim Scotch_switch Switch

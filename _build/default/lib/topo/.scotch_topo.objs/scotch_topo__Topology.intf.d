@@ -1,0 +1,1 @@
+lib/topo/topology.mli: Host Middlebox Of_types Scotch_openflow Scotch_packet Scotch_sim Scotch_switch Switch

@@ -1,0 +1,76 @@
+(** Stateful middleboxes (§5.4).
+
+    A middlebox sits between an upstream switch S_U and a downstream
+    switch S_D.  It is {e stateful}: the first packet of a flow
+    establishes state; a mid-flow packet arriving with no established
+    state is rejected ("the new middlebox may either reject the flow or
+    handle the flow differently due to lack of pre-established context").
+    This is exactly the failure Scotch's policy-consistency design must
+    avoid, and the counter [state_violations] is how tests observe it.
+
+    The middlebox also requires packets to arrive {e decapsulated}
+    ("the middlebox sees the original packet without the tunnel
+    header"); an encapsulated arrival is counted as a violation and
+    dropped. *)
+
+open Scotch_packet
+
+type kind = Firewall | Load_balancer | Ids
+
+type t = {
+  engine : Scotch_sim.Engine.t;
+  name : string;
+  kind : kind;
+  latency : float; (* per-packet processing delay *)
+  state : unit Flow_key.Hashtbl.t;
+  mutable out : Scotch_sim.Link.t option; (* toward S_D *)
+  mutable processed : int;
+  mutable state_violations : int;
+  mutable encap_violations : int;
+  mutable blocked : Flow_key.t -> bool; (* firewall policy *)
+}
+
+let create engine ~name ?(kind = Firewall) ?(latency = 50e-6) () =
+  { engine; name; kind; latency; state = Flow_key.Hashtbl.create 256; out = None;
+    processed = 0; state_violations = 0; encap_violations = 0; blocked = (fun _ -> false) }
+
+(** Set the link toward the downstream switch S_D. *)
+let connect_out t link = t.out <- Some link
+
+(** Install a blocking predicate (e.g. drop flows from an attacker
+    prefix) — how "the security tools will hopefully kick in and tame
+    the attacks" plugs in. *)
+let set_policy t blocked = t.blocked <- blocked
+
+(** [receive t pkt] processes one packet from S_U. *)
+let receive t pkt =
+  if Packet.is_encapsulated pkt then begin
+    t.encap_violations <- t.encap_violations + 1
+  end
+  else begin
+    let key = Packet.flow_key pkt in
+    if t.blocked key then ()
+    else begin
+      let has_state = Flow_key.Hashtbl.mem t.state key in
+      if (not has_state) && pkt.Packet.meta.seq_in_flow > 0 then
+        (* mid-connection packet without establishment: reject *)
+        t.state_violations <- t.state_violations + 1
+      else begin
+        if not has_state then Flow_key.Hashtbl.replace t.state key ();
+        t.processed <- t.processed + 1;
+        match t.out with
+        | None -> ()
+        | Some link ->
+          ignore
+            (Scotch_sim.Engine.schedule t.engine ~delay:t.latency (fun () ->
+                 Scotch_sim.Link.send link pkt))
+      end
+    end
+  end
+
+let name t = t.name
+let kind t = t.kind
+let processed t = t.processed
+let state_violations t = t.state_violations
+let encap_violations t = t.encap_violations
+let flows_tracked t = Flow_key.Hashtbl.length t.state

@@ -1,0 +1,1 @@
+lib/util/table_printer.ml: Array Buffer List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/util/timeseries.ml: Array Buffer List Printf Stdlib

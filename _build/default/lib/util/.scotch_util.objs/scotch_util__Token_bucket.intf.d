@@ -1,0 +1,1 @@
+lib/util/token_bucket.mli:

@@ -1,0 +1,49 @@
+(** Aligned plain-text table rendering for experiment reports, matching
+    the row/series style the paper's figures report. *)
+
+type t = {
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table_printer.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_floats t row = add_row t (List.map (fun v -> Printf.sprintf "%.4g" v) row)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let emit row =
+    Buffer.add_string buf "  ";
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (pad i cell);
+        if i < ncols - 1 then Buffer.add_string buf "  ")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  Buffer.add_string buf "  ";
+  Array.iteri
+    (fun i w ->
+      Buffer.add_string buf (String.make w '-');
+      if i < ncols - 1 then Buffer.add_string buf "  ")
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

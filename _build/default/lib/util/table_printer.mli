@@ -1,0 +1,19 @@
+(** Aligned plain-text table rendering for experiment reports, matching
+    the row/series style the paper's figures report. *)
+
+type t
+
+(** [create header] starts a table with the given column names. *)
+val create : string list -> t
+
+(** Append one row.  Raises [Invalid_argument] when the arity does not
+    match the header. *)
+val add_row : t -> string list -> unit
+
+(** Append one row of floats, formatted with [%.4g]. *)
+val add_floats : t -> float list -> unit
+
+(** The table as an aligned multi-line string. *)
+val render : t -> string
+
+val print : t -> unit

@@ -1,0 +1,64 @@
+(** Append-only time series of [(time, value)] points, with CSV export.
+    Experiments record every reported curve as one of these. *)
+
+type t = {
+  name : string;
+  mutable times : float array;
+  mutable values : float array;
+  mutable size : int;
+}
+
+let create name = { name; times = [||]; values = [||]; size = 0 }
+
+let name t = t.name
+
+let length t = t.size
+
+let add t ~time ~value =
+  let cap = Array.length t.times in
+  if t.size = cap then begin
+    let ncap = Stdlib.max 64 (cap * 2) in
+    let ntimes = Array.make ncap 0.0 and nvalues = Array.make ncap 0.0 in
+    Array.blit t.times 0 ntimes 0 t.size;
+    Array.blit t.values 0 nvalues 0 t.size;
+    t.times <- ntimes;
+    t.values <- nvalues
+  end;
+  t.times.(t.size) <- time;
+  t.values.(t.size) <- value;
+  t.size <- t.size + 1
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Timeseries.get";
+  (t.times.(i), t.values.(i))
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.times.(i) t.values.(i)
+  done
+
+let to_list t =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((t.times.(i), t.values.(i)) :: acc)
+  in
+  go (t.size - 1) []
+
+(** Last value, or [default] when the series is empty. *)
+let last ?(default = 0.0) t = if t.size = 0 then default else t.values.(t.size - 1)
+
+(** Mean of values over the points with time >= [from]. *)
+let mean_from t ~from =
+  let sum = ref 0.0 and n = ref 0 in
+  iter t (fun time v -> if time >= from then begin sum := !sum +. v; incr n end);
+  if !n = 0 then nan else !sum /. float_of_int !n
+
+(** [to_csv series] renders several series sharing no time base as CSV
+    blocks: one [name] header line then [time,value] rows. *)
+let to_csv series =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf ("# " ^ t.name ^ "\n");
+      iter t (fun time v -> Buffer.add_string buf (Printf.sprintf "%.6f,%.6f\n" time v)))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Append-only time series of [(time, value)] points with CSV export;
+    experiments record every reported curve as one of these. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+val length : t -> int
+val add : t -> time:float -> value:float -> unit
+
+(** [get t i] is the [i]-th point; raises on out-of-range indices. *)
+val get : t -> int -> float * float
+
+val iter : t -> (float -> float -> unit) -> unit
+val to_list : t -> (float * float) list
+
+(** Last value, or [default] when empty. *)
+val last : ?default:float -> t -> float
+
+(** Mean of values at times >= [from]; [nan] when no points qualify. *)
+val mean_from : t -> from:float -> float
+
+(** Render several series as CSV blocks (a [# name] header line then
+    [time,value] rows per series). *)
+val to_csv : t list -> string

@@ -1,0 +1,49 @@
+(** Token-bucket rate limiter, used to model finite-rate servers (e.g. an
+    OFA that can emit at most [rate] Packet-In messages per second with a
+    small burst allowance). *)
+
+type t = {
+  rate : float;           (* tokens per second *)
+  burst : float;          (* bucket depth *)
+  mutable tokens : float;
+  mutable last : float;   (* last refill time *)
+}
+
+(** [create ~rate ~burst] starts full at time 0. *)
+let create ~rate ~burst =
+  if rate <= 0.0 then invalid_arg "Token_bucket.create: rate must be positive";
+  if burst <= 0.0 then invalid_arg "Token_bucket.create: burst must be positive";
+  { rate; burst; tokens = burst; last = 0.0 }
+
+let refill t ~now =
+  if now > t.last then begin
+    t.tokens <- Stdlib.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+    t.last <- now
+  end
+
+(** [take t ~now] consumes one token if available, returning whether the
+    event is admitted. *)
+let take t ~now =
+  refill t ~now;
+  if t.tokens >= 1.0 then begin
+    t.tokens <- t.tokens -. 1.0;
+    true
+  end
+  else false
+
+(** [take_n t ~now n] consumes [n] tokens atomically if available. *)
+let take_n t ~now n =
+  refill t ~now;
+  let n = float_of_int n in
+  if t.tokens >= n then begin
+    t.tokens <- t.tokens -. n;
+    true
+  end
+  else false
+
+(** [available t ~now] is the current token count after refill. *)
+let available t ~now =
+  refill t ~now;
+  t.tokens
+
+let rate t = t.rate

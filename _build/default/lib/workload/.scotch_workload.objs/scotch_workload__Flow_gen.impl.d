@@ -1,0 +1,1 @@
+lib/workload/flow_gen.ml: Flow_key Packet Scotch_packet

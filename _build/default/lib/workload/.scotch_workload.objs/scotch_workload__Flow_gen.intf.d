@@ -1,0 +1,1 @@
+lib/workload/flow_gen.mli: Flow_key Ipv4_addr Mac Packet Scotch_packet

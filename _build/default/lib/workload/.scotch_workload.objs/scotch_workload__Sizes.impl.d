@@ -1,0 +1,1 @@
+lib/workload/sizes.ml: Float Flow_gen Rng Scotch_util Stdlib

@@ -1,0 +1,1 @@
+lib/workload/sizes.mli: Flow_gen Rng Scotch_util

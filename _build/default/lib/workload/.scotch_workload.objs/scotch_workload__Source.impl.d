@@ -1,0 +1,1 @@
+lib/workload/source.ml: Flow_gen Flow_key Headers Host Ipv4_addr List Mac Rng Scotch_packet Scotch_sim Scotch_topo Scotch_util

@@ -1,0 +1,1 @@
+lib/workload/source.mli: Flow_gen Host Scotch_sim Scotch_topo Scotch_util

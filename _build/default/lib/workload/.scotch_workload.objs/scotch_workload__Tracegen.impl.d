@@ -1,0 +1,1 @@
+lib/workload/tracegen.ml: Array Flow_gen List Rng Scotch_sim Scotch_topo Scotch_util Sizes Source Stdlib

@@ -1,0 +1,1 @@
+lib/workload/tracegen.mli: Flow_gen Rng Scotch_sim Scotch_topo Scotch_util Source

@@ -1,0 +1,39 @@
+(** Flow-size distributions.
+
+    "Measurement studies have shown that the majority of link capacity
+    is consumed by a small fraction of large flows" [1 in the paper] —
+    the Pareto mice/elephants mix below reproduces that shape and drives
+    the large-flow migration experiments. *)
+
+open Scotch_util
+
+(** One-packet connection probes (Fig. 3/4 workload). *)
+let probe : Rng.t -> Flow_gen.flow_spec = fun _ -> Flow_gen.syn_spec
+
+(** Fixed-shape flows. *)
+let fixed ~packets ~payload ~interval : Rng.t -> Flow_gen.flow_spec =
+ fun _ -> { Flow_gen.packets; payload; interval }
+
+(** Pareto-distributed flow sizes in packets: shape [alpha] (heavier
+    tail for smaller alpha), minimum [min_packets], truncated at
+    [max_packets].  Packets are [payload] bytes and the flow sends at
+    [pkt_rate] packets/second. *)
+let pareto ?(alpha = 1.2) ?(min_packets = 2) ?(max_packets = 100_000) ?(payload = 1000)
+    ~pkt_rate () : Rng.t -> Flow_gen.flow_spec =
+ fun rng ->
+  let size =
+    Rng.pareto rng ~shape:alpha ~scale:(float_of_int min_packets)
+    |> Float.round |> int_of_float
+    |> Stdlib.min max_packets
+  in
+  { Flow_gen.packets = size; payload; interval = 1.0 /. pkt_rate }
+
+(** A mice/elephants mixture: with probability [elephant_fraction] the
+    flow is a long high-rate elephant, otherwise a short mouse. *)
+let mice_and_elephants ?(elephant_fraction = 0.02) ?(mouse_packets = 5)
+    ?(elephant_packets = 20_000) ?(payload = 1000) ?(mouse_rate = 100.0)
+    ?(elephant_rate = 2000.0) () : Rng.t -> Flow_gen.flow_spec =
+ fun rng ->
+  if Rng.bernoulli rng elephant_fraction then
+    { Flow_gen.packets = elephant_packets; payload; interval = 1.0 /. elephant_rate }
+  else { Flow_gen.packets = mouse_packets; payload; interval = 1.0 /. mouse_rate }

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Bytes Format Headers Int32 Ipv4_addr List Mac Of_action Of_match Of_msg Of_types Of_wire Packet QCheck QCheck_alcotest Scotch_openflow Scotch_packet

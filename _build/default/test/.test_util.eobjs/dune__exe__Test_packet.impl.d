@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Array Bytes Codec Encap Ethernet Flow_key Format Headers Int32 Ipv4 Ipv4_addr L4 List Mac Packet QCheck QCheck_alcotest Scotch_packet Scotch_util Tcp Udp

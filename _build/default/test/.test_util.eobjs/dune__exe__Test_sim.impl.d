@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Ipv4_addr Link List Mac Packet Scotch_packet Scotch_sim

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Heap Histogram List QCheck QCheck_alcotest Rng Scotch_util Stats String Table_printer Timeseries Token_bucket

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Flow_gen Host List Printf Rng Scotch_packet Scotch_sim Scotch_topo Scotch_util Scotch_workload Sizes Source Tracegen

@@ -1,0 +1,357 @@
+(* Tests for Scotch_core: configuration, the Flow Info Database, the
+   Fig. 7 scheduler, overlay bookkeeping, policy rule generation and
+   controller-side Scotch invariants. *)
+
+open Scotch_core
+open Scotch_packet
+
+let key i =
+  Flow_key.make
+    ~ip_src:(Ipv4_addr.of_int (0x0A000000 + i))
+    ~ip_dst:(Ipv4_addr.make 10 0 0 200) ~proto:6 ~l4_src:1024 ~l4_dst:80 ()
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_cookies_distinct () =
+  Alcotest.(check bool) "three distinct cookies" true
+    (Config.cookie_green <> Config.cookie_red
+    && Config.cookie_red <> Config.cookie_vflow
+    && Config.cookie_green <> Config.cookie_vflow)
+
+let test_config_r_below_lossfree () =
+  (* R must not exceed the Pica8's loss-free insertion rate (200/s) *)
+  Alcotest.(check bool) "R <= 200" true (Config.default.Config.rule_rate <= 200.0)
+
+(* ------------------------------------------------------------------ *)
+(* Flow_info_db *)
+
+let test_db_admit_dedup () =
+  let db = Flow_info_db.create () in
+  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:3 ~now:0.0 in
+  let e2 = Flow_info_db.admit db ~key:(key 1) ~first_hop:2 ~ingress_port:9 ~now:1.0 in
+  Alcotest.(check bool) "same entry" true (e1 == e2);
+  Alcotest.(check int) "original first hop" 1 e2.Flow_info_db.first_hop;
+  Alcotest.(check int) "size" 1 (Flow_info_db.size db)
+
+let test_db_kind_accounting () =
+  let db = Flow_info_db.create () in
+  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:1 ~now:0.0 in
+  let e2 = Flow_info_db.admit db ~key:(key 2) ~first_hop:1 ~ingress_port:1 ~now:0.0 in
+  Flow_info_db.set_kind db e1 (Flow_info_db.Overlay { entry_vswitch = 100 });
+  Flow_info_db.set_kind db e2 Flow_info_db.Physical;
+  Alcotest.(check int) "overlay count" 1 (Flow_info_db.overlay_count db);
+  Alcotest.(check int) "physical count" 1 (Flow_info_db.physical_count db);
+  Flow_info_db.set_kind db e1 Flow_info_db.Physical;
+  Alcotest.(check int) "overlay decremented" 0 (Flow_info_db.overlay_count db);
+  Alcotest.(check int) "physical incremented" 2 (Flow_info_db.physical_count db);
+  Flow_info_db.remove db (key 1);
+  Alcotest.(check int) "removal decrements" 1 (Flow_info_db.physical_count db)
+
+let test_db_overlay_flows_filter () =
+  let db = Flow_info_db.create () in
+  (* flow 1: overlay, long-lived, recent *)
+  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:1 ~now:0.0 in
+  Flow_info_db.set_kind db e1 (Flow_info_db.Overlay { entry_vswitch = 100 });
+  e1.Flow_info_db.last_packet_count <- 50;
+  e1.Flow_info_db.last_active <- 9.5;
+  (* flow 2: overlay single-packet probe (a spoofed SYN) *)
+  let e2 = Flow_info_db.admit db ~key:(key 2) ~first_hop:1 ~ingress_port:1 ~now:9.0 in
+  Flow_info_db.set_kind db e2 (Flow_info_db.Overlay { entry_vswitch = 100 });
+  e2.Flow_info_db.last_packet_count <- 1;
+  e2.Flow_info_db.last_active <- 9.0;
+  (* flow 3: overlay but stale *)
+  let e3 = Flow_info_db.admit db ~key:(key 3) ~first_hop:1 ~ingress_port:1 ~now:0.0 in
+  Flow_info_db.set_kind db e3 (Flow_info_db.Overlay { entry_vswitch = 100 });
+  e3.Flow_info_db.last_packet_count <- 50;
+  e3.Flow_info_db.last_active <- 1.0;
+  (* flow 4: overlay at a different switch *)
+  let e4 = Flow_info_db.admit db ~key:(key 4) ~first_hop:2 ~ingress_port:1 ~now:9.5 in
+  Flow_info_db.set_kind db e4 (Flow_info_db.Overlay { entry_vswitch = 100 });
+  e4.Flow_info_db.last_packet_count <- 50;
+  e4.Flow_info_db.last_active <- 9.5;
+  let pins = Flow_info_db.overlay_flows_of_switch db ~horizon:2.0 ~now:10.0 1 in
+  Alcotest.(check int) "only the live multi-packet flow pinned" 1 (List.length pins);
+  Alcotest.(check bool) "it is flow 1" true
+    (Flow_key.equal (List.hd pins).Flow_info_db.key (key 1))
+
+(* ------------------------------------------------------------------ *)
+(* Sched *)
+
+let mk_sched ?(rate = 100.0) ?(overlay_threshold = 3) ?(drop_threshold = 6)
+    ?(differentiate = true) e =
+  Sched.create e ~rate ~overlay_threshold ~drop_threshold ~differentiate
+
+let test_sched_thresholds () =
+  let e = Scotch_sim.Engine.create () in
+  let s = mk_sched e in
+  let outcomes = List.init 8 (fun _ -> Sched.submit_ingress s ~port:1 (fun () -> ())) in
+  Alcotest.(check int) "queued up to threshold" 3
+    (List.length (List.filter (( = ) `Queued) outcomes));
+  (* the queue sticks at the overlay threshold: everything else diverts *)
+  Alcotest.(check int) "diverted to overlay" 5
+    (List.length (List.filter (( = ) `Overlay) outcomes));
+  Alcotest.(check int) "diverted counter" 5 (Sched.counters s).Sched.diverted_overlay;
+  Alcotest.(check int) "backlog" 3 (Sched.ingress_backlog s)
+
+let test_sched_priorities () =
+  let e = Scotch_sim.Engine.create () in
+  let s = mk_sched ~rate:10.0 e in
+  let log = ref [] in
+  ignore (Sched.submit_ingress s ~port:1 (fun () -> log := "ingress" :: !log));
+  Sched.submit_large s (fun () -> log := "large" :: !log);
+  Sched.submit_admitted s (fun () -> log := "admitted" :: !log);
+  Sched.start s;
+  Scotch_sim.Engine.run ~until:1.0 e;
+  Alcotest.(check (list string)) "admitted > large > ingress"
+    [ "admitted"; "large"; "ingress" ]
+    (List.rev !log)
+
+let test_sched_round_robin () =
+  let e = Scotch_sim.Engine.create () in
+  let s = mk_sched ~rate:10.0 ~overlay_threshold:10 e in
+  let log = ref [] in
+  (* three items on port 1, three on port 2 — RR must alternate *)
+  for i = 1 to 3 do
+    ignore (Sched.submit_ingress s ~port:1 (fun () -> log := (1, i) :: !log));
+    ignore (Sched.submit_ingress s ~port:2 (fun () -> log := (2, i) :: !log))
+  done;
+  Sched.start s;
+  Scotch_sim.Engine.run ~until:1.0 e;
+  let ports = List.rev_map fst !log in
+  Alcotest.(check (list int)) "alternating service" [ 1; 2; 1; 2; 1; 2 ] ports
+
+let test_sched_no_differentiation_single_queue () =
+  let e = Scotch_sim.Engine.create () in
+  let s = mk_sched ~differentiate:false ~overlay_threshold:4 e in
+  ignore (Sched.submit_ingress s ~port:1 (fun () -> ()));
+  ignore (Sched.submit_ingress s ~port:2 (fun () -> ()));
+  ignore (Sched.submit_ingress s ~port:3 (fun () -> ()));
+  Alcotest.(check int) "shared queue" 3 (Sched.ingress_queue_length s ~port:42)
+
+let test_sched_rate_pacing () =
+  let e = Scotch_sim.Engine.create () in
+  let s = mk_sched ~rate:50.0 ~overlay_threshold:1000 ~drop_threshold:2000 e in
+  let served = ref 0 in
+  for _ = 1 to 1000 do
+    ignore (Sched.submit_ingress s ~port:1 (fun () -> incr served))
+  done;
+  Sched.start s;
+  Scotch_sim.Engine.run ~until:2.0 e;
+  Alcotest.(check bool) "~100 served in 2 s at R=50" true (abs (!served - 100) <= 1);
+  let at_stop = !served in
+  Sched.stop s;
+  Scotch_sim.Engine.run ~until:4.0 e;
+  Alcotest.(check int) "stopped" at_stop !served
+
+let test_sched_drop_threshold () =
+  let e = Scotch_sim.Engine.create () in
+  let s = mk_sched ~overlay_threshold:10 ~drop_threshold:5 e in
+  let outcomes = List.init 8 (fun _ -> Sched.submit_ingress s ~port:1 (fun () -> ())) in
+  Alcotest.(check int) "dropped past threshold" 3
+    (List.length (List.filter (( = ) `Drop) outcomes));
+  Alcotest.(check int) "drop counter" 3 (Sched.counters s).Sched.dropped
+
+(* qcheck: round-robin fairness — with k equally-backlogged ports, each
+   port receives within one slot of served/k *)
+let prop_sched_rr_fairness =
+  QCheck.Test.make ~name:"round-robin fairness across ports" ~count:50
+    QCheck.(pair (int_range 2 6) (int_range 10 60))
+    (fun (nports, serves) ->
+      let e = Scotch_sim.Engine.create () in
+      let s =
+        Sched.create e ~rate:100.0 ~overlay_threshold:1000 ~drop_threshold:2000
+          ~differentiate:true
+      in
+      let served = Array.make nports 0 in
+      for port = 0 to nports - 1 do
+        for _ = 1 to serves do
+          ignore (Sched.submit_ingress s ~port (fun () -> served.(port) <- served.(port) + 1))
+        done
+      done;
+      Sched.start s;
+      Scotch_sim.Engine.run ~until:(float_of_int serves /. 100.0 *. 2.0) e;
+      let total = Array.fold_left ( + ) 0 served in
+      let fair = total / nports in
+      Array.for_all (fun c -> abs (c - fair) <= 1) served)
+
+(* ------------------------------------------------------------------ *)
+(* Overlay *)
+
+let fast_profile = Scotch_switch.Profile.scotch_vswitch
+
+let overlay_rig ~n =
+  let e = Scotch_sim.Engine.create () in
+  let topo = Scotch_topo.Topology.create e in
+  let ov = Overlay.create topo in
+  let vsws =
+    Array.init n (fun i ->
+        let sw =
+          Scotch_switch.Switch.create e ~dpid:(100 + i) ~name:(Printf.sprintf "v%d" i)
+            ~profile:fast_profile ()
+        in
+        Scotch_topo.Topology.add_switch topo sw;
+        Overlay.add_vswitch ov sw ~backup:false;
+        sw)
+  in
+  (e, topo, ov, vsws)
+
+let test_overlay_full_mesh () =
+  let _, _, ov, _ = overlay_rig ~n:4 in
+  (* every ordered pair has a mesh tunnel *)
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if i <> j then
+        Alcotest.(check bool)
+          (Printf.sprintf "mesh %d->%d" i j)
+          true
+          (Overlay.mesh_tunnel ov ~src:(100 + i) ~dst:(100 + j) <> None)
+    done
+  done
+
+let test_overlay_uplinks_and_origin () =
+  let e, topo, ov, _ = overlay_rig ~n:2 in
+  let phys = Scotch_switch.Switch.create e ~dpid:1 ~name:"p" ~profile:Scotch_switch.Profile.pica8 () in
+  Scotch_topo.Topology.add_switch topo phys;
+  Overlay.connect_switch ov phys ~to_vswitches:[ 100; 101 ];
+  let ups = Overlay.uplinks_of ov 1 in
+  Alcotest.(check int) "two uplinks" 2 (List.length ups);
+  List.iter
+    (fun (_, tid) ->
+      Alcotest.(check (option int)) "origin map" (Some 1) (Overlay.origin_of_tunnel ov tid))
+    ups
+
+let test_overlay_cover_and_failover () =
+  let e, topo, ov, _ = overlay_rig ~n:2 in
+  let h = Scotch_topo.Host.create e ~id:1 ~name:"h" in
+  Scotch_topo.Topology.add_host topo h;
+  (* covered by both, primary = 101 (registered last) *)
+  Overlay.cover_host ov ~vswitch_dpid:100 h;
+  Overlay.cover_host ov ~vswitch_dpid:101 h;
+  Alcotest.(check (option int)) "primary cover" (Some 101)
+    (Overlay.cover_of_ip ov (Scotch_topo.Host.ip h));
+  (* primary dies: fall back to any alive vswitch with a delivery tunnel *)
+  ignore (Overlay.mark_dead ov 101);
+  Alcotest.(check (option int)) "failover cover" (Some 100)
+    (Overlay.cover_of_ip ov (Scotch_topo.Host.ip h));
+  Alcotest.(check int) "alive count" 1 (Overlay.alive_count ov)
+
+let test_overlay_backup_promotion () =
+  let e, topo, ov, _ = overlay_rig ~n:2 in
+  let backup =
+    Scotch_switch.Switch.create e ~dpid:150 ~name:"backup" ~profile:fast_profile ()
+  in
+  Scotch_topo.Topology.add_switch topo backup;
+  Overlay.add_vswitch ov backup ~backup:true;
+  Alcotest.(check int) "two active" 2 (List.length (Overlay.active_vswitches ov));
+  (match Overlay.mark_dead ov 100 with
+  | Some promoted -> Alcotest.(check int) "backup promoted" 150 promoted
+  | None -> Alcotest.fail "no promotion");
+  Alcotest.(check int) "still two active" 2 (List.length (Overlay.active_vswitches ov));
+  (* recovery rejoins as backup *)
+  Overlay.mark_recovered ov 100;
+  Alcotest.(check int) "recovered not active" 2 (List.length (Overlay.active_vswitches ov));
+  Alcotest.(check int) "three alive" 3 (Overlay.alive_count ov)
+
+(* ------------------------------------------------------------------ *)
+(* Scotch app invariants (via the experiment testbed) *)
+
+let test_select_assignment_agrees_with_group () =
+  (* predicted_entry must agree with what the data plane's select group
+     does, or pre-activation routing decisions contradict the switch *)
+  let net = Scotch_experiments.Testbed.scotch_net ~num_vswitches:4 () in
+  let attack = Scotch_experiments.Testbed.attack_source net ~rate:1000.0 in
+  Scotch_workload.Source.start attack;
+  Scotch_experiments.Testbed.run_until net ~until:5.0;
+  (* after activation, flows routed via the overlay carry an entry
+     vswitch: check they spread over multiple vswitches *)
+  let entries = Hashtbl.create 8 in
+  Flow_info_db.iter (Scotch.db net.Scotch_experiments.Testbed.app) (fun e ->
+      match e.Flow_info_db.kind with
+      | Flow_info_db.Overlay { entry_vswitch } -> Hashtbl.replace entries entry_vswitch ()
+      | _ -> ());
+  Alcotest.(check bool) "flows spread over >= 3 vswitches" true (Hashtbl.length entries >= 3)
+
+let test_activation_threshold () =
+  let net = Scotch_experiments.Testbed.scotch_net () in
+  (* a quiet client below the activation threshold *)
+  let client = Scotch_experiments.Testbed.client_source net ~i:0 ~rate:20.0 () in
+  Scotch_workload.Source.start client;
+  Scotch_experiments.Testbed.run_until net ~until:5.0;
+  Alcotest.(check bool) "no activation at low load" false
+    (Scotch.is_active net.Scotch_experiments.Testbed.app Scotch_experiments.Testbed.edge_dpid);
+  Alcotest.(check int) "no activations counted" 0
+    (Scotch.counters net.Scotch_experiments.Testbed.app).Scotch.activations
+
+let test_policy_green_red_rules () =
+  let net = Scotch_experiments.Testbed.scotch_net () in
+  let server_ip = Scotch_topo.Host.ip net.Scotch_experiments.Testbed.server in
+  let _mb, seg =
+    Scotch_experiments.Testbed.add_firewall_segment net ~classify:(fun k ->
+        Ipv4_addr.equal k.Flow_key.ip_dst server_ip)
+  in
+  (* green rules exist for every vswitch entry tunnel + every covered host *)
+  let greens = Policy.green_rules net.Scotch_experiments.Testbed.policy net.Scotch_experiments.Testbed.overlay seg in
+  Alcotest.(check bool) "one green per vswitch + hosts" true (List.length greens >= 4);
+  List.iter
+    (fun ((_ : int), (fm : Scotch_openflow.Of_msg.Flow_mod.t)) ->
+      Alcotest.(check bool) "green cookie" true
+        (fm.Scotch_openflow.Of_msg.Flow_mod.cookie = Config.cookie_green);
+      Alcotest.(check int) "green priority" Policy.green_priority
+        fm.Scotch_openflow.Of_msg.Flow_mod.priority)
+    greens;
+  (* red rules: higher priority than green *)
+  let reds = Policy.red_rules seg ~key:(key 1) ~exit_port:1 in
+  Alcotest.(check int) "two red rules (S_U, S_D)" 2 (List.length reds);
+  List.iter
+    (fun ((_ : int), (fm : Scotch_openflow.Of_msg.Flow_mod.t)) ->
+      Alcotest.(check bool) "red beats green" true
+        (fm.Scotch_openflow.Of_msg.Flow_mod.priority > Policy.green_priority))
+    reds
+
+let test_policy_classifier () =
+  let net = Scotch_experiments.Testbed.scotch_net () in
+  let server_ip = Scotch_topo.Host.ip net.Scotch_experiments.Testbed.server in
+  let _, seg =
+    Scotch_experiments.Testbed.add_firewall_segment net ~classify:(fun k ->
+        Ipv4_addr.equal k.Flow_key.ip_dst server_ip)
+  in
+  let to_server =
+    Flow_key.make ~ip_src:(Ipv4_addr.make 10 0 0 1) ~ip_dst:server_ip ~proto:6 ~l4_src:1
+      ~l4_dst:80 ()
+  in
+  (match Policy.classify net.Scotch_experiments.Testbed.policy to_server with
+  | Some s -> Alcotest.(check string) "segment name" seg.Policy.seg_name s.Policy.seg_name
+  | None -> Alcotest.fail "policy flow not classified");
+  let elsewhere = { to_server with Flow_key.ip_dst = Ipv4_addr.make 10 0 0 77 } in
+  Alcotest.(check bool) "other flows unclassified" true
+    (Policy.classify net.Scotch_experiments.Testbed.policy elsewhere = None)
+
+let () =
+  Alcotest.run "scotch_core"
+    [ ( "config",
+        [ Alcotest.test_case "cookies distinct" `Quick test_config_cookies_distinct;
+          Alcotest.test_case "R below loss-free rate" `Quick test_config_r_below_lossfree ] );
+      ( "flow_info_db",
+        [ Alcotest.test_case "admit dedup" `Quick test_db_admit_dedup;
+          Alcotest.test_case "kind accounting" `Quick test_db_kind_accounting;
+          Alcotest.test_case "withdrawal pin filter" `Quick test_db_overlay_flows_filter ] );
+      ( "sched",
+        [ Alcotest.test_case "thresholds" `Quick test_sched_thresholds;
+          Alcotest.test_case "priorities" `Quick test_sched_priorities;
+          Alcotest.test_case "round robin" `Quick test_sched_round_robin;
+          Alcotest.test_case "no differentiation = one queue" `Quick
+            test_sched_no_differentiation_single_queue;
+          Alcotest.test_case "rate pacing" `Quick test_sched_rate_pacing;
+          Alcotest.test_case "drop threshold" `Quick test_sched_drop_threshold;
+          QCheck_alcotest.to_alcotest prop_sched_rr_fairness ] );
+      ( "overlay",
+        [ Alcotest.test_case "full mesh" `Quick test_overlay_full_mesh;
+          Alcotest.test_case "uplinks and origin map" `Quick test_overlay_uplinks_and_origin;
+          Alcotest.test_case "cover failover" `Quick test_overlay_cover_and_failover;
+          Alcotest.test_case "backup promotion" `Quick test_overlay_backup_promotion ] );
+      ( "scotch_app",
+        [ Alcotest.test_case "overlay entry spread" `Quick test_select_assignment_agrees_with_group;
+          Alcotest.test_case "activation threshold" `Quick test_activation_threshold;
+          Alcotest.test_case "policy green/red rules" `Quick test_policy_green_red_rules;
+          Alcotest.test_case "policy classifier" `Quick test_policy_classifier ] ) ]

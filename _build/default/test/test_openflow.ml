@@ -1,0 +1,320 @@
+(* Tests for Scotch_openflow: match semantics, actions/instructions,
+   message construction and wire-codec round trips. *)
+
+open Scotch_openflow
+open Scotch_packet
+
+let mk_packet ?(src_port = 1234) ?(dst_port = 80) () =
+  Packet.tcp_syn ~flow_id:1 ~created:0.0 ~src_mac:(Mac.of_host_id 1)
+    ~dst_mac:(Mac.of_host_id 2) ~ip_src:(Ipv4_addr.make 10 0 0 1)
+    ~ip_dst:(Ipv4_addr.make 10 0 0 2) ~src_port ~dst_port ()
+
+let ctx ?tunnel_id ?(in_port = 1) pkt = Of_match.context ?tunnel_id ~in_port pkt
+
+(* ------------------------------------------------------------------ *)
+(* Port numbers *)
+
+let test_port_no_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "roundtrip" true
+        (Of_types.Port_no.equal p (Of_types.Port_no.of_int (Of_types.Port_no.to_int p))))
+    [ Of_types.Port_no.Physical 1; Physical 10042; In_port; Controller; All; Local; Any ]
+
+let test_port_no_invalid () =
+  Alcotest.(check bool) "reserved gap rejected" true
+    (try
+       ignore (Of_types.Port_no.of_int 0xFFFFFF01);
+       false
+     with Invalid_argument _ -> true)
+
+let test_packet_in_reason () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "roundtrip" true
+        (Of_types.Packet_in_reason.of_int (Of_types.Packet_in_reason.to_int r) = r))
+    [ Of_types.Packet_in_reason.No_match; Action; Invalid_ttl ]
+
+(* ------------------------------------------------------------------ *)
+(* Match semantics *)
+
+let test_wildcard_matches_everything () =
+  Alcotest.(check bool) "wildcard" true (Of_match.matches Of_match.wildcard (ctx (mk_packet ())));
+  Alcotest.(check bool) "is_wildcard" true (Of_match.is_wildcard Of_match.wildcard);
+  Alcotest.(check int) "specificity 0" 0 (Of_match.specificity Of_match.wildcard)
+
+let test_in_port_match () =
+  let m = Of_match.with_in_port 3 Of_match.wildcard in
+  Alcotest.(check bool) "matches port 3" true (Of_match.matches m (ctx ~in_port:3 (mk_packet ())));
+  Alcotest.(check bool) "rejects port 4" false (Of_match.matches m (ctx ~in_port:4 (mk_packet ())))
+
+let test_exact_flow_match () =
+  let pkt = mk_packet () in
+  let m = Of_match.exact_flow (Packet.flow_key pkt) in
+  Alcotest.(check bool) "matches own packet" true (Of_match.matches m (ctx pkt));
+  let other = mk_packet ~src_port:9999 () in
+  Alcotest.(check bool) "rejects other flow" false (Of_match.matches m (ctx other));
+  Alcotest.(check int) "five fields" 5 (Of_match.specificity m)
+
+let test_masked_ip_match () =
+  let m =
+    Of_match.with_ip_src ~mask:(Ipv4_addr.prefix_mask 8) (Ipv4_addr.make 10 0 0 0)
+      Of_match.wildcard
+  in
+  Alcotest.(check bool) "in prefix" true (Of_match.matches m (ctx (mk_packet ())));
+  let outside =
+    Packet.tcp_syn ~flow_id:2 ~created:0.0 ~src_mac:(Mac.of_host_id 1)
+      ~dst_mac:(Mac.of_host_id 2) ~ip_src:(Ipv4_addr.make 11 0 0 1)
+      ~ip_dst:(Ipv4_addr.make 10 0 0 2) ~src_port:1 ~dst_port:80 ()
+  in
+  Alcotest.(check bool) "out of prefix" false (Of_match.matches m (ctx outside))
+
+let test_mpls_match () =
+  let m = Of_match.with_mpls_label 42 Of_match.wildcard in
+  let plain = mk_packet () in
+  Alcotest.(check bool) "no label" false (Of_match.matches m (ctx plain));
+  let labeled = Packet.push_encap (Headers.Encap.mpls 42) plain in
+  Alcotest.(check bool) "right label" true (Of_match.matches m (ctx labeled));
+  let wrong = Packet.push_encap (Headers.Encap.mpls 7) plain in
+  Alcotest.(check bool) "wrong label" false (Of_match.matches m (ctx wrong))
+
+let test_tunnel_match () =
+  let m = Of_match.with_tunnel_id 5 Of_match.wildcard in
+  Alcotest.(check bool) "tunnel 5" true (Of_match.matches m (ctx ~tunnel_id:5 (mk_packet ())));
+  Alcotest.(check bool) "no tunnel" false (Of_match.matches m (ctx (mk_packet ())));
+  Alcotest.(check bool) "other tunnel" false (Of_match.matches m (ctx ~tunnel_id:6 (mk_packet ())))
+
+let test_l4_and_proto_match () =
+  let m = Of_match.(wildcard |> with_ip_proto 6 |> with_l4_dst 80) in
+  Alcotest.(check bool) "tcp :80" true (Of_match.matches m (ctx (mk_packet ())));
+  Alcotest.(check bool) "tcp :81" false
+    (Of_match.matches m (ctx (mk_packet ~dst_port:81 ())))
+
+(* ------------------------------------------------------------------ *)
+(* Actions and instructions *)
+
+let test_instruction_helpers () =
+  let instrs =
+    [ Of_action.Apply_actions [ Of_action.Push_mpls 1 ]; Of_action.Goto_table 1;
+      Of_action.Apply_actions [ Of_action.Output (Of_types.Port_no.Physical 2) ] ]
+  in
+  Alcotest.(check int) "actions flattened" 2
+    (List.length (Of_action.actions_of_instructions instrs));
+  Alcotest.(check (option int)) "goto found" (Some 1)
+    (Of_action.goto_of_instructions instrs);
+  Alcotest.(check (option int)) "no goto" None
+    (Of_action.goto_of_instructions (Of_action.output (Of_types.Port_no.Physical 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let roundtrip msg =
+  let msg' = Of_wire.decode (Of_wire.encode msg) in
+  Alcotest.(check int) "xid" msg.Of_msg.xid msg'.Of_msg.xid;
+  msg'
+
+let test_wire_simple_messages () =
+  List.iter
+    (fun payload ->
+      let msg' = roundtrip (Of_msg.make ~xid:7 payload) in
+      Alcotest.(check bool) "payload preserved" true (msg'.Of_msg.payload = payload))
+    [ Of_msg.Hello; Of_msg.Echo_request; Of_msg.Echo_reply; Of_msg.Barrier_request;
+      Of_msg.Barrier_reply; Of_msg.Error "table full"; Of_msg.Table_stats_request ]
+
+let test_wire_flow_mod () =
+  let fm =
+    Of_msg.Flow_mod.add ~table_id:1 ~priority:10 ~idle_timeout:10.0 ~hard_timeout:30.5
+      ~cookie:0x5C07C4EEL
+      ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ())))
+      ~instructions:
+        [ Of_action.Apply_actions [ Of_action.Push_mpls 3; Of_action.Pop_gre ];
+          Of_action.Goto_table 1 ]
+      ()
+  in
+  let msg' = roundtrip (Of_msg.make ~xid:1 (Of_msg.Flow_mod fm)) in
+  match msg'.Of_msg.payload with
+  | Of_msg.Flow_mod fm' -> Alcotest.(check bool) "equal" true (fm = fm')
+  | _ -> Alcotest.fail "wrong payload type"
+
+let test_wire_group_mod () =
+  let gm =
+    Of_msg.Group_mod.add_select ~group_id:1
+      ~buckets:
+        [ Of_msg.Group_mod.bucket [ Of_action.Output (Of_types.Port_no.Physical 10001) ];
+          Of_msg.Group_mod.bucket ~weight:3
+            [ Of_action.Output (Of_types.Port_no.Physical 10002) ] ]
+  in
+  let msg' = roundtrip (Of_msg.make ~xid:2 (Of_msg.Group_mod gm)) in
+  match msg'.Of_msg.payload with
+  | Of_msg.Group_mod gm' -> Alcotest.(check bool) "equal" true (gm = gm')
+  | _ -> Alcotest.fail "wrong payload type"
+
+let test_wire_packet_in_out () =
+  let pkt = Packet.push_encap (Headers.Encap.mpls 9) (mk_packet ()) in
+  let pi =
+    Of_msg.Packet_in.make ~tunnel_id:44 ~reason:Of_types.Packet_in_reason.No_match ~in_port:3
+      pkt
+  in
+  let msg' = roundtrip (Of_msg.make ~xid:3 (Of_msg.Packet_in pi)) in
+  (match msg'.Of_msg.payload with
+  | Of_msg.Packet_in pi' ->
+    Alcotest.(check (option int)) "tunnel id" (Some 44) pi'.Of_msg.Packet_in.tunnel_id;
+    Alcotest.(check int) "in_port" 3 pi'.Of_msg.Packet_in.in_port;
+    Alcotest.(check (option int)) "label survives" (Some 9)
+      (Packet.outer_mpls_label pi'.Of_msg.Packet_in.packet)
+  | _ -> Alcotest.fail "wrong payload type");
+  let po = Of_msg.Packet_out.make ~in_port:1 ~actions:[ Of_action.Pop_mpls ] pkt in
+  let msg' = roundtrip (Of_msg.make ~xid:4 (Of_msg.Packet_out po)) in
+  match msg'.Of_msg.payload with
+  | Of_msg.Packet_out po' ->
+    Alcotest.(check bool) "actions" true (po'.Of_msg.Packet_out.actions = [ Of_action.Pop_mpls ])
+  | _ -> Alcotest.fail "wrong payload type"
+
+let test_wire_stats () =
+  let stat =
+    { Of_msg.Stats.table_id = 0; priority = 10;
+      match_ = Of_match.exact_flow (Packet.flow_key (mk_packet ()));
+      packet_count = 1234; byte_count = 567890; duration = 12.5; cookie = 7L }
+  in
+  let msg' = roundtrip (Of_msg.make ~xid:5 (Of_msg.Flow_stats_reply [ stat; stat ])) in
+  (match msg'.Of_msg.payload with
+  | Of_msg.Flow_stats_reply [ s1; s2 ] ->
+    Alcotest.(check bool) "stats equal" true (s1 = stat && s2 = stat)
+  | _ -> Alcotest.fail "wrong payload");
+  let msg' =
+    roundtrip (Of_msg.make ~xid:6 (Of_msg.Table_stats_reply { active_entries = [ 3; 0 ] }))
+  in
+  match msg'.Of_msg.payload with
+  | Of_msg.Table_stats_reply { active_entries } ->
+    Alcotest.(check (list int)) "entries" [ 3; 0 ] active_entries
+  | _ -> Alcotest.fail "wrong payload"
+
+let test_wire_bad_version () =
+  let b = Of_wire.encode (Of_msg.make ~xid:1 Of_msg.Hello) in
+  Bytes.set_uint8 b 0 0x01;
+  Alcotest.(check bool) "bad version raises" true
+    (try
+       ignore (Of_wire.decode b);
+       false
+     with Of_wire.Parse_error _ -> true)
+
+let test_wire_bad_length () =
+  let b = Of_wire.encode (Of_msg.make ~xid:1 Of_msg.Hello) in
+  let b = Bytes.cat b (Bytes.make 3 'x') in
+  Alcotest.(check bool) "length mismatch raises" true
+    (try
+       ignore (Of_wire.decode b);
+       false
+     with Of_wire.Parse_error _ -> true)
+
+(* qcheck: random matches round-trip *)
+let match_gen =
+  let open QCheck.Gen in
+  let addr = map Ipv4_addr.of_int (int_bound 0xFFFFFFF) in
+  let field_adders =
+    [ map (fun p m -> Of_match.with_in_port p m) (int_bound 100);
+      map (fun e m -> Of_match.with_eth_type e m) (int_bound 0xFFFF);
+      map (fun a m -> Of_match.with_ip_src a m) addr;
+      map2
+        (fun a l m -> Of_match.with_ip_src ~mask:(Ipv4_addr.prefix_mask l) a m)
+        addr (int_bound 32);
+      map (fun a m -> Of_match.with_ip_dst a m) addr;
+      map (fun p m -> Of_match.with_ip_proto p m) (int_bound 255);
+      map (fun p m -> Of_match.with_l4_src p m) (int_bound 65535);
+      map (fun p m -> Of_match.with_l4_dst p m) (int_bound 65535);
+      map (fun l m -> Of_match.with_mpls_label l m) (int_bound 0xFFFFF);
+      map (fun k m -> Of_match.with_gre_key (Int32.of_int k) m) (int_bound 0xFFFF);
+      map (fun t m -> Of_match.with_tunnel_id t m) (int_bound 1000) ]
+  in
+  map
+    (fun adders -> List.fold_left (fun m f -> f m) Of_match.wildcard adders)
+    (list_size (int_bound 6) (oneof field_adders))
+
+let prop_match_wire_roundtrip =
+  QCheck.Test.make ~name:"match wire round-trip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Of_match.pp) match_gen)
+    (fun m ->
+      let fm = Of_msg.Flow_mod.add ~match_:m ~instructions:Of_action.drop () in
+      match
+        (Of_wire.decode (Of_wire.encode (Of_msg.make ~xid:0 (Of_msg.Flow_mod fm)))).Of_msg.payload
+      with
+      | Of_msg.Flow_mod fm' -> Of_match.equal fm'.Of_msg.Flow_mod.match_ m
+      | _ -> false)
+
+let action_gen =
+  let open QCheck.Gen in
+  oneof
+    [ map (fun p -> Of_action.Output (Of_types.Port_no.Physical p)) (int_bound 20000);
+      return (Of_action.Output Of_types.Port_no.Controller);
+      return (Of_action.Output Of_types.Port_no.All);
+      map (fun g -> Of_action.Group g) (int_bound 100);
+      map (fun l -> Of_action.Push_mpls l) (int_bound 0xFFFFF);
+      return Of_action.Pop_mpls;
+      map (fun k -> Of_action.Push_gre (Int32.of_int k)) (int_bound 0xFFFF);
+      return Of_action.Pop_gre;
+      map (fun i -> Of_action.Set_eth_dst (Mac.of_host_id i)) (int_bound 0xFFFF);
+      map (fun i -> Of_action.Set_eth_src (Mac.of_host_id i)) (int_bound 0xFFFF);
+      return Of_action.Dec_ttl;
+      return Of_action.Drop ]
+
+let prop_actions_wire_roundtrip =
+  QCheck.Test.make ~name:"action list wire round-trip" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_bound 8) action_gen))
+    (fun actions ->
+      let po = Of_msg.Packet_out.make ~in_port:1 ~actions (mk_packet ()) in
+      match
+        (Of_wire.decode (Of_wire.encode (Of_msg.make ~xid:0 (Of_msg.Packet_out po)))).Of_msg.payload
+      with
+      | Of_msg.Packet_out po' -> po'.Of_msg.Packet_out.actions = actions
+      | _ -> false)
+
+(* fuzz: corrupting any byte of a valid message must either decode to
+   SOME message or raise Parse_error — never crash or loop *)
+let prop_decode_total =
+  let base =
+    Of_wire.encode
+      (Of_msg.make ~xid:3
+         (Of_msg.Flow_mod
+            (Of_msg.Flow_mod.add
+               ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ())))
+               ~instructions:(Of_action.output (Of_types.Port_no.Physical 1))
+               ())))
+  in
+  QCheck.Test.make ~name:"decode never crashes on corrupted input" ~count:1000
+    QCheck.(pair small_nat (int_bound 255))
+    (fun (pos, value) ->
+      let b = Bytes.copy base in
+      let pos = pos mod Bytes.length b in
+      Bytes.set_uint8 b pos value;
+      match Of_wire.decode b with
+      | (_ : Of_msg.t) -> true
+      | exception Of_wire.Parse_error _ -> true
+      | exception Scotch_packet.Codec.Parse_error _ -> true
+      | exception Invalid_argument _ -> true (* out-of-range field values *))
+
+let () =
+  Alcotest.run "scotch_openflow"
+    [ ( "types",
+        [ Alcotest.test_case "port_no roundtrip" `Quick test_port_no_roundtrip;
+          Alcotest.test_case "port_no invalid" `Quick test_port_no_invalid;
+          Alcotest.test_case "packet_in reason" `Quick test_packet_in_reason ] );
+      ( "match",
+        [ Alcotest.test_case "wildcard" `Quick test_wildcard_matches_everything;
+          Alcotest.test_case "in_port" `Quick test_in_port_match;
+          Alcotest.test_case "exact flow" `Quick test_exact_flow_match;
+          Alcotest.test_case "masked ip" `Quick test_masked_ip_match;
+          Alcotest.test_case "mpls label" `Quick test_mpls_match;
+          Alcotest.test_case "tunnel id" `Quick test_tunnel_match;
+          Alcotest.test_case "proto + l4" `Quick test_l4_and_proto_match ] );
+      ("actions", [ Alcotest.test_case "instruction helpers" `Quick test_instruction_helpers ]);
+      ( "wire",
+        [ Alcotest.test_case "simple messages" `Quick test_wire_simple_messages;
+          Alcotest.test_case "flow_mod" `Quick test_wire_flow_mod;
+          Alcotest.test_case "group_mod" `Quick test_wire_group_mod;
+          Alcotest.test_case "packet in/out" `Quick test_wire_packet_in_out;
+          Alcotest.test_case "stats" `Quick test_wire_stats;
+          Alcotest.test_case "bad version" `Quick test_wire_bad_version;
+          Alcotest.test_case "bad length" `Quick test_wire_bad_length;
+          QCheck_alcotest.to_alcotest prop_match_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_actions_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_decode_total ] ) ]

@@ -1,0 +1,185 @@
+(* Tests for Scotch_sim: the discrete-event engine and links. *)
+
+open Scotch_sim
+open Scotch_packet
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> log := "c" :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule e ~delay:1.5 (fun () -> log := "b" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_now_advances () =
+  let e = Engine.create () in
+  let seen = ref 0.0 in
+  ignore (Engine.schedule e ~delay:3.25 (fun () -> seen := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 1e-12)) "now at event" 3.25 !seen
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check bool) "scheduling in the past raises" true
+    (try
+       ignore (Engine.schedule_at e ~at:0.5 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative delay raises" true
+    (try
+       ignore (Engine.schedule e ~delay:(-1.0) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count))
+  done;
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "five fired" 5 !count;
+  Alcotest.(check (float 1e-12)) "clock at limit" 5.5 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest fired" 10 !count
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let stop = Engine.every e ~period:1.0 (fun () -> incr count) in
+  ignore (Engine.schedule e ~delay:5.5 (fun () -> stop ()));
+  Engine.run e;
+  Alcotest.(check int) "five ticks then stopped" 5 !count
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~delay:1.0 (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check (float 1e-12)) "final time" 2.0 (Engine.now e)
+
+let test_engine_processed () =
+  let e = Engine.create () in
+  for _ = 1 to 3 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "processed" 3 (Engine.processed e)
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  Alcotest.(check bool) "step runs" true (Engine.step e);
+  Alcotest.(check int) "pending drained" 0 (Engine.pending e)
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let mk_pkt ?(payload = 986) () =
+  (* payload chosen so total size = 1040 B => 1040*8 bits *)
+  Packet.udp_data ~payload_len:payload ~flow_id:1 ~created:0.0 ~src_mac:(Mac.of_host_id 1)
+    ~dst_mac:(Mac.of_host_id 2) ~ip_src:(Ipv4_addr.make 10 0 0 1)
+    ~ip_dst:(Ipv4_addr.make 10 0 0 2) ~src_port:1 ~dst_port:2 ()
+
+let test_link_delivery_time () =
+  let e = Engine.create () in
+  let link = Link.create e ~name:"l" ~bandwidth_bps:1e6 ~latency:0.01 ~queue_capacity:10 in
+  let arrival = ref nan in
+  Link.connect link (fun _ -> arrival := Engine.now e);
+  let pkt = mk_pkt () in
+  let expected = (float_of_int (Packet.size pkt * 8) /. 1e6) +. 0.01 in
+  Link.send link pkt;
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "tx + propagation" expected !arrival;
+  Alcotest.(check int) "delivered" 1 (Link.delivered link);
+  Alcotest.(check int) "bytes" (Packet.size pkt) (Link.bytes_delivered link)
+
+let test_link_serialization () =
+  (* two packets sent together: second arrives one transmission later *)
+  let e = Engine.create () in
+  let link = Link.create e ~name:"l" ~bandwidth_bps:1e6 ~latency:0.0 ~queue_capacity:10 in
+  let times = ref [] in
+  Link.connect link (fun _ -> times := Engine.now e :: !times);
+  let pkt = mk_pkt () in
+  let tx = float_of_int (Packet.size pkt * 8) /. 1e6 in
+  Link.send link pkt;
+  Link.send link (mk_pkt ());
+  Engine.run e;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-9)) "first" tx t1;
+    Alcotest.(check (float 1e-9)) "second" (2.0 *. tx) t2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_link_queue_overflow () =
+  let e = Engine.create () in
+  let link = Link.create e ~name:"l" ~bandwidth_bps:1e6 ~latency:0.0 ~queue_capacity:2 in
+  Link.connect link (fun _ -> ());
+  (* 1 in transmission + 2 queued + 2 dropped *)
+  for _ = 1 to 5 do
+    Link.send link (mk_pkt ())
+  done;
+  Engine.run e;
+  Alcotest.(check int) "delivered" 3 (Link.delivered link);
+  Alcotest.(check int) "dropped" 2 (Link.dropped link)
+
+let test_link_validation () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "zero bandwidth rejected" true
+    (try
+       ignore (Link.create e ~name:"bad" ~bandwidth_bps:0.0 ~latency:0.0 ~queue_capacity:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_link_units () =
+  Alcotest.(check (float 1.0)) "gbps" 1e9 (Link.gbps 1.0);
+  Alcotest.(check (float 1.0)) "mbps" 45.6e6 (Link.mbps 45.6)
+
+let () =
+  Alcotest.run "scotch_sim"
+    [ ( "engine",
+        [ Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "FIFO at ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "now advances" `Quick test_engine_now_advances;
+          Alcotest.test_case "past scheduling raises" `Quick test_engine_past_raises;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "every/stop" `Quick test_engine_every;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "processed count" `Quick test_engine_processed;
+          Alcotest.test_case "step" `Quick test_engine_step ] );
+      ( "link",
+        [ Alcotest.test_case "delivery time" `Quick test_link_delivery_time;
+          Alcotest.test_case "serialization" `Quick test_link_serialization;
+          Alcotest.test_case "queue overflow" `Quick test_link_queue_overflow;
+          Alcotest.test_case "validation" `Quick test_link_validation;
+          Alcotest.test_case "unit helpers" `Quick test_link_units ] ) ]

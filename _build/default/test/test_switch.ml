@@ -1,0 +1,693 @@
+(* Tests for Scotch_switch: flow tables, group tables, the OFA queueing
+   model and the full switch pipeline. *)
+
+open Scotch_switch
+open Scotch_openflow
+open Scotch_packet
+
+let mk_packet ?(flow_id = 1) ?(src = Ipv4_addr.make 10 0 0 1) ?(dst = Ipv4_addr.make 10 0 0 2)
+    ?(src_port = 1234) ?(dst_port = 80) () =
+  Packet.tcp_syn ~flow_id ~created:0.0 ~src_mac:(Mac.of_host_id 1)
+    ~dst_mac:(Mac.of_host_id 2) ~ip_src:src ~ip_dst:dst ~src_port ~dst_port ()
+
+let ctx ?tunnel_id ?(in_port = 1) pkt = Of_match.context ?tunnel_id ~in_port pkt
+
+let out_port p = Of_action.output (Of_types.Port_no.Physical p)
+
+(* ------------------------------------------------------------------ *)
+(* Flow_table *)
+
+let insert_ok table ~now ~priority ~match_ ~instructions =
+  match
+    Flow_table.insert table ~now ~priority ~match_ ~instructions ~idle_timeout:0.0
+      ~hard_timeout:0.0 ~cookie:0L
+  with
+  | Ok () -> ()
+  | Error `Table_full -> Alcotest.fail "unexpected table full"
+
+let test_ft_priority_order () =
+  let table = Flow_table.create ~table_id:0 () in
+  insert_ok table ~now:0.0 ~priority:1 ~match_:Of_match.wildcard ~instructions:(out_port 1);
+  insert_ok table ~now:0.0 ~priority:10
+    ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ())))
+    ~instructions:(out_port 2);
+  match Flow_table.lookup table ~now:0.0 (ctx (mk_packet ())) with
+  | Some r -> Alcotest.(check int) "high priority wins" 10 r.Flow_table.priority
+  | None -> Alcotest.fail "no match"
+
+let test_ft_exact_and_wildcard_buckets () =
+  let table = Flow_table.create ~table_id:0 () in
+  (* same priority: exact rule (probed) and a non-exact rule (scanned) *)
+  insert_ok table ~now:0.0 ~priority:5
+    ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ())))
+    ~instructions:(out_port 1);
+  insert_ok table ~now:0.0 ~priority:5
+    ~match_:(Of_match.with_ip_dst (Ipv4_addr.make 10 0 0 3) Of_match.wildcard)
+    ~instructions:(out_port 2);
+  (match Flow_table.lookup table ~now:0.0 (ctx (mk_packet ())) with
+  | Some r ->
+    Alcotest.(check bool) "exact rule found" true
+      (r.Flow_table.instructions = out_port 1)
+  | None -> Alcotest.fail "exact miss");
+  match
+    Flow_table.lookup table ~now:0.0 (ctx (mk_packet ~dst:(Ipv4_addr.make 10 0 0 3) ()))
+  with
+  | Some r ->
+    Alcotest.(check bool) "scan rule found" true (r.Flow_table.instructions = out_port 2)
+  | None -> Alcotest.fail "scan miss"
+
+let test_ft_replace_preserves_counters () =
+  let table = Flow_table.create ~table_id:0 () in
+  let m = Of_match.exact_flow (Packet.flow_key (mk_packet ())) in
+  insert_ok table ~now:0.0 ~priority:5 ~match_:m ~instructions:(out_port 1);
+  ignore (Flow_table.lookup table ~now:0.1 (ctx (mk_packet ())));
+  insert_ok table ~now:0.2 ~priority:5 ~match_:m ~instructions:(out_port 2);
+  Alcotest.(check int) "single rule" 1 (Flow_table.size table ~now:0.2);
+  match Flow_table.lookup table ~now:0.3 (ctx (mk_packet ())) with
+  | Some r ->
+    Alcotest.(check bool) "new actions" true (r.Flow_table.instructions = out_port 2);
+    Alcotest.(check int) "counter preserved + this hit" 2 r.Flow_table.packet_count
+  | None -> Alcotest.fail "miss after replace"
+
+let test_ft_hard_timeout () =
+  let table = Flow_table.create ~table_id:0 () in
+  (match
+     Flow_table.insert table ~now:0.0 ~priority:5
+       ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ())))
+       ~instructions:(out_port 1) ~idle_timeout:0.0 ~hard_timeout:10.0 ~cookie:0L
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "insert");
+  Alcotest.(check bool) "live at 9.9" true
+    (Flow_table.lookup table ~now:9.9 (ctx (mk_packet ())) <> None);
+  Alcotest.(check bool) "expired at 10" true
+    (Flow_table.lookup table ~now:10.0 (ctx (mk_packet ())) = None);
+  Alcotest.(check int) "size sweeps" 0 (Flow_table.size table ~now:10.0)
+
+let test_ft_idle_timeout () =
+  let table = Flow_table.create ~table_id:0 () in
+  (match
+     Flow_table.insert table ~now:0.0 ~priority:5
+       ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ())))
+       ~instructions:(out_port 1) ~idle_timeout:2.0 ~hard_timeout:0.0 ~cookie:0L
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "insert");
+  (* traffic keeps the rule alive *)
+  Alcotest.(check bool) "hit at 1.5" true
+    (Flow_table.lookup table ~now:1.5 (ctx (mk_packet ())) <> None);
+  Alcotest.(check bool) "hit at 3.0 (refreshed)" true
+    (Flow_table.lookup table ~now:3.0 (ctx (mk_packet ())) <> None);
+  (* then idles out *)
+  Alcotest.(check bool) "expired at 5.5" true
+    (Flow_table.lookup table ~now:5.5 (ctx (mk_packet ())) = None)
+
+let test_ft_capacity () =
+  let table = Flow_table.create ~capacity:2 ~table_id:0 () in
+  insert_ok table ~now:0.0 ~priority:5
+    ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ~src_port:1 ())))
+    ~instructions:(out_port 1);
+  insert_ok table ~now:0.0 ~priority:5
+    ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ~src_port:2 ())))
+    ~instructions:(out_port 1);
+  (match
+     Flow_table.insert table ~now:0.0 ~priority:5
+       ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ~src_port:3 ())))
+       ~instructions:(out_port 1) ~idle_timeout:0.0 ~hard_timeout:0.0 ~cookie:0L
+   with
+  | Error `Table_full -> ()
+  | Ok () -> Alcotest.fail "expected table full");
+  Alcotest.(check int) "failure counted" 1 (Flow_table.insert_failures table)
+
+let test_ft_capacity_after_expiry () =
+  let table = Flow_table.create ~capacity:1 ~table_id:0 () in
+  (match
+     Flow_table.insert table ~now:0.0 ~priority:5
+       ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ~src_port:1 ())))
+       ~instructions:(out_port 1) ~idle_timeout:0.0 ~hard_timeout:1.0 ~cookie:0L
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "insert");
+  (* after expiry, the slot is reclaimable *)
+  match
+    Flow_table.insert table ~now:2.0 ~priority:5
+      ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ~src_port:2 ())))
+      ~instructions:(out_port 1) ~idle_timeout:0.0 ~hard_timeout:0.0 ~cookie:0L
+  with
+  | Ok () -> ()
+  | Error `Table_full -> Alcotest.fail "sweep should reclaim expired slot"
+
+let test_ft_delete () =
+  let table = Flow_table.create ~table_id:0 () in
+  let m = Of_match.exact_flow (Packet.flow_key (mk_packet ())) in
+  insert_ok table ~now:0.0 ~priority:5 ~match_:m ~instructions:(out_port 1);
+  insert_ok table ~now:0.0 ~priority:7 ~match_:m ~instructions:(out_port 2);
+  Alcotest.(check int) "delete at priority" 1 (Flow_table.delete table ~priority:5 ~match_:m ());
+  Alcotest.(check int) "delete remaining" 1 (Flow_table.delete table ~match_:m ());
+  Alcotest.(check int) "empty" 0 (Flow_table.size table ~now:0.0)
+
+let test_ft_delete_by_cookie () =
+  let table = Flow_table.create ~table_id:0 () in
+  (match
+     Flow_table.insert table ~now:0.0 ~priority:5
+       ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ~src_port:1 ())))
+       ~instructions:(out_port 1) ~idle_timeout:0.0 ~hard_timeout:0.0 ~cookie:0xAAL
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "insert");
+  (match
+     Flow_table.insert table ~now:0.0 ~priority:5
+       ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ~src_port:2 ())))
+       ~instructions:(out_port 1) ~idle_timeout:0.0 ~hard_timeout:0.0 ~cookie:0xBBL
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "insert");
+  Alcotest.(check int) "one removed" 1 (Flow_table.delete_by_cookie table 0xAAL);
+  Alcotest.(check int) "one left" 1 (Flow_table.size table ~now:0.0)
+
+let test_ft_stats () =
+  let table = Flow_table.create ~table_id:3 () in
+  let m = Of_match.exact_flow (Packet.flow_key (mk_packet ())) in
+  insert_ok table ~now:0.0 ~priority:5 ~match_:m ~instructions:(out_port 1);
+  ignore (Flow_table.lookup table ~now:1.0 (ctx (mk_packet ())));
+  ignore (Flow_table.lookup table ~now:2.0 (ctx (mk_packet ())));
+  match Flow_table.stats table ~now:4.0 with
+  | [ s ] ->
+    Alcotest.(check int) "packets" 2 s.Of_msg.Stats.packet_count;
+    Alcotest.(check int) "bytes" (2 * Packet.size (mk_packet ())) s.Of_msg.Stats.byte_count;
+    Alcotest.(check (float 1e-9)) "duration" 4.0 s.Of_msg.Stats.duration;
+    Alcotest.(check int) "table id" 3 s.Of_msg.Stats.table_id
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 stat, got %d" (List.length l))
+
+let test_ft_peek_no_counters () =
+  let table = Flow_table.create ~table_id:0 () in
+  let m = Of_match.exact_flow (Packet.flow_key (mk_packet ())) in
+  insert_ok table ~now:0.0 ~priority:5 ~match_:m ~instructions:(out_port 1);
+  ignore (Flow_table.peek table ~now:0.0 (ctx (mk_packet ())));
+  match Flow_table.stats table ~now:0.0 with
+  | [ s ] -> Alcotest.(check int) "peek leaves counters" 0 s.Of_msg.Stats.packet_count
+  | _ -> Alcotest.fail "stats"
+
+(* qcheck: the bucketed table agrees with a naive reference model *)
+let prop_ft_reference =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 30)
+        (triple (int_bound 3) (* priority *)
+           (int_bound 5) (* flow index -> distinct exact matches *)
+           bool (* exact or dst-only *)))
+  in
+  QCheck.Test.make ~name:"lookup agrees with naive reference" ~count:200 (QCheck.make gen)
+    (fun rules ->
+      let table = Flow_table.create ~table_id:0 () in
+      let reference = ref [] in
+      List.iteri
+        (fun i (prio, flow, exact) ->
+          let key = Packet.flow_key (mk_packet ~src_port:(1000 + flow) ()) in
+          let m =
+            if exact then Of_match.exact_flow key
+            else Of_match.with_l4_src (1000 + flow) Of_match.wildcard
+          in
+          (match
+             Flow_table.insert table ~now:0.0 ~priority:prio ~match_:m
+               ~instructions:(out_port i) ~idle_timeout:0.0 ~hard_timeout:0.0 ~cookie:0L
+           with
+          | Ok () -> ()
+          | Error _ -> ());
+          (* reference: replace same (prio, match), keep insertion order *)
+          reference := (prio, m, i) :: List.filter (fun (p, m', _) -> not (p = prio && Of_match.equal m' m)) !reference)
+        rules;
+      (* probe with each flow *)
+      List.for_all
+        (fun flow ->
+          let pkt = mk_packet ~src_port:(1000 + flow) () in
+          let c = ctx pkt in
+          let expected =
+            List.fold_left
+              (fun acc (p, m, i) ->
+                if Of_match.matches m c then
+                  match acc with
+                  | Some (bp, _) when bp > p -> acc
+                  | Some (bp, _) when bp = p -> acc (* any same-priority rule acceptable *)
+                  | _ -> Some (p, i)
+                else acc)
+              None !reference
+          in
+          let actual = Flow_table.peek table ~now:0.0 c in
+          match (expected, actual) with
+          | None, None -> true
+          | Some (p, _), Some r -> r.Flow_table.priority = p
+          | _ -> false)
+        [ 0; 1; 2; 3; 4; 5 ])
+
+(* ------------------------------------------------------------------ *)
+(* Group_table *)
+
+let mk_select_group ?(weights = [ 1; 1; 1 ]) () =
+  let buckets =
+    List.mapi
+      (fun i w ->
+        Of_msg.Group_mod.bucket ~weight:w [ Of_action.Output (Of_types.Port_no.Physical (100 + i)) ])
+      weights
+  in
+  Of_msg.Group_mod.add_select ~group_id:1 ~buckets
+
+let test_gt_add_modify_delete () =
+  let gt = Group_table.create () in
+  Alcotest.(check bool) "add" true (Group_table.apply gt (mk_select_group ()) = Ok ());
+  Alcotest.(check bool) "duplicate add" true
+    (Group_table.apply gt (mk_select_group ()) = Error `Group_exists);
+  Alcotest.(check bool) "modify" true
+    (Group_table.apply gt
+       (Of_msg.Group_mod.modify_select ~group_id:1
+          ~buckets:[ Of_msg.Group_mod.bucket [ Of_action.Drop ] ])
+    = Ok ());
+  Alcotest.(check bool) "modify unknown" true
+    (Group_table.apply gt (Of_msg.Group_mod.modify_select ~group_id:9 ~buckets:[])
+    = Error `Unknown_group);
+  Alcotest.(check bool) "delete" true
+    (Group_table.apply gt (Of_msg.Group_mod.delete ~group_id:1) = Ok ());
+  Alcotest.(check int) "empty" 0 (Group_table.size gt)
+
+let test_gt_select_deterministic () =
+  let gt = Group_table.create () in
+  ignore (Group_table.apply gt (mk_select_group ()));
+  match Group_table.find gt 1 with
+  | None -> Alcotest.fail "group missing"
+  | Some g ->
+    let b1 = Group_table.select_bucket g ~flow_hash:12345 in
+    let b2 = Group_table.select_bucket g ~flow_hash:12345 in
+    Alcotest.(check bool) "same flow same bucket" true (b1 = b2);
+    Alcotest.(check int) "single bucket" 1 (List.length b1)
+
+let test_gt_select_weights () =
+  let gt = Group_table.create () in
+  ignore (Group_table.apply gt (mk_select_group ~weights:[ 1; 3 ] ()));
+  match Group_table.find gt 1 with
+  | None -> Alcotest.fail "group missing"
+  | Some g ->
+    let counts = Array.make 2 0 in
+    for h = 0 to 3999 do
+      match Group_table.select_bucket g ~flow_hash:h with
+      | [ b ] -> (
+        match b.Of_msg.Group_mod.actions with
+        | [ Of_action.Output (Of_types.Port_no.Physical p) ] ->
+          counts.(p - 100) <- counts.(p - 100) + 1
+        | _ -> ())
+      | _ -> ()
+    done;
+    Alcotest.(check int) "weight 1 share" 1000 counts.(0);
+    Alcotest.(check int) "weight 3 share" 3000 counts.(1)
+
+let test_gt_all_type () =
+  let gt = Group_table.create () in
+  ignore
+    (Group_table.apply gt
+       { Of_msg.Group_mod.command = Of_msg.Group_mod.Add; group_id = 2;
+         group_type = Of_msg.Group_mod.All;
+         buckets =
+           [ Of_msg.Group_mod.bucket [ Of_action.Output (Of_types.Port_no.Physical 1) ];
+             Of_msg.Group_mod.bucket [ Of_action.Output (Of_types.Port_no.Physical 2) ] ] });
+  match Group_table.find gt 2 with
+  | Some g ->
+    Alcotest.(check int) "all buckets" 2 (List.length (Group_table.select_bucket g ~flow_hash:1))
+  | None -> Alcotest.fail "group missing"
+
+(* ------------------------------------------------------------------ *)
+(* OFA model *)
+
+let quiet_profile =
+  (* deterministic small numbers for unit tests *)
+  { Profile.pica8 with
+    Profile.packet_in_service = 0.010;
+    flow_mod_service = 0.005;
+    packet_out_service = 0.005;
+    ofa_queue_capacity = 2;
+    pin_queue_capacity = 3;
+    housekeeping_period = 0.0;
+    housekeeping_duration = 0.0;
+    tcam_write_stall = 0.0;
+    tcam_reject_stall = 0.0 }
+
+let test_ofa_pin_rate_cap () =
+  let e = Scotch_sim.Engine.create () in
+  let sw = Switch.create e ~dpid:1 ~name:"s" ~profile:quiet_profile () in
+  let ofa = Switch.ofa sw in
+  let received = ref 0 in
+  Ofa.connect_controller ofa (fun _ -> incr received);
+  (* 10 new-flow packets at once; pin queue holds 3 *)
+  for i = 1 to 10 do
+    Ofa.submit_packet_in ofa
+      { Ofa.in_port = 1; tunnel_id = None; reason = Of_types.Packet_in_reason.No_match;
+        packet = mk_packet ~flow_id:i () }
+  done;
+  Scotch_sim.Engine.run e;
+  (* 1 in service + 3 queued = 4 emitted; 6 dropped *)
+  Alcotest.(check int) "emitted" 4 !received;
+  Alcotest.(check int) "dropped" 6 (Ofa.counters ofa).Ofa.pin_dropped
+
+let test_ofa_cmsg_priority () =
+  let e = Scotch_sim.Engine.create () in
+  let sw = Switch.create e ~dpid:1 ~name:"s" ~profile:quiet_profile () in
+  let ofa = Switch.ofa sw in
+  let order = ref [] in
+  Ofa.connect_controller ofa (fun msg ->
+      order := Of_msg.kind_name msg :: !order);
+  Ofa.submit_packet_in ofa
+    { Ofa.in_port = 1; tunnel_id = None; reason = Of_types.Packet_in_reason.No_match;
+      packet = mk_packet () };
+  Ofa.submit_packet_in ofa
+    { Ofa.in_port = 1; tunnel_id = None; reason = Of_types.Packet_in_reason.No_match;
+      packet = mk_packet ~flow_id:2 () };
+  (* echo arrives after the pins but is served before the SECOND pin
+     (controller messages have strict priority once the server frees) *)
+  Ofa.deliver_message ofa (Of_msg.make ~xid:1 Of_msg.Echo_request);
+  Scotch_sim.Engine.run e;
+  Alcotest.(check (list string)) "priority order"
+    [ "PACKET_IN"; "ECHO_REPLY"; "PACKET_IN" ]
+    (List.rev !order)
+
+let test_ofa_dead () =
+  let e = Scotch_sim.Engine.create () in
+  let sw = Switch.create e ~dpid:1 ~name:"s" ~profile:quiet_profile () in
+  let ofa = Switch.ofa sw in
+  let received = ref 0 in
+  Ofa.connect_controller ofa (fun _ -> incr received);
+  Ofa.set_dead ofa true;
+  Alcotest.(check bool) "is_dead" true (Ofa.is_dead ofa);
+  Ofa.deliver_message ofa (Of_msg.make ~xid:1 Of_msg.Echo_request);
+  Ofa.submit_packet_in ofa
+    { Ofa.in_port = 1; tunnel_id = None; reason = Of_types.Packet_in_reason.No_match;
+      packet = mk_packet () };
+  Scotch_sim.Engine.run e;
+  Alcotest.(check int) "silent" 0 !received
+
+let test_ofa_housekeeping_stall () =
+  let profile =
+    { quiet_profile with
+      Profile.housekeeping_period = 1.0;
+      housekeeping_duration = 0.1;
+      flow_mod_service = 0.001;
+      ofa_queue_capacity = 100 }
+  in
+  let e = Scotch_sim.Engine.create () in
+  (* dpid 0: housekeeping phase 0, so the stall windows sit at [k, k+0.1) *)
+  let sw = Switch.create e ~dpid:0 ~name:"s" ~profile () in
+  let ofa = Switch.ofa sw in
+  (* a flow-mod arriving inside the stall window completes only after it *)
+  ignore
+    (Scotch_sim.Engine.schedule_at e ~at:1.02 (fun () ->
+         Ofa.deliver_message ofa
+           (Of_msg.make ~xid:1
+              (Of_msg.Flow_mod
+                 (Of_msg.Flow_mod.add ~match_:Of_match.wildcard
+                    ~instructions:(out_port 1) ())))));
+  Scotch_sim.Engine.run e;
+  Alcotest.(check bool) "finished after stall" true (Scotch_sim.Engine.now e >= 1.1 +. 0.001)
+
+let test_profile_setup_rate () =
+  let r = Profile.max_flow_setup_rate Profile.pica8 in
+  Alcotest.(check bool) "pica8 ~135-145 flows/s" true (r > 130.0 && r < 150.0);
+  Alcotest.(check bool) "ovs much faster" true
+    (Profile.max_flow_setup_rate Profile.open_vswitch > 4000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Switch pipeline *)
+
+let fast_profile =
+  { Profile.open_vswitch with Profile.forward_latency = 0.0; datapath_pps = 1e9 }
+
+(* a switch whose port [p] records delivered packets *)
+let switch_with_sink ?(profile = fast_profile) e ~sink_port =
+  let sw = Switch.create e ~dpid:1 ~name:"dut" ~profile () in
+  let delivered = ref [] in
+  let link = Scotch_sim.Link.create e ~name:"sink" ~bandwidth_bps:1e12 ~latency:0.0 ~queue_capacity:1000 in
+  Scotch_sim.Link.connect link (fun pkt -> delivered := pkt :: !delivered);
+  Switch.add_port sw ~port_id:sink_port link;
+  (sw, delivered)
+
+let test_switch_forwarding () =
+  let e = Scotch_sim.Engine.create () in
+  let sw, delivered = switch_with_sink e ~sink_port:2 in
+  (match
+     Switch.install_direct sw ~table_id:0 ~priority:10
+       ~match_:(Of_match.exact_flow (Packet.flow_key (mk_packet ())))
+       ~instructions:(out_port 2) ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install");
+  Switch.receive sw ~in_port:1 (mk_packet ());
+  Scotch_sim.Engine.run e;
+  Alcotest.(check int) "delivered" 1 (List.length !delivered);
+  Alcotest.(check int) "tx counter" 1 (Switch.counters sw).Switch.tx
+
+let test_switch_miss_drops () =
+  let e = Scotch_sim.Engine.create () in
+  let sw, _ = switch_with_sink e ~sink_port:2 in
+  Switch.receive sw ~in_port:1 (mk_packet ());
+  Scotch_sim.Engine.run e;
+  Alcotest.(check int) "miss dropped" 1 (Switch.counters sw).Switch.dropped_no_rule
+
+let test_switch_goto_threads_packet () =
+  (* regression: a label pushed in table 0 must be visible when table 1
+     outputs the packet (the §5.2 two-table pipeline) *)
+  let e = Scotch_sim.Engine.create () in
+  let sw, delivered = switch_with_sink e ~sink_port:2 in
+  (match
+     Switch.install_direct sw ~table_id:0 ~priority:1
+       ~match_:(Of_match.with_in_port 1 Of_match.wildcard)
+       ~instructions:
+         [ Of_action.Apply_actions [ Of_action.Push_mpls 7 ]; Of_action.Goto_table 1 ]
+       ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install t0");
+  (match
+     Switch.install_direct sw ~table_id:1 ~priority:0 ~match_:Of_match.wildcard
+       ~instructions:(out_port 2) ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install t1");
+  Switch.receive sw ~in_port:1 (mk_packet ());
+  Scotch_sim.Engine.run e;
+  match !delivered with
+  | [ pkt ] ->
+    Alcotest.(check (option int)) "label survived the goto" (Some 7)
+      (Packet.outer_mpls_label pkt)
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_switch_group_select_path () =
+  let e = Scotch_sim.Engine.create () in
+  let sw, d2 = switch_with_sink e ~sink_port:2 in
+  let link3 = Scotch_sim.Link.create e ~name:"sink3" ~bandwidth_bps:1e12 ~latency:0.0 ~queue_capacity:1000 in
+  let d3 = ref [] in
+  Scotch_sim.Link.connect link3 (fun pkt -> d3 := pkt :: !d3);
+  Switch.add_port sw ~port_id:3 link3;
+  (match
+     Group_table.apply (Switch.group_table sw)
+       (Of_msg.Group_mod.add_select ~group_id:1
+          ~buckets:
+            [ Of_msg.Group_mod.bucket [ Of_action.Output (Of_types.Port_no.Physical 2) ];
+              Of_msg.Group_mod.bucket [ Of_action.Output (Of_types.Port_no.Physical 3) ] ])
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "group add");
+  (match
+     Switch.install_direct sw ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+       ~instructions:[ Of_action.Apply_actions [ Of_action.Group 1 ] ]
+       ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install");
+  (* 200 distinct flows spread over both buckets; same flow -> same bucket *)
+  for i = 1 to 200 do
+    Switch.receive sw ~in_port:1 (mk_packet ~flow_id:i ~src_port:(2000 + i) ())
+  done;
+  Scotch_sim.Engine.run e;
+  let n2 = List.length !d2 and n3 = List.length !d3 in
+  Alcotest.(check int) "all forwarded" 200 (n2 + n3);
+  Alcotest.(check bool) "both buckets used" true (n2 > 40 && n3 > 40);
+  (* resend one flow: must use the same bucket *)
+  let probe = mk_packet ~src_port:2001 () in
+  let before2 = List.length !d2 in
+  Switch.receive sw ~in_port:1 probe;
+  Switch.receive sw ~in_port:1 probe;
+  Scotch_sim.Engine.run e;
+  let after2 = List.length !d2 in
+  Alcotest.(check bool) "sticky bucket" true (after2 = before2 || after2 = before2 + 2)
+
+let test_switch_tunnel_encap_decap () =
+  let e = Scotch_sim.Engine.create () in
+  let a = Switch.create e ~dpid:1 ~name:"a" ~profile:fast_profile () in
+  let b = Switch.create e ~dpid:2 ~name:"b" ~profile:fast_profile () in
+  (* tunnel 77: a port 10077 -> b in-port 10077 *)
+  let tun = Scotch_sim.Link.create e ~name:"tun" ~bandwidth_bps:1e12 ~latency:0.0 ~queue_capacity:100 in
+  Scotch_sim.Link.connect tun (fun pkt -> Switch.receive b ~in_port:10077 pkt);
+  Switch.add_port a ~port_id:10077 ~kind:(Switch.Tunnel 77) tun;
+  Switch.add_input_port b ~port_id:10077 ~kind:(Switch.Tunnel 77) ();
+  (* b: tunnel-id match forwards to sink port 5 *)
+  let sink = Scotch_sim.Link.create e ~name:"sink" ~bandwidth_bps:1e12 ~latency:0.0 ~queue_capacity:100 in
+  let out = ref [] in
+  Scotch_sim.Link.connect sink (fun pkt -> out := pkt :: !out);
+  Switch.add_port b ~port_id:5 sink;
+  (match
+     Switch.install_direct b ~table_id:0 ~priority:5
+       ~match_:(Of_match.with_tunnel_id 77 Of_match.wildcard)
+       ~instructions:(out_port 5) ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install b");
+  (* a: everything into the tunnel *)
+  (match
+     Switch.install_direct a ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+       ~instructions:(out_port 10077) ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install a");
+  Switch.receive a ~in_port:1 (mk_packet ());
+  Scotch_sim.Engine.run e;
+  match !out with
+  | [ pkt ] ->
+    Alcotest.(check bool) "decapsulated at b" false (Packet.is_encapsulated pkt)
+  | _ -> Alcotest.fail "tunnel delivery failed"
+
+let test_switch_tcam_write_stall () =
+  let profile = { fast_profile with Profile.tcam_write_stall = 0.5 } in
+  let e = Scotch_sim.Engine.create () in
+  let sw, delivered = switch_with_sink e ~profile ~sink_port:2 in
+  (match
+     Switch.install_direct sw ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+       ~instructions:(out_port 2) ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install");
+  (* install a rule THROUGH the OFA to trigger the stall *)
+  Ofa.deliver_message (Switch.ofa sw)
+    (Of_msg.make ~xid:1
+       (Of_msg.Flow_mod
+          (Of_msg.Flow_mod.add ~priority:9
+             ~match_:(Of_match.with_l4_dst 9999 Of_match.wildcard)
+             ~instructions:(out_port 2) ())));
+  (* packet arriving during the stall window is dropped *)
+  ignore
+    (Scotch_sim.Engine.schedule_at e ~at:0.1 (fun () ->
+         Switch.receive sw ~in_port:1 (mk_packet ())));
+  (* packet after the stall goes through *)
+  ignore
+    (Scotch_sim.Engine.schedule_at e ~at:1.0 (fun () ->
+         Switch.receive sw ~in_port:1 (mk_packet ~flow_id:2 ()))) ;
+  Scotch_sim.Engine.run e;
+  Alcotest.(check int) "one dropped by stall" 1 (Switch.counters sw).Switch.dropped_blocked;
+  Alcotest.(check int) "one delivered" 1 (List.length !delivered)
+
+let test_switch_failure_injection () =
+  let e = Scotch_sim.Engine.create () in
+  let sw, delivered = switch_with_sink e ~sink_port:2 in
+  (match
+     Switch.install_direct sw ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+       ~instructions:(out_port 2) ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install");
+  Switch.set_failed sw true;
+  Switch.receive sw ~in_port:1 (mk_packet ());
+  Scotch_sim.Engine.run e;
+  Alcotest.(check int) "nothing delivered" 0 (List.length !delivered);
+  Switch.set_failed sw false;
+  Switch.receive sw ~in_port:1 (mk_packet ~flow_id:2 ());
+  Scotch_sim.Engine.run e;
+  Alcotest.(check int) "recovered" 1 (List.length !delivered)
+
+let test_switch_gre_tunnel () =
+  (* same tunnel semantics with GRE encapsulation (§4.1) *)
+  let e = Scotch_sim.Engine.create () in
+  let a = Switch.create e ~dpid:1 ~name:"a" ~profile:fast_profile () in
+  let b = Switch.create e ~dpid:2 ~name:"b" ~profile:fast_profile () in
+  let tun = Scotch_sim.Link.create e ~name:"gre" ~bandwidth_bps:1e12 ~latency:0.0 ~queue_capacity:100 in
+  Scotch_sim.Link.connect tun (fun pkt ->
+      Alcotest.(check bool) "GRE header on the wire" true
+        (Packet.outer_gre_key pkt = Some 88l);
+      Switch.receive b ~in_port:10088 pkt);
+  Switch.add_port a ~port_id:10088 ~kind:(Switch.Tunnel 88) ~encap:Switch.Gre_tunnel tun;
+  Switch.add_input_port b ~port_id:10088 ~kind:(Switch.Tunnel 88) ~encap:Switch.Gre_tunnel ();
+  let sink = Scotch_sim.Link.create e ~name:"sink" ~bandwidth_bps:1e12 ~latency:0.0 ~queue_capacity:100 in
+  let out = ref [] in
+  Scotch_sim.Link.connect sink (fun pkt -> out := pkt :: !out);
+  Switch.add_port b ~port_id:5 sink;
+  (match
+     Switch.install_direct b ~table_id:0 ~priority:5
+       ~match_:(Of_match.with_tunnel_id 88 Of_match.wildcard)
+       ~instructions:(out_port 5) ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install b");
+  (match
+     Switch.install_direct a ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+       ~instructions:(out_port 10088) ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install a");
+  Switch.receive a ~in_port:1 (mk_packet ());
+  Scotch_sim.Engine.run e;
+  (match !out with
+  | [ pkt ] -> Alcotest.(check bool) "decapsulated" false (Packet.is_encapsulated pkt)
+  | _ -> Alcotest.fail "gre tunnel delivery failed")
+
+let test_switch_normal_ports () =
+  let e = Scotch_sim.Engine.create () in
+  let sw, _ = switch_with_sink e ~sink_port:2 in
+  Switch.add_input_port sw ~port_id:9 ();
+  Switch.add_input_port sw ~port_id:10042 ~kind:(Switch.Tunnel 42) ();
+  Alcotest.(check (list int)) "normal ports" [ 2; 9 ] (Switch.normal_ports sw);
+  Alcotest.(check (list int)) "all ports" [ 2; 9; 10042 ] (Switch.all_ports sw)
+
+let test_switch_packet_out_via_ofa () =
+  let e = Scotch_sim.Engine.create () in
+  let sw, delivered = switch_with_sink e ~sink_port:2 in
+  Ofa.deliver_message (Switch.ofa sw)
+    (Of_msg.make ~xid:1
+       (Of_msg.Packet_out
+          (Of_msg.Packet_out.make ~in_port:1
+             ~actions:[ Of_action.Output (Of_types.Port_no.Physical 2) ]
+             (mk_packet ()))));
+  Scotch_sim.Engine.run e;
+  Alcotest.(check int) "packet out forwarded" 1 (List.length !delivered)
+
+let () =
+  Alcotest.run "scotch_switch"
+    [ ( "flow_table",
+        [ Alcotest.test_case "priority order" `Quick test_ft_priority_order;
+          Alcotest.test_case "exact+wildcard buckets" `Quick test_ft_exact_and_wildcard_buckets;
+          Alcotest.test_case "replace preserves counters" `Quick test_ft_replace_preserves_counters;
+          Alcotest.test_case "hard timeout" `Quick test_ft_hard_timeout;
+          Alcotest.test_case "idle timeout" `Quick test_ft_idle_timeout;
+          Alcotest.test_case "capacity limit" `Quick test_ft_capacity;
+          Alcotest.test_case "capacity after expiry" `Quick test_ft_capacity_after_expiry;
+          Alcotest.test_case "delete" `Quick test_ft_delete;
+          Alcotest.test_case "delete by cookie" `Quick test_ft_delete_by_cookie;
+          Alcotest.test_case "stats" `Quick test_ft_stats;
+          Alcotest.test_case "peek leaves counters" `Quick test_ft_peek_no_counters;
+          QCheck_alcotest.to_alcotest prop_ft_reference ] );
+      ( "group_table",
+        [ Alcotest.test_case "add/modify/delete" `Quick test_gt_add_modify_delete;
+          Alcotest.test_case "select deterministic" `Quick test_gt_select_deterministic;
+          Alcotest.test_case "select weights" `Quick test_gt_select_weights;
+          Alcotest.test_case "all type" `Quick test_gt_all_type ] );
+      ( "ofa",
+        [ Alcotest.test_case "pin queue cap" `Quick test_ofa_pin_rate_cap;
+          Alcotest.test_case "cmsg priority" `Quick test_ofa_cmsg_priority;
+          Alcotest.test_case "dead agent" `Quick test_ofa_dead;
+          Alcotest.test_case "housekeeping stall" `Quick test_ofa_housekeeping_stall;
+          Alcotest.test_case "profile setup rate" `Quick test_profile_setup_rate ] );
+      ( "switch",
+        [ Alcotest.test_case "forwarding" `Quick test_switch_forwarding;
+          Alcotest.test_case "miss drops" `Quick test_switch_miss_drops;
+          Alcotest.test_case "goto threads packet (regression)" `Quick
+            test_switch_goto_threads_packet;
+          Alcotest.test_case "group select path" `Quick test_switch_group_select_path;
+          Alcotest.test_case "tunnel encap/decap" `Quick test_switch_tunnel_encap_decap;
+          Alcotest.test_case "gre tunnel" `Quick test_switch_gre_tunnel;
+          Alcotest.test_case "tcam write stall" `Quick test_switch_tcam_write_stall;
+          Alcotest.test_case "failure injection" `Quick test_switch_failure_injection;
+          Alcotest.test_case "normal ports" `Quick test_switch_normal_ports;
+          Alcotest.test_case "packet out via ofa" `Quick test_switch_packet_out_via_ofa ] ) ]

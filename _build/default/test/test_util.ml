@@ -1,0 +1,355 @@
+(* Unit and property tests for Scotch_util: PRNG, heap, statistics,
+   histogram, time series, token bucket, table printer. *)
+
+open Scotch_util
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits a <> Rng.bits b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_split_independent () =
+  let parent = Rng.create 1 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits child1 <> Rng.bits child2 then differs := true
+  done;
+  Alcotest.(check bool) "split streams differ" true !differs
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~rate:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 1/rate" true (abs_float (mean -. 0.25) < 0.01)
+
+let test_rng_pareto_minimum () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.pareto rng ~shape:1.2 ~scale:3.0 in
+    Alcotest.(check bool) "above scale" true (v >= 3.0)
+  done
+
+let test_rng_pareto_heavy_tail () =
+  let rng = Rng.create 7 in
+  let n = 50_000 in
+  let big = ref 0 in
+  for _ = 1 to n do
+    if Rng.pareto rng ~shape:1.0 ~scale:1.0 > 100.0 then incr big
+  done;
+  (* P(X > 100) = 1/100 for alpha=1 *)
+  let frac = float_of_int !big /. float_of_int n in
+  Alcotest.(check bool) "tail mass ~ 1%" true (frac > 0.005 && frac < 0.02)
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 8 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let frac = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p ~ 0.3" true (abs_float (frac -. 0.3) < 0.02)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_geometric () =
+  let rng = Rng.create 10 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng 0.25
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 4" true (abs_float (mean -. 4.0) < 0.15);
+  Alcotest.(check int) "p=1 gives 1" 1 (Rng.geometric rng 1.0)
+
+let test_rng_choice () =
+  let rng = Rng.create 11 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.choice rng arr in
+    Alcotest.(check bool) "choice in array" true (Array.exists (( = ) v) arr)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 5;
+  Heap.push h 1;
+  Heap.push h 3;
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop next" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop last" (Some 5) (Heap.pop h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_pop_exn () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn on empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h));
+  Heap.push h 42;
+  Alcotest.(check int) "pop_exn" 42 (Heap.pop_exn h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_heap_to_list () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "to_list has all" [ 1; 2; 3 ]
+    (List.sort compare (Heap.to_list h))
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.value c)
+
+let test_running_moments () =
+  let r = Stats.Running.create () in
+  List.iter (Stats.Running.add r) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float ~eps:1e-9 "mean" 5.0 (Stats.Running.mean r);
+  (* sample variance of this classic data set is 32/7 *)
+  check_float ~eps:1e-9 "variance" (32.0 /. 7.0) (Stats.Running.variance r);
+  check_float ~eps:1e-9 "min" 2.0 (Stats.Running.min r);
+  check_float ~eps:1e-9 "max" 9.0 (Stats.Running.max r);
+  Alcotest.(check int) "count" 8 (Stats.Running.count r)
+
+let test_samples_percentile () =
+  let s = Stats.Samples.create () in
+  for i = 1 to 100 do
+    Stats.Samples.add s (float_of_int i)
+  done;
+  check_float ~eps:1e-9 "p0" 1.0 (Stats.Samples.percentile s 0.0);
+  check_float ~eps:1e-9 "p100" 100.0 (Stats.Samples.percentile s 1.0);
+  check_float ~eps:1e-6 "median" 50.5 (Stats.Samples.median s);
+  check_float ~eps:1e-9 "mean" 50.5 (Stats.Samples.mean s)
+
+let test_samples_empty () =
+  let s = Stats.Samples.create () in
+  Alcotest.check_raises "percentile empty" (Invalid_argument "Samples.percentile: empty")
+    (fun () -> ignore (Stats.Samples.percentile s 0.5))
+
+let test_rate_meter () =
+  let m = Stats.Rate_meter.create ~window:1.0 in
+  for i = 0 to 9 do
+    Stats.Rate_meter.tick m ~now:(float_of_int i *. 0.05)
+  done;
+  (* 10 events within the last second *)
+  check_float ~eps:1e-9 "rate" 10.0 (Stats.Rate_meter.rate m ~now:0.5);
+  (* after the window passes, events expire *)
+  check_float ~eps:1e-9 "expired" 0.0 (Stats.Rate_meter.rate m ~now:2.0);
+  Alcotest.(check int) "total survives expiry" 10 (Stats.Rate_meter.total m)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_counts () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; -1.0; 10.0; 11.0 ];
+  Alcotest.(check int) "bin 0" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 9" 1 (Histogram.bin_count h 9);
+  Alcotest.(check int) "count includes overflow" 7 (Histogram.count h);
+  check_float ~eps:1e-9 "bin center" 0.5 (Histogram.bin_center h 0)
+
+let test_histogram_cdf_monotone () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:20 in
+  let rng = Rng.create 12 in
+  for _ = 1 to 1000 do
+    Histogram.add h (Rng.float rng 1.0)
+  done;
+  let cdf = Histogram.cdf h in
+  let ok = ref true in
+  for i = 1 to Array.length cdf - 1 do
+    if snd cdf.(i) < snd cdf.(i - 1) then ok := false
+  done;
+  Alcotest.(check bool) "cdf monotone" true !ok;
+  check_float ~eps:1e-9 "cdf reaches 1" 1.0 (snd cdf.(Array.length cdf - 1))
+
+let test_histogram_quantile () =
+  let h = Histogram.create ~lo:0.0 ~hi:100.0 ~bins:100 in
+  for i = 0 to 99 do
+    Histogram.add h (float_of_int i +. 0.5)
+  done;
+  let q = Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "median near 50" true (abs_float (q -. 50.0) < 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries *)
+
+let test_timeseries () =
+  let ts = Timeseries.create "demo" in
+  Timeseries.add ts ~time:0.0 ~value:1.0;
+  Timeseries.add ts ~time:1.0 ~value:2.0;
+  Timeseries.add ts ~time:2.0 ~value:6.0;
+  Alcotest.(check int) "length" 3 (Timeseries.length ts);
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "get" (1.0, 2.0) (Timeseries.get ts 1);
+  check_float ~eps:1e-9 "last" 6.0 (Timeseries.last ts);
+  check_float ~eps:1e-9 "mean_from" 4.0 (Timeseries.mean_from ts ~from:1.0);
+  Alcotest.(check int) "to_list" 3 (List.length (Timeseries.to_list ts));
+  let csv = Timeseries.to_csv [ ts ] in
+  Alcotest.(check bool) "csv has header" true
+    (String.length csv > 0 && String.sub csv 0 6 = "# demo")
+
+let test_timeseries_empty_last () =
+  let ts = Timeseries.create "empty" in
+  check_float ~eps:1e-9 "default" 7.0 (Timeseries.last ~default:7.0 ts)
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket *)
+
+let test_token_bucket_rate () =
+  let tb = Token_bucket.create ~rate:100.0 ~burst:10.0 in
+  (* drain the initial burst *)
+  let taken = ref 0 in
+  for _ = 1 to 20 do
+    if Token_bucket.take tb ~now:0.0 then incr taken
+  done;
+  Alcotest.(check int) "burst limited" 10 !taken;
+  (* after one second, 100 more tokens, capped at burst *)
+  Alcotest.(check bool) "refilled" true (Token_bucket.take tb ~now:1.0);
+  Alcotest.(check bool) "available capped at burst" true
+    (Token_bucket.available tb ~now:10.0 <= 10.0)
+
+let test_token_bucket_take_n () =
+  let tb = Token_bucket.create ~rate:10.0 ~burst:5.0 in
+  Alcotest.(check bool) "take 5" true (Token_bucket.take_n tb ~now:0.0 5);
+  Alcotest.(check bool) "empty" false (Token_bucket.take_n tb ~now:0.0 1);
+  Alcotest.(check bool) "refill partial" true (Token_bucket.take_n tb ~now:0.3 3)
+
+let test_token_bucket_sustained_rate () =
+  let tb = Token_bucket.create ~rate:50.0 ~burst:1.0 in
+  let accepted = ref 0 in
+  (* offer 1000 evenly spaced events over 2 seconds *)
+  for i = 0 to 999 do
+    if Token_bucket.take tb ~now:(float_of_int i *. 0.002) then incr accepted
+  done;
+  Alcotest.(check bool) "~100 accepted over 2 s" true (abs !accepted - 100 <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Table printer *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_table_printer () =
+  let t = Table_printer.create [ "alpha"; "beta" ] in
+  Table_printer.add_row t [ "1"; "2" ];
+  Table_printer.add_floats t [ 3.14159; 2.0 ];
+  let s = Table_printer.render t in
+  Alcotest.(check bool) "contains header" true (contains ~needle:"alpha" s);
+  Alcotest.(check bool) "contains float cell" true (contains ~needle:"3.142" s);
+  Alcotest.(check int) "four lines" 4
+    (List.length (String.split_on_char '\n' (String.trim s)));
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Table_printer.add_row: arity mismatch")
+    (fun () -> Table_printer.add_row t [ "only-one" ])
+
+let () =
+  Alcotest.run "scotch_util"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto minimum" `Quick test_rng_pareto_minimum;
+          Alcotest.test_case "pareto heavy tail" `Quick test_rng_pareto_heavy_tail;
+          Alcotest.test_case "bernoulli frequency" `Quick test_rng_bernoulli;
+          Alcotest.test_case "shuffle is permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric;
+          Alcotest.test_case "choice membership" `Quick test_rng_choice ] );
+      ( "heap",
+        [ Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "pop_exn" `Quick test_heap_pop_exn;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "to_list" `Quick test_heap_to_list;
+          QCheck_alcotest.to_alcotest prop_heap_sorted ] );
+      ( "stats",
+        [ Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "running moments" `Quick test_running_moments;
+          Alcotest.test_case "samples percentile" `Quick test_samples_percentile;
+          Alcotest.test_case "samples empty" `Quick test_samples_empty;
+          Alcotest.test_case "rate meter window" `Quick test_rate_meter ] );
+      ( "histogram",
+        [ Alcotest.test_case "counts" `Quick test_histogram_counts;
+          Alcotest.test_case "cdf monotone" `Quick test_histogram_cdf_monotone;
+          Alcotest.test_case "quantile" `Quick test_histogram_quantile ] );
+      ( "timeseries",
+        [ Alcotest.test_case "basics" `Quick test_timeseries;
+          Alcotest.test_case "empty last" `Quick test_timeseries_empty_last ] );
+      ( "token_bucket",
+        [ Alcotest.test_case "burst and refill" `Quick test_token_bucket_rate;
+          Alcotest.test_case "take_n" `Quick test_token_bucket_take_n;
+          Alcotest.test_case "sustained rate" `Quick test_token_bucket_sustained_rate ] );
+      ("table_printer", [ Alcotest.test_case "render and arity" `Quick test_table_printer ])
+    ]
