@@ -30,6 +30,7 @@ let figures :
     ("fig13", fun ~seed ~scale -> Fig13.run ~seed ~scale ());
     ("fig14", fun ~seed ~scale -> Fig14.run ~seed ~scale ());
     ("fig15", fun ~seed ~scale -> Fig15.run ~seed ~scale ());
+    ("resilience", fun ~seed ~scale -> Resilience.run ~seed ~scale ());
     ("exp-fabric", fun ~seed ~scale -> Exp_fabric.run ~seed ~scale ());
     ("ablation-lb", fun ~seed ~scale -> Ablation.run_lb ~seed ~scale ());
     ("ablation-dedicated-port", fun ~seed ~scale -> Ablation.run_dedicated_port ~seed ~scale ());
@@ -49,13 +50,14 @@ let run_figures names ~seed ~scale =
             None)
         names
   in
-  List.iter
+  List.map
     (fun (name, f) ->
       let t0 = Unix.gettimeofday () in
       let fig = f ~seed ~scale in
       let dt = Unix.gettimeofday () -. t0 in
       Report.print fig;
-      Printf.printf "   [%s regenerated in %.1f s wall clock]\n\n%!" name dt)
+      Printf.printf "   [%s regenerated in %.1f s wall clock]\n\n%!" name dt;
+      (name, dt))
     todo
 
 (* ------------------------------------------------------------------ *)
@@ -179,17 +181,83 @@ let run_micro () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   let results2 = Analyze.merge ols instances results in
+  let out = ref [] in
   Hashtbl.iter
     (fun _instance tbl ->
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-48s %12.1f ns/op\n" name est
+          | Some [ est ] ->
+            Printf.printf "  %-48s %12.1f ns/op\n" name est;
+            out := (name, est) :: !out
           | _ -> Printf.printf "  %-48s (no estimate)\n" name)
         tbl)
-    results2
+    results2;
+  List.sort compare !out
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_faults.json.
+
+   Alongside the human tables on stdout, every bench run writes one
+   JSON file: per-figure wall-clock timings, the micro-benchmark ns/op
+   estimates, and a fast fault-recovery probe (the resilience
+   experiment in smoke configuration) with its full recovery ledger and
+   digest — so CI can diff fault-handling metrics across commits
+   without scraping stdout. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_opt_float = function None -> "null" | Some v -> Printf.sprintf "%.6g" v
+
+let fault_probe ~seed =
+  let open Scotch_faults in
+  let outcome = Resilience.run_outcome ~seed ~scale:0.25 ~kills:2 ~multiplier:5.0 () in
+  let records =
+    List.map
+      (fun (r : Ledger.record) ->
+        Printf.sprintf
+          "{\"id\":%d,\"label\":\"%s\",\"injected_at\":%.6g,\"detection_latency_s\":%s,\"time_to_rebalance_s\":%s,\"flows_lost\":%d,\"backup_promoted\":%s}"
+          r.Ledger.id (json_escape r.Ledger.label) r.Ledger.injected_at
+          (json_opt_float (Ledger.detection_latency r))
+          (json_opt_float (Ledger.time_to_rebalance r))
+          r.Ledger.flows_lost
+          (match r.Ledger.backup_promoted with None -> "null" | Some d -> string_of_int d))
+      (Ledger.records outcome.Resilience.ledger)
+  in
+  Printf.sprintf "{\"ledger_digest\":\"%s\",\"faults\":[%s]}"
+    (Ledger.digest outcome.Resilience.ledger)
+    (String.concat "," records)
+
+let write_json ~seed ~scale ~figures:figs ~micro =
+  let file = "BENCH_faults.json" in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"bench\": \"scotch-faults\",\n  \"seed\": %d,\n  \"scale\": %.6g,\n"
+    seed scale;
+  Printf.fprintf oc "  \"figures\": [%s],\n"
+    (String.concat ","
+       (List.map
+          (fun (n, dt) -> Printf.sprintf "\n    {\"name\":\"%s\",\"wall_s\":%.3f}" (json_escape n) dt)
+          figs));
+  Printf.fprintf oc "  \"micro\": [%s],\n"
+    (String.concat ","
+       (List.map
+          (fun (n, ns) ->
+            Printf.sprintf "\n    {\"name\":\"%s\",\"ns_per_op\":%.1f}" (json_escape n) ns)
+          micro));
+  Printf.fprintf oc "  \"fault_recovery\": %s\n}\n" (fault_probe ~seed);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -212,14 +280,16 @@ let () =
   parse args;
   if !micro then begin
     print_endline "== micro-benchmarks (Bechamel) ==";
-    run_micro ()
+    let ns = run_micro () in
+    write_json ~seed:!seed ~scale:!scale ~figures:[] ~micro:ns
   end
   else begin
     Printf.printf
       "Scotch (CoNEXT 2014) — full reproduction bench: every figure of the evaluation\n";
     Printf.printf "(scale %.2f, seed %d; pass figure names to select, `micro` for Bechamel)\n\n"
       !scale !seed;
-    run_figures (List.rev !names) ~seed:!seed ~scale:!scale;
+    let timings = run_figures (List.rev !names) ~seed:!seed ~scale:!scale in
     print_endline "== micro-benchmarks (Bechamel) ==";
-    run_micro ()
+    let ns = run_micro () in
+    write_json ~seed:!seed ~scale:!scale ~figures:timings ~micro:ns
   end

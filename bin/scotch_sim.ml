@@ -42,6 +42,9 @@ let specs =
     { name = "fig15";
       doc = "Trace-driven flash crowd: Scotch vs plain reactive";
       run = (fun ~seed ~scale -> Fig15.run ~seed ~scale ()) };
+    { name = "resilience";
+      doc = "Failure recovery: vswitch kills mid flash crowd, heartbeat failover (S5.6)";
+      run = (fun ~seed ~scale -> Resilience.run ~seed ~scale ()) };
     { name = "exp-fabric";
       doc = "Multi-rack fabric: destination-side switch protection";
       run = (fun ~seed ~scale -> Exp_fabric.run ~seed ~scale ()) };

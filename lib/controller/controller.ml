@@ -24,6 +24,11 @@ type sw = {
   mutable last_echo_reply : float;
   mutable flow_mods_sent : int;
   mutable packet_outs_sent : int;
+  (* control-channel impairment (fault injection): extra one-way latency
+     and a loss probability applied to both directions of the channel *)
+  mutable chan_extra_latency : float;
+  mutable chan_drop_p : float;
+  mutable chan_dropped : int; (* messages lost to the impairment *)
 }
 
 type app = {
@@ -105,22 +110,42 @@ let handle_message t (sw : sw) (msg : Of_msg.t) =
 let connect t device ~latency =
   let dpid = Switch.dpid device in
   if Hashtbl.mem t.switches dpid then invalid_arg "Controller.connect: duplicate dpid";
-  let jittered () = latency *. (0.9 +. Scotch_util.Rng.float t.chan_rng 0.2) in
-  let send_raw msg =
-    ignore
-      (Scotch_sim.Engine.schedule t.engine ~delay:(jittered ()) (fun () ->
-           Ofa.deliver_message (Switch.ofa device) msg))
+  let jittered sw = (latency +. sw.chan_extra_latency) *. (0.9 +. Scotch_util.Rng.float t.chan_rng 0.2) in
+  (* the drop coin is only tossed while an impairment is active, so the
+     jitter stream — and hence every unimpaired run — is untouched *)
+  let dropped sw =
+    sw.chan_drop_p > 0.0 && Scotch_util.Rng.bernoulli t.chan_rng sw.chan_drop_p
+    && begin sw.chan_dropped <- sw.chan_dropped + 1; true end
   in
-  let sw =
-    { dpid; device; send_raw; pin_meter = Stats.Rate_meter.create ~window:t.pin_window;
-      alive = true; last_echo_reply = 0.0; flow_mods_sent = 0; packet_outs_sent = 0 }
+  let rec sw =
+    { dpid; device;
+      send_raw =
+        (fun msg ->
+          if not (dropped sw) then
+            ignore
+              (Scotch_sim.Engine.schedule t.engine ~delay:(jittered sw) (fun () ->
+                   Ofa.deliver_message (Switch.ofa device) msg)));
+      pin_meter = Stats.Rate_meter.create ~window:t.pin_window;
+      alive = true; last_echo_reply = 0.0; flow_mods_sent = 0; packet_outs_sent = 0;
+      chan_extra_latency = 0.0; chan_drop_p = 0.0; chan_dropped = 0 }
   in
   Hashtbl.replace t.switches dpid sw;
   Ofa.connect_controller (Switch.ofa device) (fun msg ->
-      ignore
-        (Scotch_sim.Engine.schedule t.engine ~delay:(jittered ()) (fun () ->
-             handle_message t sw msg)));
+      if not (dropped sw) then
+        ignore
+          (Scotch_sim.Engine.schedule t.engine ~delay:(jittered sw) (fun () ->
+               handle_message t sw msg)));
   sw
+
+(** Control-channel impairment (fault injection): add [extra_latency]
+    seconds one-way and drop each message with probability [drop_p], in
+    both directions.  [set_channel_impairment sw ~extra_latency:0.0
+    ~drop_p:0.0] clears it. *)
+let set_channel_impairment (sw : sw) ~extra_latency ~drop_p =
+  if extra_latency < 0.0 then invalid_arg "set_channel_impairment: negative latency";
+  if drop_p < 0.0 || drop_p >= 1.0 then invalid_arg "set_channel_impairment: drop_p in [0,1)";
+  sw.chan_extra_latency <- extra_latency;
+  sw.chan_drop_p <- drop_p
 
 (** {1 Sending} *)
 

@@ -25,6 +25,11 @@ type sw = {
   mutable last_echo_reply : float;
   mutable flow_mods_sent : int;
   mutable packet_outs_sent : int;
+  mutable chan_extra_latency : float;
+      (** control-channel impairment: extra one-way latency (fault injection) *)
+  mutable chan_drop_p : float;
+      (** control-channel impairment: per-message loss probability *)
+  mutable chan_dropped : int;  (** messages lost to the impairment *)
 }
 
 type app = {
@@ -86,6 +91,13 @@ val packet_out : t -> sw -> ?in_port:int -> actions:Of_action.t list ->
 
 (** Packet-In rate of a switch over the sliding window. *)
 val pin_rate : t -> sw -> float
+
+(** Control-channel impairment (fault injection): add [extra_latency]
+    seconds one-way and drop each message with probability [drop_p]
+    ([0 <= drop_p < 1]), in both directions.  Pass zeros to clear.  The
+    loss coin is only tossed while an impairment is active, so
+    unimpaired runs are bit-identical to runs without this call. *)
+val set_channel_impairment : sw -> extra_latency:float -> drop_p:float -> unit
 
 (** Send Echo requests every [period] seconds to every switch; one that
     has not replied within [timeout] is marked dead and every app's

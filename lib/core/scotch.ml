@@ -50,6 +50,9 @@ type t = {
   managed : (int, managed) Hashtbl.t;
   vswitch_handles : (int, C.sw) Hashtbl.t;
   counters : counters;
+  mutable stats_polling : bool;
+      (* fault injection: a stats-polling outage suspends elephant
+         detection (the §5.3 loop) without touching anything else *)
 }
 
 let create ctrl overlay policy config =
@@ -58,7 +61,8 @@ let create ctrl overlay policy config =
     counters =
       { flows_seen = 0; flows_overlay = 0; flows_physical = 0; flows_dropped = 0;
         flows_unroutable = 0; elephants_detected = 0; migrations_completed = 0;
-        activations = 0; withdrawals = 0; vswitch_failures = 0 } }
+        activations = 0; withdrawals = 0; vswitch_failures = 0 };
+    stats_polling = true }
 
 let counters t = t.counters
 let db t = t.db
@@ -677,8 +681,9 @@ let start t =
   in
   let (_ : unit -> unit) =
     Scotch_sim.Engine.every (engine t) ~period:cfg.Config.stats_poll_interval (fun () ->
-        Overlay.iter_vswitches t.overlay (fun v ->
-            if v.Overlay.alive then poll_vswitch_stats t (Switch.dpid v.Overlay.vsw)))
+        if t.stats_polling then
+          Overlay.iter_vswitches t.overlay (fun v ->
+              if v.Overlay.alive then poll_vswitch_stats t (Switch.dpid v.Overlay.vsw)))
   in
   C.start_heartbeat t.ctrl ~period:cfg.Config.heartbeat_period
     ~timeout:cfg.Config.heartbeat_timeout
@@ -716,3 +721,18 @@ let is_active t dpid = match managed_of t dpid with Some m -> m.active | None ->
 
 (** The scheduler of a managed switch (tests/observability). *)
 let sched_of t dpid = Option.map (fun m -> m.sched) (managed_of t dpid)
+
+(** Fault injection: suspend/resume the vswitch stats-polling loop (a
+    controller-side monitoring outage; §5.3 elephant detection stops). *)
+let set_stats_polling t enabled = t.stats_polling <- enabled
+
+let stats_polling t = t.stats_polling
+
+(** Dpids of all managed physical switches, sorted (observability). *)
+let managed_dpids t =
+  Hashtbl.fold (fun dpid _ acc -> dpid :: acc) t.managed [] |> List.sort compare
+
+(** Current select-group assignment of a managed switch, as
+    [(vswitch dpid, uplink tunnel id)] pairs (observability). *)
+let assignment_of t dpid =
+  match managed_of t dpid with Some m -> m.assigned | None -> []

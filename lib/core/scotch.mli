@@ -68,3 +68,18 @@ val is_active : t -> int -> bool
 
 (** The Fig. 7 scheduler of a managed switch (observability/tests). *)
 val sched_of : t -> int -> Sched.t option
+
+(** Fault injection: suspend/resume the vswitch stats-polling loop (a
+    controller-side monitoring outage — §5.3 elephant detection
+    stops). *)
+val set_stats_polling : t -> bool -> unit
+
+val stats_polling : t -> bool
+
+(** Dpids of all managed physical switches, sorted (observability). *)
+val managed_dpids : t -> int list
+
+(** Current select-group assignment of a managed switch, as
+    [(vswitch dpid, uplink tunnel id)] pairs; [[]] when unknown or
+    never activated (observability). *)
+val assignment_of : t -> int -> (int * int) list

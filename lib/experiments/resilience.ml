@@ -1,0 +1,119 @@
+(** Failure-recovery experiment (§5.6): a flash crowd drives the
+    overlay into activation, then a seeded fault plan kills [kills] of
+    the active uplink vswitches mid-crowd.  The heartbeat notices each
+    corpse, a backup vswitch is promoted and every select group is
+    re-balanced away from the dead uplinks; the recovery ledger records
+    how long each step took and how many flows were shed meanwhile.
+
+    Reported: per-bin flow success over time for the faulted run vs the
+    same workload with no faults, plus the ledger as per-fault series
+    (detection latency, time-to-rebalance, flows lost).  Same seed ⇒
+    bit-identical ledger, which is what [test/test_faults.ml] checks. *)
+
+open Scotch_workload
+open Scotch_faults
+
+let bin_width = 2.0
+
+let trace_params ~scale ~multiplier =
+  { Tracegen.duration = 40.0 *. scale;
+    base_rate = 40.0;
+    flash_start = 10.0 *. scale;
+    flash_end = 30.0 *. scale;
+    flash_multiplier = multiplier;
+    hotspot_fraction = 0.7;
+    num_sources = 4;
+    num_destinations = 2;
+    size_of = Sizes.pareto ~alpha:1.3 ~min_packets:2 ~max_packets:100 ~pkt_rate:200.0 () }
+
+(** Kill [kills] distinct primary vswitches at evenly spaced instants
+    inside the flash window — i.e. while the overlay is activated and
+    actually carrying the crowd.  Each stays down for [outage] seconds,
+    then revives and rejoins as a backup. *)
+let kill_plan ~(params : Tracegen.params) ~kills ~outage =
+  let window = params.Tracegen.flash_end -. params.Tracegen.flash_start in
+  Plan.of_list
+    (List.init kills (fun i ->
+         let frac = float_of_int (i + 1) /. float_of_int (kills + 1) in
+         Fault.vswitch_crash
+           ~at:(params.Tracegen.flash_start +. (frac *. window))
+           ~duration:outage (Testbed.vswitch_dpid i)))
+
+type outcome = {
+  ledger : Ledger.t;
+  success : (float * float) list; (* per-bin flow success fraction *)
+}
+
+let run_variant ~seed ~plan ~(params : Tracegen.params) () =
+  let net =
+    Testbed.scotch_net ~seed ~num_vswitches:4 ~num_backups:2
+      ~num_clients:params.Tracegen.num_sources ~num_servers:params.Tracegen.num_destinations ()
+  in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
+  let rng = Scotch_util.Rng.create (seed + 17) in
+  let trace = Tracegen.generate rng params in
+  let sources =
+    Array.init params.Tracegen.num_sources (fun i -> Testbed.client_source net ~i ~rate:1.0 ())
+  in
+  let launched = Tracegen.replay net.Testbed.engine trace ~sources ~destinations:net.Testbed.servers in
+  (* run past the last fault clearing so revived vswitches rejoin and
+     the final rebalance (if any) lands inside the horizon *)
+  let horizon =
+    Stdlib.max (params.Tracegen.duration +. 2.0) (Plan.last_activity plan +. 6.0)
+  in
+  Testbed.run_until net ~until:horizon;
+  let nbins = int_of_float (params.Tracegen.duration /. bin_width) + 1 in
+  let total = Array.make nbins 0 and ok = Array.make nbins 0 in
+  List.iteri
+    (fun i (ev : Tracegen.flow_event) ->
+      match launched.(i) with
+      | None -> ()
+      | Some l ->
+        let bin = int_of_float (ev.Tracegen.at /. bin_width) in
+        if bin < nbins then begin
+          total.(bin) <- total.(bin) + 1;
+          let dst = net.Testbed.servers.(ev.Tracegen.dst) in
+          match Scotch_topo.Host.flow_record dst l.Flow_gen.flow_id with
+          | Some _ -> ok.(bin) <- ok.(bin) + 1
+          | None -> ()
+        end)
+    trace;
+  let points = ref [] in
+  for bin = nbins - 1 downto 0 do
+    if total.(bin) > 0 then
+      points :=
+        (float_of_int bin *. bin_width, float_of_int ok.(bin) /. float_of_int total.(bin))
+        :: !points
+  done;
+  { ledger; success = !points }
+
+(** The faulted run alone, with its recovery ledger — what the tests
+    and the smoke alias drive.  [multiplier] tunes the flash-crowd
+    intensity (lower it for fast smoke runs). *)
+let run_outcome ?(seed = 42) ?(scale = 1.0) ?(kills = 2) ?(multiplier = 25.0) () =
+  let params = trace_params ~scale ~multiplier in
+  let outage = Stdlib.max 6.0 (0.3 *. params.Tracegen.duration) in
+  run_variant ~seed ~plan:(kill_plan ~params ~kills ~outage) ~params ()
+
+let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
+  let kills = 2 in
+  let params = trace_params ~scale ~multiplier:25.0 in
+  let outage = Stdlib.max 6.0 (0.3 *. params.Tracegen.duration) in
+  let plan = kill_plan ~params ~kills ~outage in
+  let faulted = run_variant ~seed ~plan ~params () in
+  let clean = run_variant ~seed ~plan:Plan.empty ~params () in
+  Ledger.print faulted.ledger;
+  let ledger_series =
+    List.map (fun (label, points) -> { Report.label; points }) (Ledger.to_series faulted.ledger)
+  in
+  { Report.id = "resilience";
+    title =
+      Printf.sprintf
+        "Failure recovery: %d of 4 uplink vswitches killed for %.0f s mid flash crowd" kills
+        outage;
+    x_label = "time (s) for success series; fault id for ledger series";
+    y_label = "success fraction / seconds / flows";
+    series =
+      { Report.label = "flow success (vswitch kills)"; points = faulted.success }
+      :: { Report.label = "flow success (no faults)"; points = clean.success }
+      :: ledger_series }

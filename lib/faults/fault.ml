@@ -1,0 +1,105 @@
+(** First-class fault values.
+
+    A fault is an injection time, a duration and a target, plus a kind
+    describing what breaks.  The kinds cover the failure surface the
+    paper's §5.6 machinery (heartbeats, backup vswitches, group-bucket
+    rebalancing) is supposed to absorb, and the control-path pathologies
+    of §3 stretched into outright faults:
+
+    - {!Vswitch_crash}: both planes of an overlay vswitch die; the
+      controller must notice via heartbeat loss and fail over.
+    - {!Ofa_slowdown} / {!Ofa_stall}: the switch's software agent gets
+      CPU-starved or freezes outright (queues keep overflowing).
+    - {!Channel_delay} / {!Channel_drop}: the management network
+      degrades — latency spikes or message loss on the control channel.
+    - {!Link_down}: a data link flaps (addressed as a (switch, port)
+      pair; tunnel ports flap the overlay legs).
+    - {!Stats_outage}: the controller's vswitch stats polling stops
+      (elephant detection blind spot).
+
+    Faults are plain data so plans can be built by hand, generated from
+    a seeded PRNG ({!Plan.vswitch_churn}) or compared across runs. *)
+
+type kind =
+  | Vswitch_crash
+  | Ofa_slowdown of float   (* service-time multiplier, > 1 *)
+  | Ofa_stall
+  | Channel_delay of float  (* extra one-way latency, seconds *)
+  | Channel_drop of float   (* per-message loss probability *)
+  | Link_down of int        (* port id on the target switch *)
+  | Stats_outage
+
+type t = {
+  at : float;       (* injection time (absolute simulation seconds) *)
+  duration : float; (* [infinity] means the fault is never lifted *)
+  target : int;     (* dpid of the afflicted switch; 0 for Stats_outage *)
+  kind : kind;
+}
+
+let check ~at ~duration name =
+  if at < 0.0 then invalid_arg (name ^ ": negative injection time");
+  if duration <= 0.0 then invalid_arg (name ^ ": duration must be positive")
+
+(** [vswitch_crash ~at ?duration dpid] kills vswitch [dpid] at [at];
+    with a finite [duration] it comes back (and rejoins as a backup,
+    §5.6) after that long. *)
+let vswitch_crash ~at ?(duration = infinity) target =
+  check ~at ~duration "Fault.vswitch_crash";
+  { at; duration; target; kind = Vswitch_crash }
+
+let ofa_slowdown ~at ~duration ~factor target =
+  check ~at ~duration "Fault.ofa_slowdown";
+  if factor <= 1.0 then invalid_arg "Fault.ofa_slowdown: factor must exceed 1";
+  { at; duration; target; kind = Ofa_slowdown factor }
+
+let ofa_stall ~at ~duration target =
+  check ~at ~duration "Fault.ofa_stall";
+  { at; duration; target; kind = Ofa_stall }
+
+let channel_delay ~at ~duration ~extra target =
+  check ~at ~duration "Fault.channel_delay";
+  if extra <= 0.0 then invalid_arg "Fault.channel_delay: extra latency must be positive";
+  { at; duration; target; kind = Channel_delay extra }
+
+let channel_drop ~at ~duration ~probability target =
+  check ~at ~duration "Fault.channel_drop";
+  if probability <= 0.0 || probability >= 1.0 then
+    invalid_arg "Fault.channel_drop: probability must be in (0,1)";
+  { at; duration; target; kind = Channel_drop probability }
+
+let link_down ~at ~duration ~port target =
+  check ~at ~duration "Fault.link_down";
+  { at; duration; target; kind = Link_down port }
+
+let stats_outage ~at ~duration =
+  check ~at ~duration "Fault.stats_outage";
+  { at; duration; target = 0; kind = Stats_outage }
+
+(** End of the fault's active window ([infinity] for permanent ones). *)
+let ends_at t = t.at +. t.duration
+
+let kind_label = function
+  | Vswitch_crash -> "vswitch-crash"
+  | Ofa_slowdown f -> Printf.sprintf "ofa-slowdown-x%g" f
+  | Ofa_stall -> "ofa-stall"
+  | Channel_delay d -> Printf.sprintf "chan-delay+%gms" (1e3 *. d)
+  | Channel_drop p -> Printf.sprintf "chan-drop-p%g" p
+  | Link_down port -> Printf.sprintf "link-down-port%d" port
+  | Stats_outage -> "stats-outage"
+
+(** Human/ledger label, e.g. ["vswitch-crash@101"]. *)
+let label t =
+  match t.kind with
+  | Stats_outage -> kind_label t.kind
+  | _ -> Printf.sprintf "%s@%d" (kind_label t.kind) t.target
+
+(** Total order: injection time, then target, then kind — the plan
+    order, and a stable tiebreak for simultaneous faults. *)
+let compare a b =
+  match Float.compare a.at b.at with
+  | 0 -> (match Int.compare a.target b.target with 0 -> Stdlib.compare a.kind b.kind | c -> c)
+  | c -> c
+
+let pp fmt t =
+  Format.fprintf fmt "%s@@%.3fs%s" (label t) t.at
+    (if t.duration = infinity then "" else Printf.sprintf "+%.3fs" t.duration)

@@ -1,0 +1,109 @@
+(** The recovery ledger: what the control plane did about each fault.
+
+    One record per injected fault.  For vswitch crashes the interesting
+    milestones are §5.6's: when heartbeat loss was detected
+    ([detected_at]), when every select group stopped referencing the
+    dead vswitch's uplink tunnels ([rebalanced_at]) and how many flows
+    were shed or became unroutable while the overlay was degraded
+    ([flows_lost]).  For the other fault kinds the ledger records the
+    injection/clear times so experiments can correlate metric dips with
+    the fault windows.
+
+    Everything in here is derived from the deterministic simulation, so
+    two runs with the same seed and plan produce byte-identical ledgers
+    — {!digest} is the equality check tests use. *)
+
+open Scotch_util
+
+type record = {
+  id : int;            (* the plan's fault id *)
+  label : string;
+  injected_at : float;
+  mutable detected_at : float option;   (* heartbeat loss noticed (crashes) *)
+  mutable rebalanced_at : float option; (* all select groups clean again *)
+  mutable cleared_at : float option;    (* fault lifted / device recovered *)
+  mutable flows_lost : int;             (* dropped + unroutable during the outage *)
+  mutable backup_promoted : int option; (* dpid of the backup that took over *)
+}
+
+type t = { mutable records : record list (* newest first *) }
+
+let create () = { records = [] }
+
+let add t ~id ~label ~injected_at =
+  let r =
+    { id; label; injected_at; detected_at = None; rebalanced_at = None; cleared_at = None;
+      flows_lost = 0; backup_promoted = None }
+  in
+  t.records <- r :: t.records;
+  r
+
+(** Records in plan (id) order. *)
+let records t = List.sort (fun a b -> compare a.id b.id) t.records
+
+let find t id = List.find_opt (fun r -> r.id = id) t.records
+
+let length t = List.length t.records
+
+(** Seconds from injection to heartbeat-loss detection. *)
+let detection_latency r = Option.map (fun d -> d -. r.injected_at) r.detected_at
+
+(** Seconds from injection until every select group was clean of the
+    dead vswitch (includes the detection latency). *)
+let time_to_rebalance r = Option.map (fun d -> d -. r.injected_at) r.rebalanced_at
+
+(** {1 Report-compatible summary}
+
+    [to_series] returns the ledger as labelled (x, y) series with the
+    fault id on the x axis — the exact shape
+    {!Scotch_experiments.Report.series} wants, without depending on that
+    library.  Missing milestones are simply absent points. *)
+
+let to_series t =
+  let pick f = List.filter_map f (records t) in
+  [ ("detection latency (s)",
+     pick (fun r -> Option.map (fun v -> (float_of_int r.id, v)) (detection_latency r)));
+    ("time to rebalance (s)",
+     pick (fun r -> Option.map (fun v -> (float_of_int r.id, v)) (time_to_rebalance r)));
+    ("flows lost during outage",
+     pick (fun r -> Some (float_of_int r.id, float_of_int r.flows_lost))) ]
+
+let opt_time = function None -> "-" | Some v -> Printf.sprintf "%.4f" v
+
+let to_table t =
+  let tbl =
+    Table_printer.create
+      [ "id"; "fault"; "injected"; "detect (s)"; "rebalance (s)"; "cleared"; "flows lost";
+        "backup" ]
+  in
+  List.iter
+    (fun r ->
+      Table_printer.add_row tbl
+        [ string_of_int r.id; r.label; Printf.sprintf "%.3f" r.injected_at;
+          opt_time (detection_latency r); opt_time (time_to_rebalance r);
+          (match r.cleared_at with None -> "-" | Some v -> Printf.sprintf "%.3f" v);
+          string_of_int r.flows_lost;
+          (match r.backup_promoted with None -> "-" | Some d -> string_of_int d) ])
+    (records t);
+  tbl
+
+let print t =
+  print_endline "== recovery ledger ==";
+  Table_printer.print (to_table t)
+
+(** Canonical dump: every field of every record at full float precision,
+    in id order.  Two ledgers are equal iff their dumps are. *)
+let canonical t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      let opt = function None -> "none" | Some v -> Printf.sprintf "%.17g" v in
+      Buffer.add_string b
+        (Printf.sprintf "%d|%s|%.17g|%s|%s|%s|%d|%s\n" r.id r.label r.injected_at
+           (opt r.detected_at) (opt r.rebalanced_at) (opt r.cleared_at) r.flows_lost
+           (match r.backup_promoted with None -> "none" | Some d -> string_of_int d)))
+    (records t);
+  Buffer.contents b
+
+(** Hex digest of {!canonical}: the bit-identical-recovery check. *)
+let digest t = Digest.to_hex (Digest.string (canonical t))

@@ -1,0 +1,89 @@
+(** Fault plans: a schedule of {!Fault.t} values with stable ids.
+
+    Plans come from two places — explicit lists (targeted what-if
+    scenarios: "kill vswitch 101 at t=12") and seeded churn generators
+    built on {!Scotch_util.Rng.split} (background failure weather: mean
+    time between failures, mean time to repair).  Both compose with
+    {!merge}, and the same seed always yields the same plan, so a run's
+    recovery ledger is reproducible bit-for-bit. *)
+
+open Scotch_util
+
+type t = { faults : (int * Fault.t) list } (* (id, fault), sorted by Fault.compare *)
+
+let empty = { faults = [] }
+
+(** [of_list faults] sorts by injection time and assigns ids 0, 1, …
+    in that order. *)
+let of_list faults =
+  { faults = List.stable_sort Fault.compare faults |> List.mapi (fun i f -> (i, f)) }
+
+(** [merge a b] combines two plans and renumbers. *)
+let merge a b = of_list (List.map snd a.faults @ List.map snd b.faults)
+
+let faults t = t.faults
+
+let length t = List.length t.faults
+
+let is_empty t = t.faults = []
+
+(** Latest fault-clearing time in the plan ([neg_infinity] when empty);
+    lets callers size the simulation horizon. *)
+let last_activity t =
+  List.fold_left
+    (fun acc (_, f) ->
+      let e = Fault.ends_at f in
+      Stdlib.max acc (if e = infinity then f.Fault.at else e))
+    neg_infinity t.faults
+
+(** {1 Seeded churn generators}
+
+    Each takes its own {!Rng.t} (derive one with [Rng.split]) so adding
+    a churn stream does not perturb the workload's randomness. *)
+
+(** [vswitch_churn ~rng ~targets ~start ~until ~mtbf ~mttr] generates
+    crash/recover churn over the vswitch pool: crashes arrive as a
+    Poisson process with mean inter-arrival [mtbf], each picks a uniform
+    target from [targets] and heals after an Exp([mttr]) repair time
+    (floored at a tenth of [mttr] so zero-length outages cannot occur). *)
+let vswitch_churn ~rng ~targets ~start ~until ~mtbf ~mttr =
+  if Array.length targets = 0 then invalid_arg "Plan.vswitch_churn: no targets";
+  if mtbf <= 0.0 || mttr <= 0.0 then invalid_arg "Plan.vswitch_churn: mtbf/mttr must be positive";
+  let rec go t acc =
+    let t = t +. Rng.exponential rng ~rate:(1.0 /. mtbf) in
+    if t >= until then List.rev acc
+    else begin
+      let target = Rng.choice rng targets in
+      let duration = Stdlib.max (0.1 *. mttr) (Rng.exponential rng ~rate:(1.0 /. mttr)) in
+      go t (Fault.vswitch_crash ~at:t ~duration target :: acc)
+    end
+  in
+  go start []
+
+(** [ofa_gremlins ~rng ~targets ~start ~until ~mtbf ~mttr] generates
+    control-path weather on physical switches: each event is either an
+    OFA slowdown (uniform 2–10x), an OFA stall, or a control-channel
+    latency spike (uniform 5–50 ms one way), with Exp([mttr]) duration. *)
+let ofa_gremlins ~rng ~targets ~start ~until ~mtbf ~mttr =
+  if Array.length targets = 0 then invalid_arg "Plan.ofa_gremlins: no targets";
+  if mtbf <= 0.0 || mttr <= 0.0 then invalid_arg "Plan.ofa_gremlins: mtbf/mttr must be positive";
+  let rec go t acc =
+    let t = t +. Rng.exponential rng ~rate:(1.0 /. mtbf) in
+    if t >= until then List.rev acc
+    else begin
+      let target = Rng.choice rng targets in
+      let duration = Stdlib.max (0.1 *. mttr) (Rng.exponential rng ~rate:(1.0 /. mttr)) in
+      let fault =
+        match Rng.int rng 3 with
+        | 0 -> Fault.ofa_slowdown ~at:t ~duration ~factor:(2.0 +. Rng.float rng 8.0) target
+        | 1 -> Fault.ofa_stall ~at:t ~duration target
+        | _ -> Fault.channel_delay ~at:t ~duration ~extra:(0.005 +. Rng.float rng 0.045) target
+      in
+      go t (fault :: acc)
+    end
+  in
+  go start []
+
+let pp fmt t =
+  Format.fprintf fmt "plan[%d faults]" (length t);
+  List.iter (fun (i, f) -> Format.fprintf fmt "@ #%d %a" i Fault.pp f) t.faults

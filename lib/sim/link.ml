@@ -13,6 +13,7 @@ type stats = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  mutable dropped_down : int; (* lost while the link was administratively down *)
 }
 
 type t = {
@@ -23,6 +24,7 @@ type t = {
   queue_capacity : int;        (* packets *)
   queue : Packet.t Queue.t;
   mutable busy : bool;
+  mutable up : bool; (* fault injection: a down link loses every packet *)
   mutable sink : Packet.t -> unit;
   stats : stats;
 }
@@ -33,7 +35,8 @@ let create engine ~name ~bandwidth_bps ~latency ~queue_capacity =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
   if latency < 0.0 then invalid_arg "Link.create: negative latency";
   { engine; name; bandwidth_bps; latency; queue_capacity; queue = Queue.create ();
-    busy = false; sink = (fun _ -> ()); stats = { delivered = 0; dropped = 0; bytes = 0 } }
+    busy = false; up = true; sink = (fun _ -> ());
+    stats = { delivered = 0; dropped = 0; bytes = 0; dropped_down = 0 } }
 
 (** [connect t sink] sets the function receiving delivered packets. *)
 let connect t sink = t.sink <- sink
@@ -57,9 +60,10 @@ let rec start_transmission t =
            start_transmission t))
 
 (** [send t pkt] enqueues [pkt] for transmission; drops (and counts) when
-    the queue is full. *)
+    the queue is full or the link is down (link-flap fault injection). *)
 let send t pkt =
-  if t.busy then begin
+  if not t.up then t.stats.dropped_down <- t.stats.dropped_down + 1
+  else if t.busy then begin
     if Queue.length t.queue >= t.queue_capacity then t.stats.dropped <- t.stats.dropped + 1
     else Queue.push pkt t.queue
   end
@@ -68,9 +72,22 @@ let send t pkt =
     start_transmission t
   end
 
+(** Administrative state (fault injection).  Taking a link down empties
+    its queue — in-flight packets are lost, exactly like a cable pull;
+    bringing it back up restores service for subsequent sends. *)
+let set_up t up =
+  t.up <- up;
+  if not up then begin
+    t.stats.dropped_down <- t.stats.dropped_down + Queue.length t.queue;
+    Queue.clear t.queue
+  end
+
+let is_up t = t.up
+
 let name t = t.name
 let delivered t = t.stats.delivered
 let dropped t = t.stats.dropped
+let dropped_down t = t.stats.dropped_down
 let bytes_delivered t = t.stats.bytes
 let queue_length t = Queue.length t.queue
 let latency t = t.latency

@@ -22,12 +22,21 @@ val create :
 val connect : t -> (Scotch_packet.Packet.t -> unit) -> unit
 
 (** Enqueue a packet for transmission; drops (and counts) when the
-    queue is full. *)
+    queue is full or the link is administratively down. *)
 val send : t -> Scotch_packet.Packet.t -> unit
+
+(** Administrative state (fault injection).  Taking a link down empties
+    its queue — in-flight packets are lost, like a cable pull. *)
+val set_up : t -> bool -> unit
+
+val is_up : t -> bool
 
 val name : t -> string
 val delivered : t -> int
 val dropped : t -> int
+
+(** Packets lost while the link was down (link-flap faults). *)
+val dropped_down : t -> int
 val bytes_delivered : t -> int
 val queue_length : t -> int
 val latency : t -> float

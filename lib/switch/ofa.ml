@@ -61,6 +61,13 @@ type t = {
   counters : counters;
   mutable next_xid : int;
   mutable dead : bool; (* failure injection: a dead agent is silent *)
+  mutable slowdown : float;
+      (* failure injection: service-time multiplier (> 1 models a
+         CPU-starved agent, e.g. an SNMP walk or a BGP burst on the
+         management CPU) *)
+  mutable stalled_until : float;
+      (* failure injection: the agent freezes (queues keep filling and
+         overflowing) until this absolute time *)
 }
 
 let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) engine ~profile ~handler =
@@ -70,7 +77,7 @@ let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) engine ~profile ~handl
     counters =
       { pin_sent = 0; pin_dropped = 0; flow_mods_handled = 0; flow_mods_dropped = 0;
         msgs_handled = 0 };
-    next_xid = 1; dead = false }
+    next_xid = 1; dead = false; slowdown = 1.0; stalled_until = 0.0 }
 
 (** Wire the switch→controller direction (set by the control channel). *)
 let connect_controller t send = t.to_controller <- send
@@ -105,7 +112,7 @@ let service_time t (job : job) =
       | Of_msg.Packet_out _ -> p.Profile.packet_out_service
       | _ -> p.Profile.misc_service)
   in
-  base *. (0.95 +. Scotch_util.Rng.float t.rng 0.1)
+  base *. t.slowdown *. (0.95 +. Scotch_util.Rng.float t.rng 0.1)
 
 let execute t (job : job) =
   let c = t.counters in
@@ -143,6 +150,23 @@ let set_dead t dead = t.dead <- dead
 
 let is_dead t = t.dead
 
+(** Failure injection: multiply every service time by [factor] (1.0
+    restores nominal speed).  Jobs already in service finish at their
+    scheduled time; the factor applies from the next job on. *)
+let set_slowdown t factor =
+  if factor <= 0.0 then invalid_arg "Ofa.set_slowdown: factor must be positive";
+  t.slowdown <- factor
+
+let slowdown t = t.slowdown
+
+(** Failure injection: freeze the agent until absolute time [until].
+    Unlike {!set_dead} the agent still accepts queue entries (and drops
+    on overflow), it just does not serve them — the §3.1 "OFA busy with
+    housekeeping" pathology, stretched. *)
+let stall t ~until = t.stalled_until <- Stdlib.max t.stalled_until until
+
+let stalled_until t = t.stalled_until
+
 let rec serve t =
   if t.dead then t.busy <- false
   else begin
@@ -161,6 +185,7 @@ let rec serve t =
     t.busy <- true;
     let now = Scotch_sim.Engine.now t.engine in
     let start = match housekeeping_end t ~now with None -> now | Some e -> e in
+    let start = Stdlib.max start t.stalled_until in
     let finish = start +. service_time t job in
     ignore
       (Scotch_sim.Engine.schedule_at t.engine ~at:finish (fun () ->

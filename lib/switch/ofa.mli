@@ -55,6 +55,21 @@ val set_dead : t -> bool -> unit
 
 val is_dead : t -> bool
 
+(** Failure injection: multiply every service time by the factor (1.0
+    restores nominal speed; raises on non-positive factors).  Models a
+    CPU-starved agent rather than a dead one. *)
+val set_slowdown : t -> float -> unit
+
+val slowdown : t -> float
+
+(** Failure injection: freeze the agent until absolute time [until].
+    Unlike {!set_dead} the agent still accepts (and overflows) queue
+    entries, it just does not serve them — the §3.1 housekeeping
+    pathology, stretched. *)
+val stall : t -> until:float -> unit
+
+val stalled_until : t -> float
+
 (** Queue a new-flow packet for Packet-In generation; dropped (counted)
     when the queue is full — the control-path loss of §3.2. *)
 val submit_packet_in : t -> pin_job -> unit

@@ -310,6 +310,11 @@ let set_failed t failed =
 
 let is_failed t = t.failed
 
+(** The outgoing link attached to a port, if any (fault injection:
+    link-flap targets are addressed as (switch, port)). *)
+let link_of_port t port_id =
+  match find_port t port_id with None -> None | Some p -> p.out
+
 (** Ids of the switch's normal (non-tunnel) ports, sorted. *)
 let normal_ports t =
   Hashtbl.fold (fun pid p acc -> if p.kind = Normal then pid :: acc else acc) t.ports []

@@ -53,6 +53,10 @@ val set_failed : t -> bool -> unit
 
 val is_failed : t -> bool
 
+(** The outgoing link attached to a port, if any (fault injection:
+    link-flap targets are addressed as (switch, port)). *)
+val link_of_port : t -> int -> Scotch_sim.Link.t option
+
 (** Ids of the normal (non-tunnel) ports, sorted. *)
 val normal_ports : t -> int list
 

@@ -1,0 +1,33 @@
+(* Fast failover smoke: the resilience experiment in its smallest
+   configuration (quarter duration, gentle flash crowd, 2 kills), run
+   as part of `dune runtest` and under the `@resilience` alias.
+
+   Asserts the full §5.6 story — heartbeat detection inside
+   [timeout, timeout + period + slack], a backup promoted for every
+   kill, every select group rebalanced, and both corpses revived — and
+   prints the recovery ledger.  Exits non-zero on any miss. *)
+
+open Scotch_faults
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("resilience smoke FAILED: " ^ s); exit 1) fmt
+
+let () =
+  let o = Scotch_experiments.Resilience.run_outcome ~seed:42 ~scale:0.25 ~kills:2 ~multiplier:5.0 () in
+  let ledger = o.Scotch_experiments.Resilience.ledger in
+  Ledger.print ledger;
+  let recs = Ledger.records ledger in
+  if List.length recs <> 2 then fail "expected 2 ledger records, got %d" (List.length recs);
+  List.iter
+    (fun (r : Ledger.record) ->
+      (match Ledger.detection_latency r with
+      | None -> fail "%s: heartbeat loss never detected" r.Ledger.label
+      | Some d when d < 3.0 || d > 4.5 -> fail "%s: detection latency %.3f s out of range" r.Ledger.label d
+      | Some _ -> ());
+      (match Ledger.time_to_rebalance r with
+      | None -> fail "%s: select groups never rebalanced" r.Ledger.label
+      | Some t when t >= 6.0 -> fail "%s: rebalance took %.3f s" r.Ledger.label t
+      | Some _ -> ());
+      if r.Ledger.backup_promoted = None then fail "%s: no backup promoted" r.Ledger.label;
+      if r.Ledger.cleared_at = None then fail "%s: vswitch never revived" r.Ledger.label)
+    recs;
+  Printf.printf "resilience smoke OK (ledger digest %s)\n" (Ledger.digest ledger)
