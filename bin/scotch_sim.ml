@@ -95,6 +95,46 @@ let all_cmd =
   let run seed scale csv = List.iter (fun spec -> run_one spec seed scale csv) specs in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ scale_arg $ csv_arg)
 
+let verify_net_cmd =
+  let doc =
+    "Statically verify the dataplane of every experiment topology at steady state: no \
+     forwarding loops, no blackholes, no shadowed rules, sane groups, full table-miss \
+     coverage and overlay symmetry.  Exits non-zero on any diagnostic."
+  in
+  let scenario_arg =
+    let doc = "Only lint the named scenario(s); repeatable.  Default: all." in
+    Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let run seed scenario_names =
+    let only = match scenario_names with [] -> None | ns -> Some ns in
+    let results =
+      try Lint.run_all ~seed ?only ()
+      with Invalid_argument msg ->
+        Printf.eprintf "verify-net: %s (known: %s)\n" msg (String.concat ", " Lint.names);
+        exit 2
+    in
+    let total =
+      List.fold_left
+        (fun acc (name, diags) ->
+          (match diags with
+          | [] -> Printf.printf "%-22s clean\n" name
+          | ds ->
+            Printf.printf "%-22s %d diagnostic(s)\n" name (List.length ds);
+            List.iter
+              (fun d -> Printf.printf "  %s\n" (Scotch_verify.Diagnostic.to_string d))
+              ds);
+          acc + List.length diags)
+        0 results
+    in
+    if total > 0 then begin
+      Printf.printf "verify-net: %d diagnostic(s) across %d scenario(s)\n" total
+        (List.length results);
+      exit 1
+    end
+    else Printf.printf "verify-net: all %d scenario(s) clean\n" (List.length results)
+  in
+  Cmd.v (Cmd.info "verify-net" ~doc) Term.(const run $ seed_arg $ scenario_arg)
+
 let list_cmd =
   let doc = "List experiments with the paper artifact each regenerates." in
   let run () =
@@ -105,6 +145,6 @@ let list_cmd =
 let main =
   let doc = "Scotch (CoNEXT 2014) reproduction: elastic SDN control-plane scaling" in
   let info = Cmd.info "scotch-sim" ~version:"1.0.0" ~doc in
-  Cmd.group info (list_cmd :: all_cmd :: List.map cmd_of_spec specs)
+  Cmd.group info (list_cmd :: all_cmd :: verify_net_cmd :: List.map cmd_of_spec specs)
 
 let () = exit (Cmd.eval main)

@@ -167,6 +167,25 @@ let mark_recovered t dpid =
     v.alive <- true;
     v.is_backup <- true
 
+(** {1 Snapshot accessors (verification)} *)
+
+(** Every physical switch's uplinks, as [(phys dpid, (vswitch dpid,
+    tunnel id) list)], sorted by dpid. *)
+let all_uplinks t =
+  Hashtbl.fold (fun dpid r acc -> (dpid, List.sort compare !r) :: acc) t.uplinks []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** The full tunnel-id → origin-switch table, sorted by tunnel id. *)
+let tunnel_origins t =
+  Hashtbl.fold (fun tid dpid acc -> (tid, dpid) :: acc) t.tunnel_origin []
+  |> List.sort compare
+
+(** The recorded host-coverage table as [(host ip int, vswitch dpid)],
+    sorted — the {e recorded} cover, before the alive-fallback of
+    {!cover_of_ip}. *)
+let covers t =
+  Hashtbl.fold (fun ip vd acc -> (ip, vd) :: acc) t.host_cover [] |> List.sort compare
+
 let size t = Hashtbl.length t.vswitches
 
 let alive_count t =

@@ -62,3 +62,17 @@ val mark_recovered : t -> int -> unit
 
 val size : t -> int
 val alive_count : t -> int
+
+(** {1 Snapshot accessors (verification)} *)
+
+(** Every physical switch's uplinks, as [(phys dpid, (vswitch dpid,
+    tunnel id) list)], sorted by dpid. *)
+val all_uplinks : t -> (int * (int * int) list) list
+
+(** The full tunnel-id → origin-switch table, sorted by tunnel id. *)
+val tunnel_origins : t -> (int * int) list
+
+(** The recorded host-coverage table as [(host ip int, vswitch dpid)],
+    sorted — the {e recorded} cover, before the alive-fallback of
+    {!cover_of_ip}. *)
+val covers : t -> (int * int) list

@@ -28,6 +28,20 @@ type managed = {
   mutable group_installed : bool;
 }
 
+(** Phase boundaries at which debug-mode verification hooks fire
+    (see {!Scotch_verify.Hooks}): after overlay redirection is
+    installed, after a withdrawal completes, after an elephant
+    migration completes, and after a vswitch failure is repaired. *)
+type phase = [ `Post_redirect | `Post_withdrawal | `Post_migration | `Post_recovery ]
+
+let pp_phase fmt (p : phase) =
+  Format.pp_print_string fmt
+    (match p with
+    | `Post_redirect -> "post-redirect"
+    | `Post_withdrawal -> "post-withdrawal"
+    | `Post_migration -> "post-migration"
+    | `Post_recovery -> "post-recovery")
+
 type counters = {
   mutable flows_seen : int;
   mutable flows_overlay : int;       (* routed over the overlay *)
@@ -53,6 +67,7 @@ type t = {
   mutable stats_polling : bool;
       (* fault injection: a stats-polling outage suspends elephant
          detection (the §5.3 loop) without touching anything else *)
+  mutable phase_hooks : (phase -> unit) list;
 }
 
 let create ctrl overlay policy config =
@@ -62,7 +77,7 @@ let create ctrl overlay policy config =
       { flows_seen = 0; flows_overlay = 0; flows_physical = 0; flows_dropped = 0;
         flows_unroutable = 0; elephants_detected = 0; migrations_completed = 0;
         activations = 0; withdrawals = 0; vswitch_failures = 0 };
-    stats_polling = true }
+    stats_polling = true; phase_hooks = [] }
 
 let counters t = t.counters
 let db t = t.db
@@ -73,6 +88,16 @@ let engine t = C.engine t.ctrl
 let now t = Scotch_sim.Engine.now (engine t)
 
 let managed_of t dpid = Hashtbl.find_opt t.managed dpid
+
+(** [on_phase t f] registers [f] to run at every phase boundary —
+    used by the verification hooks; cheap no-op when nothing is
+    registered. *)
+let on_phase t f = t.phase_hooks <- f :: t.phase_hooks
+
+(** [notify_phase t p] fires the registered phase hooks.  Exported so
+    the fault injector (which repairs vswitches behind this module's
+    back) can announce [`Post_recovery]. *)
+let notify_phase t p = List.iter (fun f -> f p) t.phase_hooks
 
 (** {1 Registration} *)
 
@@ -145,13 +170,18 @@ let buckets_of_assignment assigned =
     assigned
 
 let install_group t m =
-  let gm =
-    if m.group_installed then
-      Of_msg.Group_mod.modify_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
-    else Of_msg.Group_mod.add_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
-  in
-  m.group_installed <- true;
-  C.send t.ctrl m.msw (Of_msg.Group_mod gm)
+  (* an empty assignment would produce an empty-bucket Group_mod, which
+     the switch now rejects (OFPGMFC_INVALID_GROUP); keep the previous
+     group contents until a non-empty assignment replaces them *)
+  if m.assigned <> [] then begin
+    let gm =
+      if m.group_installed then
+        Of_msg.Group_mod.modify_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
+      else Of_msg.Group_mod.add_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
+    in
+    m.group_installed <- true;
+    C.send t.ctrl m.msw (Of_msg.Group_mod gm)
+  end
 
 (** [activate t m] turns on overlay redirection at a congested switch:
     the two-table pipeline of §5.2 — table 0 tags the ingress port with
@@ -177,7 +207,8 @@ let activate t m =
           ~instructions:
             [ Of_action.Apply_actions [ Of_action.Push_mpls port ]; Of_action.Goto_table 1 ]
           ())
-      (Switch.normal_ports m.msw.C.device)
+      (Switch.normal_ports m.msw.C.device);
+    notify_phase t `Post_redirect
   end
 
 (** {1 Withdrawal (§5.5)} *)
@@ -199,7 +230,8 @@ let withdraw t m =
         C.uninstall t.ctrl m.msw ~table_id:0 ~priority:redirect_priority
           ~match_:(Of_match.with_in_port port Of_match.wildcard)
           ())
-      (Switch.normal_ports m.msw.C.device)
+      (Switch.normal_ports m.msw.C.device);
+    notify_phase t `Post_withdrawal
   in
   if pins = [] then remove_redirects ()
   else
@@ -415,7 +447,8 @@ let do_migration t (e : Flow_info_db.entry) =
   else
     install_physical t e ~first_packet:None ~on_complete:(fun () ->
         e.Flow_info_db.migrating <- false;
-        t.counters.migrations_completed <- t.counters.migrations_completed + 1)
+        t.counters.migrations_completed <- t.counters.migrations_completed + 1;
+        notify_phase t `Post_migration)
 
 (** Elephant detection: poll per-flow packet counts at the vswitches and
     compare against the configured rate threshold. *)
@@ -736,3 +769,8 @@ let managed_dpids t =
     [(vswitch dpid, uplink tunnel id)] pairs (observability). *)
 let assignment_of t dpid =
   match managed_of t dpid with Some m -> m.assigned | None -> []
+
+(** Dpids of all registered overlay vswitches, sorted
+    (observability). *)
+let vswitch_dpids t =
+  Hashtbl.fold (fun dpid _ acc -> dpid :: acc) t.vswitch_handles [] |> List.sort compare

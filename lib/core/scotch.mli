@@ -11,6 +11,14 @@
 open Scotch_switch
 module C = Scotch_controller.Controller
 
+(** Phase boundaries at which debug-mode verification hooks fire
+    (see {!Scotch_verify.Hooks}): after overlay redirection is
+    installed, after a withdrawal completes, after an elephant
+    migration completes, and after a vswitch failure is repaired. *)
+type phase = [ `Post_redirect | `Post_withdrawal | `Post_migration | `Post_recovery ]
+
+val pp_phase : Format.formatter -> phase -> unit
+
 type counters = {
   mutable flows_seen : int;
   mutable flows_overlay : int;       (** routed over the overlay *)
@@ -83,3 +91,16 @@ val managed_dpids : t -> int list
     [(vswitch dpid, uplink tunnel id)] pairs; [[]] when unknown or
     never activated (observability). *)
 val assignment_of : t -> int -> (int * int) list
+
+(** Dpids of all registered overlay vswitches, sorted
+    (observability). *)
+val vswitch_dpids : t -> int list
+
+(** Register a callback to run at every phase boundary (used by
+    {!Scotch_verify.Hooks} in debug mode). *)
+val on_phase : t -> (phase -> unit) -> unit
+
+(** Fire the registered phase hooks.  Exported so the fault injector —
+    which repairs vswitches behind this module's back — can announce
+    [`Post_recovery]. *)
+val notify_phase : t -> phase -> unit

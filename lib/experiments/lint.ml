@@ -1,0 +1,109 @@
+(** Lint scenarios for [scotch-sim verify-net]: build each experiment
+    topology, drive it to a steady state, then run the dataplane
+    invariant checker on a frozen snapshot.  Every scenario is seeded
+    and short (a few simulated seconds), so the whole suite is
+    deterministic and fast enough for the [@lint] alias.
+
+    A clean tree must produce zero diagnostics on every scenario — the
+    checker's false-positive budget on real topologies is zero. *)
+
+module V = Scotch_verify
+
+type scenario = {
+  name : string;
+  doc : string;
+  run : seed:int -> V.Diagnostic.t list;
+}
+
+let check_net (net : Testbed.scotch_net) =
+  let now = Scotch_sim.Engine.now net.Testbed.engine in
+  V.check (V.Snapshot.capture ~scotch:net.Testbed.app ~now net.Testbed.topo)
+
+(* Rates chosen against Config.default.activate_pin_rate (100/s): the
+   attacker alone pushes the edge switch past activation, so the
+   snapshot contains redirect rules, the select group and live vflow
+   state — the interesting surface.  4 s of simulated time covers
+   activation plus a few monitor intervals of steady state. *)
+let steady_state = 4.0
+let attack_rate = 300.0
+let client_rate = 20.0
+
+let scotch_net_idle ~seed =
+  let net = Testbed.scotch_net ~seed () in
+  Testbed.run_until net ~until:1.0;
+  check_net net
+
+let active_net ~seed ?(num_backups = 0) () =
+  let net = Testbed.scotch_net ~seed ~num_vswitches:4 ~num_backups ~num_clients:2 () in
+  Scotch_workload.Source.start (Testbed.attack_source net ~rate:attack_rate);
+  Scotch_workload.Source.start (Testbed.client_source net ~i:0 ~rate:client_rate ());
+  Scotch_workload.Source.start (Testbed.client_source net ~i:1 ~rate:client_rate ());
+  net
+
+let scotch_net_active ~seed =
+  let net = active_net ~seed () in
+  Testbed.run_until net ~until:steady_state;
+  check_net net
+
+let scotch_net_backups ~seed =
+  let net = active_net ~seed ~num_backups:2 () in
+  Testbed.run_until net ~until:steady_state;
+  check_net net
+
+let scotch_net_firewall ~seed =
+  let net = active_net ~seed () in
+  (* every flow crosses the firewall segment: both the shared green
+     rules and per-flow red rules are on the books when we lint *)
+  ignore (Testbed.add_firewall_segment net ~classify:(fun _ -> true));
+  Testbed.run_until net ~until:steady_state;
+  check_net net
+
+let fabric ~seed =
+  let fb = Testbed.fabric ~seed ~num_racks:3 ~hosts_per_rack:2 () in
+  let host ~rack ~slot = fb.Testbed.f_hosts.(rack).(slot) in
+  Scotch_workload.Source.start
+    (Testbed.fabric_attack fb ~src:(host ~rack:0 ~slot:0) ~dst:(host ~rack:2 ~slot:1)
+       ~rate:attack_rate);
+  Scotch_workload.Source.start
+    (Testbed.fabric_client fb ~src:(host ~rack:1 ~slot:0) ~dst:(host ~rack:2 ~slot:0)
+       ~rate:client_rate);
+  Scotch_sim.Engine.run ~until:steady_state fb.Testbed.f_engine;
+  let now = Scotch_sim.Engine.now fb.Testbed.f_engine in
+  V.check (V.Snapshot.capture ~scotch:fb.Testbed.f_app ~now fb.Testbed.f_topo)
+
+let scenarios =
+  [ { name = "scotch-net-idle";
+      doc = "evaluation network at rest: miss rules only, overlay dormant";
+      run = scotch_net_idle };
+    { name = "scotch-net-active";
+      doc = "flash crowd past activation: redirects, select group, live vflows";
+      run = scotch_net_active };
+    { name = "scotch-net-backups";
+      doc = "activated overlay with standby backup vswitches registered";
+      run = scotch_net_backups };
+    { name = "scotch-net-firewall";
+      doc = "middlebox policy segment: green/red rules share the tables (S5.4)";
+      run = scotch_net_firewall };
+    { name = "fabric";
+      doc = "leaf-spine fabric, cross-rack crowd over rack-local vswitches";
+      run = fabric } ]
+
+let names = List.map (fun s -> s.name) scenarios
+
+let find name = List.find_opt (fun s -> s.name = name) scenarios
+
+(** Run every scenario (or just [only]); returns per-scenario
+    diagnostics, in declaration order. *)
+let run_all ?(seed = 42) ?only () =
+  let selected =
+    match only with
+    | None -> scenarios
+    | Some names ->
+      List.filter_map
+        (fun n ->
+          match find n with
+          | Some s -> Some s
+          | None -> invalid_arg (Printf.sprintf "unknown lint scenario %S" n))
+        names
+  in
+  List.map (fun s -> (s.name, s.run ~seed)) selected

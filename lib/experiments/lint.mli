@@ -1,0 +1,20 @@
+(** Lint scenarios for [scotch-sim verify-net]: each builds an
+    experiment topology, drives it to a seeded steady state and runs
+    the {!Scotch_verify} invariant checker on a snapshot.  A clean tree
+    yields zero diagnostics on every scenario. *)
+
+type scenario = {
+  name : string;
+  doc : string;
+  run : seed:int -> Scotch_verify.Diagnostic.t list;
+}
+
+val scenarios : scenario list
+val names : string list
+val find : string -> scenario option
+
+(** [run_all ?seed ?only ()] runs every scenario ([only] restricts to
+    the named ones; unknown names raise [Invalid_argument]) and returns
+    [(name, diagnostics)] pairs in declaration order. *)
+val run_all :
+  ?seed:int -> ?only:string list -> unit -> (string * Scotch_verify.Diagnostic.t list) list

@@ -42,6 +42,8 @@ let kill_plan ~(params : Tracegen.params) ~kills ~outage =
 type outcome = {
   ledger : Ledger.t;
   success : (float * float) list; (* per-bin flow success fraction *)
+  verify : Scotch_verify.Hooks.t option;
+      (* debug-mode invariant checks (post-recovery + run-end), when enabled *)
 }
 
 let run_variant ~seed ~plan ~(params : Tracegen.params) () =
@@ -85,7 +87,7 @@ let run_variant ~seed ~plan ~(params : Tracegen.params) () =
         (float_of_int bin *. bin_width, float_of_int ok.(bin) /. float_of_int total.(bin))
         :: !points
   done;
-  { ledger; success = !points }
+  { ledger; success = !points; verify = net.Testbed.verify }
 
 (** The faulted run alone, with its recovery ledger — what the tests
     and the smoke alias drive.  [multiplier] tunes the flash-crowd

@@ -83,6 +83,7 @@ type scotch_net = {
   attacker : Host.t;            (* port 99 on the edge switch *)
   servers : Host.t array;       (* ports 1..k on the server switch *)
   server : Host.t;              (* servers.(0) *)
+  verify : Scotch_verify.Hooks.t option;
 }
 
 let edge_dpid = 1
@@ -166,6 +167,7 @@ let scotch_net ?(seed = 42) ?(profile = Profile.pica8) ?(vswitch_profile = Profi
   let ctrl = C.create engine topo in
   let policy = Scotch_core.Policy.create topo in
   let app = Scotch_core.Scotch.create ctrl overlay policy config in
+  let verify = ref None in
   if scotch_enabled then begin
     C.register_app ctrl (Scotch_core.Scotch.app app);
     ignore (Scotch_core.Scotch.manage_switch app edge ~channel_latency:control_latency);
@@ -173,7 +175,9 @@ let scotch_net ?(seed = 42) ?(profile = Profile.pica8) ?(vswitch_profile = Profi
     Array.iter
       (fun v -> ignore (Scotch_core.Scotch.register_vswitch app v ~channel_latency:control_latency))
       vswitches;
-    Scotch_core.Scotch.start app
+    Scotch_core.Scotch.start app;
+    (* debug-mode verification: a no-op unless Hooks.enable was called *)
+    verify := Scotch_verify.Hooks.install ~engine ~topo app
   end
   else begin
     (* baseline: plain reactive routing, no overlay *)
@@ -185,28 +189,28 @@ let scotch_net ?(seed = 42) ?(profile = Profile.pica8) ?(vswitch_profile = Profi
     Scotch_controller.Routing.install_table_miss ctrl s
   end;
   { engine; topo; ctrl; app; overlay; policy; edge; server_sw; vswitches; clients; attacker;
-    servers; server }
+    servers; server; verify = !verify }
 
 (** A client traffic source on client [i]. *)
-let client_source net ~i ~rate ?arrival ?spec_of () =
+let client_source (net : scotch_net) ~i ~rate ?arrival ?spec_of () =
   let rng = Rng.split (Scotch_sim.Engine.rng net.engine) in
   Source.create net.engine ~rng ~host:net.clients.(i) ~dst:net.server ~rate ?arrival ?spec_of
     ()
 
 (** The spoofed-source attacker. *)
-let attack_source net ~rate =
+let attack_source (net : scotch_net) ~rate =
   let rng = Rng.split (Scotch_sim.Engine.rng net.engine) in
   Source.create net.engine ~rng ~host:net.attacker ~dst:net.server ~rate ~spoof_sources:true ()
 
 (** Run the simulation to absolute time [until]. *)
-let run_until net ~until = Scotch_sim.Engine.run ~until net.engine
+let run_until (net : scotch_net) ~until = Scotch_sim.Engine.run ~until net.engine
 
 (** [add_firewall_segment net ~classify] inserts a stateful firewall
     between the edge switch (S_U, port 70) and the server-side switch
     (S_D, in-port 70), registers the policy segment with its overlay
     attachment tunnels, installs the shared green rules and sets the
     flow classifier (§5.4).  Returns the middlebox and segment. *)
-let add_firewall_segment net ~classify =
+let add_firewall_segment (net : scotch_net) ~classify =
   let mb = Middlebox.create net.engine ~name:"fw0" ~kind:Middlebox.Firewall () in
   Topology.insert_middlebox net.topo mb ~upstream:(net.edge, 70)
     ~downstream:(net.server_sw, 70);
@@ -240,6 +244,7 @@ type fabric = {
   f_spines : Switch.t array;      (* dpid 50 + i *)
   f_hosts : Host.t array array;   (* per rack *)
   f_vswitches : Switch.t array;
+  f_verify : Scotch_verify.Hooks.t option;
 }
 
 let tor_dpid rack = 1 + rack
@@ -330,6 +335,7 @@ let fabric ?(seed = 42) ?(profile = Profile.pica8) ?(config = Scotch_core.Config
   let ctrl = C.create engine topo in
   let policy = Scotch_core.Policy.create topo in
   let app = Scotch_core.Scotch.create ctrl overlay policy config in
+  let verify = ref None in
   if scotch_enabled then begin
     C.register_app ctrl (Scotch_core.Scotch.app app);
     Array.iter
@@ -338,7 +344,8 @@ let fabric ?(seed = 42) ?(profile = Profile.pica8) ?(config = Scotch_core.Config
     Array.iter
       (fun v -> ignore (Scotch_core.Scotch.register_vswitch app v ~channel_latency:control_latency))
       vswitches;
-    Scotch_core.Scotch.start app
+    Scotch_core.Scotch.start app;
+    verify := Scotch_verify.Hooks.install ~engine ~topo app
   end
   else begin
     let routing = Scotch_controller.Routing.create ctrl in
@@ -350,7 +357,8 @@ let fabric ?(seed = 42) ?(profile = Profile.pica8) ?(config = Scotch_core.Config
       (Array.append tors spines)
   end;
   { f_engine = engine; f_topo = topo; f_ctrl = ctrl; f_app = app; f_overlay = overlay;
-    f_tors = tors; f_spines = spines; f_hosts = hosts; f_vswitches = vswitches }
+    f_tors = tors; f_spines = spines; f_hosts = hosts; f_vswitches = vswitches;
+    f_verify = !verify }
 
 (** A spoofed-source flood from host [src] toward host [dst]. *)
 let fabric_attack fb ~src ~dst ~rate =

@@ -60,6 +60,10 @@ type scotch_net = {
   attacker : Host.t;          (** port 99 on the edge switch *)
   servers : Host.t array;     (** ports 1..k on the server switch *)
   server : Host.t;            (** [servers.(0)] *)
+  verify : Scotch_verify.Hooks.t option;
+      (** debug-mode invariant-checker hooks; [Some] only when
+          {!Scotch_verify.Hooks.enable} (or [SCOTCH_VERIFY=1]) is in
+          effect and the Scotch app is running *)
 }
 
 val edge_dpid : int
@@ -105,6 +109,7 @@ type fabric = {
   f_spines : Switch.t array;
   f_hosts : Host.t array array; (** per rack *)
   f_vswitches : Switch.t array;
+  f_verify : Scotch_verify.Hooks.t option; (** as {!scotch_net.verify} *)
 }
 
 val tor_dpid : int -> int

@@ -159,7 +159,10 @@ let clear t (f : Fault.t) (r : Ledger.record) =
     Switch.set_failed dev false;
     Overlay.mark_recovered (Scotch.overlay t.e.app) f.Fault.target;
     (* revived before the heartbeat ever noticed: stop waiting *)
-    Hashtbl.remove t.awaiting f.Fault.target
+    Hashtbl.remove t.awaiting f.Fault.target;
+    (* the repair happened behind the app's back: announce the phase
+       boundary so debug-mode verification can lint the rebuilt state *)
+    Scotch.notify_phase t.e.app `Post_recovery
   | Fault.Ofa_slowdown _ -> Ofa.set_slowdown (Switch.ofa (device t f.Fault.target)) 1.0
   | Fault.Ofa_stall -> () (* the stall deadline passes by itself *)
   | Fault.Channel_delay _ ->

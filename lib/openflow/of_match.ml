@@ -39,7 +39,7 @@ let wildcard =
   { in_port = None; eth_type = None; ip_src = None; ip_dst = None; ip_proto = None;
     l4_src = None; l4_dst = None; mpls_label = None; gre_key = None; tunnel_id = None }
 
-let with_in_port p t = { t with in_port = Some p }
+let with_in_port p (t : t) = { t with in_port = Some p }
 let with_eth_type et t = { t with eth_type = Some et }
 
 let with_ip_src ?(mask = Ipv4_addr.mask32) addr t =
@@ -53,7 +53,7 @@ let with_l4_src p t = { t with l4_src = Some p }
 let with_l4_dst p t = { t with l4_dst = Some p }
 let with_mpls_label l t = { t with mpls_label = Some l }
 let with_gre_key k t = { t with gre_key = Some k }
-let with_tunnel_id id t = { t with tunnel_id = Some id }
+let with_tunnel_id id (t : t) = { t with tunnel_id = Some id }
 
 (** [exact_flow key] matches exactly the 5-tuple [key] — the per-flow
     rule shape the reactive controller installs. *)
@@ -71,7 +71,7 @@ let check opt ~actual ~equal = match opt with None -> true | Some v -> equal v a
     present fields must agree; IP fields compare the {e inner} packet
     (the pipeline pops encapsulations before re-matching, as real
     switches re-run the pipeline after a pop). *)
-let matches t (ctx : context) =
+let matches (t : t) (ctx : context) =
   let p = ctx.packet in
   let key = Packet.flow_key p in
   check t.in_port ~actual:ctx.in_port ~equal:Int.equal
@@ -97,7 +97,7 @@ let matches t (ctx : context) =
 
 (** Number of specified fields — a crude specificity measure used in
     tests and for display. *)
-let specificity t =
+let specificity (t : t) =
   let b = function None -> 0 | Some _ -> 1 in
   b t.in_port + b t.eth_type + b t.ip_src + b t.ip_dst + b t.ip_proto + b t.l4_src
   + b t.l4_dst + b t.mpls_label + b t.gre_key + b t.tunnel_id
@@ -106,7 +106,7 @@ let is_wildcard t = specificity t = 0
 
 let equal (a : t) (b : t) = a = b
 
-let pp fmt t =
+let pp fmt (t : t) =
   let parts = ref [] in
   let add name s = parts := Printf.sprintf "%s=%s" name s :: !parts in
   Option.iter (fun v -> add "in_port" (string_of_int v)) t.in_port;

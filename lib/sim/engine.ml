@@ -25,6 +25,7 @@ type t = {
   rng : Rng.t;
   mutable processed : int;
   mutable next_user_id : int;
+  mutable run_end_hooks : (unit -> unit) list;
 }
 
 let compare_events a b =
@@ -33,7 +34,7 @@ let compare_events a b =
 (** [create ~seed ()] makes an engine at time 0. *)
 let create ?(seed = 42) () =
   { now = 0.0; next_seq = 0; events = Heap.create ~cmp:compare_events;
-    rng = Rng.create seed; processed = 0; next_user_id = 0 }
+    rng = Rng.create seed; processed = 0; next_user_id = 0; run_end_hooks = [] }
 
 (** Current simulation time, in seconds. *)
 let now t = t.now
@@ -92,7 +93,14 @@ let run ?until t =
   while continue () do
     ignore (step t)
   done;
-  match until with Some limit when limit > t.now -> t.now <- limit | _ -> ()
+  (match until with Some limit when limit > t.now -> t.now <- limit | _ -> ());
+  List.iter (fun f -> f ()) (List.rev t.run_end_hooks)
+
+(** [on_run_end t f] registers [f] to run (in registration order) every
+    time {!run} returns — the quiesced-network moment the verification
+    hooks lint at.  Hooks must not schedule further events they expect
+    this {!run} to execute. *)
+let on_run_end t f = t.run_end_hooks <- f :: t.run_end_hooks
 
 (** [every t ~period ?until f] runs [f] every [period] seconds starting
     at [now + period], stopping after [until] (if given).  Returns a

@@ -42,6 +42,11 @@ val step : t -> bool
     clock is advanced exactly to it and remaining events stay queued. *)
 val run : ?until:float -> t -> unit
 
+(** [on_run_end t f] registers [f] to run (in registration order) every
+    time {!run} returns — the quiesced-network moment debug-mode
+    verification lints at. *)
+val on_run_end : t -> (unit -> unit) -> unit
+
 (** [every t ~period ?until f] runs [f] every [period] seconds starting
     at [now + period].  Returns a stop function. *)
 val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit -> unit

@@ -230,3 +230,25 @@ let stats t ~now : Of_msg.Stats.flow_stat list =
 let insert_failures t = t.insert_failures
 
 let iter_rules t f = List.iter (fun b -> Hashtbl.iter (fun _ r -> f r) b.by_match) t.buckets
+
+(** Live rules at [now], highest priority first (ties broken by
+    specificity then by printed match, so the order is deterministic
+    whatever the hashing) — the flow-table half of a
+    {!Scotch_verify.Snapshot}. *)
+let live_rules t ~now =
+  let acc = ref [] in
+  List.iter
+    (fun b ->
+      Hashtbl.iter (fun _ r -> if not (is_expired ~now r) then acc := r :: !acc) b.by_match)
+    t.buckets;
+  List.sort
+    (fun a b ->
+      match compare b.priority a.priority with
+      | 0 -> (
+        match compare (Of_match.specificity b.match_) (Of_match.specificity a.match_) with
+        | 0 ->
+          compare (Format.asprintf "%a" Of_match.pp a.match_)
+            (Format.asprintf "%a" Of_match.pp b.match_)
+        | c -> c)
+      | c -> c)
+    !acc

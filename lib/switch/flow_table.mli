@@ -62,3 +62,7 @@ val stats : t -> now:float -> Of_msg.Stats.flow_stat list
 val insert_failures : t -> int
 
 val iter_rules : t -> (rule -> unit) -> unit
+
+(** Live rules at [now], highest priority first (deterministic order);
+    the flow-table half of a verification snapshot. *)
+val live_rules : t -> now:float -> rule list

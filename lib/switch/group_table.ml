@@ -18,21 +18,39 @@ type t = { groups : (Of_types.group_id, group) Hashtbl.t }
 
 let create () = { groups = Hashtbl.create 16 }
 
+(** [Add]/[Modify] validation: a group with no buckets, or a bucket
+    with a non-positive weight, would silently blackhole (or skew) every
+    flow hashed onto it — real switches reject such Group_mods with
+    OFPGMFC_INVALID_GROUP, and so do we. *)
+let validate_buckets (gm : Of_msg.Group_mod.t) =
+  if gm.buckets = [] then Error `Empty_buckets
+  else if List.exists (fun b -> b.Of_msg.Group_mod.weight <= 0) gm.buckets then
+    Error `Non_positive_weight
+  else Ok ()
+
 let apply t (gm : Of_msg.Group_mod.t) =
   match gm.command with
-  | Add ->
-    if Hashtbl.mem t.groups gm.group_id then Error `Group_exists
-    else begin
-      Hashtbl.replace t.groups gm.group_id
-        { group_id = gm.group_id; group_type = gm.group_type; buckets = gm.buckets };
-      Ok ()
-    end
+  | Add -> (
+    match validate_buckets gm with
+    | Error _ as e -> e
+    | Ok () ->
+      if Hashtbl.mem t.groups gm.group_id then Error `Group_exists
+      else begin
+        Hashtbl.replace t.groups gm.group_id
+          { group_id = gm.group_id; group_type = gm.group_type; buckets = gm.buckets };
+        Ok ()
+      end)
   | Modify -> (
+    (* existence first, as switches do: modifying an unknown group is
+       Unknown_group even when the buckets are also bad *)
     match Hashtbl.find_opt t.groups gm.group_id with
     | None -> Error `Unknown_group
-    | Some g ->
-      g.buckets <- gm.buckets;
-      Ok ())
+    | Some g -> (
+      match validate_buckets gm with
+      | Error _ as e -> e
+      | Ok () ->
+        g.buckets <- gm.buckets;
+        Ok ()))
   | Delete ->
     Hashtbl.remove t.groups gm.group_id;
     Ok ()

@@ -15,8 +15,13 @@ type t
 
 val create : unit -> t
 
+(** Apply a Group_mod.  [Add]/[Modify] with an empty bucket list or a
+    non-positive bucket weight are rejected (they would blackhole or
+    skew every flow hashed onto the group), mirroring
+    OFPGMFC_INVALID_GROUP on real switches. *)
 val apply :
-  t -> Of_msg.Group_mod.t -> (unit, [ `Group_exists | `Unknown_group ]) result
+  t -> Of_msg.Group_mod.t ->
+  (unit, [ `Group_exists | `Unknown_group | `Empty_buckets | `Non_positive_weight ]) result
 
 val find : t -> Of_types.group_id -> group option
 

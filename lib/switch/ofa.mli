@@ -21,7 +21,9 @@ type pin_job = {
 (** Switch-side effects triggered when jobs complete. *)
 type handler = {
   install_flow : Of_msg.Flow_mod.t -> (unit, [ `Table_full ]) result;
-  modify_group : Of_msg.Group_mod.t -> (unit, [ `Group_exists | `Unknown_group ]) result;
+  modify_group :
+    Of_msg.Group_mod.t ->
+    (unit, [ `Group_exists | `Unknown_group | `Empty_buckets | `Non_positive_weight ]) result;
   execute_packet_out : Of_msg.Packet_out.t -> unit;
   flow_stats : Of_msg.Stats.flow_stats_request -> Of_msg.Stats.flow_stats_reply;
   table_stats : unit -> Of_msg.Stats.table_stats_reply;

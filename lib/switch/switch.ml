@@ -25,7 +25,7 @@ type port = {
   port_id : int;
   kind : port_kind;
   encap : tunnel_encap; (* meaningful only for Tunnel ports *)
-  mutable out : Scotch_sim.Link.t option;
+  out : Scotch_sim.Link.t option;
 }
 
 type counters = {
@@ -322,6 +322,13 @@ let normal_ports t =
 
 (** Ids of all ports, sorted. *)
 let all_ports t = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.ports [] |> List.sort compare
+
+(** Every port with its kind and outgoing link, sorted by port id — the
+    port half of a verification snapshot.  [None] link means the port is
+    input-only (or administratively dark). *)
+let ports_snapshot t =
+  Hashtbl.fold (fun pid p acc -> (pid, p.kind, p.out) :: acc) t.ports []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let dpid t = t.dpid
 let name t = t.name

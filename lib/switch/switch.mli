@@ -61,6 +61,10 @@ val link_of_port : t -> int -> Scotch_sim.Link.t option
 val normal_ports : t -> int list
 
 val all_ports : t -> int list
+
+(** Every port with its kind and outgoing link, sorted by port id — the
+    port half of a verification snapshot; [None] link = input-only. *)
+val ports_snapshot : t -> (int * port_kind * Scotch_sim.Link.t option) list
 val dpid : t -> Of_types.datapath_id
 val name : t -> string
 val profile : t -> Profile.t

@@ -147,6 +147,13 @@ let add_tunnel_to_host t ?(params = default_tunnel) ?(encap = Mpls_tunnel) sw h 
 
 let tunnel t tid = Hashtbl.find_opt t.tunnels tid
 
+(** Iterate over every tunnel, in tunnel-id order (determinism for
+    verification snapshots). *)
+let iter_tunnels t f =
+  Hashtbl.fold (fun _ tun acc -> tun :: acc) t.tunnels []
+  |> List.sort (fun a b -> compare a.tunnel_id b.tunnel_id)
+  |> List.iter f
+
 (** [insert_middlebox t mb ~upstream:(su, up_port) ~downstream:(sd, down_in_port)]
     wires S_U → middlebox → S_D (§5.4's typical configuration). *)
 let insert_middlebox t ?params mb ~upstream:(su, up_port) ~downstream:(sd, down_in_port) =

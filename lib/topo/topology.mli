@@ -70,6 +70,10 @@ val add_tunnel_to_host :
 
 val tunnel : t -> int -> tunnel option
 
+(** Iterate over every tunnel, in tunnel-id order (determinism for
+    verification snapshots). *)
+val iter_tunnels : t -> (tunnel -> unit) -> unit
+
 (** Wire S_U → middlebox → S_D (§5.4's typical configuration). *)
 val insert_middlebox :
   t -> ?params:link_params -> Middlebox.t -> upstream:Switch.t * int ->

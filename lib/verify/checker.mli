@@ -1,0 +1,29 @@
+(** The static dataplane analyzer: checks the five Scotch invariants
+    against a {!Snapshot.t} without running traffic.
+
+    {ol
+    {- {b No forwarding loops}: a symbolic packet walk over every
+       reachable flow-key equivalence class (exact rules installed
+       anywhere, plus a synthetic flow per host pair) must never
+       revisit a (switch, in-port, encapsulation-stack) state.}
+    {- {b No blackholes}: every table hit ends at a host port, a live
+       tunnel, the controller, or an explicit drop — never at an
+       unknown port, a disconnected port, or a goto into the void.}
+    {- {b No shadowed rules}: no higher-priority rule fully covers a
+       lower-priority one in the same table.}
+    {- {b Group sanity}: select groups are non-empty with positive
+       weights, and every bucket's tunnel endpoint is a live vswitch
+       (§5.1, §5.6).}
+    {- {b Table-miss coverage and overlay symmetry}: every controlled
+       switch has its priority-0 wildcard miss rule, every uplink
+       tunnel is in the origin map (§5.2), every host has an alive
+       cover with a delivery tunnel, and every entry vswitch has a
+       return path (mesh + delivery) to every host.}} *)
+
+(** Hop budget of the loop walk; exceeding it (without an exact state
+    revisit) is reported as a probable loop. *)
+val max_hops : int
+
+(** [check snap] runs every invariant and returns the sorted,
+    de-duplicated findings (errors first, empty when clean). *)
+val check : Snapshot.t -> Diagnostic.t list

@@ -1,0 +1,64 @@
+(** Structured findings of the dataplane invariant checker. *)
+
+type severity = Error | Warning
+
+type invariant = Loop | Blackhole | Shadow | Group_sanity | Coverage
+
+type t = {
+  severity : severity;
+  invariant : invariant;
+  dpid : int option;
+  table_id : int option;
+  rule : string option;
+  witness : string option;
+  message : string;
+}
+
+let make ?dpid ?table_id ?rule ?witness ~severity ~invariant message =
+  { severity; invariant; dpid; table_id; rule; witness; message }
+
+let is_error d = d.severity = Error
+
+let invariant_name = function
+  | Loop -> "loop"
+  | Blackhole -> "blackhole"
+  | Shadow -> "shadow"
+  | Group_sanity -> "group-sanity"
+  | Coverage -> "coverage"
+
+let severity_rank = function (Error : severity) -> 0 | Warning -> 1
+
+let invariant_rank = function
+  | Loop -> 0
+  | Blackhole -> 1
+  | Group_sanity -> 2
+  | Coverage -> 3
+  | Shadow -> 4
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else begin
+    let c = Stdlib.compare (invariant_rank a.invariant) (invariant_rank b.invariant) in
+    if c <> 0 then c
+    else
+      Stdlib.compare
+        (a.dpid, a.table_id, a.message, a.rule, a.witness)
+        (b.dpid, b.table_id, b.message, b.rule, b.witness)
+  end
+
+let normalize ds = List.sort_uniq compare ds
+
+let errors ds = List.filter is_error ds
+
+let pp fmt d =
+  Format.fprintf fmt "[%s] %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    (invariant_name d.invariant);
+  (match d.dpid with Some dpid -> Format.fprintf fmt " at dpid %d" dpid | None -> ());
+  (match d.table_id with Some tid -> Format.fprintf fmt " table %d" tid | None -> ());
+  Format.fprintf fmt ": %s" d.message;
+  (match d.rule with Some r -> Format.fprintf fmt " (rule %s)" r | None -> ());
+  match d.witness with Some w -> Format.fprintf fmt " [witness: %s]" w | None -> ()
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,54 @@
+(** Structured findings of the dataplane invariant checker.
+
+    A diagnostic names the invariant class it violates, where it was
+    found (switch, table, rule) and — when the checker has one — a
+    witness flow key or walk trace demonstrating the violation. *)
+
+(** [Error] means traffic is (or will be) misforwarded, looped or
+    silently dropped; [Warning] means the state is suspicious but
+    self-correcting (idle timeouts, admin-down links) or merely
+    wasteful (shadowed rules). *)
+type severity = Error | Warning
+
+(** The five invariant classes of the checker (ISSUE 2):
+    {ul
+    {- [Loop] — a reachable flow-key equivalence class forwards in a
+       cycle;}
+    {- [Blackhole] — a table hit that ends nowhere (no actions, dead
+       port, goto into the void);}
+    {- [Shadow] — a higher-priority rule fully covers a lower one,
+       making it unreachable;}
+    {- [Group_sanity] — empty select groups, non-positive weights,
+       buckets pointing at dead vswitch tunnels (§5.1/§5.6);}
+    {- [Coverage] — a controlled switch without a table-miss rule, or
+       broken overlay symmetry (an entry tunnel without a return
+       path).}} *)
+type invariant = Loop | Blackhole | Shadow | Group_sanity | Coverage
+
+type t = {
+  severity : severity;
+  invariant : invariant;
+  dpid : int option;      (** switch the finding is anchored at *)
+  table_id : int option;
+  rule : string option;   (** printed form of the offending rule/group *)
+  witness : string option; (** flow key or walk trace demonstrating it *)
+  message : string;
+}
+
+val make :
+  ?dpid:int -> ?table_id:int -> ?rule:string -> ?witness:string ->
+  severity:severity -> invariant:invariant -> string -> t
+
+val is_error : t -> bool
+val invariant_name : invariant -> string
+
+(** Total order (severity first, errors before warnings, then location)
+    used to sort and de-duplicate reports. *)
+val compare : t -> t -> int
+
+(** Sort and drop exact duplicates. *)
+val normalize : t list -> t list
+
+val errors : t list -> t list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

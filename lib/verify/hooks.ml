@@ -1,0 +1,60 @@
+(** Debug-mode assertion hooks: the invariant checker wired to the
+    Scotch app's phase boundaries and the engine's run-end. *)
+
+open Scotch_core
+
+type report = {
+  phase : string;
+  at : float;
+  diagnostics : Diagnostic.t list;
+}
+
+type t = {
+  mutable reports : report list; (* newest first *)
+  mutable checks : int;
+}
+
+let enabled =
+  ref
+    (match Option.map String.lowercase_ascii (Sys.getenv_opt "SCOTCH_VERIFY") with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+(** Control-channel sends are asynchronous, so device state lags
+    controller intent by a few channel latencies — and a recovery can
+    race a concurrent failure's detection window.  Half a second of
+    simulated time lets the dataplane settle before we lint it. *)
+let settle_delay = 0.5
+
+let install ?(phases = [ `Post_recovery ]) ?(run_end = true) ~engine ~topo scotch =
+  if not !enabled then None
+  else begin
+    let st = { reports = []; checks = 0 } in
+    let check label =
+      let now = Scotch_sim.Engine.now engine in
+      let snap = Snapshot.capture ~scotch ~now topo in
+      st.checks <- st.checks + 1;
+      st.reports <- { phase = label; at = now; diagnostics = Checker.check snap } :: st.reports
+    in
+    Scotch.on_phase scotch (fun p ->
+        if List.mem p phases then begin
+          let label = Format.asprintf "%a" Scotch.pp_phase p in
+          ignore
+            (Scotch_sim.Engine.schedule engine ~delay:settle_delay (fun () -> check label))
+        end);
+    if run_end then Scotch_sim.Engine.on_run_end engine (fun () -> check "run-end");
+    Some st
+  end
+
+let reports t = List.rev t.reports
+
+let checks_run t = t.checks
+
+let error_count t =
+  List.fold_left (fun acc r -> acc + List.length (Diagnostic.errors r.diagnostics)) 0 t.reports
+
+let reports_of_phase t phase = List.filter (fun r -> r.phase = phase) (reports t)

@@ -1,0 +1,54 @@
+(** Debug-mode assertion hooks: run the invariant checker at the phase
+    boundaries the Scotch app and fault injector announce
+    (post-redirect, post-withdrawal, post-migration, post-recovery) and
+    whenever an {!Scotch_sim.Engine.run} call returns.
+
+    Disabled by default — {!install} is a no-op unless {!enable} was
+    called or the [SCOTCH_VERIFY] environment variable is set — so
+    production runs pay nothing.  Findings are collected, not raised:
+    read {!reports} / {!error_count} after the run. *)
+
+type report = {
+  phase : string; (** which boundary fired ("post-recovery", "run-end", …) *)
+  at : float;     (** simulation time of the check *)
+  diagnostics : Diagnostic.t list;
+}
+
+type t
+
+(** Turn debug-mode verification on/off for subsequently installed
+    hooks.  [SCOTCH_VERIFY=1] in the environment enables it at
+    startup. *)
+val enable : unit -> unit
+
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** Seconds between a phase notification and its check: control-channel
+    sends are asynchronous, so device state lags controller intent by a
+    few channel latencies — and a recovery can race a concurrent
+    failure's detection window.  Half a second of simulated time lets
+    the dataplane settle. *)
+val settle_delay : float
+
+(** [install ?phases ?run_end ~engine ~topo scotch] subscribes the
+    checker to the app's phase boundaries (default: [`Post_recovery]
+    only — redirects and migrations legitimately overlap in-flight
+    installs) and, when [run_end] (default [true]), to every
+    {!Scotch_sim.Engine.run} return.  Returns [None] when verification
+    is disabled. *)
+val install :
+  ?phases:Scotch_core.Scotch.phase list -> ?run_end:bool -> engine:Scotch_sim.Engine.t ->
+  topo:Scotch_topo.Topology.t -> Scotch_core.Scotch.t -> t option
+
+(** Completed checks, oldest first. *)
+val reports : t -> report list
+
+(** Number of checks run so far. *)
+val checks_run : t -> int
+
+(** Total [Error]-severity diagnostics across all reports. *)
+val error_count : t -> int
+
+(** Reports for one phase label. *)
+val reports_of_phase : t -> string -> report list

@@ -1,0 +1,29 @@
+(** Dataplane invariant checker: static verification of flow tables,
+    group tables and overlay state.
+
+    Scotch rewrites dataplane state behind the OFA's back — table-miss
+    redirects (§4.2), select-group buckets over tunnels (§5.1),
+    migration rules (§5.3), withdrawal pins (§5.5) — and the fault
+    injector churns all of it.  This library checks that the result is
+    still a sane network, without running traffic:
+
+    {[
+      let snap = Scotch_verify.Snapshot.capture ~scotch:app ~now topo in
+      match Scotch_verify.check snap with
+      | [] -> ()  (* clean *)
+      | diags -> List.iter (Format.printf "%a@." Scotch_verify.Diagnostic.pp) diags
+    ]}
+
+    {!Hooks} wires the same checker to the app's phase boundaries and
+    the engine's run-end in debug mode, so every experiment doubles as
+    a verification run. *)
+
+module Diagnostic = Diagnostic
+module Snapshot = Snapshot
+module Checker = Checker
+module Hooks = Hooks
+
+(** [check snap] runs the five invariants — no loops, no blackholes, no
+    shadowed rules, group sanity, miss coverage / overlay symmetry —
+    returning sorted, de-duplicated diagnostics (empty when clean). *)
+let check = Checker.check

@@ -1,0 +1,180 @@
+(** A frozen, side-effect-free view of the whole network for static
+    verification.
+
+    Capture walks the topology once: adjacency, tunnels and host
+    attachments resolve every port to the endpoint its output lands on,
+    so the checker never needs the live objects again.  All record
+    fields are transparent so tests can forge known-bad states. *)
+
+open Scotch_switch
+open Scotch_topo
+open Scotch_core
+
+type endpoint =
+  | To_switch of { peer : int; peer_in_port : int }
+  | To_host of int
+  | Opaque
+  | Disconnected
+
+type port = {
+  port_id : int;
+  tunnel : int option;
+  link_up : bool option;
+  endpoint : endpoint;
+}
+
+type group = {
+  group_id : int;
+  group_type : Scotch_openflow.Of_msg.Group_mod.group_type;
+  buckets : Scotch_openflow.Of_msg.Group_mod.bucket list;
+}
+
+type node = {
+  dpid : int;
+  node_name : string;
+  failed : bool;
+  num_tables : int;
+  rules : (int * Flow_table.rule list) list;
+  groups : group list;
+  ports : port list;
+}
+
+type host = {
+  host_id : int;
+  host_ip : int;
+  attach_dpid : int;
+  attach_port : int;
+}
+
+type overlay_state = {
+  vswitches : (int * bool * bool) list;
+  uplinks : (int * (int * int) list) list;
+  tunnel_origins : (int * int) list;
+  covers : (int * int) list;
+  mesh : (int * (int * int) list) list;
+  deliveries : (int * (int * int) list) list;
+}
+
+type t = {
+  now : float;
+  nodes : node list;
+  hosts : host list;
+  managed : int list;
+  vswitch_dpids : int list;
+  overlay : overlay_state option;
+}
+
+let node t dpid = List.find_opt (fun n -> n.dpid = dpid) t.nodes
+
+let find_port n pid = List.find_opt (fun p -> p.port_id = pid) n.ports
+
+let controlled t = List.sort_uniq compare (t.managed @ t.vswitch_dpids)
+
+let pp_endpoint fmt = function
+  | To_switch { peer; peer_in_port } ->
+    Format.fprintf fmt "switch %d (in-port %d)" peer peer_in_port
+  | To_host h -> Format.fprintf fmt "host %d" h
+  | Opaque -> Format.pp_print_string fmt "opaque"
+  | Disconnected -> Format.pp_print_string fmt "disconnected"
+
+let hashtbl_sorted h =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare
+
+(** Resolve where each (dpid, out_port) leads: data-link adjacency,
+    then tunnels, then host attachment ports. *)
+let endpoint_map topo =
+  let map : (int * int, endpoint) Hashtbl.t = Hashtbl.create 256 in
+  Topology.iter_switches topo (fun sw ->
+      let dpid = Switch.dpid sw in
+      List.iter
+        (fun (out_port, peer) ->
+          (* the peer's in-port is its adjacency entry pointing back *)
+          let peer_in_port =
+            match List.find_opt (fun (_, d) -> d = dpid) (Topology.neighbors topo peer) with
+            | Some (p, _) -> p
+            | None -> -1
+          in
+          Hashtbl.replace map (dpid, out_port) (To_switch { peer; peer_in_port }))
+        (Topology.neighbors topo dpid));
+  Topology.iter_tunnels topo (fun (tun : Topology.tunnel) ->
+      let ep =
+        match tun.Topology.dst with
+        | `Switch peer ->
+          To_switch { peer; peer_in_port = Topology.tunnel_port_of_id tun.Topology.tunnel_id }
+        | `Host h -> To_host h
+      in
+      Hashtbl.replace map (tun.Topology.src_dpid, tun.Topology.src_port) ep);
+  Topology.iter_hosts topo (fun h ->
+      match Topology.host_attachment topo (Host.ip h) with
+      | Some (dpid, p) -> Hashtbl.replace map (dpid, p) (To_host (Host.id h))
+      | None -> ());
+  map
+
+let capture_node endpoints ~now sw =
+  let dpid = Switch.dpid sw in
+  let ports =
+    List.map
+      (fun (pid, kind, link) ->
+        let tunnel = match kind with Switch.Tunnel tid -> Some tid | Switch.Normal -> None in
+        let link_up = Option.map Scotch_sim.Link.is_up link in
+        let endpoint =
+          match (link, Hashtbl.find_opt endpoints (dpid, pid)) with
+          | None, _ -> Disconnected
+          | Some _, Some ep -> ep
+          | Some _, None -> Opaque
+        in
+        { port_id = pid; tunnel; link_up; endpoint })
+      (Switch.ports_snapshot sw)
+  in
+  let groups = ref [] in
+  Group_table.iter (Switch.group_table sw) (fun g ->
+      groups :=
+        { group_id = g.Group_table.group_id;
+          group_type = g.Group_table.group_type;
+          buckets = g.Group_table.buckets }
+        :: !groups);
+  let tables = Switch.tables sw in
+  { dpid;
+    node_name = Switch.name sw;
+    failed = Switch.is_failed sw;
+    num_tables = Array.length tables;
+    rules =
+      Array.to_list tables
+      |> List.map (fun tbl -> (Flow_table.table_id tbl, Flow_table.live_rules tbl ~now));
+    groups = List.sort (fun a b -> compare a.group_id b.group_id) !groups;
+    ports }
+
+let capture_overlay ov =
+  let vswitches = ref [] and mesh = ref [] and deliveries = ref [] in
+  Overlay.iter_vswitches ov (fun v ->
+      let dpid = Switch.dpid v.Overlay.vsw in
+      vswitches := (dpid, v.Overlay.alive, v.Overlay.is_backup) :: !vswitches;
+      mesh := (dpid, hashtbl_sorted v.Overlay.mesh_out) :: !mesh;
+      deliveries := (dpid, hashtbl_sorted v.Overlay.host_tunnels) :: !deliveries);
+  { vswitches = List.sort compare !vswitches;
+    uplinks = Overlay.all_uplinks ov;
+    tunnel_origins = Overlay.tunnel_origins ov;
+    covers = Overlay.covers ov;
+    mesh = List.sort compare !mesh;
+    deliveries = List.sort compare !deliveries }
+
+let capture ?scotch ~now topo =
+  let endpoints = endpoint_map topo in
+  let nodes = ref [] in
+  Topology.iter_switches topo (fun sw -> nodes := capture_node endpoints ~now sw :: !nodes);
+  let hosts = ref [] in
+  Topology.iter_hosts topo (fun h ->
+      match Topology.host_attachment topo (Host.ip h) with
+      | Some (attach_dpid, attach_port) ->
+        hosts :=
+          { host_id = Host.id h;
+            host_ip = Scotch_packet.Ipv4_addr.to_int (Host.ip h);
+            attach_dpid; attach_port }
+          :: !hosts
+      | None -> ());
+  { now;
+    nodes = List.sort (fun a b -> compare a.dpid b.dpid) !nodes;
+    hosts = List.sort (fun a b -> compare a.host_ip b.host_ip) !hosts;
+    managed = (match scotch with Some s -> Scotch.managed_dpids s | None -> []);
+    vswitch_dpids = (match scotch with Some s -> Scotch.vswitch_dpids s | None -> []);
+    overlay = Option.map (fun s -> capture_overlay (Scotch.overlay s)) scotch }

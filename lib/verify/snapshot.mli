@@ -1,0 +1,89 @@
+(** A frozen, side-effect-free view of the whole network for static
+    verification: every switch's live flow rules, group buckets and
+    ports (with where each port's output lands), the host attachment
+    map, and — when a Scotch app is supplied — the controller's overlay
+    bookkeeping (vswitch liveness, uplinks, tunnel origins, host
+    coverage, mesh and delivery tunnels).
+
+    All record fields are transparent so tests can forge known-bad
+    states without driving a simulation. *)
+
+open Scotch_switch
+
+(** Where output on a port lands. *)
+type endpoint =
+  | To_switch of { peer : int; peer_in_port : int }
+  | To_host of int  (** host id *)
+  | Opaque
+      (** connected, but the destination is outside the switch graph
+          (e.g. a middlebox leg): the checker cannot trace further and
+          treats delivery here as terminal *)
+  | Disconnected  (** no outgoing link: output here is silently dropped *)
+
+type port = {
+  port_id : int;
+  tunnel : int option;    (** tunnel id when this is a tunnel port *)
+  link_up : bool option;  (** [None] = input-only port (no outgoing link) *)
+  endpoint : endpoint;
+}
+
+type group = {
+  group_id : int;
+  group_type : Scotch_openflow.Of_msg.Group_mod.group_type;
+  buckets : Scotch_openflow.Of_msg.Group_mod.bucket list;
+}
+
+(** One switch: identity, failure state, live rules per table (highest
+    priority first), groups and ports. *)
+type node = {
+  dpid : int;
+  node_name : string;
+  failed : bool;
+  num_tables : int;
+  rules : (int * Flow_table.rule list) list; (** (table id, live rules) *)
+  groups : group list;
+  ports : port list;
+}
+
+type host = {
+  host_id : int;
+  host_ip : int;   (** {!Scotch_packet.Ipv4_addr.to_int} form *)
+  attach_dpid : int;
+  attach_port : int;
+}
+
+(** The controller's overlay bookkeeping (§4.1, §5.2, §5.6). *)
+type overlay_state = {
+  vswitches : (int * bool * bool) list;  (** (dpid, alive, is_backup) *)
+  uplinks : (int * (int * int) list) list;
+      (** (phys dpid, (vswitch dpid, uplink tunnel id) list) *)
+  tunnel_origins : (int * int) list;     (** uplink tunnel id → phys dpid *)
+  covers : (int * int) list;             (** host ip → recorded covering vswitch *)
+  mesh : (int * (int * int) list) list;
+      (** (vswitch dpid, (peer vswitch dpid, tunnel id) list) *)
+  deliveries : (int * (int * int) list) list;
+      (** (vswitch dpid, (host ip, delivery tunnel id) list) *)
+}
+
+type t = {
+  now : float;
+  nodes : node list;        (** sorted by dpid *)
+  hosts : host list;        (** sorted by ip *)
+  managed : int list;       (** Scotch-managed physical switches *)
+  vswitch_dpids : int list; (** controller-registered overlay vswitches *)
+  overlay : overlay_state option;
+}
+
+val node : t -> int -> node option
+val find_port : node -> int -> port option
+
+(** Dpids with a controller connection (managed + vswitches) — the
+    switches the table-miss coverage invariant applies to. *)
+val controlled : t -> int list
+
+(** [capture ?scotch ~now topo] freezes the network.  With [scotch],
+    the snapshot also carries the app's overlay bookkeeping and the
+    managed/vswitch dpid sets. *)
+val capture : ?scotch:Scotch_core.Scotch.t -> now:float -> Scotch_topo.Topology.t -> t
+
+val pp_endpoint : Format.formatter -> endpoint -> unit

@@ -5,13 +5,17 @@
    Asserts the full §5.6 story — heartbeat detection inside
    [timeout, timeout + period + slack], a backup promoted for every
    kill, every select group rebalanced, and both corpses revived — and
-   prints the recovery ledger.  Exits non-zero on any miss. *)
+   prints the recovery ledger.  With debug-mode verification enabled,
+   the dataplane invariant checker also runs after every recovery and
+   at run end, and must find zero errors.  Exits non-zero on any
+   miss. *)
 
 open Scotch_faults
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("resilience smoke FAILED: " ^ s); exit 1) fmt
 
 let () =
+  Scotch_verify.Hooks.enable ();
   let o = Scotch_experiments.Resilience.run_outcome ~seed:42 ~scale:0.25 ~kills:2 ~multiplier:5.0 () in
   let ledger = o.Scotch_experiments.Resilience.ledger in
   Ledger.print ledger;
@@ -30,4 +34,22 @@ let () =
       if r.Ledger.backup_promoted = None then fail "%s: no backup promoted" r.Ledger.label;
       if r.Ledger.cleared_at = None then fail "%s: vswitch never revived" r.Ledger.label)
     recs;
+  (match o.Scotch_experiments.Resilience.verify with
+  | None -> fail "invariant-checker hooks were not installed"
+  | Some v ->
+    let module H = Scotch_verify.Hooks in
+    let post_recovery = H.reports_of_phase v "post-recovery" in
+    if List.length post_recovery < 2 then
+      fail "expected a post-recovery check per kill, got %d" (List.length post_recovery);
+    if H.reports_of_phase v "run-end" = [] then fail "no run-end check";
+    List.iter
+      (fun (r : H.report) ->
+        match Scotch_verify.Diagnostic.errors r.H.diagnostics with
+        | [] -> ()
+        | errs ->
+          List.iter (fun d -> prerr_endline (Scotch_verify.Diagnostic.to_string d)) errs;
+          fail "%s check at t=%.2f found %d invariant error(s)" r.H.phase r.H.at
+            (List.length errs))
+      (H.reports v);
+    Printf.printf "invariant checker: %d check(s), 0 errors\n" (H.checks_run v));
   Printf.printf "resilience smoke OK (ledger digest %s)\n" (Ledger.digest ledger)

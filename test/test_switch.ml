@@ -269,6 +269,26 @@ let test_gt_add_modify_delete () =
     (Group_table.apply gt (Of_msg.Group_mod.delete ~group_id:1) = Ok ());
   Alcotest.(check int) "empty" 0 (Group_table.size gt)
 
+let test_gt_rejects_bad_buckets () =
+  let gt = Group_table.create () in
+  Alcotest.(check bool) "add with no buckets" true
+    (Group_table.apply gt (Of_msg.Group_mod.add_select ~group_id:1 ~buckets:[])
+    = Error `Empty_buckets);
+  Alcotest.(check bool) "add with zero weight" true
+    (Group_table.apply gt (mk_select_group ~weights:[ 1; 0; 1 ] ()) = Error `Non_positive_weight);
+  Alcotest.(check bool) "add with negative weight" true
+    (Group_table.apply gt (mk_select_group ~weights:[ -3 ] ()) = Error `Non_positive_weight);
+  Alcotest.(check int) "nothing installed" 0 (Group_table.size gt);
+  Alcotest.(check bool) "good add" true (Group_table.apply gt (mk_select_group ()) = Ok ());
+  Alcotest.(check bool) "modify to no buckets" true
+    (Group_table.apply gt (Of_msg.Group_mod.modify_select ~group_id:1 ~buckets:[])
+    = Error `Empty_buckets);
+  (match Group_table.find gt 1 with
+  | None -> Alcotest.fail "group vanished"
+  | Some g ->
+    Alcotest.(check int) "rejected modify left buckets intact" 3
+      (List.length g.Group_table.buckets))
+
 let test_gt_select_deterministic () =
   let gt = Group_table.create () in
   ignore (Group_table.apply gt (mk_select_group ()));
@@ -670,6 +690,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_ft_reference ] );
       ( "group_table",
         [ Alcotest.test_case "add/modify/delete" `Quick test_gt_add_modify_delete;
+          Alcotest.test_case "rejects bad buckets" `Quick test_gt_rejects_bad_buckets;
           Alcotest.test_case "select deterministic" `Quick test_gt_select_deterministic;
           Alcotest.test_case "select weights" `Quick test_gt_select_weights;
           Alcotest.test_case "all type" `Quick test_gt_all_type ] );

@@ -1,0 +1,261 @@
+(* Tests for Scotch_verify: each invariant class fires on a forged
+   known-bad snapshot with exactly the expected diagnostic, and real
+   steady-state topologies lint clean. *)
+
+open Scotch_openflow
+open Scotch_switch
+open Scotch_packet
+module V = Scotch_verify
+module D = V.Diagnostic
+module S = V.Snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Fixture builders: snapshots forged directly, no simulation *)
+
+let rule ?(priority = 10) ~match_ ~instructions () : Flow_table.rule =
+  { Flow_table.priority; match_; instructions; idle_timeout = 0.0; hard_timeout = 0.0;
+    cookie = Of_types.cookie_none; installed_at = 0.0; last_used = 0.0; packet_count = 0;
+    byte_count = 0 }
+
+let port ?tunnel ?(link_up = Some true) ~endpoint port_id : S.port =
+  { S.port_id; tunnel; link_up; endpoint }
+
+let node ?(failed = false) ?(num_tables = 2) ?(rules = []) ?(groups = []) ?(ports = []) dpid :
+    S.node =
+  { S.dpid; node_name = Printf.sprintf "sw%d" dpid; failed; num_tables; rules; groups; ports }
+
+let snap ?(hosts = []) ?(managed = []) ?(vswitch_dpids = []) ?overlay nodes : S.t =
+  { S.now = 0.0; nodes; hosts; managed; vswitch_dpids; overlay }
+
+let host ~id ~ip ~dpid ~port : S.host =
+  { S.host_id = id; host_ip = ip; attach_dpid = dpid; attach_port = port }
+
+let ip_a = 0x0A000001 (* 10.0.0.1 *)
+let ip_b = 0x0A000002 (* 10.0.0.2 *)
+
+let exact_match ~src ~dst =
+  Of_match.wildcard
+  |> Of_match.with_ip_src (Ipv4_addr.of_int src)
+  |> Of_match.with_ip_dst (Ipv4_addr.of_int dst)
+  |> Of_match.with_ip_proto 6 |> Of_match.with_l4_src 1000 |> Of_match.with_l4_dst 80
+
+let output p = Of_action.output (Of_types.Port_no.Physical p)
+
+let check_one ~inv ~sev s =
+  match V.check s with
+  | [ d ] ->
+    Alcotest.(check string) "invariant" (D.invariant_name inv) (D.invariant_name d.D.invariant);
+    Alcotest.(check bool) "severity" (sev = D.Error) (D.is_error d);
+    d
+  | ds ->
+    Alcotest.failf "expected exactly one diagnostic, got %d:@.%s" (List.length ds)
+      (String.concat "\n" (List.map D.to_string ds))
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 1: forwarding loop between two switches *)
+
+let loop_snapshot () =
+  (* sw1 port 2 <-> sw2 port 1 and sw2 port 2 <-> sw1 port 3: the same
+     exact rule on both switches bounces the flow forever *)
+  let r ~out = rule ~match_:(exact_match ~src:ip_a ~dst:ip_b) ~instructions:(output out) () in
+  snap
+    ~hosts:[ host ~id:1 ~ip:ip_a ~dpid:1 ~port:1 ]
+    [ node 1
+        ~rules:[ (0, [ r ~out:2 ]) ]
+        ~ports:
+          [ port 1 ~endpoint:(S.To_host 1);
+            port 2 ~endpoint:(S.To_switch { peer = 2; peer_in_port = 1 });
+            port 3 ~endpoint:(S.To_switch { peer = 2; peer_in_port = 2 }) ];
+      node 2
+        ~rules:[ (0, [ r ~out:2 ]) ]
+        ~ports:
+          [ port 1 ~endpoint:(S.To_switch { peer = 1; peer_in_port = 2 });
+            port 2 ~endpoint:(S.To_switch { peer = 1; peer_in_port = 3 }) ] ]
+
+let test_loop () =
+  let d = check_one ~inv:D.Loop ~sev:D.Error (loop_snapshot ()) in
+  Alcotest.(check bool) "has a walk witness" true (d.D.witness <> None)
+
+let test_loop_broken_is_clean () =
+  (* same wiring, but sw2 delivers to a host instead of bouncing back *)
+  let s = loop_snapshot () in
+  let fix (n : S.node) =
+    if n.S.dpid <> 2 then n
+    else
+      { n with
+        S.ports =
+          [ port 1 ~endpoint:(S.To_switch { peer = 1; peer_in_port = 2 });
+            port 2 ~endpoint:(S.To_host 2) ] }
+  in
+  Alcotest.(check int) "clean" 0 (List.length (V.check { s with S.nodes = List.map fix s.S.nodes }))
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 2: blackholes *)
+
+let test_blackhole_disconnected_port () =
+  let s =
+    snap
+      [ node 1
+          ~rules:
+            [ (0, [ rule ~match_:(exact_match ~src:ip_a ~dst:ip_b) ~instructions:(output 9) () ]) ]
+          ~ports:[ port 9 ~link_up:None ~endpoint:S.Disconnected ] ]
+  in
+  ignore (check_one ~inv:D.Blackhole ~sev:D.Error s)
+
+let test_blackhole_empty_instructions () =
+  let s =
+    snap
+      [ node 1 ~rules:[ (0, [ rule ~match_:(exact_match ~src:ip_a ~dst:ip_b) ~instructions:[] () ]) ] ]
+  in
+  ignore (check_one ~inv:D.Blackhole ~sev:D.Error s)
+
+let test_blackhole_goto_empty_table () =
+  let s =
+    snap
+      [ node 1
+          ~rules:
+            [ (0,
+               [ rule ~match_:(exact_match ~src:ip_a ~dst:ip_b)
+                   ~instructions:[ Of_action.Goto_table 1 ] () ]) ] ]
+  in
+  ignore (check_one ~inv:D.Blackhole ~sev:D.Error s)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 3: shadowed rules *)
+
+let test_shadowed_rule () =
+  let hi =
+    rule ~priority:20
+      ~match_:(Of_match.with_ip_proto 6 Of_match.wildcard)
+      ~instructions:(output 1) ()
+  in
+  let lo = rule ~priority:5 ~match_:(exact_match ~src:ip_a ~dst:ip_b) ~instructions:(output 1) () in
+  let s = snap [ node 1 ~rules:[ (0, [ hi; lo ]) ] ~ports:[ port 1 ~endpoint:(S.To_host 1) ] ] in
+  let d = check_one ~inv:D.Shadow ~sev:D.Warning s in
+  Alcotest.(check bool) "names the shadowed rule" true (d.D.rule <> None)
+
+let test_no_shadow_when_disjoint () =
+  (* same shape, but the high-priority rule pins a different protocol:
+     no cover, no warning *)
+  let hi =
+    rule ~priority:20
+      ~match_:(Of_match.with_ip_proto 17 Of_match.wildcard)
+      ~instructions:(output 1) ()
+  in
+  let lo = rule ~priority:5 ~match_:(exact_match ~src:ip_a ~dst:ip_b) ~instructions:(output 1) () in
+  let s = snap [ node 1 ~rules:[ (0, [ hi; lo ]) ] ~ports:[ port 1 ~endpoint:(S.To_host 1) ] ] in
+  Alcotest.(check int) "clean" 0 (List.length (V.check s))
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 4: group sanity *)
+
+let group ?(group_type = Of_msg.Group_mod.Select) ~buckets group_id : S.group =
+  { S.group_id; group_type; buckets }
+
+let bucket ?(weight = 1) actions : Of_msg.Group_mod.bucket = { Of_msg.Group_mod.weight; actions }
+
+let test_group_bucket_to_crashed_vswitch () =
+  (* the select group's bucket outputs on a tunnel whose far end is a
+     crashed vswitch: an Error, because groups never idle out (S5.6) *)
+  let s =
+    snap
+      [ node 1
+          ~groups:[ group 1 ~buckets:[ bucket [ Of_action.Output (Of_types.Port_no.Physical 10007) ] ] ]
+          ~ports:
+            [ port 10007 ~tunnel:7 ~endpoint:(S.To_switch { peer = 100; peer_in_port = 10007 }) ];
+        node 100 ~failed:true ]
+  in
+  let d = check_one ~inv:D.Group_sanity ~sev:D.Error s in
+  Alcotest.(check bool) "blames the tunnel" true
+    (match d.D.message with m -> String.length m > 0 && d.D.dpid = Some 1)
+
+let test_group_empty_buckets () =
+  let s = snap [ node 1 ~groups:[ group 1 ~buckets:[] ] ] in
+  ignore (check_one ~inv:D.Group_sanity ~sev:D.Error s)
+
+let test_group_non_positive_weight () =
+  let s =
+    snap
+      [ node 1
+          ~groups:[ group 1 ~buckets:[ bucket ~weight:0 [ Of_action.Output (Of_types.Port_no.Physical 1) ] ] ]
+          ~ports:[ port 1 ~endpoint:(S.To_host 1) ] ]
+  in
+  ignore (check_one ~inv:D.Group_sanity ~sev:D.Error s)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 5: table-miss coverage and overlay symmetry *)
+
+let miss_rule () =
+  rule ~priority:0 ~match_:Of_match.wildcard ~instructions:Of_action.to_controller ()
+
+let test_missing_table_miss () =
+  let s = snap ~managed:[ 1 ] [ node 1 ~rules:[ (0, []) ] ] in
+  let d = check_one ~inv:D.Coverage ~sev:D.Error s in
+  Alcotest.(check (option int)) "at table 0" (Some 0) d.D.table_id
+
+let test_table_miss_present_is_clean () =
+  let s = snap ~managed:[ 1 ] [ node 1 ~rules:[ (0, [ miss_rule () ]) ] ] in
+  Alcotest.(check int) "clean" 0 (List.length (V.check s))
+
+let test_cover_without_alive_vswitch () =
+  let overlay =
+    { S.vswitches = [ (100, false, false) ];
+      uplinks = []; tunnel_origins = []; covers = [ (ip_a, 100) ]; mesh = []; deliveries = [] }
+  in
+  let s = snap ~overlay [ node 100 ~failed:true ] in
+  ignore (check_one ~inv:D.Coverage ~sev:D.Error s)
+
+let test_uplink_missing_origin () =
+  (* an uplink tunnel the origin map does not know: redirected
+     Packet-Ins from it could never be attributed (S5.2) *)
+  let overlay =
+    { S.vswitches = [ (100, true, false) ];
+      uplinks = [ (1, [ (100, 7) ]) ];
+      tunnel_origins = []; covers = []; mesh = []; deliveries = [] }
+  in
+  let tport = Scotch_topo.Topology.tunnel_port_of_id 7 in
+  let s =
+    snap ~overlay
+      [ node 1 ~ports:[ port tport ~tunnel:7 ~endpoint:(S.To_switch { peer = 100; peer_in_port = tport }) ];
+        node 100 ]
+  in
+  ignore (check_one ~inv:D.Coverage ~sev:D.Error s)
+
+(* ------------------------------------------------------------------ *)
+(* Clean real topologies: the lint scenarios must stay diagnostic-free *)
+
+let test_lint_scenarios_clean () =
+  List.iter
+    (fun (name, diags) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s clean" name)
+        0 (List.length diags))
+    (Scotch_experiments.Lint.run_all ~seed:7
+       ~only:[ "scotch-net-idle"; "scotch-net-active" ]
+       ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "scotch_verify"
+    [ ( "loop",
+        [ Alcotest.test_case "two-switch loop detected" `Quick test_loop;
+          Alcotest.test_case "broken loop is clean" `Quick test_loop_broken_is_clean ] );
+      ( "blackhole",
+        [ Alcotest.test_case "disconnected port" `Quick test_blackhole_disconnected_port;
+          Alcotest.test_case "empty instructions" `Quick test_blackhole_empty_instructions;
+          Alcotest.test_case "goto empty table" `Quick test_blackhole_goto_empty_table ] );
+      ( "shadow",
+        [ Alcotest.test_case "covered rule warned" `Quick test_shadowed_rule;
+          Alcotest.test_case "disjoint rules clean" `Quick test_no_shadow_when_disjoint ] );
+      ( "group",
+        [ Alcotest.test_case "bucket to crashed vswitch" `Quick test_group_bucket_to_crashed_vswitch;
+          Alcotest.test_case "empty bucket list" `Quick test_group_empty_buckets;
+          Alcotest.test_case "non-positive weight" `Quick test_group_non_positive_weight ] );
+      ( "coverage",
+        [ Alcotest.test_case "missing table-miss" `Quick test_missing_table_miss;
+          Alcotest.test_case "table-miss present" `Quick test_table_miss_present_is_clean;
+          Alcotest.test_case "dead cover" `Quick test_cover_without_alive_vswitch;
+          Alcotest.test_case "uplink origin missing" `Quick test_uplink_missing_origin ] );
+      ( "clean-topologies",
+        [ Alcotest.test_case "lint scenarios" `Quick test_lint_scenarios_clean ] ) ]
