@@ -239,6 +239,36 @@ let fault_probe ~seed =
     (Ledger.digest outcome.Resilience.ledger)
     (String.concat "," records)
 
+(* The reliable-layer probe: the same smoke resilience run with
+   reconciliation on and a 20 % control-channel loss storm (plus one OFA
+   stall), reporting the reconciler's convergence metrics. *)
+let reconcile_probe ~seed =
+  let open Scotch_faults in
+  let outcome =
+    Resilience.run_outcome ~seed ~scale:0.25 ~kills:2 ~multiplier:5.0 ~reconcile:true
+      ~drop_p:0.2 ()
+  in
+  match Ledger.convergence outcome.Resilience.ledger with
+  | None -> "null"
+  | Some c ->
+    let percentile p =
+      match c.Ledger.conv_windows with
+      | [] -> None
+      | ws ->
+        let s = Stats.Samples.create () in
+        List.iter (Stats.Samples.add s) ws;
+        Some (Stats.Samples.percentile s p)
+    in
+    Printf.sprintf
+      "{\"retries\":%d,\"rules_repaired_missing\":%d,\"rules_repaired_orphan\":%d,\"groups_repaired\":%d,\"resyncs\":%d,\"txns_parked\":%d,\"degraded_switch_seconds\":%.6g,\"chan_dropped\":%d,\"expired_requests\":%d,\"divergence_windows\":%d,\"divergence_window_p50_s\":%s,\"divergence_window_p99_s\":%s,\"reconcile_digest\":\"%s\"}"
+      c.Ledger.conv_retries c.Ledger.conv_repaired_missing c.Ledger.conv_repaired_orphans
+      c.Ledger.conv_repaired_groups c.Ledger.conv_resyncs c.Ledger.conv_txns_parked
+      c.Ledger.conv_degraded_seconds c.Ledger.conv_chan_dropped c.Ledger.conv_expired_requests
+      (List.length c.Ledger.conv_windows)
+      (json_opt_float (percentile 0.5))
+      (json_opt_float (percentile 0.99))
+      c.Ledger.conv_digest
+
 let write_json ~seed ~scale ~figures:figs ~micro =
   let file = "BENCH_faults.json" in
   let oc = open_out file in
@@ -255,7 +285,8 @@ let write_json ~seed ~scale ~figures:figs ~micro =
           (fun (n, ns) ->
             Printf.sprintf "\n    {\"name\":\"%s\",\"ns_per_op\":%.1f}" (json_escape n) ns)
           micro));
-  Printf.fprintf oc "  \"fault_recovery\": %s\n}\n" (fault_probe ~seed);
+  Printf.fprintf oc "  \"fault_recovery\": %s,\n" (fault_probe ~seed);
+  Printf.fprintf oc "  \"reconciliation\": %s\n}\n" (reconcile_probe ~seed);
   close_out oc;
   Printf.printf "wrote %s\n%!" file
 

@@ -35,12 +35,22 @@ type app = {
   app_name : string;
   packet_in : sw -> Of_msg.Packet_in.t -> bool;
   switch_dead : sw -> unit;
+  switch_alive : sw -> unit;
 }
 
 type counters = {
   mutable packet_ins : int;
   mutable flow_mods : int;
   mutable unhandled_packet_ins : int;
+  mutable expired_requests : int;
+}
+
+(* A pending request: the reply continuation plus the expiry event that
+   reclaims the slot when the reply never arrives (dropped on an
+   impaired channel, or the switch died). *)
+type pending_req = {
+  k : Of_msg.payload -> unit;
+  expiry : Scotch_sim.Engine.handle option;
 }
 
 type t = {
@@ -51,7 +61,7 @@ type t = {
          real packet network with variable queueing *)
   switches : (int, sw) Hashtbl.t;
   mutable apps : app list; (* in registration order *)
-  pending : (int, Of_msg.payload -> unit) Hashtbl.t; (* by xid *)
+  pending : (int, pending_req) Hashtbl.t; (* by xid *)
   mutable next_xid : int;
   counters : counters;
   pin_window : float;
@@ -62,7 +72,9 @@ type t = {
 let create ?(pin_window = 1.0) engine topo =
   { engine; topo; chan_rng = Scotch_util.Rng.create 0xC7A4;
     switches = Hashtbl.create 16; apps = []; pending = Hashtbl.create 64;
-    next_xid = 1; counters = { packet_ins = 0; flow_mods = 0; unhandled_packet_ins = 0 };
+    next_xid = 1;
+    counters =
+      { packet_ins = 0; flow_mods = 0; unhandled_packet_ins = 0; expired_requests = 0 };
     pin_window }
 
 let engine t = t.engine
@@ -77,8 +89,9 @@ let fresh_xid t =
 (** [register_app t app] appends [app] to the dispatch chain. *)
 let register_app t app = t.apps <- t.apps @ [ app ]
 
-let app ?(packet_in = fun _ _ -> false) ?(switch_dead = fun _ -> ()) name =
-  { app_name = name; packet_in; switch_dead }
+let app ?(packet_in = fun _ _ -> false) ?(switch_dead = fun _ -> ())
+    ?(switch_alive = fun _ -> ()) name =
+  { app_name = name; packet_in; switch_dead; switch_alive }
 
 let switch t dpid = Hashtbl.find_opt t.switches dpid
 let switch_exn t dpid = Hashtbl.find t.switches dpid
@@ -93,17 +106,25 @@ let handle_message t (sw : sw) (msg : Of_msg.t) =
     if not handled then t.counters.unhandled_packet_ins <- t.counters.unhandled_packet_ins + 1
   | Of_msg.Echo_reply ->
     sw.last_echo_reply <- Scotch_sim.Engine.now t.engine;
-    sw.alive <- true
+    if not sw.alive then begin
+      (* heartbeat re-aliveness: a switch previously declared dead is
+         answering again — fire [switch_alive] once per transition so
+         apps can resync state the switch may have lost meanwhile *)
+      sw.alive <- true;
+      List.iter (fun a -> a.switch_alive sw) t.apps
+    end
   | Of_msg.Hello | Of_msg.Echo_request -> ()
-  | Of_msg.Flow_stats_reply _ | Of_msg.Table_stats_reply _ | Of_msg.Barrier_reply
-  | Of_msg.Error _ -> (
+  | Of_msg.Flow_stats_reply _ | Of_msg.Table_stats_reply _ | Of_msg.Group_stats_reply _
+  | Of_msg.Barrier_reply | Of_msg.Error _ -> (
     match Hashtbl.find_opt t.pending msg.Of_msg.xid with
-    | Some k ->
+    | Some req ->
       Hashtbl.remove t.pending msg.Of_msg.xid;
-      k msg.Of_msg.payload
+      Option.iter Scotch_sim.Engine.cancel req.expiry;
+      req.k msg.Of_msg.payload
     | None -> ())
   | Of_msg.Flow_mod _ | Of_msg.Group_mod _ | Of_msg.Packet_out _
-  | Of_msg.Flow_stats_request _ | Of_msg.Table_stats_request | Of_msg.Barrier_request -> ()
+  | Of_msg.Flow_stats_request _ | Of_msg.Table_stats_request
+  | Of_msg.Group_stats_request | Of_msg.Barrier_request -> ()
 
 (** [connect t device ~latency] attaches a switch over a control channel
     with one-way [latency] (the management-port path of Fig. 2). *)
@@ -159,11 +180,31 @@ let send t (sw : sw) payload =
   sw.send_raw (Of_msg.make ~xid:(fresh_xid t) payload)
 
 (** [request t sw payload k] sends a request and calls [k] on the
-    matching reply. *)
-let request t (sw : sw) payload k =
+    matching reply.  With [~deadline] the pending entry self-expires
+    after that many seconds: the continuation is dropped (never called),
+    [on_timeout] fires instead, and [counters.expired_requests] is
+    bumped.  Without a deadline a lost reply strands the entry forever —
+    callers talking over impairable channels should always pass one. *)
+let request ?deadline ?on_timeout t (sw : sw) payload k =
   let xid = fresh_xid t in
-  Hashtbl.replace t.pending xid k;
+  let expiry =
+    match deadline with
+    | None -> None
+    | Some d ->
+      if d <= 0.0 then invalid_arg "Controller.request: deadline must be positive";
+      Some
+        (Scotch_sim.Engine.schedule t.engine ~delay:d (fun () ->
+             if Hashtbl.mem t.pending xid then begin
+               Hashtbl.remove t.pending xid;
+               t.counters.expired_requests <- t.counters.expired_requests + 1;
+               match on_timeout with Some f -> f () | None -> ()
+             end))
+  in
+  Hashtbl.replace t.pending xid { k; expiry };
   sw.send_raw (Of_msg.make ~xid payload)
+
+(** Number of in-flight requests still awaiting a reply. *)
+let pending_requests t = Hashtbl.length t.pending
 
 (** Install a flow rule. *)
 let install t sw ?(table_id = 0) ?(priority = 1) ?(idle_timeout = 0.0) ?(hard_timeout = 0.0)

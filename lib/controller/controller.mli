@@ -36,12 +36,18 @@ type app = {
   app_name : string;
   packet_in : sw -> Of_msg.Packet_in.t -> bool;
   switch_dead : sw -> unit;
+  switch_alive : sw -> unit;
+      (** fired once when a switch previously marked dead answers the
+          heartbeat again — resync hook (the switch may have rebooted
+          empty) *)
 }
 
 type counters = {
   mutable packet_ins : int;
   mutable flow_mods : int;
   mutable unhandled_packet_ins : int;
+  mutable expired_requests : int;
+      (** pending requests reclaimed by their deadline (reply lost) *)
 }
 
 type t
@@ -59,7 +65,8 @@ val register_app : t -> app -> unit
 
 (** Build an app record from optional callbacks. *)
 val app :
-  ?packet_in:(sw -> Of_msg.Packet_in.t -> bool) -> ?switch_dead:(sw -> unit) -> string -> app
+  ?packet_in:(sw -> Of_msg.Packet_in.t -> bool) -> ?switch_dead:(sw -> unit) ->
+  ?switch_alive:(sw -> unit) -> string -> app
 
 val switch : t -> Of_types.datapath_id -> sw option
 val switch_exn : t -> Of_types.datapath_id -> sw
@@ -73,8 +80,17 @@ val connect : t -> Switch.t -> latency:float -> sw
 (** Send one message (counted by kind). *)
 val send : t -> sw -> Of_msg.payload -> unit
 
-(** Send a request and call the continuation on the matching reply. *)
-val request : t -> sw -> Of_msg.payload -> (Of_msg.payload -> unit) -> unit
+(** Send a request and call the continuation on the matching reply.
+    With [~deadline] the pending entry self-expires after that many
+    seconds: the continuation is dropped, [on_timeout] fires instead and
+    [counters.expired_requests] is bumped — without it a lost reply
+    strands the entry forever. *)
+val request :
+  ?deadline:float -> ?on_timeout:(unit -> unit) -> t -> sw -> Of_msg.payload ->
+  (Of_msg.payload -> unit) -> unit
+
+(** Number of in-flight requests still awaiting a reply. *)
+val pending_requests : t -> int
 
 (** Install a flow rule. *)
 val install :

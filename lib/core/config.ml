@@ -80,3 +80,5 @@ let cookie_green = 0x5C07C4EEL (* shared overlay rules *)
 let cookie_red = 0x5C07C4EDL (* per-flow physical-path rules *)
 
 let cookie_vflow = 0x5C07C4EFL (* per-flow rules at overlay vswitches *)
+
+let cookie_miss = 0x5C07C4ECL (* table-miss rules installed at connect time *)

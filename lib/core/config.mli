@@ -54,3 +54,7 @@ val cookie_red : Scotch_openflow.Of_types.cookie
 
 (** Cookie tagging per-flow rules at overlay vswitches. *)
 val cookie_vflow : Scotch_openflow.Of_types.cookie
+
+(** Cookie tagging the table-miss rules installed at connect time, so
+    the reconciler can tell its own rules from foreign ones. *)
+val cookie_miss : Scotch_openflow.Of_types.cookie

@@ -13,6 +13,7 @@ open Scotch_switch
 open Scotch_packet
 open Scotch_util
 module C = Scotch_controller.Controller
+module Reliable = Scotch_reliable.Reliable
 
 let group_id = 1
 let redirect_priority = 1
@@ -68,16 +69,21 @@ type t = {
       (* fault injection: a stats-polling outage suspends elephant
          detection (the §5.3 loop) without touching anything else *)
   mutable phase_hooks : (phase -> unit) list;
+  reliable : Reliable.t option;
+      (* when present, every Flow/Group-mod goes through the intent
+         store and barrier-acked transactions, and [start] launches the
+         anti-entropy reconciler.  [None] (the default) keeps the
+         legacy fire-and-forget path bit-identical. *)
 }
 
-let create ctrl overlay policy config =
+let create ?reliable ctrl overlay policy config =
   { ctrl; overlay; policy; config; db = Flow_info_db.create ();
     managed = Hashtbl.create 16; vswitch_handles = Hashtbl.create 16;
     counters =
       { flows_seen = 0; flows_overlay = 0; flows_physical = 0; flows_dropped = 0;
         flows_unroutable = 0; elephants_detected = 0; migrations_completed = 0;
         activations = 0; withdrawals = 0; vswitch_failures = 0 };
-    stats_polling = true; phase_hooks = [] }
+    stats_polling = true; phase_hooks = []; reliable }
 
 let counters t = t.counters
 let db t = t.db
@@ -99,6 +105,48 @@ let on_phase t f = t.phase_hooks <- f :: t.phase_hooks
     back) can announce [`Post_recovery]. *)
 let notify_phase t p = List.iter (fun f -> f p) t.phase_hooks
 
+(** {1 The send path}
+
+    Every Flow/Group-mod leaves through one of these chokepoints.  With
+    no reliable layer they collapse to the legacy direct sends (same
+    messages, same order — unimpaired runs stay bit-identical); with
+    one, intents are recorded and the batch ships as a barrier-acked
+    transaction. *)
+
+let reliable t = t.reliable
+
+let send_fm t (sw : C.sw) fm =
+  match t.reliable with
+  | None -> C.send t.ctrl sw (Of_msg.Flow_mod fm)
+  | Some r ->
+    Reliable.register_switch r sw;
+    Reliable.flow_mod r sw fm
+
+let send_gm t (sw : C.sw) gm =
+  match t.reliable with
+  | None -> C.send t.ctrl sw (Of_msg.Group_mod gm)
+  | Some r ->
+    Reliable.register_switch r sw;
+    Reliable.group_mod r sw gm
+
+let send_batch t (sw : C.sw) payloads =
+  match t.reliable with
+  | None -> List.iter (C.send t.ctrl sw) payloads
+  | Some r ->
+    Reliable.register_switch r sw;
+    Reliable.transaction r sw payloads
+
+let install t sw ?(table_id = 0) ?(priority = 1) ?(idle_timeout = 0.0) ?(hard_timeout = 0.0)
+    ?(cookie = Of_types.cookie_none) ~match_ ~instructions () =
+  send_fm t sw
+    (Of_msg.Flow_mod.add ~table_id ~priority ~idle_timeout ~hard_timeout ~cookie ~match_
+       ~instructions ())
+
+let uninstall t sw ?(table_id = 0) ?priority ~match_ () =
+  send_fm t sw
+    { (Of_msg.Flow_mod.delete ~table_id ~match_ ()) with
+      Of_msg.Flow_mod.priority = Option.value priority ~default:0 }
+
 (** {1 Registration} *)
 
 (** [register_vswitch t dev ~channel_latency] connects an overlay
@@ -107,7 +155,7 @@ let notify_phase t p = List.iter (fun f -> f p) t.phase_hooks
 let register_vswitch t dev ~channel_latency =
   let sw = C.connect t.ctrl dev ~latency:channel_latency in
   Hashtbl.replace t.vswitch_handles (Switch.dpid dev) sw;
-  C.install t.ctrl sw ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+  install t sw ~table_id:0 ~priority:0 ~cookie:Config.cookie_miss ~match_:Of_match.wildcard
     ~instructions:Of_action.to_controller ();
   sw
 
@@ -128,7 +176,7 @@ let manage_switch t dev ~channel_latency =
       activated_at = 0.0; assigned = []; group_installed = false }
   in
   Hashtbl.replace t.managed (Switch.dpid dev) m;
-  C.install t.ctrl sw ~table_id:0 ~priority:0 ~match_:Of_match.wildcard
+  install t sw ~table_id:0 ~priority:0 ~cookie:Config.cookie_miss ~match_:Of_match.wildcard
     ~instructions:Of_action.to_controller ();
   m
 
@@ -139,9 +187,7 @@ let handle_of t dpid =
     match managed_of t dpid with Some m -> Some m.msw | None -> C.switch t.ctrl dpid)
 
 let send_flow_mod t dpid fm =
-  match handle_of t dpid with
-  | Some sw -> C.send t.ctrl sw (Of_msg.Flow_mod fm)
-  | None -> ()
+  match handle_of t dpid with Some sw -> send_fm t sw fm | None -> ()
 
 (** {1 Activation (§4.2, §5.1)} *)
 
@@ -169,19 +215,23 @@ let buckets_of_assignment assigned =
             (Of_types.Port_no.Physical (Scotch_topo.Topology.tunnel_port_of_id tid)) ])
     assigned
 
-let install_group t m =
-  (* an empty assignment would produce an empty-bucket Group_mod, which
-     the switch now rejects (OFPGMFC_INVALID_GROUP); keep the previous
-     group contents until a non-empty assignment replaces them *)
-  if m.assigned <> [] then begin
+(* An empty assignment would produce an empty-bucket Group_mod, which
+   the switch rejects (OFPGMFC_INVALID_GROUP); keep the previous group
+   contents until a non-empty assignment replaces them. *)
+let group_mod_for m =
+  if m.assigned = [] then None
+  else begin
     let gm =
       if m.group_installed then
         Of_msg.Group_mod.modify_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
       else Of_msg.Group_mod.add_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
     in
     m.group_installed <- true;
-    C.send t.ctrl m.msw (Of_msg.Group_mod gm)
+    Some gm
   end
+
+let install_group t m =
+  match group_mod_for m with None -> () | Some gm -> send_gm t m.msw gm
 
 (** [activate t m] turns on overlay redirection at a congested switch:
     the two-table pipeline of §5.2 — table 0 tags the ingress port with
@@ -194,20 +244,31 @@ let activate t m =
     m.active <- true;
     m.activated_at <- now t;
     t.counters.activations <- t.counters.activations + 1;
-    install_group t m;
-    C.install t.ctrl m.msw ~table_id:1 ~priority:0 ~cookie:Config.cookie_green
-      ~match_:Of_match.wildcard
-      ~instructions:[ Of_action.Apply_actions [ Of_action.Group group_id ] ]
-      ();
-    List.iter
-      (fun port ->
-        C.install t.ctrl m.msw ~table_id:0 ~priority:redirect_priority
-          ~cookie:Config.cookie_green
-          ~match_:(Of_match.with_in_port port Of_match.wildcard)
-          ~instructions:
-            [ Of_action.Apply_actions [ Of_action.Push_mpls port ]; Of_action.Goto_table 1 ]
-          ())
-      (Switch.normal_ports m.msw.C.device);
+    (* the whole pipeline (select group, table-1 balancer, per-port
+       redirects) ships as one batch: under the reliable layer it is a
+       single barrier-acked transaction, otherwise it degenerates to the
+       same message sequence as before *)
+    let gm = group_mod_for m in
+    let table1 =
+      Of_msg.Flow_mod.add ~table_id:1 ~priority:0 ~cookie:Config.cookie_green
+        ~match_:Of_match.wildcard
+        ~instructions:[ Of_action.Apply_actions [ Of_action.Group group_id ] ]
+        ()
+    in
+    let redirects =
+      List.map
+        (fun port ->
+          Of_msg.Flow_mod.add ~table_id:0 ~priority:redirect_priority
+            ~cookie:Config.cookie_green
+            ~match_:(Of_match.with_in_port port Of_match.wildcard)
+            ~instructions:
+              [ Of_action.Apply_actions [ Of_action.Push_mpls port ]; Of_action.Goto_table 1 ]
+            ())
+        (Switch.normal_ports m.msw.C.device)
+    in
+    send_batch t m.msw
+      (List.map (fun g -> Of_msg.Group_mod g) (Option.to_list gm)
+      @ List.map (fun fm -> Of_msg.Flow_mod fm) (table1 :: redirects));
     notify_phase t `Post_redirect
   end
 
@@ -227,7 +288,7 @@ let withdraw t m =
        to the OFA. *)
     List.iter
       (fun port ->
-        C.uninstall t.ctrl m.msw ~table_id:0 ~priority:redirect_priority
+        uninstall t m.msw ~table_id:0 ~priority:redirect_priority
           ~match_:(Of_match.with_in_port port Of_match.wildcard)
           ())
       (Switch.normal_ports m.msw.C.device);
@@ -238,7 +299,7 @@ let withdraw t m =
     List.iter
       (fun (e : Flow_info_db.entry) ->
         Sched.submit_admitted m.sched (fun () ->
-            C.install t.ctrl m.msw ~table_id:0 ~priority:Policy.green_priority
+            install t m.msw ~table_id:0 ~priority:Policy.green_priority
               ~cookie:Config.cookie_green ~idle_timeout:t.config.Config.pin_rule_idle
               ~match_:(Of_match.exact_flow e.Flow_info_db.key)
               ~instructions:
@@ -314,7 +375,7 @@ let route_overlay t (e : Flow_info_db.entry) pkt ~entry =
       Flow_info_db.set_kind t.db e Flow_info_db.Dropped
     | Some actions, Some entry_sw ->
       let cfg = t.config in
-      C.install t.ctrl entry_sw ~table_id:0 ~priority:flow_priority
+      install t entry_sw ~table_id:0 ~priority:flow_priority
         ~idle_timeout:cfg.Config.vswitch_rule_idle ~cookie:Config.cookie_vflow
         ~match_:(Of_match.exact_flow key)
         ~instructions:[ Of_action.Apply_actions actions ]
@@ -323,7 +384,7 @@ let route_overlay t (e : Flow_info_db.entry) pkt ~entry =
          match (Overlay.delivery_tunnel t.overlay ~vswitch_dpid:cover dst_ip,
                 vswitch_handle t cover) with
          | Some tid, Some cover_sw ->
-           C.install t.ctrl cover_sw ~table_id:0 ~priority:flow_priority
+           install t cover_sw ~table_id:0 ~priority:flow_priority
              ~idle_timeout:cfg.Config.vswitch_rule_idle ~cookie:Config.cookie_vflow
              ~match_:(Of_match.exact_flow key)
              ~instructions:
@@ -609,7 +670,7 @@ let handle_packet_in t (sw : C.sw) (pi : Of_msg.Packet_in.t) =
           [ Of_action.Output
               (Of_types.Port_no.Physical (Scotch_topo.Topology.tunnel_port_of_id tid)) ]
         in
-        C.install t.ctrl sw ~table_id:0 ~priority:flow_priority
+        install t sw ~table_id:0 ~priority:flow_priority
           ~idle_timeout:t.config.Config.vswitch_rule_idle ~cookie:Config.cookie_vflow
           ~match_:(Of_match.exact_flow key)
           ~instructions:[ Of_action.Apply_actions actions ]
@@ -719,7 +780,18 @@ let start t =
               if v.Overlay.alive then poll_vswitch_stats t (Switch.dpid v.Overlay.vsw)))
   in
   C.start_heartbeat t.ctrl ~period:cfg.Config.heartbeat_period
-    ~timeout:cfg.Config.heartbeat_timeout
+    ~timeout:cfg.Config.heartbeat_timeout;
+  Option.iter Reliable.start t.reliable
+
+(** Heartbeat re-aliveness: a vswitch that stopped answering Echos (and
+    may have crashed and restarted with empty tables) is talking again —
+    flag it for a full intent resync at the next reconciler tick. *)
+let handle_switch_alive t (sw : C.sw) =
+  Option.iter
+    (fun r ->
+      Reliable.register_switch r sw;
+      Reliable.request_resync r sw.C.dpid)
+    t.reliable
 
 (** The controller application record; register it {e before} any
     fallback routing app. *)
@@ -727,6 +799,7 @@ let app t =
   C.app
     ~packet_in:(fun sw pi -> handle_packet_in t sw pi)
     ~switch_dead:(fun sw -> handle_switch_dead t sw)
+    ~switch_alive:(fun sw -> handle_switch_alive t sw)
     "scotch"
 
 (** {1 Elastic pool growth (§5.6)}

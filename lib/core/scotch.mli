@@ -10,6 +10,7 @@
 
 open Scotch_switch
 module C = Scotch_controller.Controller
+module Reliable = Scotch_reliable.Reliable
 
 (** Phase boundaries at which debug-mode verification hooks fire
     (see {!Scotch_verify.Hooks}): after overlay redirection is
@@ -34,7 +35,16 @@ type counters = {
 
 type t
 
-val create : C.t -> Overlay.t -> Policy.t -> Config.t -> t
+(** [create ?reliable ctrl overlay policy config] — with [?reliable],
+    every Flow/Group-mod Scotch emits is recorded in the per-switch
+    intent store and shipped as a barrier-acked transaction, and
+    {!start} also launches the anti-entropy reconciler.  Without it
+    (the default) the legacy fire-and-forget send path is used,
+    bit-identical to previous behavior. *)
+val create : ?reliable:Reliable.t -> C.t -> Overlay.t -> Policy.t -> Config.t -> t
+
+(** The reliable layer this instance routes installs through, if any. *)
+val reliable : t -> Reliable.t option
 val counters : t -> counters
 val db : t -> Flow_info_db.t
 val config : t -> Config.t

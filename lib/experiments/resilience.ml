@@ -12,6 +12,7 @@
 
 open Scotch_workload
 open Scotch_faults
+module C = Scotch_controller.Controller
 
 let bin_width = 2.0
 
@@ -39,17 +40,77 @@ let kill_plan ~(params : Tracegen.params) ~kills ~outage =
            ~at:(params.Tracegen.flash_start +. (frac *. window))
            ~duration:outage (Testbed.vswitch_dpid i)))
 
+let num_vswitches = 4
+let num_backups = 2
+
+(** Control-channel weather for the reconciliation scenario: [drop_p]
+    message loss on {e every} control channel (both physical switches
+    and the whole vswitch pool) across the flash window, plus one OFA
+    stall on the edge switch inside it.  Merged with the kill plan this
+    is the PR 3 acceptance storm: dropped Flow_mods, a frozen agent and
+    a crash/recovery, all racing the reconciler. *)
+let impairment_plan ~(params : Tracegen.params) ~drop_p =
+  let start = params.Tracegen.flash_start in
+  let duration = params.Tracegen.flash_end -. start in
+  let drops =
+    List.map
+      (fun dpid -> Fault.channel_drop ~at:start ~duration ~probability:drop_p dpid)
+      (Testbed.edge_dpid :: Testbed.server_dpid
+      :: List.init (num_vswitches + num_backups) Testbed.vswitch_dpid)
+  in
+  let stall =
+    Fault.ofa_stall ~at:(start +. (0.25 *. duration)) ~duration:(0.15 *. duration)
+      Testbed.edge_dpid
+  in
+  Plan.of_list (stall :: drops)
+
 type outcome = {
   ledger : Ledger.t;
   success : (float * float) list; (* per-bin flow success fraction *)
   verify : Scotch_verify.Hooks.t option;
       (* debug-mode invariant checks (post-recovery + run-end), when enabled *)
+  net : Testbed.scotch_net;
+      (* the network itself, so tests can snapshot/verify after the run *)
 }
 
-let run_variant ~seed ~plan ~(params : Tracegen.params) () =
+(** Total control messages lost to channel impairments, across every
+    connected switch. *)
+let total_chan_dropped (net : Testbed.scotch_net) =
+  let module Sc = Scotch_core.Scotch in
+  List.fold_left
+    (fun acc dpid ->
+      match C.switch net.Testbed.ctrl dpid with
+      | Some sw -> acc + sw.C.chan_dropped
+      | None -> acc)
+    0
+    (Sc.managed_dpids net.Testbed.app @ Sc.vswitch_dpids net.Testbed.app)
+
+(** Fill the recovery ledger's convergence block from the reliable
+    layer's stats (no-op without one). *)
+let record_convergence (net : Testbed.scotch_net) ledger =
+  match net.Testbed.reliable with
+  | None -> ()
+  | Some r ->
+    let module R = Scotch_reliable.Reliable in
+    let s = R.stats r in
+    Ledger.set_convergence ledger
+      { Ledger.conv_retries = s.R.retries;
+        conv_repaired_missing = s.R.repairs_missing;
+        conv_repaired_orphans = s.R.repairs_orphan;
+        conv_repaired_groups = s.R.repairs_group;
+        conv_resyncs = s.R.resyncs;
+        conv_txns_parked = s.R.txns_parked;
+        conv_degraded_seconds = s.R.degraded_seconds;
+        conv_chan_dropped = total_chan_dropped net;
+        conv_expired_requests = (C.counters net.Testbed.ctrl).C.expired_requests;
+        conv_windows = R.divergence_windows r;
+        conv_digest = R.digest r }
+
+let run_variant ?(reconcile = false) ~seed ~plan ~(params : Tracegen.params) () =
   let net =
-    Testbed.scotch_net ~seed ~num_vswitches:4 ~num_backups:2
-      ~num_clients:params.Tracegen.num_sources ~num_servers:params.Tracegen.num_destinations ()
+    Testbed.scotch_net ~seed ~num_vswitches ~num_backups
+      ~num_clients:params.Tracegen.num_sources ~num_servers:params.Tracegen.num_destinations
+      ~reconcile ()
   in
   let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
   let rng = Scotch_util.Rng.create (seed + 17) in
@@ -87,23 +148,30 @@ let run_variant ~seed ~plan ~(params : Tracegen.params) () =
         (float_of_int bin *. bin_width, float_of_int ok.(bin) /. float_of_int total.(bin))
         :: !points
   done;
-  { ledger; success = !points; verify = net.Testbed.verify }
+  record_convergence net ledger;
+  { ledger; success = !points; verify = net.Testbed.verify; net }
 
 (** The faulted run alone, with its recovery ledger — what the tests
     and the smoke alias drive.  [multiplier] tunes the flash-crowd
-    intensity (lower it for fast smoke runs). *)
-let run_outcome ?(seed = 42) ?(scale = 1.0) ?(kills = 2) ?(multiplier = 25.0) () =
+    intensity (lower it for fast smoke runs).  With [~reconcile:true]
+    installs go through the reliable layer; [drop_p > 0] adds the
+    control-channel storm of {!impairment_plan} to the kill plan. *)
+let run_outcome ?(seed = 42) ?(scale = 1.0) ?(kills = 2) ?(multiplier = 25.0)
+    ?(reconcile = false) ?(drop_p = 0.0) () =
   let params = trace_params ~scale ~multiplier in
   let outage = Stdlib.max 6.0 (0.3 *. params.Tracegen.duration) in
-  run_variant ~seed ~plan:(kill_plan ~params ~kills ~outage) ~params ()
+  let plan = kill_plan ~params ~kills ~outage in
+  let plan = if drop_p > 0.0 then Plan.merge plan (impairment_plan ~params ~drop_p) else plan in
+  run_variant ~reconcile ~seed ~plan ~params ()
 
-let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
+let run ?(seed = 42) ?(scale = 1.0) ?(reconcile = false) ?(drop_p = 0.0) () : Report.figure =
   let kills = 2 in
   let params = trace_params ~scale ~multiplier:25.0 in
   let outage = Stdlib.max 6.0 (0.3 *. params.Tracegen.duration) in
   let plan = kill_plan ~params ~kills ~outage in
-  let faulted = run_variant ~seed ~plan ~params () in
-  let clean = run_variant ~seed ~plan:Plan.empty ~params () in
+  let plan = if drop_p > 0.0 then Plan.merge plan (impairment_plan ~params ~drop_p) else plan in
+  let faulted = run_variant ~reconcile ~seed ~plan ~params () in
+  let clean = run_variant ~reconcile ~seed ~plan:Plan.empty ~params () in
   Ledger.print faulted.ledger;
   let ledger_series =
     List.map (fun (label, points) -> { Report.label; points }) (Ledger.to_series faulted.ledger)
@@ -111,8 +179,13 @@ let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
   { Report.id = "resilience";
     title =
       Printf.sprintf
-        "Failure recovery: %d of 4 uplink vswitches killed for %.0f s mid flash crowd" kills
-        outage;
+        "Failure recovery: %d of 4 uplink vswitches killed for %.0f s mid flash crowd%s" kills
+        outage
+        (if reconcile then
+           Printf.sprintf " (reliable layer on%s)"
+             (if drop_p > 0.0 then Printf.sprintf ", %.0f%% control-channel loss" (100.0 *. drop_p)
+              else "")
+         else "");
     x_label = "time (s) for success series; fault id for ledger series";
     y_label = "success fraction / seconds / flows";
     series =

@@ -84,6 +84,8 @@ type scotch_net = {
   servers : Host.t array;       (* ports 1..k on the server switch *)
   server : Host.t;              (* servers.(0) *)
   verify : Scotch_verify.Hooks.t option;
+  reliable : Scotch_reliable.Reliable.t option;
+      (* the reliable control-channel layer, when built with ~reconcile *)
 }
 
 let edge_dpid = 1
@@ -99,10 +101,15 @@ let vswitch_dpid i = 100 + i
     - [num_vswitches] active + [num_backups] backup overlay vswitches,
       fully meshed, each with uplink tunnels from both physical switches
       and delivery tunnels to every host;
-    - controller with the Scotch app registered and started. *)
+    - controller with the Scotch app registered and started.
+
+    With [~reconcile:true] the app routes every Flow/Group-mod through a
+    reliable control-channel layer (intent store + barrier-acked
+    transactions) whose anti-entropy reconciler owns all of Scotch's
+    rule cookies; {!Scotch_core.Scotch.start} launches it. *)
 let scotch_net ?(seed = 42) ?(profile = Profile.pica8) ?(vswitch_profile = Profile.scotch_vswitch)
     ?(config = Scotch_core.Config.default) ?(num_vswitches = 4) ?(num_backups = 0)
-    ?(num_clients = 1) ?(num_servers = 1) ?(scotch_enabled = true) () =
+    ?(num_clients = 1) ?(num_servers = 1) ?(scotch_enabled = true) ?(reconcile = false) () =
   let engine = Scotch_sim.Engine.create ~seed () in
   let topo = Topology.create engine in
   let edge = Switch.create engine ~dpid:edge_dpid ~name:"edge" ~profile () in
@@ -166,7 +173,20 @@ let scotch_net ?(seed = 42) ?(profile = Profile.pica8) ?(vswitch_profile = Profi
   (* controller + scotch app *)
   let ctrl = C.create engine topo in
   let policy = Scotch_core.Policy.create topo in
-  let app = Scotch_core.Scotch.create ctrl overlay policy config in
+  let reliable =
+    if reconcile && scotch_enabled then
+      Some
+        (Scotch_reliable.Reliable.create
+           ~config:
+             (Scotch_reliable.Reliable.default_config ~seed
+                ~owned_cookies:
+                  [ Scotch_core.Config.cookie_miss; Scotch_core.Config.cookie_green;
+                    Scotch_core.Config.cookie_red; Scotch_core.Config.cookie_vflow ]
+                ())
+           ctrl)
+    else None
+  in
+  let app = Scotch_core.Scotch.create ?reliable ctrl overlay policy config in
   let verify = ref None in
   if scotch_enabled then begin
     C.register_app ctrl (Scotch_core.Scotch.app app);
@@ -189,7 +209,7 @@ let scotch_net ?(seed = 42) ?(profile = Profile.pica8) ?(vswitch_profile = Profi
     Scotch_controller.Routing.install_table_miss ctrl s
   end;
   { engine; topo; ctrl; app; overlay; policy; edge; server_sw; vswitches; clients; attacker;
-    servers; server; verify = !verify }
+    servers; server; verify = !verify; reliable }
 
 (** A client traffic source on client [i]. *)
 let client_source (net : scotch_net) ~i ~rate ?arrival ?spec_of () =

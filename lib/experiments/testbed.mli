@@ -64,6 +64,10 @@ type scotch_net = {
       (** debug-mode invariant-checker hooks; [Some] only when
           {!Scotch_verify.Hooks.enable} (or [SCOTCH_VERIFY=1]) is in
           effect and the Scotch app is running *)
+  reliable : Scotch_reliable.Reliable.t option;
+      (** the reliable control-channel layer (intent store,
+          barrier-acked transactions, anti-entropy reconciler); [Some]
+          only when built with [~reconcile:true] *)
 }
 
 val edge_dpid : int
@@ -72,11 +76,14 @@ val attacker_edge_port : int
 val vswitch_dpid : int -> int
 
 (** Build the evaluation network.  [scotch_enabled = false] runs the
-    plain reactive baseline instead of the Scotch app. *)
+    plain reactive baseline instead of the Scotch app.
+    [reconcile = true] routes all installs through a reliable
+    control-channel layer owning every Scotch rule cookie. *)
 val scotch_net :
   ?seed:int -> ?profile:Profile.t -> ?vswitch_profile:Profile.t ->
   ?config:Scotch_core.Config.t -> ?num_vswitches:int -> ?num_backups:int ->
-  ?num_clients:int -> ?num_servers:int -> ?scotch_enabled:bool -> unit -> scotch_net
+  ?num_clients:int -> ?num_servers:int -> ?scotch_enabled:bool -> ?reconcile:bool -> unit ->
+  scotch_net
 
 (** A client traffic source on client [i] toward the first server. *)
 val client_source :

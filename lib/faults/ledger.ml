@@ -26,9 +26,35 @@ type record = {
   mutable backup_promoted : int option; (* dpid of the backup that took over *)
 }
 
-type t = { mutable records : record list (* newest first *) }
+(** Convergence metrics of the reliable layer (PR 3), filled in by the
+    resilience experiment when it runs with reconciliation enabled:
+    retry/repair/resync counters, closed divergence windows and the
+    reconciliation-ledger digest.  Optional so that runs without the
+    reliable layer keep byte-identical ledgers. *)
+type convergence = {
+  conv_retries : int;
+  conv_repaired_missing : int;   (* durable intent rules re-installed *)
+  conv_repaired_orphans : int;   (* owned device rules deleted *)
+  conv_repaired_groups : int;
+  conv_resyncs : int;            (* full-table resyncs after recovery *)
+  conv_txns_parked : int;        (* transactions abandoned on dead switches *)
+  conv_degraded_seconds : float;
+  conv_chan_dropped : int;       (* control messages lost to impairments *)
+  conv_expired_requests : int;   (* pending xids reclaimed by deadline *)
+  conv_windows : float list;     (* closed divergence windows, closing order *)
+  conv_digest : string;          (* reconciliation-ledger digest *)
+}
 
-let create () = { records = [] }
+type t = {
+  mutable records : record list; (* newest first *)
+  mutable convergence : convergence option;
+}
+
+let create () = { records = []; convergence = None }
+
+let set_convergence t c = t.convergence <- Some c
+
+let convergence t = t.convergence
 
 let add t ~id ~label ~injected_at =
   let r =
@@ -61,12 +87,24 @@ let time_to_rebalance r = Option.map (fun d -> d -. r.injected_at) r.rebalanced_
 
 let to_series t =
   let pick f = List.filter_map f (records t) in
-  [ ("detection latency (s)",
-     pick (fun r -> Option.map (fun v -> (float_of_int r.id, v)) (detection_latency r)));
-    ("time to rebalance (s)",
-     pick (fun r -> Option.map (fun v -> (float_of_int r.id, v)) (time_to_rebalance r)));
-    ("flows lost during outage",
-     pick (fun r -> Some (float_of_int r.id, float_of_int r.flows_lost))) ]
+  let base =
+    [ ("detection latency (s)",
+       pick (fun r -> Option.map (fun v -> (float_of_int r.id, v)) (detection_latency r)));
+      ("time to rebalance (s)",
+       pick (fun r -> Option.map (fun v -> (float_of_int r.id, v)) (time_to_rebalance r)));
+      ("flows lost during outage",
+       pick (fun r -> Some (float_of_int r.id, float_of_int r.flows_lost))) ]
+  in
+  match t.convergence with
+  | None -> base
+  | Some c ->
+    base
+    @ [ ("divergence window (s)", List.mapi (fun i w -> (float_of_int i, w)) c.conv_windows);
+        ("reconciliation (retries, repairs, resyncs)",
+         [ (0.0, float_of_int c.conv_retries);
+           (1.0,
+            float_of_int (c.conv_repaired_missing + c.conv_repaired_orphans + c.conv_repaired_groups));
+           (2.0, float_of_int c.conv_resyncs) ]) ]
 
 let opt_time = function None -> "-" | Some v -> Printf.sprintf "%.4f" v
 
@@ -89,10 +127,22 @@ let to_table t =
 
 let print t =
   print_endline "== recovery ledger ==";
-  Table_printer.print (to_table t)
+  Table_printer.print (to_table t);
+  match t.convergence with
+  | None -> ()
+  | Some c ->
+    Printf.printf
+      "reconcile: %d retries, %d/%d/%d repairs (missing/orphan/group), %d resyncs, %d parked, \
+       %.3f s degraded, %d msgs dropped, %d xids expired, %d divergence windows\n"
+      c.conv_retries c.conv_repaired_missing c.conv_repaired_orphans c.conv_repaired_groups
+      c.conv_resyncs c.conv_txns_parked c.conv_degraded_seconds c.conv_chan_dropped
+      c.conv_expired_requests (List.length c.conv_windows)
 
 (** Canonical dump: every field of every record at full float precision,
-    in id order.  Two ledgers are equal iff their dumps are. *)
+    in id order; when convergence metrics are present they are appended
+    (runs without the reliable layer keep their pre-PR 3 dumps and
+    digests byte-identical).  Two ledgers are equal iff their dumps
+    are. *)
 let canonical t =
   let b = Buffer.create 256 in
   List.iter
@@ -103,6 +153,15 @@ let canonical t =
            (opt r.detected_at) (opt r.rebalanced_at) (opt r.cleared_at) r.flows_lost
            (match r.backup_promoted with None -> "none" | Some d -> string_of_int d)))
     (records t);
+  (match t.convergence with
+  | None -> ()
+  | Some c ->
+    Buffer.add_string b
+      (Printf.sprintf "conv|%d|%d|%d|%d|%d|%d|%.17g|%d|%d|%s|%s\n" c.conv_retries
+         c.conv_repaired_missing c.conv_repaired_orphans c.conv_repaired_groups c.conv_resyncs
+         c.conv_txns_parked c.conv_degraded_seconds c.conv_chan_dropped c.conv_expired_requests
+         (String.concat "," (List.map (Printf.sprintf "%.17g") c.conv_windows))
+         c.conv_digest));
   Buffer.contents b
 
 (** Hex digest of {!canonical}: the bit-identical-recovery check. *)

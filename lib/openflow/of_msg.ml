@@ -116,6 +116,17 @@ module Stats = struct
   type table_stats_reply = {
     active_entries : int list; (* per table *)
   }
+
+  (** Group description (OFPMP_GROUP_DESC): what the switch's group
+      table actually holds — the anti-entropy reconciler diffs this
+      against controller intent. *)
+  type group_desc = {
+    group_id : group_id;
+    group_type : Group_mod.group_type;
+    buckets : Group_mod.bucket list;
+  }
+
+  type group_stats_reply = group_desc list
 end
 
 (** {1 The message sum type} *)
@@ -132,6 +143,8 @@ type payload =
   | Flow_stats_reply of Stats.flow_stats_reply
   | Table_stats_request
   | Table_stats_reply of Stats.table_stats_reply
+  | Group_stats_request
+  | Group_stats_reply of Stats.group_stats_reply
   | Barrier_request
   | Barrier_reply
   | Error of string
@@ -153,6 +166,8 @@ let kind_name t =
   | Flow_stats_reply _ -> "FLOW_STATS_REPLY"
   | Table_stats_request -> "TABLE_STATS_REQUEST"
   | Table_stats_reply _ -> "TABLE_STATS_REPLY"
+  | Group_stats_request -> "GROUP_STATS_REQUEST"
+  | Group_stats_reply _ -> "GROUP_STATS_REPLY"
   | Barrier_request -> "BARRIER_REQUEST"
   | Barrier_reply -> "BARRIER_REPLY"
   | Error _ -> "ERROR"

@@ -100,6 +100,17 @@ module Stats : sig
   type table_stats_reply = {
     active_entries : int list; (** per table *)
   }
+
+  (** Group description (OFPMP_GROUP_DESC): what the switch's group
+      table actually holds — diffed against controller intent by the
+      anti-entropy reconciler. *)
+  type group_desc = {
+    group_id : group_id;
+    group_type : Group_mod.group_type;
+    buckets : Group_mod.bucket list;
+  }
+
+  type group_stats_reply = group_desc list
 end
 
 type payload =
@@ -114,6 +125,8 @@ type payload =
   | Flow_stats_reply of Stats.flow_stats_reply
   | Table_stats_request
   | Table_stats_reply of Stats.table_stats_reply
+  | Group_stats_request
+  | Group_stats_reply of Stats.group_stats_reply
   | Barrier_request
   | Barrier_reply
   | Error of string

@@ -231,6 +231,7 @@ let t_barrier_reply = 21
 (* multipart subtypes *)
 let mp_flow = 1
 let mp_table = 3
+let mp_group_desc = 7
 
 let encode_flow_mod b (fm : Of_msg.Flow_mod.t) =
   W.u8 b (match fm.command with Add -> 0 | Modify -> 1 | Delete -> 3);
@@ -346,6 +347,39 @@ let decode_flow_stat r : Of_msg.Stats.flow_stat =
   let match_ = decode_match r in
   { table_id; priority; packet_count; byte_count; cookie; duration; match_ }
 
+let encode_group_type b (gt : Of_msg.Group_mod.group_type) =
+  W.u8 b (match gt with All -> 0 | Select -> 1 | Indirect -> 2 | Fast_failover -> 3)
+
+let decode_group_type r : Of_msg.Group_mod.group_type =
+  match R.u8 r with
+  | 0 -> All
+  | 1 -> Select
+  | 2 -> Indirect
+  | 3 -> Fast_failover
+  | x -> fail "unknown group type %d" x
+
+let encode_group_desc b (gd : Of_msg.Stats.group_desc) =
+  W.u32 b gd.group_id;
+  encode_group_type b gd.group_type;
+  W.u16 b (List.length gd.buckets);
+  List.iter
+    (fun (bk : Of_msg.Group_mod.bucket) ->
+      W.u16 b bk.weight;
+      encode_actions b bk.actions)
+    gd.buckets
+
+let decode_group_desc r : Of_msg.Stats.group_desc =
+  let group_id = R.u32 r in
+  let group_type = decode_group_type r in
+  let n = R.u16 r in
+  let buckets =
+    List.init n (fun _ ->
+        let weight = R.u16 r in
+        let actions = decode_actions r in
+        { Of_msg.Group_mod.weight; actions })
+  in
+  { group_id; group_type; buckets }
+
 (** {1 Top level} *)
 
 let type_code (p : Of_msg.payload) =
@@ -358,8 +392,8 @@ let type_code (p : Of_msg.payload) =
   | Packet_out _ -> t_packet_out
   | Flow_mod _ -> t_flow_mod
   | Group_mod _ -> t_group_mod
-  | Flow_stats_request _ | Table_stats_request -> t_multipart_request
-  | Flow_stats_reply _ | Table_stats_reply _ -> t_multipart_reply
+  | Flow_stats_request _ | Table_stats_request | Group_stats_request -> t_multipart_request
+  | Flow_stats_reply _ | Table_stats_reply _ | Group_stats_reply _ -> t_multipart_reply
   | Barrier_request -> t_barrier_request
   | Barrier_reply -> t_barrier_reply
 
@@ -386,7 +420,12 @@ let encode (msg : Of_msg.t) =
   | Table_stats_reply { active_entries } ->
     W.u16 body mp_table;
     W.u16 body (List.length active_entries);
-    List.iter (W.u32 body) active_entries);
+    List.iter (W.u32 body) active_entries
+  | Group_stats_request -> W.u16 body mp_group_desc
+  | Group_stats_reply descs ->
+    W.u16 body mp_group_desc;
+    W.u16 body (List.length descs);
+    List.iter (encode_group_desc body) descs);
   let body = Buffer.to_bytes body in
   let framed = W.create () in
   W.u8 framed version;
@@ -424,6 +463,7 @@ let decode data : Of_msg.t =
         let match_ = decode_match r in
         Flow_stats_request { table_id; match_ }
       | x when x = mp_table -> Table_stats_request
+      | x when x = mp_group_desc -> Group_stats_request
       | x -> fail "unknown multipart request subtype %d" x
     end
     else if ty = t_multipart_reply then begin
@@ -434,6 +474,9 @@ let decode data : Of_msg.t =
       | x when x = mp_table ->
         let n = R.u16 r in
         Table_stats_reply { active_entries = List.init n (fun _ -> R.u32 r) }
+      | x when x = mp_group_desc ->
+        let n = R.u16 r in
+        Group_stats_reply (List.init n (fun _ -> decode_group_desc r))
       | x -> fail "unknown multipart reply subtype %d" x
     end
     else fail "unknown message type %d" ty

@@ -1,0 +1,20 @@
+(** Deterministic exponential backoff with jitter.
+
+    Delays are a pure function of [(seed, salt, attempt)]: retry
+    schedules are reproducible for a given seed, independent of how
+    retries from different sources interleave, while the jitter keeps
+    concurrent retries from thundering in lock-step. *)
+
+type t
+
+(** Defaults: 50 ms base, doubling per attempt, capped at 1 s, ±25 %
+    jitter. *)
+val create :
+  ?base:float -> ?factor:float -> ?cap:float -> ?jitter:float -> ?seed:int -> unit -> t
+
+(** Delay before retry [attempt] (1-based); [salt] distinguishes
+    independent retry sequences (e.g. per transaction). *)
+val delay : t -> ?salt:int -> attempt:int -> unit -> float
+
+(** The first [attempts] delays, in order. *)
+val schedule : t -> ?salt:int -> attempts:int -> unit -> float list

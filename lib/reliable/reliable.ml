@@ -1,0 +1,479 @@
+(** Reliable control-channel layer: barrier-acked transactional
+    installs with retry/backoff, plus an anti-entropy reconciler.
+
+    The base controller treats the control channel as lossless, but
+    Scotch's premise (§4 of the paper) is that the control path is the
+    fragile, scarce resource: channel drops, OFA stalls and vswitch
+    crashes silently diverge controller intent from actual switch
+    state.  This layer closes the loop in three stages:
+
+    {ol
+    {- {b Transactions}: batches of Flow/Group-mods are followed by a
+       Barrier_request tracked by xid, with a bounded per-switch window
+       of outstanding transactions.  A barrier reply proves the agent
+       served everything queued before it.}
+    {- {b Retry with backoff}: a barrier that misses its deadline is
+       retried — payloads re-sent (Flow_mod ADD is an idempotent
+       upsert) — under deterministic exponential backoff with jitter.
+       A transaction that exhausts its retry budget flips the switch to
+       [Degraded]; the first subsequent ack flips it back to
+       [Healthy].  Transactions to a switch the heartbeat has declared
+       dead are parked: the full resync at re-aliveness supersedes
+       them.}
+    {- {b Anti-entropy}: a periodic engine task reads flow and group
+       stats back from each idle switch and diffs them against the
+       per-switch {!Intent} store — re-installing missing durable
+       rules, deleting orphans the controller owns (by cookie), fixing
+       group buckets, and pruning intent entries for ephemeral rules
+       the switch legitimately expired.  A switch that returns from
+       the dead gets a full-table resync instead of a diff.}}
+
+    Divergence windows (first detection → clean diff) and every repair
+    are recorded in a reconciliation ledger with a deterministic
+    digest, mirroring the fault ledger's bit-identity discipline. *)
+
+open Scotch_openflow
+module C = Scotch_controller.Controller
+module Engine = Scotch_sim.Engine
+
+type health = Healthy | Degraded
+
+let health_name = function Healthy -> "healthy" | Degraded -> "degraded"
+
+type config = {
+  window : int;              (* max outstanding transactions per switch *)
+  barrier_deadline : float;  (* seconds to wait for the barrier ack *)
+  retry_budget : int;        (* attempts beyond which the switch degrades *)
+  backoff : Backoff.t;
+  reconcile_interval : float;
+  reconcile_start : float;   (* phase offset of the reconciler timer *)
+  stats_deadline : float;    (* seconds to wait for stats replies *)
+  repair_grace : float;      (* ignore rules/intents younger than this *)
+  owned_cookies : Of_types.cookie list; (* cookies whose orphans we may delete *)
+}
+
+let default_config ?(seed = 0) ?(owned_cookies = []) () =
+  { window = 4; barrier_deadline = 0.25; retry_budget = 3;
+    backoff = Backoff.create ~base:0.05 ~factor:2.0 ~cap:1.0 ~jitter:0.25 ~seed ();
+    reconcile_interval = 0.5; reconcile_start = 0.25; stats_deadline = 0.5;
+    repair_grace = 0.75; owned_cookies }
+
+type txn = {
+  tid : int;
+  payloads : Of_msg.payload list;
+  mutable attempts : int; (* completed, unacked flights *)
+}
+
+type swstate = {
+  handle : C.sw;
+  intents : Intent.t;
+  mutable health : health;
+  mutable degraded_since : float;
+  mutable outstanding : int;
+  waiting : txn Queue.t;
+  mutable needs_resync : bool;
+  mutable diverged_since : float option; (* first unrepaired detection *)
+  mutable stats_inflight : bool;
+}
+
+type stats = {
+  mutable txns_sent : int;
+  mutable txns_acked : int;
+  mutable txns_parked : int;
+  mutable retries : int;
+  mutable repairs_missing : int;
+  mutable repairs_orphan : int;
+  mutable repairs_group : int;
+  mutable resyncs : int;
+  mutable degraded_transitions : int;
+  mutable degraded_seconds : float;
+}
+
+type event =
+  | Repair of { missing : int; orphans : int; group_fixes : int }
+  | Resync
+  | Converged of float (* closed divergence window, seconds *)
+  | Degraded_enter
+  | Degraded_exit of float (* seconds spent degraded *)
+  | Parked of int (* transactions abandoned at a dead switch *)
+
+type record = {
+  id : int;
+  at : float;
+  dpid : int;
+  event : event;
+}
+
+type t = {
+  ctrl : C.t;
+  config : config;
+  switches : (int, swstate) Hashtbl.t;
+  mutable next_tid : int;
+  stats : stats;
+  mutable windows : float list; (* closed divergence windows, newest first *)
+  mutable records : record list; (* newest first *)
+  mutable next_record_id : int;
+  mutable stop_reconciler : (unit -> unit) option;
+}
+
+let create ?config ctrl =
+  let config = match config with Some c -> c | None -> default_config () in
+  if config.window < 1 then invalid_arg "Reliable.create: window must be >= 1";
+  { ctrl; config; switches = Hashtbl.create 16; next_tid = 0;
+    stats =
+      { txns_sent = 0; txns_acked = 0; txns_parked = 0; retries = 0; repairs_missing = 0;
+        repairs_orphan = 0; repairs_group = 0; resyncs = 0; degraded_transitions = 0;
+        degraded_seconds = 0.0 };
+    windows = []; records = []; next_record_id = 0; stop_reconciler = None }
+
+let config t = t.config
+let stats t = t.stats
+let controller t = t.ctrl
+let engine t = C.engine t.ctrl
+let now t = Engine.now (engine t)
+
+let log t ss event =
+  let r = { id = t.next_record_id; at = now t; dpid = ss.handle.C.dpid; event } in
+  t.next_record_id <- t.next_record_id + 1;
+  t.records <- r :: t.records
+
+(** {1 Registration and observability} *)
+
+let register_switch t (sw : C.sw) =
+  if not (Hashtbl.mem t.switches sw.C.dpid) then
+    Hashtbl.replace t.switches sw.C.dpid
+      { handle = sw; intents = Intent.create (); health = Healthy; degraded_since = 0.0;
+        outstanding = 0; waiting = Queue.create (); needs_resync = false;
+        diverged_since = None; stats_inflight = false }
+
+let state t dpid = Hashtbl.find_opt t.switches dpid
+
+let state_exn fn t dpid =
+  match state t dpid with
+  | Some ss -> ss
+  | None -> invalid_arg (Printf.sprintf "Reliable.%s: unregistered dpid %d" fn dpid)
+
+let health t dpid = Option.map (fun ss -> ss.health) (state t dpid)
+let intent_of t dpid = Option.map (fun ss -> ss.intents) (state t dpid)
+
+let dpids t =
+  Hashtbl.fold (fun d _ acc -> d :: acc) t.switches [] |> List.sort compare
+
+let outstanding t dpid =
+  match state t dpid with
+  | Some ss -> ss.outstanding + Queue.length ss.waiting
+  | None -> 0
+
+(** No queued or in-flight transactions, no pending resync, and no
+    detected-but-unrepaired divergence anywhere. *)
+let converged t =
+  Hashtbl.fold
+    (fun _ ss acc ->
+      acc && ss.outstanding = 0 && Queue.is_empty ss.waiting && (not ss.needs_resync)
+      && ss.diverged_since = None)
+    t.switches true
+
+let divergence_windows t = List.rev t.windows
+
+let records t = List.rev t.records
+
+(** {1 Transactions} *)
+
+let record_payload t ss payload =
+  match payload with
+  | Of_msg.Flow_mod fm -> Intent.record_flow_mod ss.intents ~now:(now t) fm
+  | Of_msg.Group_mod gm -> Intent.record_group_mod ss.intents ~now:(now t) gm
+  | _ -> invalid_arg "Reliable.transaction: only Flow_mod/Group_mod payloads are transactional"
+
+let rec pump t ss =
+  if ss.outstanding < t.config.window then begin
+    match Queue.take_opt ss.waiting with
+    | None -> ()
+    | Some txn ->
+      ss.outstanding <- ss.outstanding + 1;
+      fly t ss txn;
+      pump t ss
+  end
+
+and fly t ss txn =
+  List.iter (fun p -> C.send t.ctrl ss.handle p) txn.payloads;
+  C.request ~deadline:t.config.barrier_deadline
+    ~on_timeout:(fun () -> on_timeout t ss txn)
+    t.ctrl ss.handle Of_msg.Barrier_request
+    (fun _reply -> on_ack t ss)
+
+and on_ack t ss =
+  t.stats.txns_acked <- t.stats.txns_acked + 1;
+  ss.outstanding <- ss.outstanding - 1;
+  if ss.health = Degraded then begin
+    let dur = now t -. ss.degraded_since in
+    t.stats.degraded_seconds <- t.stats.degraded_seconds +. dur;
+    ss.health <- Healthy;
+    log t ss (Degraded_exit dur)
+  end;
+  pump t ss
+
+and park t ss =
+  (* the heartbeat declared this switch dead: retrying is pointless,
+     and the full resync fired at re-aliveness supersedes anything the
+     transaction carried (durable intents are resent; ephemeral rules
+     would have expired during the outage anyway) *)
+  t.stats.txns_parked <- t.stats.txns_parked + 1;
+  ss.needs_resync <- true;
+  ss.outstanding <- ss.outstanding - 1;
+  log t ss (Parked 1);
+  pump t ss
+
+and on_timeout t ss txn =
+  if not ss.handle.C.alive then park t ss
+  else begin
+    t.stats.retries <- t.stats.retries + 1;
+    txn.attempts <- txn.attempts + 1;
+    if txn.attempts > t.config.retry_budget && ss.health = Healthy then begin
+      ss.health <- Degraded;
+      ss.degraded_since <- now t;
+      t.stats.degraded_transitions <- t.stats.degraded_transitions + 1;
+      log t ss Degraded_enter
+    end;
+    let delay = Backoff.delay t.config.backoff ~salt:txn.tid ~attempt:txn.attempts () in
+    ignore
+      (Engine.schedule (engine t) ~delay (fun () ->
+           if ss.handle.C.alive then fly t ss txn else park t ss))
+  end
+
+let enqueue t ss payloads =
+  let txn = { tid = t.next_tid; payloads; attempts = 0 } in
+  t.next_tid <- t.next_tid + 1;
+  t.stats.txns_sent <- t.stats.txns_sent + 1;
+  Queue.push txn ss.waiting;
+  pump t ss
+
+(** [transaction t sw payloads] records the intent of every payload and
+    ships them as one barrier-acked transaction. *)
+let transaction t (sw : C.sw) payloads =
+  if payloads <> [] then begin
+    let ss = state_exn "transaction" t sw.C.dpid in
+    List.iter (record_payload t ss) payloads;
+    enqueue t ss payloads
+  end
+
+let flow_mod t sw fm = transaction t sw [ Of_msg.Flow_mod fm ]
+let group_mod t sw gm = transaction t sw [ Of_msg.Group_mod gm ]
+
+(** {1 Full resync (switch recovery)} *)
+
+(** Mark a switch for a full-table resync at the next reconciler tick —
+    wired to the controller's [switch_alive] hook: a switch returning
+    from the dead may have rebooted empty. *)
+let request_resync t dpid =
+  match state t dpid with None -> () | Some ss -> ss.needs_resync <- true
+
+let resync t ss =
+  ss.needs_resync <- false;
+  t.stats.resyncs <- t.stats.resyncs + 1;
+  if ss.diverged_since = None then ss.diverged_since <- Some (now t);
+  log t ss Resync;
+  (* groups first (rules may reference them), delete-then-add so stale
+     buckets cannot survive an ADD that errors with Group_exists *)
+  let group_payloads =
+    List.concat_map
+      (fun (g : Intent.group) ->
+        [ Of_msg.Group_mod (Of_msg.Group_mod.delete ~group_id:g.Intent.group_id);
+          Of_msg.Group_mod
+            { Of_msg.Group_mod.command = Of_msg.Group_mod.Add; group_id = g.Intent.group_id;
+              group_type = g.Intent.group_type; buckets = g.Intent.buckets } ])
+      (Intent.groups ss.intents)
+  in
+  let rule_payloads =
+    List.map
+      (fun r -> Of_msg.Flow_mod (Intent.flow_mod_of_rule r))
+      (Intent.durable_rules ss.intents)
+  in
+  match group_payloads @ rule_payloads with
+  | [] -> ()
+  | payloads -> enqueue t ss payloads
+
+(** {1 Anti-entropy reconciliation} *)
+
+let diff_and_repair t ss (flow_stats : Of_msg.Stats.flow_stat list)
+    (group_descs : Of_msg.Stats.group_desc list) =
+  let tnow = now t in
+  let grace = t.config.repair_grace in
+  let actual = Hashtbl.create 64 in
+  List.iter
+    (fun (fs : Of_msg.Stats.flow_stat) ->
+      Hashtbl.replace actual
+        (fs.Of_msg.Stats.table_id, fs.Of_msg.Stats.priority, fs.Of_msg.Stats.match_) fs)
+    flow_stats;
+  (* intent side: durable rules absent from the device are repaired;
+     ephemeral intents absent from the device are acknowledged as
+     expired.  Entries younger than the grace window are skipped — the
+     install may simply still be in flight. *)
+  let missing = ref [] in
+  let expired = ref [] in
+  List.iter
+    (fun (r : Intent.rule) ->
+      if
+        tnow -. r.Intent.recorded_at >= grace
+        && not (Hashtbl.mem actual (r.Intent.table_id, r.Intent.priority, r.Intent.match_))
+      then
+        if Intent.is_durable r then missing := r :: !missing else expired := r :: !expired)
+    (Intent.rules ss.intents);
+  List.iter
+    (fun (r : Intent.rule) ->
+      Intent.forget_rule ss.intents ~table_id:r.Intent.table_id ~priority:r.Intent.priority
+        ~match_:r.Intent.match_)
+    !expired;
+  let missing = List.rev !missing in
+  (* device side: rules carrying a cookie we own, old enough that no
+     install can still be racing, with no matching intent — orphans *)
+  let orphans =
+    List.filter
+      (fun (fs : Of_msg.Stats.flow_stat) ->
+        fs.Of_msg.Stats.duration >= grace
+        && List.mem fs.Of_msg.Stats.cookie t.config.owned_cookies
+        && Intent.find_rule ss.intents ~table_id:fs.Of_msg.Stats.table_id
+             ~priority:fs.Of_msg.Stats.priority ~match_:fs.Of_msg.Stats.match_
+           = None)
+      flow_stats
+  in
+  (* groups: wrong/missing buckets are re-asserted, foreign groups removed *)
+  let group_fixes = ref [] in
+  List.iter
+    (fun (g : Intent.group) ->
+      if tnow -. g.Intent.recorded_at >= grace then
+        match
+          List.find_opt
+            (fun (d : Of_msg.Stats.group_desc) -> d.Of_msg.Stats.group_id = g.Intent.group_id)
+            group_descs
+        with
+        | None ->
+          group_fixes :=
+            Of_msg.Group_mod
+              { Of_msg.Group_mod.command = Of_msg.Group_mod.Add;
+                group_id = g.Intent.group_id; group_type = g.Intent.group_type;
+                buckets = g.Intent.buckets }
+            :: !group_fixes
+        | Some d ->
+          if d.Of_msg.Stats.buckets <> g.Intent.buckets then
+            group_fixes :=
+              Of_msg.Group_mod
+                { Of_msg.Group_mod.command = Of_msg.Group_mod.Modify;
+                  group_id = g.Intent.group_id; group_type = g.Intent.group_type;
+                  buckets = g.Intent.buckets }
+              :: !group_fixes)
+    (Intent.groups ss.intents);
+  List.iter
+    (fun (d : Of_msg.Stats.group_desc) ->
+      if Intent.find_group ss.intents d.Of_msg.Stats.group_id = None then
+        group_fixes :=
+          Of_msg.Group_mod (Of_msg.Group_mod.delete ~group_id:d.Of_msg.Stats.group_id)
+          :: !group_fixes)
+    group_descs;
+  let group_fixes = List.rev !group_fixes in
+  let n_div = List.length missing + List.length orphans + List.length group_fixes in
+  if n_div > 0 then begin
+    t.stats.repairs_missing <- t.stats.repairs_missing + List.length missing;
+    t.stats.repairs_orphan <- t.stats.repairs_orphan + List.length orphans;
+    t.stats.repairs_group <- t.stats.repairs_group + List.length group_fixes;
+    if ss.diverged_since = None then ss.diverged_since <- Some tnow;
+    log t ss
+      (Repair
+         { missing = List.length missing; orphans = List.length orphans;
+           group_fixes = List.length group_fixes });
+    let payloads =
+      group_fixes
+      @ List.map (fun r -> Of_msg.Flow_mod (Intent.flow_mod_of_rule r)) missing
+      @ List.map
+          (fun (fs : Of_msg.Stats.flow_stat) ->
+            Of_msg.Flow_mod
+              { (Of_msg.Flow_mod.delete ~table_id:fs.Of_msg.Stats.table_id
+                   ~match_:fs.Of_msg.Stats.match_ ())
+                with Of_msg.Flow_mod.priority = fs.Of_msg.Stats.priority })
+          orphans
+    in
+    enqueue t ss payloads
+  end
+  else
+    match ss.diverged_since with
+    | Some t0 ->
+      let w = tnow -. t0 in
+      t.windows <- w :: t.windows;
+      ss.diverged_since <- None;
+      log t ss (Converged w)
+    | None -> ()
+
+let poll t ss =
+  ss.stats_inflight <- true;
+  let flows = ref None in
+  let groups = ref None in
+  let finish () =
+    match (!flows, !groups) with
+    | Some fs, Some gs ->
+      ss.stats_inflight <- false;
+      diff_and_repair t ss fs gs
+    | _ -> ()
+  in
+  (* a lost reply just skips this round; the next tick re-polls *)
+  let give_up () = ss.stats_inflight <- false in
+  C.request ~deadline:t.config.stats_deadline ~on_timeout:give_up t.ctrl ss.handle
+    (Of_msg.Flow_stats_request { Of_msg.Stats.table_id = 0xFF; match_ = Of_match.wildcard })
+    (function
+      | Of_msg.Flow_stats_reply fs -> flows := Some fs; finish ()
+      | _ -> give_up ());
+  C.request ~deadline:t.config.stats_deadline ~on_timeout:give_up t.ctrl ss.handle
+    Of_msg.Group_stats_request
+    (function
+      | Of_msg.Group_stats_reply gs -> groups := Some gs; finish ()
+      | _ -> give_up ())
+
+(** One reconciler round: every alive switch either resyncs (if
+    flagged) or, when no transactions are in flight that could race the
+    diff, gets a stats read-back and repair. *)
+let tick t =
+  List.iter
+    (fun dpid ->
+      let ss = Hashtbl.find t.switches dpid in
+      if ss.handle.C.alive then begin
+        if ss.needs_resync then resync t ss
+        else if (not ss.stats_inflight) && ss.outstanding = 0 && Queue.is_empty ss.waiting
+        then poll t ss
+      end)
+    (dpids t)
+
+let start t =
+  match t.stop_reconciler with
+  | Some _ -> ()
+  | None ->
+    t.stop_reconciler <-
+      Some
+        (Engine.every (engine t) ~period:t.config.reconcile_interval
+           ~start:t.config.reconcile_start (fun () -> tick t))
+
+let stop t =
+  Option.iter (fun f -> f ()) t.stop_reconciler;
+  t.stop_reconciler <- None
+
+(** {1 Reconciliation ledger} *)
+
+let event_string = function
+  | Repair { missing; orphans; group_fixes } ->
+    Printf.sprintf "repair missing=%d orphans=%d groups=%d" missing orphans group_fixes
+  | Resync -> "resync"
+  | Converged w -> Printf.sprintf "converged %.9g" w
+  | Degraded_enter -> "degraded"
+  | Degraded_exit d -> Printf.sprintf "healed %.9g" d
+  | Parked n -> Printf.sprintf "parked %d" n
+
+(** Canonical dump of the ledger, one line per record in id order. *)
+let canonical t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d|%.17g|%d|%s\n" r.id r.at r.dpid (event_string r.event)))
+    (records t);
+  Buffer.contents buf
+
+(** Digest of {!canonical} — the bit-identity check for seeded runs. *)
+let digest t = Digest.to_hex (Digest.string (canonical t))

@@ -47,9 +47,12 @@ val run : ?until:float -> t -> unit
     verification lints at. *)
 val on_run_end : t -> (unit -> unit) -> unit
 
-(** [every t ~period ?until f] runs [f] every [period] seconds starting
-    at [now + period].  Returns a stop function. *)
-val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit -> unit
+(** [every t ~period ?start ?until f] runs [f] every [period] seconds
+    starting at [now + start] (default [now + period]); [start] phases
+    periodic tasks sharing a period apart from each other.  Returns a
+    stop function. *)
+val every :
+  t -> period:float -> ?start:float -> ?until:float -> (unit -> unit) -> unit -> unit
 
 (** Pending event count (cancelled events included until popped). *)
 val pending : t -> int

@@ -34,6 +34,7 @@ type handler = {
   execute_packet_out : Of_msg.Packet_out.t -> unit;
   flow_stats : Of_msg.Stats.flow_stats_request -> Of_msg.Stats.flow_stats_reply;
   table_stats : unit -> Of_msg.Stats.table_stats_reply;
+  group_stats : unit -> Of_msg.Stats.group_stats_reply;
   on_flow_mod_rejected : unit -> unit; (* datapath reject stall hook *)
 }
 
@@ -143,9 +144,11 @@ let execute t (job : job) =
     | Of_msg.Echo_request -> reply Of_msg.Echo_reply
     | Of_msg.Flow_stats_request req -> reply (Of_msg.Flow_stats_reply (t.handler.flow_stats req))
     | Of_msg.Table_stats_request -> reply (Of_msg.Table_stats_reply (t.handler.table_stats ()))
+    | Of_msg.Group_stats_request -> reply (Of_msg.Group_stats_reply (t.handler.group_stats ()))
     | Of_msg.Barrier_request -> reply Of_msg.Barrier_reply
     | Of_msg.Hello | Of_msg.Echo_reply | Of_msg.Barrier_reply | Of_msg.Error _
-    | Of_msg.Flow_stats_reply _ | Of_msg.Table_stats_reply _ | Of_msg.Packet_in _ -> ())
+    | Of_msg.Flow_stats_reply _ | Of_msg.Table_stats_reply _ | Of_msg.Group_stats_reply _
+    | Of_msg.Packet_in _ -> ())
 
 (** Failure injection (§5.6 testing): a dead OFA neither serves nor
     accepts anything — in particular it stops answering Echo requests,

@@ -27,6 +27,7 @@ type handler = {
   execute_packet_out : Of_msg.Packet_out.t -> unit;
   flow_stats : Of_msg.Stats.flow_stats_request -> Of_msg.Stats.flow_stats_reply;
   table_stats : unit -> Of_msg.Stats.table_stats_reply;
+  group_stats : unit -> Of_msg.Stats.group_stats_reply;
   on_flow_mod_rejected : unit -> unit; (** datapath reject-stall hook *)
 }
 

@@ -259,6 +259,18 @@ let handler_of t : Ofa.handler =
         { Of_msg.Stats.active_entries =
             Array.to_list (Array.map (fun table -> Flow_table.size table ~now:(now t)) t.tables)
         });
+    group_stats =
+      (fun () ->
+        let descs = ref [] in
+        Group_table.iter t.groups (fun g ->
+            descs :=
+              { Of_msg.Stats.group_id = g.Group_table.group_id;
+                group_type = g.Group_table.group_type;
+                buckets = g.Group_table.buckets }
+              :: !descs);
+        List.sort
+          (fun (a : Of_msg.Stats.group_desc) b -> compare a.group_id b.group_id)
+          !descs);
     on_flow_mod_rejected =
       (fun () ->
         let stall = t.profile.Profile.tcam_reject_stall in

@@ -1,4 +1,4 @@
-(** The static dataplane analyzer: checks the five Scotch invariants
+(** The static dataplane analyzer: checks the Scotch invariants
     against a {!Snapshot.t} without running traffic.
 
     {ol
@@ -18,7 +18,11 @@
        switch has its priority-0 wildcard miss rule, every uplink
        tunnel is in the origin map (§5.2), every host has an alive
        cover with a delivery tunnel, and every entry vswitch has a
-       return path (mesh + delivery) to every host.}} *)
+       return path (mesh + delivery) to every host.}
+    {- {b Zero intent/actual divergence}: when the snapshot carries a
+       reliable layer's intent stores, every settled durable intent
+       rule exists on the device, no reconciler-owned device rule or
+       group lacks an intent, and group buckets match intent.}} *)
 
 (** Hop budget of the loop walk; exceeding it (without an exact state
     revisit) is reported as a probable loop. *)

@@ -2,7 +2,7 @@
 
 type severity = Error | Warning
 
-type invariant = Loop | Blackhole | Shadow | Group_sanity | Coverage
+type invariant = Loop | Blackhole | Shadow | Group_sanity | Coverage | Divergence
 
 type t = {
   severity : severity;
@@ -25,6 +25,7 @@ let invariant_name = function
   | Shadow -> "shadow"
   | Group_sanity -> "group-sanity"
   | Coverage -> "coverage"
+  | Divergence -> "divergence"
 
 let severity_rank = function (Error : severity) -> 0 | Warning -> 1
 
@@ -33,7 +34,8 @@ let invariant_rank = function
   | Blackhole -> 1
   | Group_sanity -> 2
   | Coverage -> 3
-  | Shadow -> 4
+  | Divergence -> 4
+  | Shadow -> 5
 
 let compare a b =
   let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in

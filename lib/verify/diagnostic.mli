@@ -10,7 +10,7 @@
     wasteful (shadowed rules). *)
 type severity = Error | Warning
 
-(** The five invariant classes of the checker (ISSUE 2):
+(** The invariant classes of the checker:
     {ul
     {- [Loop] — a reachable flow-key equivalence class forwards in a
        cycle;}
@@ -22,8 +22,12 @@ type severity = Error | Warning
        buckets pointing at dead vswitch tunnels (§5.1/§5.6);}
     {- [Coverage] — a controlled switch without a table-miss rule, or
        broken overlay symmetry (an entry tunnel without a return
-       path).}} *)
-type invariant = Loop | Blackhole | Shadow | Group_sanity | Coverage
+       path);}
+    {- [Divergence] — the reliable layer's intent store disagrees with
+       the device: a durable intent rule is missing, an orphaned
+       reconciler-owned rule survives with no intent, or a group's
+       device buckets differ from intent.}} *)
+type invariant = Loop | Blackhole | Shadow | Group_sanity | Coverage | Divergence
 
 type t = {
   severity : severity;

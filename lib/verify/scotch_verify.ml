@@ -23,7 +23,9 @@ module Snapshot = Snapshot
 module Checker = Checker
 module Hooks = Hooks
 
-(** [check snap] runs the five invariants — no loops, no blackholes, no
-    shadowed rules, group sanity, miss coverage / overlay symmetry —
-    returning sorted, de-duplicated diagnostics (empty when clean). *)
+(** [check snap] runs the invariants — no loops, no blackholes, no
+    shadowed rules, group sanity, miss coverage / overlay symmetry and
+    (when the snapshot carries intent stores) zero intent/actual
+    divergence — returning sorted, de-duplicated diagnostics (empty
+    when clean). *)
 let check = Checker.check

@@ -46,6 +46,34 @@ type host = {
   attach_port : int;
 }
 
+type intent_rule = {
+  ir_table : int;
+  ir_priority : int;
+  ir_match : Scotch_openflow.Of_match.t;
+  ir_cookie : Scotch_openflow.Of_types.cookie;
+  ir_durable : bool;
+  ir_age : float;
+}
+
+type intent_group = {
+  ig_id : int;
+  ig_type : Scotch_openflow.Of_msg.Group_mod.group_type;
+  ig_buckets : Scotch_openflow.Of_msg.Group_mod.bucket list;
+  ig_age : float;
+}
+
+type intent_node = {
+  int_dpid : int;
+  int_rules : intent_rule list;
+  int_groups : intent_group list;
+}
+
+type intent_state = {
+  grace : float;
+  owned : Scotch_openflow.Of_types.cookie list;
+  per_switch : intent_node list;
+}
+
 type overlay_state = {
   vswitches : (int * bool * bool) list;
   uplinks : (int * (int * int) list) list;
@@ -62,6 +90,7 @@ type t = {
   managed : int list;
   vswitch_dpids : int list;
   overlay : overlay_state option;
+  intents : intent_state option;
 }
 
 let node t dpid = List.find_opt (fun n -> n.dpid = dpid) t.nodes
@@ -158,6 +187,38 @@ let capture_overlay ov =
     mesh = List.sort compare !mesh;
     deliveries = List.sort compare !deliveries }
 
+(** Freeze the reliable layer's intent stores (when the app has one), so
+    the checker can diff intent against the captured device tables.  The
+    repair grace rides along: both intents and device rules younger than
+    it may legitimately still be in flight. *)
+let capture_intents ~now r =
+  let module R = Scotch_reliable.Reliable in
+  let module I = Scotch_reliable.Intent in
+  let cfg = R.config r in
+  let per_switch =
+    List.filter_map
+      (fun dpid ->
+        Option.map
+          (fun intents ->
+            { int_dpid = dpid;
+              int_rules =
+                List.map
+                  (fun (ir : I.rule) ->
+                    { ir_table = ir.I.table_id; ir_priority = ir.I.priority;
+                      ir_match = ir.I.match_; ir_cookie = ir.I.cookie;
+                      ir_durable = I.is_durable ir; ir_age = now -. ir.I.recorded_at })
+                  (I.rules intents);
+              int_groups =
+                List.map
+                  (fun (ig : I.group) ->
+                    { ig_id = ig.I.group_id; ig_type = ig.I.group_type;
+                      ig_buckets = ig.I.buckets; ig_age = now -. ig.I.recorded_at })
+                  (I.groups intents) })
+          (R.intent_of r dpid))
+      (R.dpids r)
+  in
+  { grace = cfg.R.repair_grace; owned = cfg.R.owned_cookies; per_switch }
+
 let capture ?scotch ~now topo =
   let endpoints = endpoint_map topo in
   let nodes = ref [] in
@@ -177,4 +238,6 @@ let capture ?scotch ~now topo =
     hosts = List.sort (fun a b -> compare a.host_ip b.host_ip) !hosts;
     managed = (match scotch with Some s -> Scotch.managed_dpids s | None -> []);
     vswitch_dpids = (match scotch with Some s -> Scotch.vswitch_dpids s | None -> []);
-    overlay = Option.map (fun s -> capture_overlay (Scotch.overlay s)) scotch }
+    overlay = Option.map (fun s -> capture_overlay (Scotch.overlay s)) scotch;
+    intents =
+      Option.bind scotch (fun s -> Option.map (capture_intents ~now) (Scotch.reliable s)) }

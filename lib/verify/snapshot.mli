@@ -52,6 +52,39 @@ type host = {
   attach_port : int;
 }
 
+(** One frozen intent-store rule (reliable layer): identity, owner
+    cookie, durability class and age at capture time. *)
+type intent_rule = {
+  ir_table : int;
+  ir_priority : int;
+  ir_match : Scotch_openflow.Of_match.t;
+  ir_cookie : Scotch_openflow.Of_types.cookie;
+  ir_durable : bool;  (** no timeouts: must exist on the device *)
+  ir_age : float;     (** seconds since the intent was recorded *)
+}
+
+type intent_group = {
+  ig_id : int;
+  ig_type : Scotch_openflow.Of_msg.Group_mod.group_type;
+  ig_buckets : Scotch_openflow.Of_msg.Group_mod.bucket list;
+  ig_age : float;
+}
+
+type intent_node = {
+  int_dpid : int;
+  int_rules : intent_rule list;
+  int_groups : intent_group list;
+}
+
+(** The reliable layer's intent stores at capture time, with the repair
+    grace (entries younger than it may still be in flight) and the
+    cookies whose device rules the reconciler owns. *)
+type intent_state = {
+  grace : float;
+  owned : Scotch_openflow.Of_types.cookie list;
+  per_switch : intent_node list;
+}
+
 (** The controller's overlay bookkeeping (§4.1, §5.2, §5.6). *)
 type overlay_state = {
   vswitches : (int * bool * bool) list;  (** (dpid, alive, is_backup) *)
@@ -72,6 +105,8 @@ type t = {
   managed : int list;       (** Scotch-managed physical switches *)
   vswitch_dpids : int list; (** controller-registered overlay vswitches *)
   overlay : overlay_state option;
+  intents : intent_state option;
+      (** present when the app routes installs through a reliable layer *)
 }
 
 val node : t -> int -> node option

@@ -6,6 +6,7 @@
 open Scotch_faults
 open Scotch_experiments
 open Scotch_workload
+module C = Scotch_controller.Controller
 
 (* ------------------------------------------------------------------ *)
 (* Fault and Plan values *)
@@ -141,6 +142,58 @@ let test_recovered_vswitch_rejoins_as_backup () =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Control-channel weather: seeded channel-drop and OFA-stall plans *)
+
+let test_channel_drop_plan () =
+  let net = Testbed.scotch_net ~seed:42 ~num_vswitches:4 ~num_backups:2 () in
+  let plan =
+    Plan.of_list
+      [ Fault.channel_drop ~at:2.0 ~duration:6.0 ~probability:0.3 Testbed.edge_dpid ]
+  in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
+  let attack = Testbed.attack_source net ~rate:1500.0 in
+  Source.start attack;
+  Testbed.run_until net ~until:5.0;
+  let sw = Option.get (C.switch net.Testbed.ctrl Testbed.edge_dpid) in
+  Alcotest.(check (float 1e-9)) "drop probability applied mid-window" 0.3 sw.C.chan_drop_p;
+  Testbed.run_until net ~until:12.0;
+  Alcotest.(check (float 1e-9)) "impairment cleared" 0.0 sw.C.chan_drop_p;
+  Alcotest.(check bool) "control messages were lost" true (sw.C.chan_dropped > 0);
+  let r = Option.get (Ledger.find ledger 0) in
+  Alcotest.(check bool) "clearing recorded" true (r.Ledger.cleared_at <> None)
+
+let test_ofa_stall_plan () =
+  let net = Testbed.scotch_net ~seed:42 ~num_vswitches:4 ~num_backups:2 () in
+  let plan = Plan.of_list [ Fault.ofa_stall ~at:4.0 ~duration:2.0 Testbed.edge_dpid ] in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
+  let attack = Testbed.attack_source net ~rate:1500.0 in
+  Source.start attack;
+  Testbed.run_until net ~until:5.0;
+  let ofa = Scotch_switch.Switch.ofa net.Testbed.edge in
+  Alcotest.(check (float 1e-9)) "agent frozen until the deadline" 6.0
+    (Scotch_switch.Ofa.stalled_until ofa);
+  Testbed.run_until net ~until:10.0;
+  Alcotest.(check bool) "stall passed" true (Scotch_switch.Ofa.stalled_until ofa <= 10.0);
+  let r = Option.get (Ledger.find ledger 0) in
+  Alcotest.(check bool) "clearing recorded" true (r.Ledger.cleared_at <> None)
+
+let test_channel_drop_deterministic () =
+  let dropped seed =
+    let net = Testbed.scotch_net ~seed ~num_vswitches:4 ~num_backups:2 () in
+    let plan =
+      Plan.of_list
+        [ Fault.channel_drop ~at:2.0 ~duration:6.0 ~probability:0.3 Testbed.edge_dpid ]
+    in
+    ignore (Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan);
+    let attack = Testbed.attack_source net ~rate:1500.0 in
+    Source.start attack;
+    Testbed.run_until net ~until:10.0;
+    (Option.get (C.switch net.Testbed.ctrl Testbed.edge_dpid)).C.chan_dropped
+  in
+  Alcotest.(check int) "same seed, same losses" (dropped 42) (dropped 42);
+  Alcotest.(check bool) "losses non-trivial" true (dropped 42 > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism *)
 
 let smoke_outcome seed = Resilience.run_outcome ~seed ~scale:0.25 ~kills:2 ~multiplier:5.0 ()
@@ -181,6 +234,10 @@ let () =
           Alcotest.test_case "select-group rebalance" `Quick test_group_rebalance_after_kill;
           Alcotest.test_case "revived vswitch rejoins as backup" `Quick
             test_recovered_vswitch_rejoins_as_backup ] );
+      ( "weather",
+        [ Alcotest.test_case "channel-drop plan" `Quick test_channel_drop_plan;
+          Alcotest.test_case "ofa-stall plan" `Quick test_ofa_stall_plan;
+          Alcotest.test_case "channel-drop determinism" `Quick test_channel_drop_deterministic ] );
       ( "determinism",
         [ Alcotest.test_case "bit-identical ledger" `Quick test_ledger_deterministic;
           Alcotest.test_case "smoke outcome complete" `Quick test_resilience_outcome_complete ] ) ]

@@ -1,0 +1,193 @@
+(* Tests for the reliable control-channel layer (Scotch_reliable):
+   deterministic backoff schedules, the controller's xid-expiry path,
+   and the anti-entropy reconciler driving every switch's device state
+   back to intent under the PR 3 acceptance storm — 20 % message loss
+   on every control channel, one OFA stall and one vswitch
+   crash/recovery, all mid flash crowd. *)
+
+open Scotch_switch
+open Scotch_topo
+open Scotch_openflow
+open Scotch_faults
+open Scotch_experiments
+module C = Scotch_controller.Controller
+module R = Scotch_reliable.Reliable
+module Backoff = Scotch_reliable.Backoff
+
+(* ------------------------------------------------------------------ *)
+(* Backoff: delays are a pure function of (seed, salt, attempt) *)
+
+let test_backoff_deterministic () =
+  let b1 = Backoff.create ~seed:7 () and b2 = Backoff.create ~seed:7 () in
+  Alcotest.(check (list (float 1e-12))) "same seed, same schedule"
+    (Backoff.schedule b1 ~salt:3 ~attempts:6 ())
+    (Backoff.schedule b2 ~salt:3 ~attempts:6 ());
+  Alcotest.(check (float 1e-12)) "pure in attempt: re-asking is stable"
+    (Backoff.delay b1 ~salt:3 ~attempt:2 ())
+    (Backoff.delay b1 ~salt:3 ~attempt:2 ());
+  Alcotest.(check bool) "salts decorrelate retry sequences" true
+    (Backoff.schedule b1 ~salt:1 ~attempts:6 () <> Backoff.schedule b1 ~salt:2 ~attempts:6 ());
+  Alcotest.(check bool) "seeds decorrelate deployments" true
+    (Backoff.schedule b1 ~attempts:6 ()
+    <> Backoff.schedule (Backoff.create ~seed:8 ()) ~attempts:6 ())
+
+let test_backoff_envelope () =
+  let base = 0.05 and factor = 2.0 and cap = 1.0 and jitter = 0.25 in
+  let b = Backoff.create ~base ~factor ~cap ~jitter ~seed:42 () in
+  List.iteri
+    (fun i d ->
+      let nominal = Stdlib.min (base *. (factor ** float_of_int i)) cap in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within +/-25%% of %.3f s" (i + 1) nominal)
+        true
+        (d >= ((1.0 -. jitter) *. nominal) -. 1e-9 && d <= ((1.0 +. jitter) *. nominal) +. 1e-9))
+    (Backoff.schedule b ~attempts:8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Controller xid expiry: a lost reply no longer strands the pending
+   entry forever *)
+
+let fast_profile =
+  { Profile.open_vswitch with Profile.forward_latency = 0.0; datapath_pps = 1e9 }
+
+let rig () =
+  let e = Scotch_sim.Engine.create () in
+  let topo = Topology.create e in
+  let sw = Switch.create e ~dpid:1 ~name:"s" ~profile:fast_profile () in
+  Topology.add_switch topo sw;
+  let ctrl = C.create e topo in
+  let h = C.connect ctrl sw ~latency:0.001 in
+  Scotch_sim.Engine.run e;
+  (e, sw, ctrl, h)
+
+let test_xid_expiry () =
+  let e, sw, ctrl, h = rig () in
+  (* the agent dies: the stats request will never be answered *)
+  Switch.set_failed sw true;
+  let replied = ref false and timed_out = ref false in
+  C.request ctrl h ~deadline:0.5
+    ~on_timeout:(fun () -> timed_out := true)
+    Of_msg.Table_stats_request
+    (fun _ -> replied := true);
+  Alcotest.(check int) "request pending" 1 (C.pending_requests ctrl);
+  Scotch_sim.Engine.run e;
+  Alcotest.(check bool) "on_timeout fired" true !timed_out;
+  Alcotest.(check bool) "continuation dropped" false !replied;
+  Alcotest.(check int) "expiry counted" 1 (C.counters ctrl).C.expired_requests;
+  Alcotest.(check int) "pending table drained" 0 (C.pending_requests ctrl)
+
+let test_xid_reply_cancels_expiry () =
+  let e, _, ctrl, h = rig () in
+  let replied = ref false and timed_out = ref false in
+  C.request ctrl h ~deadline:5.0
+    ~on_timeout:(fun () -> timed_out := true)
+    Of_msg.Table_stats_request
+    (fun _ -> replied := true);
+  Scotch_sim.Engine.run e;
+  Alcotest.(check bool) "reply routed" true !replied;
+  Alcotest.(check bool) "timeout cancelled" false !timed_out;
+  Alcotest.(check int) "nothing expired" 0 (C.counters ctrl).C.expired_requests;
+  Alcotest.(check int) "pending table drained" 0 (C.pending_requests ctrl)
+
+let test_request_without_deadline_strands () =
+  let e, sw, ctrl, h = rig () in
+  Switch.set_failed sw true;
+  C.request ctrl h Of_msg.Table_stats_request (fun _ -> ());
+  Scotch_sim.Engine.run e;
+  (* legacy behaviour, kept deliberately: no deadline, no reclamation *)
+  Alcotest.(check int) "entry stranded" 1 (C.pending_requests ctrl);
+  Alcotest.(check int) "not counted as expired" 0 (C.counters ctrl).C.expired_requests
+
+(* ------------------------------------------------------------------ *)
+(* The reconciler under the acceptance storm *)
+
+(* drop_p = 0.2 on every control channel across the flash window, one
+   OFA stall on the edge switch and one vswitch crash/recovery. *)
+let storm_outcome seed =
+  Resilience.run_outcome ~seed ~scale:0.25 ~kills:1 ~multiplier:5.0 ~reconcile:true
+    ~drop_p:0.2 ()
+
+(* Bounded extra reconcile rounds past the experiment horizon: the
+   acceptance bar is convergence within a bounded number of rounds, not
+   convergence by an experiment-chosen wall-clock instant. *)
+let settle net r =
+  let rec go rounds =
+    if (not (R.converged r)) && rounds > 0 then begin
+      Testbed.run_until net
+        ~until:(Scotch_sim.Engine.now net.Testbed.engine +. (R.config r).R.reconcile_interval);
+      go (rounds - 1)
+    end
+  in
+  go 16
+
+let test_storm_converges_to_intent () =
+  let o = storm_outcome 42 in
+  let net = o.Resilience.net in
+  let r = Option.get net.Testbed.reliable in
+  (* the storm actually bit: control messages were lost *)
+  let conv = Option.get (Ledger.convergence o.Resilience.ledger) in
+  Alcotest.(check bool) "control messages were dropped" true (conv.Ledger.conv_chan_dropped > 0);
+  settle net r;
+  Alcotest.(check bool) "reconciler converged" true (R.converged r);
+  (* intent == actual, as the static verifier sees it *)
+  let snap =
+    Scotch_verify.Snapshot.capture ~scotch:net.Testbed.app
+      ~now:(Scotch_sim.Engine.now net.Testbed.engine)
+      net.Testbed.topo
+  in
+  Alcotest.(check bool) "snapshot carries the intent stores" true
+    (snap.Scotch_verify.Snapshot.intents <> None);
+  let errs = Scotch_verify.Diagnostic.errors (Scotch_verify.check snap) in
+  List.iter (fun d -> print_endline (Scotch_verify.Diagnostic.to_string d)) errs;
+  Alcotest.(check int) "zero invariant errors (incl. divergence)" 0 (List.length errs)
+
+let test_storm_digest_deterministic () =
+  let run () =
+    let o = storm_outcome 42 in
+    let r = Option.get o.Resilience.net.Testbed.reliable in
+    settle o.Resilience.net r;
+    (R.digest r, R.canonical r, Ledger.canonical o.Resilience.ledger)
+  in
+  let d1, c1, l1 = run () and d2, c2, l2 = run () in
+  Alcotest.(check string) "same seed, same reconciliation digest" d1 d2;
+  Alcotest.(check bool) "identical canonical reconciliation ledgers" true (c1 = c2);
+  Alcotest.(check bool) "identical recovery ledgers (with convergence block)" true (l1 = l2)
+
+let test_unimpaired_run_is_quiet () =
+  (* reliable layer on, no faults at all: the reconciler must find
+     nothing to repair and nothing may degrade.  (A large activation
+     batch can still miss the 250 ms barrier deadline under peak OFA
+     load and trigger a benign retransmit, so retries are bounded by
+     the budget rather than zero.) *)
+  let o =
+    Resilience.run_outcome ~seed:42 ~scale:0.25 ~kills:0 ~multiplier:5.0 ~reconcile:true ()
+  in
+  let r = Option.get o.Resilience.net.Testbed.reliable in
+  let s = R.stats r in
+  Alcotest.(check int) "no missing-rule repairs" 0 s.R.repairs_missing;
+  Alcotest.(check int) "no orphan deletions" 0 s.R.repairs_orphan;
+  Alcotest.(check int) "no group repairs" 0 s.R.repairs_group;
+  Alcotest.(check int) "no resyncs" 0 s.R.resyncs;
+  Alcotest.(check int) "no parked transactions" 0 s.R.txns_parked;
+  Alcotest.(check int) "no degradations" 0 s.R.degraded_transitions;
+  Alcotest.(check bool) "retries within one budget" true
+    (s.R.retries <= (R.config r).R.retry_budget);
+  Alcotest.(check bool) "transactions flowed" true (s.R.txns_sent > 0);
+  Alcotest.(check int) "every transaction acked" s.R.txns_sent s.R.txns_acked;
+  Alcotest.(check bool) "converged" true (R.converged r);
+  Alcotest.(check (list (float 1e-9))) "no divergence windows" [] (R.divergence_windows r)
+
+let () =
+  Alcotest.run "scotch_reliable"
+    [ ( "backoff",
+        [ Alcotest.test_case "deterministic schedule" `Quick test_backoff_deterministic;
+          Alcotest.test_case "jitter envelope and cap" `Quick test_backoff_envelope ] );
+      ( "xid expiry",
+        [ Alcotest.test_case "deadline reclaims lost reply" `Quick test_xid_expiry;
+          Alcotest.test_case "reply cancels the expiry" `Quick test_xid_reply_cancels_expiry;
+          Alcotest.test_case "no deadline, legacy stranding" `Quick
+            test_request_without_deadline_strands ] );
+      ( "reconciler",
+        [ Alcotest.test_case "storm converges to intent" `Quick test_storm_converges_to_intent;
+          Alcotest.test_case "storm digest deterministic" `Quick test_storm_digest_deterministic;
+          Alcotest.test_case "unimpaired run is quiet" `Quick test_unimpaired_run_is_quiet ] ) ]

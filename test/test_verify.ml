@@ -24,8 +24,8 @@ let node ?(failed = false) ?(num_tables = 2) ?(rules = []) ?(groups = []) ?(port
     S.node =
   { S.dpid; node_name = Printf.sprintf "sw%d" dpid; failed; num_tables; rules; groups; ports }
 
-let snap ?(hosts = []) ?(managed = []) ?(vswitch_dpids = []) ?overlay nodes : S.t =
-  { S.now = 0.0; nodes; hosts; managed; vswitch_dpids; overlay }
+let snap ?(hosts = []) ?(managed = []) ?(vswitch_dpids = []) ?overlay ?intents nodes : S.t =
+  { S.now = 0.0; nodes; hosts; managed; vswitch_dpids; overlay; intents }
 
 let host ~id ~ip ~dpid ~port : S.host =
   { S.host_id = id; host_ip = ip; attach_dpid = dpid; attach_port = port }
