@@ -69,6 +69,47 @@ let csv_arg =
   let doc = "Also emit the series as CSV on stdout after the table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Enable observability and write a Prometheus text snapshot of the metrics registry to \
+     $(docv) after the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Enable observability and write a Chrome trace-event JSON (chrome://tracing, Perfetto) of \
+     the run's virtual-time spans to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Reset the default registry/tracer before the run (handles resolve at
+   net construction, so the reset must come first), enable recording
+   when an export was requested, dump afterwards. *)
+let with_obs ~metrics ~trace f =
+  let module O = Scotch_obs.Obs in
+  O.reset ();
+  if metrics <> None || trace <> None then O.enable ();
+  f ();
+  (match metrics with
+  | None -> ()
+  | Some path ->
+    write_file path (Scotch_obs.Registry.to_prometheus (O.registry ()));
+    Printf.printf "metrics: %d series -> %s\n" (Scotch_obs.Registry.size (O.registry ())) path);
+  match trace with
+  | None -> ()
+  | Some path ->
+    let tr = O.tracer () in
+    write_file path (Scotch_obs.Trace.to_chrome_json tr);
+    Printf.printf "trace: %d events (%d offered, %d evicted) digest=%s -> %s\n"
+      (Scotch_obs.Trace.length tr) (Scotch_obs.Trace.emitted tr) (Scotch_obs.Trace.dropped tr)
+      (Scotch_obs.Trace.digest tr) path
+
 let emit_csv (fig : Report.figure) =
   Printf.printf "# csv %s\n" fig.Report.id;
   List.iter
@@ -78,13 +119,16 @@ let emit_csv (fig : Report.figure) =
         s.Report.points)
     fig.Report.series
 
-let run_one spec seed scale csv =
-  let fig = spec.run ~seed ~scale in
-  Report.print fig;
-  if csv then emit_csv fig
+let run_one spec seed scale csv metrics trace =
+  with_obs ~metrics ~trace (fun () ->
+      let fig = spec.run ~seed ~scale in
+      Report.print fig;
+      if csv then emit_csv fig)
 
 let cmd_of_spec spec =
-  let term = Term.(const (run_one spec) $ seed_arg $ scale_arg $ csv_arg) in
+  let term =
+    Term.(const (run_one spec) $ seed_arg $ scale_arg $ csv_arg $ metrics_arg $ trace_arg)
+  in
   Cmd.v (Cmd.info spec.name ~doc:spec.doc) term
 
 (* resilience gets its own command (not a bare spec) for the reliable
@@ -108,27 +152,102 @@ let resilience_cmd =
     in
     Arg.(value & opt float 0.0 & info [ "drop-p" ] ~docv:"P" ~doc)
   in
-  let run seed scale csv reconcile drop_p =
+  let run seed scale csv reconcile drop_p metrics trace =
     if drop_p < 0.0 || drop_p >= 1.0 then begin
       Printf.eprintf "resilience: --drop-p must be in [0,1)\n";
       exit 2
     end;
-    let fig = Resilience.run ~seed ~scale ~reconcile ~drop_p () in
-    Report.print fig;
-    if csv then emit_csv fig
+    with_obs ~metrics ~trace (fun () ->
+        let fig = Resilience.run ~seed ~scale ~reconcile ~drop_p () in
+        Report.print fig;
+        if csv then emit_csv fig)
   in
   Cmd.v (Cmd.info "resilience" ~doc)
-    Term.(const run $ seed_arg $ scale_arg $ csv_arg $ reconcile_arg $ drop_arg)
+    Term.(
+      const run $ seed_arg $ scale_arg $ csv_arg $ reconcile_arg $ drop_arg $ metrics_arg
+      $ trace_arg)
 
 let all_cmd =
   let doc = "Run every experiment in sequence (the full paper reproduction)." in
-  let run seed scale csv =
-    List.iter (fun spec -> run_one spec seed scale csv) specs;
-    let fig = Resilience.run ~seed ~scale () in
-    Report.print fig;
-    if csv then emit_csv fig
+  let run seed scale csv metrics trace =
+    with_obs ~metrics ~trace (fun () ->
+        List.iter
+          (fun spec ->
+            let fig = spec.run ~seed ~scale in
+            Report.print fig;
+            if csv then emit_csv fig)
+          specs;
+        let fig = Resilience.run ~seed ~scale () in
+        Report.print fig;
+        if csv then emit_csv fig)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ seed_arg $ scale_arg $ csv_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ seed_arg $ scale_arg $ csv_arg $ metrics_arg $ trace_arg)
+
+(* A purpose-built observability demo: short flash crowd with recording
+   forced on, then a human-readable dump of every non-zero metric and
+   the tracer's stats.  --metrics/--trace export the same data. *)
+let obs_cmd =
+  let doc =
+    "Observability demo: run a short flash crowd against the Scotch testbed with metrics and \
+     tracing enabled, then print every non-zero metric and the trace summary.  Use --metrics \
+     and --trace to export the Prometheus snapshot and Chrome trace JSON."
+  in
+  let duration_arg =
+    let doc = "Simulated seconds to run." in
+    Arg.(value & opt float 4.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let rate_arg =
+    let doc = "Attack (flash-crowd) rate in new flows per second." in
+    Arg.(value & opt float 400.0 & info [ "rate" ] ~docv:"FPS" ~doc)
+  in
+  let run seed duration rate metrics trace =
+    let module O = Scotch_obs.Obs in
+    O.reset ();
+    O.enable ();
+    let net = Testbed.scotch_net ~seed () in
+    let client = Testbed.client_source net ~i:0 ~rate:20.0 () in
+    let attack = Testbed.attack_source net ~rate in
+    Scotch_workload.Source.start client;
+    Scotch_workload.Source.start attack;
+    Testbed.run_until net ~until:duration;
+    let reg = O.registry () in
+    let live =
+      List.filter
+        (fun (s : Scotch_obs.Registry.sample) -> s.Scotch_obs.Registry.s_value <> 0.0)
+        (Scotch_obs.Registry.samples reg)
+    in
+    Printf.printf "metric%40s value\n" "";
+    List.iter
+      (fun (s : Scotch_obs.Registry.sample) ->
+        let labels =
+          match s.Scotch_obs.Registry.s_labels with
+          | [] -> ""
+          | kvs ->
+            "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "}"
+        in
+        Printf.printf "%-46s %.6g\n"
+          (s.Scotch_obs.Registry.s_name ^ labels)
+          s.Scotch_obs.Registry.s_value)
+      live;
+    let tr = O.tracer () in
+    Printf.printf "\n%d non-zero series (%d registered); trace: %d events (%d offered, %d \
+                   evicted) digest=%s\n"
+      (List.length live) (Scotch_obs.Registry.size reg) (Scotch_obs.Trace.length tr)
+      (Scotch_obs.Trace.emitted tr) (Scotch_obs.Trace.dropped tr) (Scotch_obs.Trace.digest tr);
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      write_file path (Scotch_obs.Registry.to_prometheus reg);
+      Printf.printf "metrics -> %s\n" path);
+    match trace with
+    | None -> ()
+    | Some path ->
+      write_file path (Scotch_obs.Trace.to_chrome_json tr);
+      Printf.printf "trace -> %s\n" path
+  in
+  Cmd.v (Cmd.info "obs" ~doc)
+    Term.(const run $ seed_arg $ duration_arg $ rate_arg $ metrics_arg $ trace_arg)
 
 let verify_net_cmd =
   let doc =
@@ -184,6 +303,7 @@ let main =
   let doc = "Scotch (CoNEXT 2014) reproduction: elastic SDN control-plane scaling" in
   let info = Cmd.info "scotch-sim" ~version:"1.0.0" ~doc in
   Cmd.group info
-    (list_cmd :: all_cmd :: verify_net_cmd :: resilience_cmd :: List.map cmd_of_spec specs)
+    (list_cmd :: all_cmd :: verify_net_cmd :: resilience_cmd :: obs_cmd
+    :: List.map cmd_of_spec specs)
 
 let () = exit (Cmd.eval main)

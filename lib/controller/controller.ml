@@ -47,10 +47,13 @@ type counters = {
 
 (* A pending request: the reply continuation plus the expiry event that
    reclaims the slot when the reply never arrives (dropped on an
-   impaired channel, or the switch died). *)
+   impaired channel, or the switch died).  [sent_at]/[req_dpid] let the
+   reply path emit the xid round-trip span. *)
 type pending_req = {
   k : Of_msg.payload -> unit;
   expiry : Scotch_sim.Engine.handle option;
+  sent_at : float;
+  req_dpid : int;
 }
 
 type t = {
@@ -65,17 +68,37 @@ type t = {
   mutable next_xid : int;
   counters : counters;
   pin_window : float;
+  rtt_h : Scotch_obs.Registry.histogram;
+      (* request→reply round-trip (virtual seconds); obs-gated *)
 }
 
 (** [create engine topo] builds a controller with a [pin_window]-second
     sliding window for per-switch Packet-In rate monitoring. *)
 let create ?(pin_window = 1.0) engine topo =
-  { engine; topo; chan_rng = Scotch_util.Rng.create 0xC7A4;
-    switches = Hashtbl.create 16; apps = []; pending = Hashtbl.create 64;
-    next_xid = 1;
-    counters =
-      { packet_ins = 0; flow_mods = 0; unhandled_packet_ins = 0; expired_requests = 0 };
-    pin_window }
+  let t =
+    { engine; topo; chan_rng = Scotch_util.Rng.create 0xC7A4;
+      switches = Hashtbl.create 16; apps = []; pending = Hashtbl.create 64;
+      next_xid = 1;
+      counters =
+        { packet_ins = 0; flow_mods = 0; unhandled_packet_ins = 0; expired_requests = 0 };
+      pin_window;
+      rtt_h =
+        Scotch_obs.Obs.histogram ~help:"xid request-to-reply round trip (virtual seconds)"
+          ~lo:0.0 ~hi:0.2 ~bins:50 "scotch_controller_rtt_seconds" }
+  in
+  let module O = Scotch_obs.Obs in
+  let c = t.counters in
+  O.counter_fn ~help:"Packet-In messages received" "scotch_controller_packet_ins_total"
+    (fun () -> c.packet_ins);
+  O.counter_fn ~help:"FlowMods sent" "scotch_controller_flow_mods_total"
+    (fun () -> c.flow_mods);
+  O.counter_fn ~help:"Packet-Ins no app consumed" "scotch_controller_unhandled_packet_ins_total"
+    (fun () -> c.unhandled_packet_ins);
+  O.counter_fn ~help:"Requests whose reply never arrived before the deadline"
+    "scotch_controller_expired_requests_total" (fun () -> c.expired_requests);
+  O.gauge_fn ~help:"In-flight requests awaiting replies" "scotch_controller_pending_requests"
+    (fun () -> float_of_int (Hashtbl.length t.pending));
+  t
 
 let engine t = t.engine
 let topo t = t.topo
@@ -101,6 +124,9 @@ let handle_message t (sw : sw) (msg : Of_msg.t) =
   match msg.Of_msg.payload with
   | Of_msg.Packet_in pi ->
     t.counters.packet_ins <- t.counters.packet_ins + 1;
+    if Scotch_obs.Obs.is_enabled () then
+      Scotch_obs.Obs.instant ~name:"controller.packet_in" ~cat:"controller"
+        ~ts:(Scotch_sim.Engine.now t.engine) ~tid:sw.dpid ~args:[];
     Stats.Rate_meter.tick sw.pin_meter ~now:(Scotch_sim.Engine.now t.engine);
     let handled = List.exists (fun a -> a.packet_in sw pi) t.apps in
     if not handled then t.counters.unhandled_packet_ins <- t.counters.unhandled_packet_ins + 1
@@ -120,6 +146,12 @@ let handle_message t (sw : sw) (msg : Of_msg.t) =
     | Some req ->
       Hashtbl.remove t.pending msg.Of_msg.xid;
       Option.iter Scotch_sim.Engine.cancel req.expiry;
+      if Scotch_obs.Obs.is_enabled () then begin
+        let rtt = Scotch_sim.Engine.now t.engine -. req.sent_at in
+        Scotch_obs.Registry.observe t.rtt_h rtt;
+        Scotch_obs.Obs.span ~name:"controller.rtt" ~cat:"controller" ~ts:req.sent_at ~dur:rtt
+          ~tid:req.req_dpid ~args:[]
+      end;
       req.k msg.Of_msg.payload
     | None -> ())
   | Of_msg.Flow_mod _ | Of_msg.Group_mod _ | Of_msg.Packet_out _
@@ -151,6 +183,15 @@ let connect t device ~latency =
       chan_extra_latency = 0.0; chan_drop_p = 0.0; chan_dropped = 0 }
   in
   Hashtbl.replace t.switches dpid sw;
+  let module O = Scotch_obs.Obs in
+  let labels = [ ("dpid", string_of_int dpid) ] in
+  O.counter_fn ~help:"Control-channel messages lost to impairment" ~labels
+    "scotch_controller_chan_dropped_total" (fun () -> sw.chan_dropped);
+  O.counter_fn ~help:"FlowMods sent to this switch" ~labels
+    "scotch_controller_flow_mods_sent_total" (fun () -> sw.flow_mods_sent);
+  O.gauge_fn ~help:"Packet-In arrival rate over the monitoring window (1/s)" ~labels
+    "scotch_controller_pin_rate" (fun () ->
+      Stats.Rate_meter.rate sw.pin_meter ~now:(Scotch_sim.Engine.now t.engine));
   Ofa.connect_controller (Switch.ofa device) (fun msg ->
       if not (dropped sw) then
         ignore
@@ -200,7 +241,8 @@ let request ?deadline ?on_timeout t (sw : sw) payload k =
                match on_timeout with Some f -> f () | None -> ()
              end))
   in
-  Hashtbl.replace t.pending xid { k; expiry };
+  Hashtbl.replace t.pending xid
+    { k; expiry; sent_at = Scotch_sim.Engine.now t.engine; req_dpid = sw.dpid };
   sw.send_raw (Of_msg.make ~xid payload)
 
 (** Number of in-flight requests still awaiting a reply. *)

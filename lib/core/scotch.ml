@@ -74,16 +74,55 @@ type t = {
          store and barrier-acked transactions, and [start] launches the
          anti-entropy reconciler.  [None] (the default) keeps the
          legacy fire-and-forget path bit-identical. *)
+  rebalances_c : Scotch_obs.Registry.counter;
+  pool_adds_c : Scotch_obs.Registry.counter;
+  decision_h : Scotch_obs.Registry.histogram;
+      (* flow admit → routing decision complete (virtual s); obs-gated *)
 }
 
 let create ?reliable ctrl overlay policy config =
-  { ctrl; overlay; policy; config; db = Flow_info_db.create ();
-    managed = Hashtbl.create 16; vswitch_handles = Hashtbl.create 16;
-    counters =
-      { flows_seen = 0; flows_overlay = 0; flows_physical = 0; flows_dropped = 0;
-        flows_unroutable = 0; elephants_detected = 0; migrations_completed = 0;
-        activations = 0; withdrawals = 0; vswitch_failures = 0 };
-    stats_polling = true; phase_hooks = []; reliable }
+  let module O = Scotch_obs.Obs in
+  let t =
+    { ctrl; overlay; policy; config; db = Flow_info_db.create ();
+      managed = Hashtbl.create 16; vswitch_handles = Hashtbl.create 16;
+      counters =
+        { flows_seen = 0; flows_overlay = 0; flows_physical = 0; flows_dropped = 0;
+          flows_unroutable = 0; elephants_detected = 0; migrations_completed = 0;
+          activations = 0; withdrawals = 0; vswitch_failures = 0 };
+      stats_polling = true; phase_hooks = []; reliable;
+      rebalances_c =
+        O.counter ~help:"Select-group rebalances after pool changes"
+          "scotch_core_group_rebalances_total";
+      pool_adds_c =
+        O.counter ~help:"vswitches joined to a running overlay"
+          "scotch_core_pool_additions_total";
+      decision_h =
+        O.histogram ~help:"Flow admit to routing decision (virtual seconds)" ~lo:0.0 ~hi:0.5
+          ~bins:50 "scotch_core_decision_latency_seconds" }
+  in
+  (* re-express the Scotch ledger on the registry (polled at snapshot) *)
+  let c = t.counters in
+  O.counter_fn ~help:"New flows admitted" "scotch_core_flows_seen_total"
+    (fun () -> c.flows_seen);
+  O.counter_fn ~help:"Flows routed over the overlay" "scotch_core_flows_overlay_total"
+    (fun () -> c.flows_overlay);
+  O.counter_fn ~help:"Flows installed on a physical path" "scotch_core_flows_physical_total"
+    (fun () -> c.flows_physical);
+  O.counter_fn ~help:"Flows shed past the dropping threshold" "scotch_core_flows_dropped_total"
+    (fun () -> c.flows_dropped);
+  O.counter_fn ~help:"Flows with no viable route" "scotch_core_flows_unroutable_total"
+    (fun () -> c.flows_unroutable);
+  O.counter_fn ~help:"Elephant flows detected by stats polling"
+    "scotch_core_elephants_detected_total" (fun () -> c.elephants_detected);
+  O.counter_fn ~help:"Elephant migrations completed" "scotch_core_migrations_completed_total"
+    (fun () -> c.migrations_completed);
+  O.counter_fn ~help:"Overlay redirection activations (miss-rule flips on)"
+    "scotch_core_activations_total" (fun () -> c.activations);
+  O.counter_fn ~help:"Overlay redirection withdrawals (miss-rule flips off)"
+    "scotch_core_withdrawals_total" (fun () -> c.withdrawals);
+  O.counter_fn ~help:"vswitch failures handled" "scotch_core_vswitch_failures_total"
+    (fun () -> c.vswitch_failures);
+  t
 
 let counters t = t.counters
 let db t = t.db
@@ -92,6 +131,17 @@ let overlay t = t.overlay
 
 let engine t = C.engine t.ctrl
 let now t = Scotch_sim.Engine.now (engine t)
+
+(* Routing-decision span: flow admit ([e.created]) to the moment the
+   flow's fate is settled; one per decision outcome. *)
+let decision_span t (e : Flow_info_db.entry) outcome =
+  if Scotch_obs.Obs.is_enabled () then begin
+    let dur = now t -. e.Flow_info_db.created in
+    Scotch_obs.Registry.observe t.decision_h dur;
+    Scotch_obs.Obs.span ~name:"scotch.decision" ~cat:"core" ~ts:e.Flow_info_db.created ~dur
+      ~tid:e.Flow_info_db.first_hop
+      ~args:[ ("outcome", outcome) ]
+  end
 
 let managed_of t dpid = Hashtbl.find_opt t.managed dpid
 
@@ -244,6 +294,9 @@ let activate t m =
     m.active <- true;
     m.activated_at <- now t;
     t.counters.activations <- t.counters.activations + 1;
+    if Scotch_obs.Obs.is_enabled () then
+      Scotch_obs.Obs.instant ~name:"scotch.activate" ~cat:"core" ~ts:(now t) ~tid:dpid
+        ~args:[ ("vswitches", string_of_int (List.length m.assigned)) ];
     (* the whole pipeline (select group, table-1 balancer, per-port
        redirects) ships as one batch: under the reliable layer it is a
        single barrier-acked transaction, otherwise it degenerates to the
@@ -277,6 +330,9 @@ let activate t m =
 let withdraw t m =
   m.active <- false;
   t.counters.withdrawals <- t.counters.withdrawals + 1;
+  if Scotch_obs.Obs.is_enabled () then
+    Scotch_obs.Obs.instant ~name:"scotch.withdraw" ~cat:"core" ~ts:(now t) ~tid:m.msw.C.dpid
+      ~args:[];
   (* Step 1: pin flows currently on the overlay so they stay there,
      paced through the admitted queue. *)
   let dpid = m.msw.C.dpid in
@@ -337,7 +393,8 @@ let route_overlay t (e : Flow_info_db.entry) pkt ~entry =
   match Overlay.cover_of_ip t.overlay dst_ip with
   | None ->
     t.counters.flows_unroutable <- t.counters.flows_unroutable + 1;
-    Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+    Flow_info_db.set_kind t.db e Flow_info_db.Dropped;
+    decision_span t e "unroutable"
   | Some cover -> (
     let entry_actions =
       match Policy.classify t.policy key with
@@ -372,7 +429,8 @@ let route_overlay t (e : Flow_info_db.entry) pkt ~entry =
     match (entry_actions, vswitch_handle t entry) with
     | None, _ | _, None ->
       t.counters.flows_unroutable <- t.counters.flows_unroutable + 1;
-      Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+      Flow_info_db.set_kind t.db e Flow_info_db.Dropped;
+      decision_span t e "unroutable"
     | Some actions, Some entry_sw ->
       let cfg = t.config in
       install t entry_sw ~table_id:0 ~priority:flow_priority
@@ -397,7 +455,8 @@ let route_overlay t (e : Flow_info_db.entry) pkt ~entry =
       | Flow_info_db.Overlay _ -> () (* reinstall after expiry/failure *)
       | _ ->
         t.counters.flows_overlay <- t.counters.flows_overlay + 1;
-        Flow_info_db.set_kind t.db e (Flow_info_db.Overlay { entry_vswitch = entry })))
+        Flow_info_db.set_kind t.db e (Flow_info_db.Overlay { entry_vswitch = entry });
+        decision_span t e "overlay"))
 
 (** {1 Physical-path setup and migration (§5.3)} *)
 
@@ -438,7 +497,8 @@ let install_physical t (e : Flow_info_db.entry) ~first_packet ~on_complete =
   match rules with
   | None ->
     t.counters.flows_unroutable <- t.counters.flows_unroutable + 1;
-    Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+    Flow_info_db.set_kind t.db e Flow_info_db.Dropped;
+    decision_span t e "unroutable"
   | Some rules ->
     let first_hop_rules, downstream =
       List.partition (fun (d, _) -> d = first_hop) rules
@@ -463,6 +523,7 @@ let install_physical t (e : Flow_info_db.entry) ~first_packet ~on_complete =
       | _ -> ());
       Flow_info_db.set_kind t.db e Flow_info_db.Physical;
       t.counters.flows_physical <- t.counters.flows_physical + 1;
+      decision_span t e "physical";
       on_complete ()
     in
     if downstream = [] then finish ()
@@ -485,7 +546,7 @@ let install_physical t (e : Flow_info_db.entry) ~first_packet ~on_complete =
 (** Migration of one detected elephant (served from the large-flow
     queue): recheck control-path load along the candidate path, then
     install destination-first. *)
-let do_migration t (e : Flow_info_db.entry) =
+let do_migration ?(detected_at = 0.0) t (e : Flow_info_db.entry) =
   let key = e.Flow_info_db.key in
   let dst_ip = Ipv4_addr.of_int (Ipv4_addr.to_int key.Flow_key.ip_dst) in
   let path_ok =
@@ -509,6 +570,9 @@ let do_migration t (e : Flow_info_db.entry) =
     install_physical t e ~first_packet:None ~on_complete:(fun () ->
         e.Flow_info_db.migrating <- false;
         t.counters.migrations_completed <- t.counters.migrations_completed + 1;
+        if Scotch_obs.Obs.is_enabled () then
+          Scotch_obs.Obs.span ~name:"scotch.migration" ~cat:"core" ~ts:detected_at
+            ~dur:(now t -. detected_at) ~tid:e.Flow_info_db.first_hop ~args:[];
         notify_phase t `Post_migration)
 
 (** Elephant detection: poll per-flow packet counts at the vswitches and
@@ -558,8 +622,17 @@ let poll_vswitch_stats t vdpid =
                       then begin
                         e.Flow_info_db.migrating <- true;
                         t.counters.elephants_detected <- t.counters.elephants_detected + 1;
+                        let detected_at =
+                          if Scotch_obs.Obs.is_enabled () then begin
+                            Scotch_obs.Obs.instant ~name:"scotch.elephant_detected" ~cat:"core"
+                              ~ts:(now t) ~tid:vdpid ~args:[];
+                            now t
+                          end
+                          else 0.0
+                        in
                         match managed_of t e.Flow_info_db.first_hop with
-                        | Some m -> Sched.submit_large m.sched (fun () -> do_migration t e)
+                        | Some m ->
+                          Sched.submit_large m.sched (fun () -> do_migration ~detected_at t e)
                         | None -> e.Flow_info_db.migrating <- false
                       end
                     | _ -> ())
@@ -608,7 +681,8 @@ let serve_new_flow t m (e : Flow_info_db.entry) pkt ~entry_vswitch =
     match entry with
     | None ->
       t.counters.flows_unroutable <- t.counters.flows_unroutable + 1;
-      Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+      Flow_info_db.set_kind t.db e Flow_info_db.Dropped;
+      decision_span t e "unroutable"
     | Some entry -> route_overlay t e pkt ~entry
   in
   let submit =
@@ -634,7 +708,8 @@ let serve_new_flow t m (e : Flow_info_db.entry) pkt ~entry_vswitch =
     route_via_overlay ()
   | `Drop ->
     t.counters.flows_dropped <- t.counters.flows_dropped + 1;
-    Flow_info_db.set_kind t.db e Flow_info_db.Dropped
+    Flow_info_db.set_kind t.db e Flow_info_db.Dropped;
+    decision_span t e "shed"
 
 let handle_packet_in t (sw : C.sw) (pi : Of_msg.Packet_in.t) =
   let pkt = pi.Of_msg.Packet_in.packet in
@@ -717,6 +792,9 @@ let handle_packet_in t (sw : C.sw) (pi : Of_msg.Packet_in.t) =
 (** {1 vswitch failure (§5.6)} *)
 
 let rebalance_groups t =
+  Scotch_obs.Registry.incr t.rebalances_c;
+  if Scotch_obs.Obs.is_enabled () then
+    Scotch_obs.Obs.instant ~name:"scotch.rebalance" ~cat:"core" ~ts:(now t) ~tid:0 ~args:[];
   Hashtbl.iter
     (fun dpid m ->
       if m.active then begin
@@ -732,6 +810,9 @@ let handle_switch_dead t (sw : C.sw) =
   let dpid = sw.C.dpid in
   if Hashtbl.mem t.vswitch_handles dpid then begin
     t.counters.vswitch_failures <- t.counters.vswitch_failures + 1;
+    if Scotch_obs.Obs.is_enabled () then
+      Scotch_obs.Obs.instant ~name:"scotch.vswitch_dead" ~cat:"core" ~ts:(now t) ~tid:dpid
+        ~args:[];
     ignore (Overlay.mark_dead t.overlay dpid);
     (* replace the failed vswitch in every select group (the backup
        treats affected flows as new flows) *)
@@ -814,6 +895,11 @@ let app t =
     joins as a backup — rebalances every active switch's select group to
     start using it. *)
 let add_vswitch_live t dev ~channel_latency ~as_backup =
+  Scotch_obs.Registry.incr t.pool_adds_c;
+  if Scotch_obs.Obs.is_enabled () then
+    Scotch_obs.Obs.instant ~name:"scotch.pool_add" ~cat:"core"
+      ~ts:(now t) ~tid:(Switch.dpid dev)
+      ~args:[ ("backup", if as_backup then "true" else "false") ];
   Overlay.add_vswitch t.overlay dev ~backup:as_backup;
   Hashtbl.iter
     (fun _ m -> Overlay.connect_switch t.overlay m.msw.C.device ~to_vswitches:[ Switch.dpid dev ])

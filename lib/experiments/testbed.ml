@@ -208,6 +208,15 @@ let scotch_net ?(seed = 42) ?(profile = Profile.pica8) ?(vswitch_profile = Profi
     Scotch_controller.Routing.install_table_miss ctrl e;
     Scotch_controller.Routing.install_table_miss ctrl s
   end;
+  (* engine-level gauges for the whole net (replaced on rebuild, so the
+     latest net owns them) *)
+  let module O = Scotch_obs.Obs in
+  O.gauge_fn ~help:"Simulation events processed" "scotch_engine_events_processed"
+    (fun () -> float_of_int (Scotch_sim.Engine.processed engine));
+  O.gauge_fn ~help:"Simulation events pending" "scotch_engine_events_pending"
+    (fun () -> float_of_int (Scotch_sim.Engine.pending engine));
+  O.gauge_fn ~help:"Virtual time (seconds)" "scotch_engine_now"
+    (fun () -> Scotch_sim.Engine.now engine);
   { engine; topo; ctrl; app; overlay; policy; edge; server_sw; vswitches; clients; attacker;
     servers; server; verify = !verify; reliable }
 

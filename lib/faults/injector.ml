@@ -153,6 +153,13 @@ let on_switch_dead t (sw : C.sw) =
 (* Injection and clearing, per kind *)
 
 let clear t (f : Fault.t) (r : Ledger.record) =
+  Scotch_obs.Registry.incr
+    (Scotch_obs.Obs.counter ~help:"Faults cleared"
+       ~labels:[ ("kind", Fault.kind_label f.Fault.kind) ]
+       "scotch_fault_clears_total");
+  if Scotch_obs.Obs.is_enabled () then
+    Scotch_obs.Obs.instant ~name:"fault.clear" ~cat:"fault" ~ts:(now t) ~tid:f.Fault.target
+      ~args:[ ("fault", Fault.label f) ];
   (match f.Fault.kind with
   | Fault.Vswitch_crash ->
     let dev = device t f.Fault.target in
@@ -180,7 +187,17 @@ let clear t (f : Fault.t) (r : Ledger.record) =
 
 let inject t (id, (f : Fault.t)) =
   let r = Ledger.add t.ledger ~id ~label:(Fault.label f) ~injected_at:f.Fault.at in
+  (* handle resolved at plan-schedule time, not when the fault fires *)
+  let injections_c =
+    Scotch_obs.Obs.counter ~help:"Faults injected"
+      ~labels:[ ("kind", Fault.kind_label f.Fault.kind) ]
+      "scotch_fault_injections_total"
+  in
   let fire () =
+    Scotch_obs.Registry.incr injections_c;
+    if Scotch_obs.Obs.is_enabled () then
+      Scotch_obs.Obs.instant ~name:"fault.inject" ~cat:"fault" ~ts:(now t) ~tid:f.Fault.target
+        ~args:[ ("fault", Fault.label f) ];
     match f.Fault.kind with
     | Fault.Vswitch_crash ->
       let dev = device t f.Fault.target in

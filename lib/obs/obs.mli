@@ -1,0 +1,40 @@
+(** Process-wide observability context: one default {!Registry} and
+    {!Trace} shared by every subsystem, plus the master switch.
+
+    Counters are always on; histogram observations and trace events are
+    gated by call sites on {!is_enabled} (also settable via the
+    [SCOTCH_OBS=1] environment variable), so the disabled hot path adds
+    no allocations. *)
+
+(** True when tracing/histograms should record.  Initialised from
+    [SCOTCH_OBS] ([1]/[true]/[yes]/[on]). *)
+val is_enabled : unit -> bool
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val registry : unit -> Registry.t
+val tracer : unit -> Trace.t
+
+(** Wipe the default registry and replace the tracer (optionally with a
+    new capacity/sampling rate).  Call {e before} building the network:
+    handles resolve at component creation. *)
+val reset : ?capacity:int -> ?sample:int -> unit -> unit
+
+(** {1 Shorthands on the default registry/tracer} *)
+
+val counter : ?help:string -> ?labels:Registry.labels -> string -> Registry.counter
+val counter_fn : ?help:string -> ?labels:Registry.labels -> string -> (unit -> int) -> unit
+val gauge : ?help:string -> ?labels:Registry.labels -> string -> Registry.gauge
+val gauge_fn : ?help:string -> ?labels:Registry.labels -> string -> (unit -> float) -> unit
+
+val histogram :
+  ?help:string -> ?labels:Registry.labels -> ?lo:float -> ?hi:float -> ?bins:int ->
+  string -> Registry.histogram
+
+val span :
+  name:string -> cat:string -> ts:float -> dur:float -> tid:int ->
+  args:(string * string) list -> unit
+
+val instant :
+  name:string -> cat:string -> ts:float -> tid:int -> args:(string * string) list -> unit

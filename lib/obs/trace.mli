@@ -1,0 +1,55 @@
+(** Virtual-time tracer: spans/instants stamped with [Engine.now],
+    bounded ring-buffer memory, optional sampling, Chrome trace-event
+    JSON export (chrome://tracing / Perfetto). *)
+
+type t
+
+type phase = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string; (* subsystem: switch | controller | core | reliable | fault *)
+  phase : phase;
+  ts_ns : int; (* virtual nanoseconds — int keeps the record float-free *)
+  dur_ns : int; (* virtual nanoseconds; 0 for instants *)
+  tid : int; (* viewer row — dpid, 0 for the controller *)
+  args : (string * string) list;
+}
+
+(** [create ~capacity ~sample ()] — ring of [capacity] events (default
+    65536), keeping every [sample]-th offered event (default 1 = all).
+    When full, the oldest retained events are evicted (newest wins). *)
+val create : ?capacity:int -> ?sample:int -> unit -> t
+
+val clear : t -> unit
+
+(** Record a span: [ts] is its virtual start time, [dur] its length. *)
+val complete :
+  t -> name:string -> cat:string -> ts:float -> dur:float -> tid:int ->
+  args:(string * string) list -> unit
+
+(** Record a point event. *)
+val instant :
+  t -> name:string -> cat:string -> ts:float -> tid:int ->
+  args:(string * string) list -> unit
+
+(** Events currently retained / total offered / rejected by sampling /
+    evicted by ring wrap. *)
+val length : t -> int
+
+val emitted : t -> int
+val sampled_out : t -> int
+val dropped : t -> int
+
+(** Retained events, oldest first. *)
+val events : t -> event list
+
+(** Chrome trace-event JSON ([{"traceEvents":[...]}]); virtual seconds
+    are exported as viewer microseconds. *)
+val to_chrome_json : t -> string
+
+(** Canonical one-line-per-event dump and its MD5 hex digest — two
+    same-seed runs must agree byte-for-byte. *)
+val canonical : t -> string
+
+val digest : t -> string

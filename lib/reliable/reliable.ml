@@ -62,6 +62,7 @@ type txn = {
   tid : int;
   payloads : Of_msg.payload list;
   mutable attempts : int; (* completed, unacked flights *)
+  created : float; (* enqueue time — start of the barrier-ack span *)
 }
 
 type swstate = {
@@ -114,17 +115,46 @@ type t = {
   mutable records : record list; (* newest first *)
   mutable next_record_id : int;
   mutable stop_reconciler : (unit -> unit) option;
+  divergence_h : Scotch_obs.Registry.histogram;
+      (* closed divergence windows (virtual seconds); obs-gated *)
 }
 
 let create ?config ctrl =
   let config = match config with Some c -> c | None -> default_config () in
   if config.window < 1 then invalid_arg "Reliable.create: window must be >= 1";
-  { ctrl; config; switches = Hashtbl.create 16; next_tid = 0;
-    stats =
-      { txns_sent = 0; txns_acked = 0; txns_parked = 0; retries = 0; repairs_missing = 0;
-        repairs_orphan = 0; repairs_group = 0; resyncs = 0; degraded_transitions = 0;
-        degraded_seconds = 0.0 };
-    windows = []; records = []; next_record_id = 0; stop_reconciler = None }
+  let t =
+    { ctrl; config; switches = Hashtbl.create 16; next_tid = 0;
+      stats =
+        { txns_sent = 0; txns_acked = 0; txns_parked = 0; retries = 0; repairs_missing = 0;
+          repairs_orphan = 0; repairs_group = 0; resyncs = 0; degraded_transitions = 0;
+          degraded_seconds = 0.0 };
+      windows = []; records = []; next_record_id = 0; stop_reconciler = None;
+      divergence_h =
+        Scotch_obs.Obs.histogram ~help:"Closed intent/device divergence windows (virtual s)"
+          ~lo:0.0 ~hi:5.0 ~bins:50 "scotch_reliable_divergence_window_seconds" }
+  in
+  (* re-express the transaction/repair ledger on the registry *)
+  let module O = Scotch_obs.Obs in
+  let s = t.stats in
+  O.counter_fn ~help:"Transactions enqueued" "scotch_reliable_txns_sent_total"
+    (fun () -> s.txns_sent);
+  O.counter_fn ~help:"Barrier-acked transactions" "scotch_reliable_txns_acked_total"
+    (fun () -> s.txns_acked);
+  O.counter_fn ~help:"Transactions parked at dead switches" "scotch_reliable_txns_parked_total"
+    (fun () -> s.txns_parked);
+  O.counter_fn ~help:"Barrier deadline misses retried" "scotch_reliable_retries_total"
+    (fun () -> s.retries);
+  O.counter_fn ~help:"Missing durable rules re-installed" "scotch_reliable_repairs_missing_total"
+    (fun () -> s.repairs_missing);
+  O.counter_fn ~help:"Owned orphan rules deleted" "scotch_reliable_repairs_orphan_total"
+    (fun () -> s.repairs_orphan);
+  O.counter_fn ~help:"Group bucket fixes" "scotch_reliable_repairs_group_total"
+    (fun () -> s.repairs_group);
+  O.counter_fn ~help:"Full-table resyncs" "scotch_reliable_resyncs_total"
+    (fun () -> s.resyncs);
+  O.counter_fn ~help:"Healthy-to-degraded transitions"
+    "scotch_reliable_degraded_transitions_total" (fun () -> s.degraded_transitions);
+  t
 
 let config t = t.config
 let stats t = t.stats
@@ -200,11 +230,15 @@ and fly t ss txn =
   C.request ~deadline:t.config.barrier_deadline
     ~on_timeout:(fun () -> on_timeout t ss txn)
     t.ctrl ss.handle Of_msg.Barrier_request
-    (fun _reply -> on_ack t ss)
+    (fun _reply -> on_ack t ss txn)
 
-and on_ack t ss =
+and on_ack t ss txn =
   t.stats.txns_acked <- t.stats.txns_acked + 1;
   ss.outstanding <- ss.outstanding - 1;
+  if Scotch_obs.Obs.is_enabled () then
+    Scotch_obs.Obs.span ~name:"reliable.txn" ~cat:"reliable" ~ts:txn.created
+      ~dur:(now t -. txn.created) ~tid:ss.handle.C.dpid
+      ~args:[ ("attempts", string_of_int (txn.attempts + 1)) ];
   if ss.health = Degraded then begin
     let dur = now t -. ss.degraded_since in
     t.stats.degraded_seconds <- t.stats.degraded_seconds +. dur;
@@ -229,6 +263,10 @@ and on_timeout t ss txn =
   else begin
     t.stats.retries <- t.stats.retries + 1;
     txn.attempts <- txn.attempts + 1;
+    if Scotch_obs.Obs.is_enabled () then
+      Scotch_obs.Obs.instant ~name:"reliable.retry" ~cat:"reliable" ~ts:(now t)
+        ~tid:ss.handle.C.dpid
+        ~args:[ ("attempt", string_of_int txn.attempts) ];
     if txn.attempts > t.config.retry_budget && ss.health = Healthy then begin
       ss.health <- Degraded;
       ss.degraded_since <- now t;
@@ -242,7 +280,7 @@ and on_timeout t ss txn =
   end
 
 let enqueue t ss payloads =
-  let txn = { tid = t.next_tid; payloads; attempts = 0 } in
+  let txn = { tid = t.next_tid; payloads; attempts = 0; created = now t } in
   t.next_tid <- t.next_tid + 1;
   t.stats.txns_sent <- t.stats.txns_sent + 1;
   Queue.push txn ss.waiting;
@@ -400,6 +438,11 @@ let diff_and_repair t ss (flow_stats : Of_msg.Stats.flow_stat list)
       let w = tnow -. t0 in
       t.windows <- w :: t.windows;
       ss.diverged_since <- None;
+      if Scotch_obs.Obs.is_enabled () then begin
+        Scotch_obs.Registry.observe t.divergence_h w;
+        Scotch_obs.Obs.span ~name:"reliable.divergence" ~cat:"reliable" ~ts:t0 ~dur:w
+          ~tid:ss.handle.C.dpid ~args:[]
+      end;
       log t ss (Converged w)
     | None -> ()
 

@@ -71,16 +71,49 @@ type t = {
   mutable stalled_until : float;
       (* failure injection: the agent freezes (queues keep filling and
          overflowing) until this absolute time *)
+  dpid : int;
+  service_h : Scotch_obs.Registry.histogram;
+      (* service-time distribution; observed only when obs is enabled *)
 }
 
-let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) engine ~profile ~handler =
-  { engine; profile; housekeeping_phase; rng = Scotch_util.Rng.create (jitter_seed lxor 0x0FA);
-    pin_queue = Queue.create (); cmsg_queue = Queue.create ();
-    busy = false; to_controller = (fun _ -> ()); handler;
-    counters =
-      { pin_sent = 0; pin_dropped = 0; flow_mods_handled = 0; flow_mods_dropped = 0;
-        msgs_handled = 0 };
-    next_xid = 1; dead = false; slowdown = 1.0; stalled_until = 0.0 }
+(* Re-express this agent's ledger on the metrics registry: counters are
+   polled from the [counters] record at snapshot time, queue depths are
+   pull-style gauges — the serve/submit hot paths stay untouched. *)
+let register_metrics t =
+  let module O = Scotch_obs.Obs in
+  let labels = [ ("dpid", string_of_int t.dpid) ] in
+  let c = t.counters in
+  O.counter_fn ~help:"Packet-In messages emitted by the OFA" ~labels
+    "scotch_ofa_pin_sent_total" (fun () -> c.pin_sent);
+  O.counter_fn ~help:"New-flow packets lost at the Packet-In queue" ~labels
+    "scotch_ofa_pin_dropped_total" (fun () -> c.pin_dropped);
+  O.counter_fn ~help:"FlowMods applied by the OFA" ~labels
+    "scotch_ofa_flow_mods_handled_total" (fun () -> c.flow_mods_handled);
+  O.counter_fn ~help:"Controller messages lost at the OFA queue" ~labels
+    "scotch_ofa_flow_mods_dropped_total" (fun () -> c.flow_mods_dropped);
+  O.counter_fn ~help:"Controller messages served by the OFA" ~labels
+    "scotch_ofa_msgs_handled_total" (fun () -> c.msgs_handled);
+  O.gauge_fn ~help:"OFA input queue depth" ~labels:(("queue", "cmsg") :: labels)
+    "scotch_ofa_queue_depth" (fun () -> float_of_int (Queue.length t.cmsg_queue));
+  O.gauge_fn ~help:"OFA input queue depth" ~labels:(("queue", "pin") :: labels)
+    "scotch_ofa_queue_depth" (fun () -> float_of_int (Queue.length t.pin_queue))
+
+let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) ?(dpid = 0) engine ~profile ~handler =
+  let t =
+    { engine; profile; housekeeping_phase; rng = Scotch_util.Rng.create (jitter_seed lxor 0x0FA);
+      pin_queue = Queue.create (); cmsg_queue = Queue.create ();
+      busy = false; to_controller = (fun _ -> ()); handler;
+      counters =
+        { pin_sent = 0; pin_dropped = 0; flow_mods_handled = 0; flow_mods_dropped = 0;
+          msgs_handled = 0 };
+      next_xid = 1; dead = false; slowdown = 1.0; stalled_until = 0.0; dpid;
+      service_h =
+        Scotch_obs.Obs.histogram ~help:"OFA job service time (virtual seconds)"
+          ~labels:[ ("dpid", string_of_int dpid) ] ~lo:0.0 ~hi:0.05 ~bins:50
+          "scotch_ofa_service_time_seconds" }
+  in
+  register_metrics t;
+  t
 
 (** Wire the switch→controller direction (set by the control channel). *)
 let connect_controller t send = t.to_controller <- send
@@ -194,6 +227,15 @@ let rec serve t =
     let start = match housekeeping_end t ~now with None -> now | Some e -> e in
     let start = Stdlib.max start t.stalled_until in
     let finish = start +. service_time t job in
+    if Scotch_obs.Obs.is_enabled () then begin
+      Scotch_obs.Registry.observe t.service_h (finish -. start);
+      Scotch_obs.Obs.span
+        ~name:
+          (match job with
+          | Packet_in_job _ -> "ofa.serve.packet_in"
+          | Message_job _ -> "ofa.serve.msg")
+        ~cat:"switch" ~ts:start ~dur:(finish -. start) ~tid:t.dpid ~args:[]
+    end;
     ignore
       (Scotch_sim.Engine.schedule_at t.engine ~at:finish (fun () ->
            if not t.dead then begin

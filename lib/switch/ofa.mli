@@ -41,9 +41,10 @@ type counters = {
 
 type t
 
+(** [dpid] labels this agent's metrics and trace rows (0 = unowned). *)
 val create :
-  ?housekeeping_phase:float -> ?jitter_seed:int -> Scotch_sim.Engine.t -> profile:Profile.t ->
-  handler:handler -> t
+  ?housekeeping_phase:float -> ?jitter_seed:int -> ?dpid:int -> Scotch_sim.Engine.t ->
+  profile:Profile.t -> handler:handler -> t
 
 (** Wire the switch→controller direction (set by the control
     channel). *)

@@ -91,6 +91,15 @@ let flood t ~in_port pkt =
 (* Pipeline *)
 
 let to_ofa t ~in_port ~tunnel_id ~reason pkt =
+  (* the start of the packet-in lifecycle: a data-plane miss (or
+     explicit punt) hands the packet to the slow path *)
+  if Scotch_obs.Obs.is_enabled () then
+    Scotch_obs.Obs.instant
+      ~name:
+        (match reason with
+        | Of_types.Packet_in_reason.No_match -> "dp.miss"
+        | _ -> "dp.punt")
+      ~cat:"switch" ~ts:(now t) ~tid:t.dpid ~args:[];
   Ofa.submit_packet_in (ofa t) { Ofa.in_port; tunnel_id; reason; packet = pkt }
 
 (** Execute an action list; returns the (possibly rewritten) packet so
@@ -301,7 +310,25 @@ let create engine ~dpid ~name ~profile ?(num_tables = 2) () =
     Float.rem (0.6180339887 *. float_of_int dpid *. profile.Profile.housekeeping_period)
       (Stdlib.max profile.Profile.housekeeping_period 1e-9)
   in
-  t.ofa <- Some (Ofa.create ~housekeeping_phase ~jitter_seed:dpid engine ~profile ~handler:(handler_of t));
+  t.ofa <-
+    Some (Ofa.create ~housekeeping_phase ~jitter_seed:dpid ~dpid engine ~profile
+            ~handler:(handler_of t));
+  (* re-express the data-plane ledger on the metrics registry (pulled at
+     snapshot time; the receive hot path is untouched) *)
+  let module O = Scotch_obs.Obs in
+  let labels = [ ("dpid", string_of_int dpid) ] in
+  let c = t.counters in
+  O.counter_fn ~help:"Packets entering the data plane" ~labels "scotch_switch_rx_total"
+    (fun () -> c.rx);
+  O.counter_fn ~help:"Packets transmitted" ~labels "scotch_switch_tx_total" (fun () -> c.tx);
+  O.counter_fn ~help:"Data-plane drops" ~labels:(("reason", "blocked") :: labels)
+    "scotch_switch_dropped_total" (fun () -> c.dropped_blocked);
+  O.counter_fn ~help:"Data-plane drops" ~labels:(("reason", "capacity") :: labels)
+    "scotch_switch_dropped_total" (fun () -> c.dropped_capacity);
+  O.counter_fn ~help:"Data-plane drops" ~labels:(("reason", "no-rule") :: labels)
+    "scotch_switch_dropped_total" (fun () -> c.dropped_no_rule);
+  O.counter_fn ~help:"Data-plane drops" ~labels:(("reason", "action") :: labels)
+    "scotch_switch_dropped_total" (fun () -> c.dropped_action);
   t
 
 (** [add_port t ~port_id ?kind link] attaches an outgoing link on a

@@ -33,6 +33,9 @@ let add t x =
 
 let count t = t.count
 
+let underflow t = t.underflow
+let overflow t = t.overflow
+
 (** [bin_count t i] is the number of observations in bin [i]. *)
 let bin_count t i = t.bins.(i)
 
@@ -52,19 +55,28 @@ let cdf t =
   done;
   out
 
-(** Approximate quantile by scanning the CDF (resolution = bin width). *)
+(** Approximate quantile by scanning the CDF (resolution = bin width);
+    [None] when the histogram is empty. *)
+let quantile_opt t p =
+  if t.count = 0 then None
+  else begin
+    let target = p *. float_of_int t.count in
+    let acc = ref (float_of_int t.underflow) in
+    let result = ref t.hi in
+    (try
+       for i = 0 to nbins t - 1 do
+         acc := !acc +. float_of_int t.bins.(i);
+         if !acc >= target then begin
+           result := bin_center t i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Some !result
+  end
+
+(** Raising wrapper around {!quantile_opt}. *)
 let quantile t p =
-  if t.count = 0 then invalid_arg "Histogram.quantile: empty";
-  let target = p *. float_of_int t.count in
-  let acc = ref (float_of_int t.underflow) in
-  let result = ref t.hi in
-  (try
-     for i = 0 to nbins t - 1 do
-       acc := !acc +. float_of_int t.bins.(i);
-       if !acc >= target then begin
-         result := bin_center t i;
-         raise Exit
-       end
-     done
-   with Exit -> ());
-  !result
+  match quantile_opt t p with
+  | Some q -> q
+  | None -> invalid_arg "Histogram.quantile: empty"

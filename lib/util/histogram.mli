@@ -17,6 +17,11 @@ val add : t -> float -> unit
 (** Total observations, including under/overflow. *)
 val count : t -> int
 
+(** Observations below [lo] / at or above [hi]. *)
+val underflow : t -> int
+
+val overflow : t -> int
+
 val bin_count : t -> int -> int
 
 (** Midpoint of bin [i]. *)
@@ -25,5 +30,9 @@ val bin_center : t -> int -> float
 (** [(upper_edge, cumulative_fraction)] per bin; monotone, ends at 1. *)
 val cdf : t -> (float * float) array
 
-(** Approximate quantile (resolution = bin width); raises when empty. *)
+(** Approximate quantile (resolution = bin width); [None] when empty. *)
+val quantile_opt : t -> float -> float option
+
+(** Raising wrapper around {!quantile_opt}; raises [Invalid_argument]
+    when the histogram is empty. *)
 val quantile : t -> float -> float

@@ -1,0 +1,89 @@
+(* Observability smoke: a short flash crowd against the Scotch testbed
+   with metrics + tracing forced on, run as part of `dune runtest` and
+   under the `@obs` alias.
+
+   Asserts the snapshot is non-empty and schema-valid — every
+   non-comment Prometheus line is `name{labels} value`, every family
+   has HELP/TYPE headers — and that both the metric families and the
+   trace cover the packet-in lifecycle the tracer exists to show:
+   dp miss -> OFA -> controller Packet-In -> Scotch decision.  Exits
+   non-zero on any miss. *)
+
+open Scotch_obs
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("obs smoke FAILED: " ^ s); exit 1) fmt
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let is_sample_line line =
+  (* name{labels} value | name value — one space, non-empty halves *)
+  match String.rindex_opt line ' ' with
+  | None -> false
+  | Some sp ->
+    let name = String.sub line 0 sp in
+    let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+    name <> "" && value <> ""
+    && (match float_of_string_opt value with Some _ -> true | None -> false)
+    &&
+    let base = match String.index_opt name '{' with None -> name | Some i -> String.sub name 0 i in
+    base <> ""
+    && String.for_all
+         (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+         base
+
+let () =
+  Obs.reset ();
+  Obs.enable ();
+  let net = Scotch_experiments.Testbed.scotch_net ~seed:42 () in
+  let client = Scotch_experiments.Testbed.client_source net ~i:0 ~rate:20.0 () in
+  let attack = Scotch_experiments.Testbed.attack_source net ~rate:400.0 in
+  Scotch_workload.Source.start client;
+  Scotch_workload.Source.start attack;
+  Scotch_experiments.Testbed.run_until net ~until:2.0;
+
+  (* -- metrics ---------------------------------------------------- *)
+  let prom = Registry.to_prometheus (Obs.registry ()) in
+  if prom = "" then fail "empty Prometheus snapshot";
+  let lines = String.split_on_char '\n' prom in
+  let samples = ref 0 in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then
+        if is_sample_line line then incr samples
+        else fail "malformed Prometheus line: %S" line)
+    lines;
+  if !samples = 0 then fail "no samples in the snapshot";
+  List.iter
+    (fun family ->
+      if not (contains prom ("# TYPE " ^ family)) then fail "family %s missing" family)
+    [ "scotch_switch_rx_total"; "scotch_ofa_pin_sent_total"; "scotch_ofa_queue_depth";
+      "scotch_ofa_service_time_seconds"; "scotch_controller_packet_ins_total";
+      "scotch_controller_rtt_seconds"; "scotch_core_flows_seen_total";
+      "scotch_core_flows_overlay_total"; "scotch_engine_events_processed" ];
+  let nonzero name =
+    List.exists
+      (fun s -> s.Registry.s_value > 0.0 && contains s.Registry.s_name name)
+      (Registry.samples (Obs.registry ()))
+  in
+  List.iter
+    (fun name -> if not (nonzero name) then fail "metric %s never moved" name)
+    [ "scotch_switch_rx_total"; "scotch_controller_packet_ins_total";
+      "scotch_core_flows_overlay_total"; "scotch_ofa_service_time_seconds" ];
+
+  (* -- trace ------------------------------------------------------ *)
+  let tr = Obs.tracer () in
+  if Trace.emitted tr = 0 then fail "no trace events emitted";
+  let names = List.map (fun e -> e.Trace.name) (Trace.events tr) in
+  List.iter
+    (fun n -> if not (List.mem n names) then fail "trace misses %s" n)
+    [ "dp.miss"; "ofa.serve.packet_in"; "controller.packet_in"; "controller.rtt";
+      "scotch.decision" ];
+  let json = Trace.to_chrome_json tr in
+  if not (contains json "{\"traceEvents\":[{") then fail "trace JSON has no events";
+  if not (contains json "\"displayTimeUnit\":\"ms\"") then fail "trace JSON footer missing";
+
+  Printf.printf "obs smoke OK: %d samples, %d trace events, digest %s\n" !samples
+    (Trace.length tr) (Trace.digest tr)

@@ -238,8 +238,9 @@ let test_histogram_quantile () =
   for i = 0 to 99 do
     Histogram.add h (float_of_int i +. 0.5)
   done;
-  let q = Histogram.quantile h 0.5 in
-  Alcotest.(check bool) "median near 50" true (abs_float (q -. 50.0) < 2.0)
+  match Histogram.quantile_opt h 0.5 with
+  | None -> Alcotest.fail "quantile_opt returned None on non-empty histogram"
+  | Some q -> Alcotest.(check bool) "median near 50" true (abs_float (q -. 50.0) < 2.0)
 
 (* ------------------------------------------------------------------ *)
 (* Timeseries *)
