@@ -269,6 +269,29 @@ let reconcile_probe ~seed =
       (json_opt_float (percentile 0.99))
       c.Ledger.conv_digest
 
+(* The graceful-degradation probe: the overload experiment in smoke
+   configuration — a flash crowd at 3x the pool's flow-setup capacity
+   plus a mid-crowd gray failure — reporting the admission-control,
+   circuit-breaker and autoscaler outcome so CI can gate on the
+   admitted-flow p99 bound and on pool convergence. *)
+let overload_probe ~seed =
+  let o = Overload.run_outcome ~seed ~scale:0.5 () in
+  let peak_pool =
+    List.fold_left (fun acc (_, n) -> Stdlib.max acc n) 0.0 o.Overload.pool_timeline
+  in
+  let within =
+    match o.Overload.p99 with Some q -> q <= Overload.p99_bound | None -> false
+  in
+  Printf.sprintf
+    "{\"p99_decision_latency_s\":%s,\"p99_bound_s\":%.6g,\"within_bound\":%b,\"launched\":%d,\"delivered\":%d,\"shed\":%d,\"autoscaler_actions\":%d,\"ejects\":%d,\"readmits\":%d,\"peak_pool\":%.0f,\"final_pool\":%d,\"converged\":%b,\"ledger_digest\":\"%s\",\"trace_digest\":\"%s\"}"
+    (json_opt_float o.Overload.p99) Overload.p99_bound within o.Overload.launched
+    o.Overload.delivered o.Overload.shed
+    (List.length o.Overload.actions)
+    o.Overload.ejects o.Overload.readmits peak_pool o.Overload.final_pool
+    (o.Overload.final_pool = Overload.num_active)
+    (json_escape o.Overload.ledger_digest)
+    (json_escape o.Overload.trace_digest)
+
 (* ------------------------------------------------------------------ *)
 (* BENCH_core.json: the observability overhead probe.
 
@@ -340,6 +363,14 @@ let write_core_json ~seed =
 
 let write_json ~seed ~scale ~figures:figs ~micro =
   let file = "BENCH_faults.json" in
+  (* run the probes in a fixed order before opening the file: each one
+     resets/toggles the shared obs world *)
+  let fault_block = fault_probe ~seed in
+  let reconcile_block = reconcile_probe ~seed in
+  let overload_block = overload_probe ~seed in
+  let module O = Scotch_obs.Obs in
+  O.disable ();
+  O.reset ();
   let oc = open_out file in
   Printf.fprintf oc "{\n  \"bench\": \"scotch-faults\",\n  \"seed\": %d,\n  \"scale\": %.6g,\n"
     seed scale;
@@ -354,31 +385,57 @@ let write_json ~seed ~scale ~figures:figs ~micro =
           (fun (n, ns) ->
             Printf.sprintf "\n    {\"name\":\"%s\",\"ns_per_op\":%.1f}" (json_escape n) ns)
           micro));
-  Printf.fprintf oc "  \"fault_recovery\": %s,\n" (fault_probe ~seed);
-  Printf.fprintf oc "  \"reconciliation\": %s\n}\n" (reconcile_probe ~seed);
+  Printf.fprintf oc "  \"fault_recovery\": %s,\n" fault_block;
+  Printf.fprintf oc "  \"reconciliation\": %s,\n" reconcile_block;
+  Printf.fprintf oc "  \"overload\": %s\n}\n" overload_block;
   close_out oc;
   Printf.printf "wrote %s\n%!" file
 
+let usage_error fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "bench: %s\nusage: main.exe [--scale S] [--seed N] [smoke|micro|FIGURE...]\n" s;
+      exit 2)
+    fmt
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let scale = ref 1.0 and seed = ref 42 and micro = ref false and names = ref [] in
+  let scale = ref 1.0 and seed = ref 42 in
+  let micro = ref false and smoke = ref false and names = ref [] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
-      scale := float_of_string v;
+      (match float_of_string_opt v with
+      | Some s when Float.is_finite s && s > 0.0 -> scale := s
+      | _ -> usage_error "--scale must be a finite positive number, got %S" v);
       parse rest
     | "--seed" :: v :: rest ->
-      seed := int_of_string v;
+      (match int_of_string_opt v with
+      | Some s -> seed := s
+      | None -> usage_error "--seed must be an integer, got %S" v);
       parse rest
+    | [ ("--scale" | "--seed") as flag ] -> usage_error "%s needs a value" flag
     | "micro" :: rest ->
       micro := true;
       parse rest
+    | "smoke" :: rest ->
+      smoke := true;
+      parse rest
     | name :: rest ->
+      if String.length name >= 2 && String.sub name 0 2 = "--" then
+        usage_error "unknown option %s" name;
       names := name :: !names;
       parse rest
   in
   parse args;
-  if !micro then begin
+  if !smoke then begin
+    (* CI smoke: skip the figures and Bechamel, run just the fast
+       fault/reconcile/overload probes and write both JSON artifacts *)
+    print_endline "== bench smoke: probes only ==";
+    write_core_json ~seed:!seed;
+    write_json ~seed:!seed ~scale:!scale ~figures:[] ~micro:[]
+  end
+  else if !micro then begin
     print_endline "== micro-benchmarks (Bechamel) ==";
     let ns = run_micro () in
     write_core_json ~seed:!seed;
@@ -387,7 +444,9 @@ let () =
   else begin
     Printf.printf
       "Scotch (CoNEXT 2014) — full reproduction bench: every figure of the evaluation\n";
-    Printf.printf "(scale %.2f, seed %d; pass figure names to select, `micro` for Bechamel)\n\n"
+    Printf.printf
+      "(scale %.2f, seed %d; pass figure names to select, `micro` for Bechamel, `smoke` for \
+       the CI probes)\n\n"
       !scale !seed;
     let timings = run_figures (List.rev !names) ~seed:!seed ~scale:!scale in
     print_endline "== micro-benchmarks (Bechamel) ==";

@@ -53,7 +53,34 @@ let specs =
       run = (fun ~seed ~scale -> Ablation.run_dedicated_port ~seed ~scale ()) };
     { name = "ablation-withdrawal";
       doc = "Overlay activation/withdrawal life cycle";
-      run = (fun ~seed ~scale -> Ablation.run_withdrawal ~seed ~scale ()) } ]
+      run = (fun ~seed ~scale -> Ablation.run_withdrawal ~seed ~scale ()) };
+    { name = "overload";
+      doc =
+        "Graceful degradation under overload: 3x flash crowd + gray failure, admission \
+         control, breaker-guarded pool and the elastic autoscaler vs a static pool";
+      run = (fun ~seed ~scale -> Overload.run ~seed ~scale ()) } ]
+
+(* Reject bad values at the parse layer so every experiment sees sane
+   inputs: a negative rate or NaN scale is a usage error (exit code 2,
+   one-line message), not a simulation that silently misbehaves. *)
+let pos_float what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v > 0.0 -> Ok v
+    | Some _ -> Error (Printf.sprintf "%s must be a finite positive number, got %s" what s)
+    | None -> Error (Printf.sprintf "invalid %s %S, expected a number" what s)
+  in
+  Arg.conv' ~docv:"X" (parse, Format.pp_print_float)
+
+(* Probability-style arguments: [0, 1). *)
+let unit_float what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v >= 0.0 && v < 1.0 -> Ok v
+    | Some _ -> Error (Printf.sprintf "%s must be in [0,1), got %s" what s)
+    | None -> Error (Printf.sprintf "invalid %s %S, expected a number" what s)
+  in
+  Arg.conv' ~docv:"P" (parse, Format.pp_print_float)
 
 let seed_arg =
   let doc = "PRNG seed; runs are bit-for-bit reproducible for a given seed." in
@@ -63,7 +90,7 @@ let scale_arg =
   let doc =
     "Duration scale factor: < 1 shrinks simulated time (faster, noisier), > 1 grows it."
   in
-  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
+  Arg.(value & opt (pos_float "--scale") 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
 
 let csv_arg =
   let doc = "Also emit the series as CSV on stdout after the table." in
@@ -150,13 +177,9 @@ let resilience_cmd =
       "Also drop this fraction of messages on every control channel during the flash window \
        (plus one OFA stall) — the reconciliation stress storm.  0 disables."
     in
-    Arg.(value & opt float 0.0 & info [ "drop-p" ] ~docv:"P" ~doc)
+    Arg.(value & opt (unit_float "--drop-p") 0.0 & info [ "drop-p" ] ~docv:"P" ~doc)
   in
   let run seed scale csv reconcile drop_p metrics trace =
-    if drop_p < 0.0 || drop_p >= 1.0 then begin
-      Printf.eprintf "resilience: --drop-p must be in [0,1)\n";
-      exit 2
-    end;
     with_obs ~metrics ~trace (fun () ->
         let fig = Resilience.run ~seed ~scale ~reconcile ~drop_p () in
         Report.print fig;
@@ -195,11 +218,11 @@ let obs_cmd =
   in
   let duration_arg =
     let doc = "Simulated seconds to run." in
-    Arg.(value & opt float 4.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+    Arg.(value & opt (pos_float "--duration") 4.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
   in
   let rate_arg =
     let doc = "Attack (flash-crowd) rate in new flows per second." in
-    Arg.(value & opt float 400.0 & info [ "rate" ] ~docv:"FPS" ~doc)
+    Arg.(value & opt (pos_float "--rate") 400.0 & info [ "rate" ] ~docv:"FPS" ~doc)
   in
   let run seed duration rate metrics trace =
     let module O = Scotch_obs.Obs in
@@ -306,4 +329,11 @@ let main =
     (list_cmd :: all_cmd :: verify_net_cmd :: resilience_cmd :: obs_cmd
     :: List.map cmd_of_spec specs)
 
-let () = exit (Cmd.eval main)
+(* Usage errors — unknown subcommands or flags, malformed or
+   out-of-range values — exit 2 uniformly (cmdliner's defaults split
+   them across 124/125); uncaught exceptions stay 125. *)
+let () =
+  match Cmd.eval_value main with
+  | Ok (`Ok ()) | Ok `Version | Ok `Help -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

@@ -43,6 +43,7 @@ type counters = {
   mutable flow_mods : int;
   mutable unhandled_packet_ins : int;
   mutable expired_requests : int;
+  mutable deferred_msgs : int; (* arrivals re-queued past a pause window *)
 }
 
 (* A pending request: the reply continuation plus the expiry event that
@@ -68,6 +69,9 @@ type t = {
   mutable next_xid : int;
   counters : counters;
   pin_window : float;
+  mutable paused_until : float;
+      (* fault injection: a GC-stall-style freeze — incoming messages
+         are deferred (in arrival order) until this absolute time *)
   rtt_h : Scotch_obs.Registry.histogram;
       (* request→reply round-trip (virtual seconds); obs-gated *)
 }
@@ -80,8 +84,9 @@ let create ?(pin_window = 1.0) engine topo =
       switches = Hashtbl.create 16; apps = []; pending = Hashtbl.create 64;
       next_xid = 1;
       counters =
-        { packet_ins = 0; flow_mods = 0; unhandled_packet_ins = 0; expired_requests = 0 };
-      pin_window;
+        { packet_ins = 0; flow_mods = 0; unhandled_packet_ins = 0; expired_requests = 0;
+          deferred_msgs = 0 };
+      pin_window; paused_until = 0.0;
       rtt_h =
         Scotch_obs.Obs.histogram ~help:"xid request-to-reply round trip (virtual seconds)"
           ~lo:0.0 ~hi:0.2 ~bins:50 "scotch_controller_rtt_seconds" }
@@ -96,6 +101,8 @@ let create ?(pin_window = 1.0) engine topo =
     (fun () -> c.unhandled_packet_ins);
   O.counter_fn ~help:"Requests whose reply never arrived before the deadline"
     "scotch_controller_expired_requests_total" (fun () -> c.expired_requests);
+  O.counter_fn ~help:"Messages deferred past a controller pause window"
+    "scotch_controller_deferred_msgs_total" (fun () -> c.deferred_msgs);
   O.gauge_fn ~help:"In-flight requests awaiting replies" "scotch_controller_pending_requests"
     (fun () -> float_of_int (Hashtbl.length t.pending));
   t
@@ -120,7 +127,32 @@ let switch t dpid = Hashtbl.find_opt t.switches dpid
 let switch_exn t dpid = Hashtbl.find t.switches dpid
 let iter_switches t f = Hashtbl.iter (fun _ sw -> f sw) t.switches
 
-let handle_message t (sw : sw) (msg : Of_msg.t) =
+(* Route a reply back to its pending per-xid continuation, if any. *)
+let dispatch_pending t (msg : Of_msg.t) =
+  match Hashtbl.find_opt t.pending msg.Of_msg.xid with
+  | Some req ->
+    Hashtbl.remove t.pending msg.Of_msg.xid;
+    Option.iter Scotch_sim.Engine.cancel req.expiry;
+    if Scotch_obs.Obs.is_enabled () then begin
+      let rtt = Scotch_sim.Engine.now t.engine -. req.sent_at in
+      Scotch_obs.Registry.observe t.rtt_h rtt;
+      Scotch_obs.Obs.span ~name:"controller.rtt" ~cat:"controller" ~ts:req.sent_at ~dur:rtt
+        ~tid:req.req_dpid ~args:[]
+    end;
+    req.k msg.Of_msg.payload
+  | None -> ()
+
+let rec handle_message t (sw : sw) (msg : Of_msg.t) =
+  if Scotch_sim.Engine.now t.engine < t.paused_until then begin
+    (* frozen controller: the message sits in the (unbounded) socket
+       buffer and is handled when the pause ends — same-time deferred
+       events fire in scheduling order, so arrival order is kept *)
+    t.counters.deferred_msgs <- t.counters.deferred_msgs + 1;
+    ignore
+      (Scotch_sim.Engine.schedule_at t.engine ~at:t.paused_until (fun () ->
+           handle_message t sw msg))
+  end
+  else
   match msg.Of_msg.payload with
   | Of_msg.Packet_in pi ->
     t.counters.packet_ins <- t.counters.packet_ins + 1;
@@ -138,22 +170,14 @@ let handle_message t (sw : sw) (msg : Of_msg.t) =
          apps can resync state the switch may have lost meanwhile *)
       sw.alive <- true;
       List.iter (fun a -> a.switch_alive sw) t.apps
-    end
+    end;
+    (* heartbeat Echos go out via [send] (no pending entry), so this
+       dispatch only ever fires for explicit {!request} probes —
+       e.g. the circuit breaker's RTT measurements *)
+    dispatch_pending t msg
   | Of_msg.Hello | Of_msg.Echo_request -> ()
   | Of_msg.Flow_stats_reply _ | Of_msg.Table_stats_reply _ | Of_msg.Group_stats_reply _
-  | Of_msg.Barrier_reply | Of_msg.Error _ -> (
-    match Hashtbl.find_opt t.pending msg.Of_msg.xid with
-    | Some req ->
-      Hashtbl.remove t.pending msg.Of_msg.xid;
-      Option.iter Scotch_sim.Engine.cancel req.expiry;
-      if Scotch_obs.Obs.is_enabled () then begin
-        let rtt = Scotch_sim.Engine.now t.engine -. req.sent_at in
-        Scotch_obs.Registry.observe t.rtt_h rtt;
-        Scotch_obs.Obs.span ~name:"controller.rtt" ~cat:"controller" ~ts:req.sent_at ~dur:rtt
-          ~tid:req.req_dpid ~args:[]
-      end;
-      req.k msg.Of_msg.payload
-    | None -> ())
+  | Of_msg.Barrier_reply | Of_msg.Error _ -> dispatch_pending t msg
   | Of_msg.Flow_mod _ | Of_msg.Group_mod _ | Of_msg.Packet_out _
   | Of_msg.Flow_stats_request _ | Of_msg.Table_stats_request
   | Of_msg.Group_stats_request | Of_msg.Barrier_request -> ()
@@ -208,6 +232,15 @@ let set_channel_impairment (sw : sw) ~extra_latency ~drop_p =
   if drop_p < 0.0 || drop_p >= 1.0 then invalid_arg "set_channel_impairment: drop_p in [0,1)";
   sw.chan_extra_latency <- extra_latency;
   sw.chan_drop_p <- drop_p
+
+(** Fault injection: freeze the controller until absolute time [until]
+    (a stop-the-world GC pause, a failover hiccup).  Incoming messages
+    are deferred in arrival order, not lost; outgoing sends by timers
+    that still fire are unaffected.  Extends but never shortens a pause
+    already in effect. *)
+let pause t ~until = t.paused_until <- Stdlib.max t.paused_until until
+
+let paused_until t = t.paused_until
 
 (** {1 Sending} *)
 

@@ -48,6 +48,8 @@ type counters = {
   mutable unhandled_packet_ins : int;
   mutable expired_requests : int;
       (** pending requests reclaimed by their deadline (reply lost) *)
+  mutable deferred_msgs : int;
+      (** arrivals re-queued past a {!pause} window *)
 }
 
 type t
@@ -114,6 +116,14 @@ val pin_rate : t -> sw -> float
     loss coin is only tossed while an impairment is active, so
     unimpaired runs are bit-identical to runs without this call. *)
 val set_channel_impairment : sw -> extra_latency:float -> drop_p:float -> unit
+
+(** Fault injection: freeze the controller until absolute time [until]
+    (a stop-the-world GC pause).  Incoming messages are deferred in
+    arrival order, not lost.  Extends but never shortens a pause
+    already in effect. *)
+val pause : t -> until:float -> unit
+
+val paused_until : t -> float
 
 (** Send Echo requests every [period] seconds to every switch; one that
     has not replied within [timeout] is marked dead and every app's

@@ -43,6 +43,12 @@ type t = {
   heartbeat_timeout : float;    (** declare a vswitch dead after this *)
   vswitches_per_switch : int;
       (** how many vswitches each congested switch load-balances over *)
+  shed_policy : Sched.shed_policy;
+      (** what to do with ingress submissions past the dropping
+          threshold — [Drop_new] is the paper's behaviour *)
+  ingress_deadline : float;
+      (** seconds after which a queued Packet-In decision is stale and
+          shed at serve time; [0.] disables expiry *)
   flow_group : (first_hop:int -> ingress_port:int -> Scotch_packet.Flow_key.t -> int) option;
       (** Optional flow-grouping override for the fair scheduler (§5.2:
           "we can classify the flows into different groups and enforce
@@ -70,6 +76,8 @@ let default =
     heartbeat_period = 1.0;
     heartbeat_timeout = 3.0;
     vswitches_per_switch = 4;
+    shed_policy = Sched.Drop_new;
+    ingress_deadline = 0.0;
     flow_group = None }
 
 (** Cookie values tagging Scotch-owned rules, so overlay (green) rules

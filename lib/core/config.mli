@@ -38,6 +38,12 @@ type t = {
   heartbeat_timeout : float;    (** declare a vswitch dead after this *)
   vswitches_per_switch : int;
       (** how many vswitches each congested switch load-balances over *)
+  shed_policy : Sched.shed_policy;
+      (** what to do with ingress submissions past the dropping
+          threshold — [Drop_new] is the paper's behaviour *)
+  ingress_deadline : float;
+      (** seconds after which a queued Packet-In decision is stale and
+          shed at serve time; [0.] disables expiry *)
   flow_group : (first_hop:int -> ingress_port:int -> Scotch_packet.Flow_key.t -> int) option;
       (** Optional flow-grouping override for the fair scheduler (§5.2,
           e.g. one group per customer); [None] = one group per ingress

@@ -19,6 +19,10 @@ type vswitch_info = {
   host_tunnels : (int, int) Hashtbl.t; (* host ip (int) -> delivery tunnel id *)
   mutable is_backup : bool;
   mutable alive : bool;
+  mutable quarantined : bool;
+      (* circuit breaker open: excluded from new-flow load balancing
+         (select groups, backup promotion) but still alive — existing
+         overlay flows keep draining through it *)
 }
 
 type t = {
@@ -30,19 +34,26 @@ type t = {
   tunnel_origin : (int, int) Hashtbl.t;
   (* host ip (int) -> covering vswitch dpid *)
   host_cover : (int, int) Hashtbl.t;
+  mutable bench_backups : bool;
+      (* when a pool manager (autoscaler) owns the pool, backups idle
+         on the bench — excluded from select-group buckets until
+         promoted.  Off by default: without a manager, backups share
+         load as plain pool members (§5.6 failover spares). *)
 }
 
 let create topo =
   { topo; vswitches = Hashtbl.create 16; uplinks = Hashtbl.create 16;
-    tunnel_origin = Hashtbl.create 64; host_cover = Hashtbl.create 256 }
+    tunnel_origin = Hashtbl.create 64; host_cover = Hashtbl.create 256;
+    bench_backups = false }
 
 let vswitch t dpid = Hashtbl.find_opt t.vswitches dpid
 
 let iter_vswitches t f = Hashtbl.iter (fun _ v -> f v) t.vswitches
 
-(** Active (alive, non-backup) vswitch infos. *)
+(** Active (alive, non-backup, non-quarantined) vswitch infos. *)
 let active_vswitches t =
-  Hashtbl.fold (fun _ v acc -> if v.alive && not v.is_backup then v :: acc else acc)
+  Hashtbl.fold
+    (fun _ v acc -> if v.alive && not v.is_backup && not v.quarantined then v :: acc else acc)
     t.vswitches []
   |> List.sort (fun a b -> compare (Switch.dpid a.vsw) (Switch.dpid b.vsw))
 
@@ -55,7 +66,7 @@ let add_vswitch t vsw ~backup =
   if Hashtbl.mem t.vswitches dpid then invalid_arg "Overlay.add_vswitch: duplicate";
   let info =
     { vsw; mesh_out = Hashtbl.create 16; host_tunnels = Hashtbl.create 64; is_backup = backup;
-      alive = true }
+      alive = true; quarantined = false }
   in
   Hashtbl.iter
     (fun peer_dpid peer ->
@@ -131,11 +142,23 @@ let mesh_tunnel t ~src ~dst =
 let uplinks_of t dpid =
   match Hashtbl.find_opt t.uplinks dpid with None -> [] | Some r -> !r
 
-(** Uplinks of [dpid] restricted to alive vswitches. *)
+(** Uplinks of [dpid] restricted to alive, in-service vswitches — the
+    candidates for select-group buckets.  Quarantined members are
+    always excluded; backups are excluded only under
+    {!set_bench_backups} (a pool manager holding them in reserve). *)
 let alive_uplinks_of t dpid =
   List.filter
-    (fun (vdpid, _) -> match vswitch t vdpid with Some v -> v.alive | None -> false)
+    (fun (vdpid, _) ->
+      match vswitch t vdpid with
+      | Some v ->
+        v.alive && not v.quarantined && not (t.bench_backups && v.is_backup)
+      | None -> false)
     (uplinks_of t dpid)
+
+(** [set_bench_backups t on] switches backup semantics: [on] benches
+    standbys (no select-group load until promoted — autoscaler mode),
+    [off] lets them share load like any other member. *)
+let set_bench_backups t on = t.bench_backups <- on
 
 (** Mark a vswitch dead (heartbeat timeout).  Returns the first backup
     promoted to active duty, if one was available. *)
@@ -149,7 +172,8 @@ let mark_dead t dpid =
         (fun _ cand acc ->
           match acc with
           | Some _ -> acc
-          | None -> if cand.alive && cand.is_backup then Some cand else None)
+          | None ->
+            if cand.alive && cand.is_backup && not cand.quarantined then Some cand else None)
         t.vswitches None
     in
     (match promoted with
@@ -166,6 +190,21 @@ let mark_recovered t dpid =
   | Some v ->
     v.alive <- true;
     v.is_backup <- true
+
+(** [set_quarantined t dpid q] opens/closes the circuit breaker on a
+    vswitch: quarantined members stop receiving new flows (excluded
+    from {!active_vswitches}, {!alive_uplinks_of} and backup
+    promotion) but keep delivering the flows they already carry. *)
+let set_quarantined t dpid q =
+  match vswitch t dpid with None -> () | Some v -> v.quarantined <- q
+
+(** [set_backup t dpid b] flips a member between standby and active
+    duty (autoscaler promote/demote). *)
+let set_backup t dpid b =
+  match vswitch t dpid with None -> () | Some v -> v.is_backup <- b
+
+let quarantined_count t =
+  Hashtbl.fold (fun _ v acc -> if v.quarantined then acc + 1 else acc) t.vswitches 0
 
 (** {1 Snapshot accessors (verification)} *)
 

@@ -12,6 +12,8 @@ type vswitch_info = {
   host_tunnels : (int, int) Hashtbl.t; (** host ip (int) → delivery tunnel id *)
   mutable is_backup : bool;
   mutable alive : bool;
+  mutable quarantined : bool;
+      (** circuit breaker open: no new flows, existing ones drain *)
 }
 
 type t
@@ -20,7 +22,7 @@ val create : Topology.t -> t
 val vswitch : t -> int -> vswitch_info option
 val iter_vswitches : t -> (vswitch_info -> unit) -> unit
 
-(** Alive, non-backup vswitches, sorted by dpid. *)
+(** Alive, non-backup, non-quarantined vswitches, sorted by dpid. *)
 val active_vswitches : t -> vswitch_info list
 
 (** Register a vswitch, meshing it with every vswitch already present
@@ -50,8 +52,25 @@ val mesh_tunnel : t -> src:int -> dst:int -> int option
 (** Uplink tunnels of a physical switch: [(vswitch dpid, tunnel id)]. *)
 val uplinks_of : t -> int -> (int * int) list
 
-(** Uplinks restricted to alive vswitches. *)
+(** Uplinks restricted to alive, non-quarantined vswitches; backups
+    are also excluded when benched via {!set_bench_backups}. *)
 val alive_uplinks_of : t -> int -> (int * int) list
+
+(** [set_bench_backups t on] — [on] holds backups in reserve (no
+    select-group load until promoted: autoscaler mode); [off]
+    (default) lets them share load like any other member. *)
+val set_bench_backups : t -> bool -> unit
+
+(** Open/close the circuit breaker on a vswitch: quarantined members
+    are excluded from {!active_vswitches}, {!alive_uplinks_of} and
+    backup promotion, but existing flows keep draining through them. *)
+val set_quarantined : t -> int -> bool -> unit
+
+(** Flip a member between standby and active duty (autoscaler
+    promote/demote). *)
+val set_backup : t -> int -> bool -> unit
+
+val quarantined_count : t -> int
 
 (** Mark a vswitch dead (heartbeat timeout); returns the backup
     promoted to active duty, if one was available. *)

@@ -11,7 +11,17 @@
     physical paths only after all large flows are accommodated."
 
     Items are thunks supplied by the Scotch application; this module
-    owns only ordering, thresholds and pacing. *)
+    owns only ordering, thresholds and pacing.
+
+    Beyond the paper's thresholds the ingress queues support typed
+    {e shedding policies} for when the dropping threshold is reached
+    ([Drop_new] keeps legacy behaviour) and an optional per-item
+    {e deadline}: a queued Packet-In whose decision would land later
+    than [deadline] seconds after enqueue is stale — the flow's first
+    packets have long been overlay-forwarded or retransmitted — so it
+    is shed at serve time instead of wasting a service slot. *)
+
+type shed_policy = Drop_new | Drop_oldest | Priority_preserving
 
 type counters = {
   mutable served_admitted : int;
@@ -19,7 +29,11 @@ type counters = {
   mutable served_ingress : int;
   mutable diverted_overlay : int; (* ingress submissions past the overlay threshold *)
   mutable dropped : int;          (* ingress submissions past the dropping threshold *)
+  mutable evicted : int;          (* queued items shed to make room (Drop_oldest/Priority_preserving) *)
+  mutable expired : int;          (* queued items shed at serve time past the deadline *)
 }
+
+type item = { enqueued_at : float; run : unit -> unit; shed : unit -> unit }
 
 type t = {
   engine : Scotch_sim.Engine.t;
@@ -27,22 +41,26 @@ type t = {
   overlay_threshold : int;
   drop_threshold : int;
   differentiate : bool;
+  shed_policy : shed_policy;
+  deadline : float; (* 0. = disabled *)
   admitted : (unit -> unit) Queue.t;
   large : (unit -> unit) Queue.t;
-  ingress : (int, (unit -> unit) Queue.t) Hashtbl.t;
+  ingress : (int, item Queue.t) Hashtbl.t;
   mutable rr_order : int list; (* ports, round-robin cursor at head *)
   mutable stop : (unit -> unit) option;
   counters : counters;
 }
 
-let create engine ~rate ~overlay_threshold ~drop_threshold ~differentiate =
+let create ?(shed_policy = Drop_new) ?(deadline = 0.0) engine ~rate ~overlay_threshold
+    ~drop_threshold ~differentiate =
   if rate <= 0.0 then invalid_arg "Sched.create: rate must be positive";
-  { engine; rate; overlay_threshold; drop_threshold; differentiate;
+  if deadline < 0.0 then invalid_arg "Sched.create: deadline must be >= 0";
+  { engine; rate; overlay_threshold; drop_threshold; differentiate; shed_policy; deadline;
     admitted = Queue.create (); large = Queue.create (); ingress = Hashtbl.create 8;
     rr_order = []; stop = None;
     counters =
       { served_admitted = 0; served_large = 0; served_ingress = 0; diverted_overlay = 0;
-        dropped = 0 } }
+        dropped = 0; evicted = 0; expired = 0 } }
 
 let counters t = t.counters
 
@@ -56,23 +74,63 @@ let ingress_queue t port =
     t.rr_order <- t.rr_order @ [ port ];
     q
 
-(** [submit_ingress t ~port item] applies the Fig. 7 thresholds:
+(* The ingress queue to steal a slot from under [Priority_preserving]:
+   the longest one, ties broken by lowest port for determinism.  A
+   newcomer on a quiet port then displaces the oldest item of the most
+   backlogged port rather than being refused outright — per-port
+   fairness is preserved under overload. *)
+let longest_ingress t =
+  Hashtbl.fold
+    (fun port q best ->
+      let len = Queue.length q in
+      match best with
+      | Some (_, blen) when blen > len -> best
+      | Some (bport, blen) when blen = len && bport < port -> best
+      | _ -> if len > 0 then Some (port, len) else best)
+    t.ingress None
+
+let evict_head t q =
+  match Queue.take_opt q with
+  | None -> ()
+  | Some victim ->
+    t.counters.evicted <- t.counters.evicted + 1;
+    victim.shed ()
+
+(** [submit_ingress t ~port ?shed run] applies the Fig. 7 thresholds:
     [`Queued] (item will run when served), [`Overlay] (past the overlay
     threshold — caller must route the flow over the Scotch overlay) or
-    [`Drop] (past the dropping threshold). *)
-let submit_ingress t ~port item =
+    [`Drop] (past the dropping threshold under [Drop_new]).  Under
+    [Drop_oldest]/[Priority_preserving] a full queue shelters the
+    newcomer by shedding a queued victim (its [shed] callback runs)
+    and still returns [`Queued]. *)
+let submit_ingress t ~port ?(shed = fun () -> ()) run =
   let q = ingress_queue t port in
   let len = Queue.length q in
   if len >= t.drop_threshold then begin
-    t.counters.dropped <- t.counters.dropped + 1;
-    `Drop
+    match t.shed_policy with
+    | Drop_new ->
+      t.counters.dropped <- t.counters.dropped + 1;
+      `Drop
+    | Drop_oldest ->
+      evict_head t q;
+      Queue.push { enqueued_at = Scotch_sim.Engine.now t.engine; run; shed } q;
+      `Queued
+    | Priority_preserving ->
+      (match longest_ingress t with
+      | Some (vport, _) when vport <> (if t.differentiate then port else 0) ->
+        (match Hashtbl.find_opt t.ingress vport with
+        | Some vq -> evict_head t vq
+        | None -> evict_head t q)
+      | _ -> evict_head t q);
+      Queue.push { enqueued_at = Scotch_sim.Engine.now t.engine; run; shed } q;
+      `Queued
   end
   else if len >= t.overlay_threshold then begin
     t.counters.diverted_overlay <- t.counters.diverted_overlay + 1;
     `Overlay
   end
   else begin
-    Queue.push item q;
+    Queue.push { enqueued_at = Scotch_sim.Engine.now t.engine; run; shed } q;
     `Queued
   end
 
@@ -81,6 +139,21 @@ let submit_admitted t item = Queue.push item t.admitted
 
 (** Enqueue a large-flow migration request. *)
 let submit_large t item = Queue.push item t.large
+
+(* Pop the next fresh item from [q], expiring stale heads.  Deadline
+   checks happen at serve time only: expiry never reorders the queue,
+   it just skips work whose decision would arrive too late to matter. *)
+let rec take_fresh t q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some item ->
+    if t.deadline > 0.0 && Scotch_sim.Engine.now t.engine -. item.enqueued_at > t.deadline
+    then begin
+      t.counters.expired <- t.counters.expired + 1;
+      item.shed ();
+      take_fresh t q
+    end
+    else Some item
 
 let next_ingress t =
   (* rotate through ports, skipping empty queues *)
@@ -92,9 +165,11 @@ let next_ingress t =
       | port :: rest -> (
         let order' = rest @ [ port ] in
         match Hashtbl.find_opt t.ingress port with
-        | Some q when not (Queue.is_empty q) ->
+        | Some q when not (Queue.is_empty q) -> (
           t.rr_order <- order';
-          Some (Queue.pop q)
+          match take_fresh t q with
+          | Some item -> Some item
+          | None -> go (n - 1) order')
         | _ -> go (n - 1) order')
   in
   go (List.length t.rr_order) t.rr_order
@@ -113,7 +188,7 @@ let serve_one t =
       match next_ingress t with
       | Some item ->
         t.counters.served_ingress <- t.counters.served_ingress + 1;
-        item ()
+        item.run ()
       | None -> ()))
 
 (** [start t] begins serving at rate R.  Idempotent. *)
@@ -142,3 +217,6 @@ let ingress_backlog t =
 let ingress_queue_length t ~port =
   let port = if t.differentiate then port else 0 in
   match Hashtbl.find_opt t.ingress port with None -> 0 | Some q -> Queue.length q
+
+(** Submissions shed in any way: refused, evicted or expired. *)
+let shed_total t = t.counters.dropped + t.counters.evicted + t.counters.expired

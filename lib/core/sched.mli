@@ -10,19 +10,32 @@
     Items are thunks supplied by the Scotch application; this module
     owns ordering, thresholds and pacing only. *)
 
+(** What happens to an ingress submission past the dropping threshold:
+    refuse the newcomer ([Drop_new], the paper's behaviour and the
+    default), evict the oldest item of the same port's queue
+    ([Drop_oldest]), or evict the oldest item of the {e longest}
+    ingress queue so a quiet port's newcomer never pays for a noisy
+    port's backlog ([Priority_preserving]). *)
+type shed_policy = Drop_new | Drop_oldest | Priority_preserving
+
 type counters = {
   mutable served_admitted : int;
   mutable served_large : int;
   mutable served_ingress : int;
   mutable diverted_overlay : int; (** submissions past the overlay threshold *)
-  mutable dropped : int;          (** submissions past the dropping threshold *)
+  mutable dropped : int;          (** submissions refused past the dropping threshold *)
+  mutable evicted : int;          (** queued items shed to make room for a newcomer *)
+  mutable expired : int;          (** queued items shed at serve time past the deadline *)
 }
 
 type t
 
 (** [differentiate = false] collapses to a single FIFO (all ports map
-    to group 0). *)
+    to group 0).  [deadline] (seconds, [0.] = disabled) sheds queued
+    ingress items at serve time once their decision would arrive more
+    than [deadline] after enqueue. *)
 val create :
+  ?shed_policy:shed_policy -> ?deadline:float ->
   Scotch_sim.Engine.t -> rate:float -> overlay_threshold:int -> drop_threshold:int ->
   differentiate:bool -> t
 
@@ -30,8 +43,10 @@ val counters : t -> counters
 
 (** Apply the Fig. 7 thresholds: [`Queued] (runs when served),
     [`Overlay] (route the flow over the Scotch overlay now) or
-    [`Drop]. *)
-val submit_ingress : t -> port:int -> (unit -> unit) -> [ `Queued | `Overlay | `Drop ]
+    [`Drop].  [shed] fires if the item is later evicted or expires
+    without being served (never after [run]). *)
+val submit_ingress :
+  t -> port:int -> ?shed:(unit -> unit) -> (unit -> unit) -> [ `Queued | `Overlay | `Drop ]
 
 (** Enqueue a rule install for an admitted (physical-path) flow. *)
 val submit_admitted : t -> (unit -> unit) -> unit
@@ -52,3 +67,6 @@ val admitted_backlog : t -> int
 val ingress_backlog : t -> int
 
 val ingress_queue_length : t -> port:int -> int
+
+(** Submissions shed in any way: refused, evicted or expired. *)
+val shed_total : t -> int

@@ -54,6 +54,10 @@ type counters = {
   mutable activations : int;
   mutable withdrawals : int;
   mutable vswitch_failures : int;
+  mutable quarantines : int;   (* circuit-breaker ejections *)
+  mutable readmissions : int;  (* circuit-breaker readmits *)
+  mutable promotions : int;    (* standby -> active (autoscaler up) *)
+  mutable demotions : int;     (* active -> standby/draining (autoscaler down) *)
 }
 
 type t = {
@@ -88,7 +92,8 @@ let create ?reliable ctrl overlay policy config =
       counters =
         { flows_seen = 0; flows_overlay = 0; flows_physical = 0; flows_dropped = 0;
           flows_unroutable = 0; elephants_detected = 0; migrations_completed = 0;
-          activations = 0; withdrawals = 0; vswitch_failures = 0 };
+          activations = 0; withdrawals = 0; vswitch_failures = 0; quarantines = 0;
+          readmissions = 0; promotions = 0; demotions = 0 };
       stats_polling = true; phase_hooks = []; reliable;
       rebalances_c =
         O.counter ~help:"Select-group rebalances after pool changes"
@@ -122,12 +127,21 @@ let create ?reliable ctrl overlay policy config =
     "scotch_core_withdrawals_total" (fun () -> c.withdrawals);
   O.counter_fn ~help:"vswitch failures handled" "scotch_core_vswitch_failures_total"
     (fun () -> c.vswitch_failures);
+  O.counter_fn ~help:"Circuit-breaker ejections from the vswitch pool"
+    "scotch_core_vswitch_quarantines_total" (fun () -> c.quarantines);
+  O.counter_fn ~help:"Circuit-breaker readmissions to the vswitch pool"
+    "scotch_core_vswitch_readmissions_total" (fun () -> c.readmissions);
+  O.counter_fn ~help:"Standby vswitches promoted to active duty"
+    "scotch_core_vswitch_promotions_total" (fun () -> c.promotions);
+  O.counter_fn ~help:"Active vswitches demoted to draining standby"
+    "scotch_core_vswitch_demotions_total" (fun () -> c.demotions);
   t
 
 let counters t = t.counters
 let db t = t.db
 let config t = t.config
 let overlay t = t.overlay
+let ctrl t = t.ctrl
 
 let engine t = C.engine t.ctrl
 let now t = Scotch_sim.Engine.now (engine t)
@@ -216,7 +230,8 @@ let manage_switch t dev ~channel_latency =
   let sw = C.connect t.ctrl dev ~latency:channel_latency in
   let cfg = t.config in
   let sched =
-    Sched.create (engine t) ~rate:cfg.Config.rule_rate
+    Sched.create (engine t) ~shed_policy:cfg.Config.shed_policy
+      ~deadline:cfg.Config.ingress_deadline ~rate:cfg.Config.rule_rate
       ~overlay_threshold:cfg.Config.overlay_threshold ~drop_threshold:cfg.Config.drop_threshold
       ~differentiate:cfg.Config.ingress_differentiation
   in
@@ -685,8 +700,18 @@ let serve_new_flow t m (e : Flow_info_db.entry) pkt ~entry_vswitch =
       decision_span t e "unroutable"
     | Some entry -> route_overlay t e pkt ~entry
   in
+  let shed () =
+    (* the flow never got its decision: refused outright, evicted to
+       make room, or expired past the ingress deadline *)
+    match e.Flow_info_db.kind with
+    | Flow_info_db.Pending ->
+      t.counters.flows_dropped <- t.counters.flows_dropped + 1;
+      Flow_info_db.set_kind t.db e Flow_info_db.Dropped;
+      decision_span t e "shed"
+    | Flow_info_db.Overlay _ | Flow_info_db.Physical | Flow_info_db.Dropped -> ()
+  in
   let submit =
-    Sched.submit_ingress m.sched ~port:group (fun () ->
+    Sched.submit_ingress m.sched ~port:group ~shed (fun () ->
         match e.Flow_info_db.kind with
         | Flow_info_db.Pending ->
           (* §5.3's path-load check applies to any physical setup: when a
@@ -706,10 +731,7 @@ let serve_new_flow t m (e : Flow_info_db.entry) pkt ~entry_vswitch =
     (* beyond the control-plane capacity of the physical network: route
        over the Scotch overlay (activating redirection if needed) *)
     route_via_overlay ()
-  | `Drop ->
-    t.counters.flows_dropped <- t.counters.flows_dropped + 1;
-    Flow_info_db.set_kind t.db e Flow_info_db.Dropped;
-    decision_span t e "shed"
+  | `Drop -> shed ()
 
 let handle_packet_in t (sw : C.sw) (pi : Of_msg.Packet_in.t) =
   let pkt = pi.Of_msg.Packet_in.packet in
@@ -908,11 +930,69 @@ let add_vswitch_live t dev ~channel_latency ~as_backup =
   if not as_backup then rebalance_groups t;
   sw
 
+(* A pool-membership change shared by the breaker/autoscaler entry
+   points below: flip the overlay flag, count, trace, rebalance. *)
+let pool_change t vdpid ~counter ~event ~change =
+  if Hashtbl.mem t.vswitch_handles vdpid then begin
+    change ();
+    counter ();
+    if Scotch_obs.Obs.is_enabled () then
+      Scotch_obs.Obs.instant ~name:event ~cat:"core" ~ts:(now t) ~tid:vdpid ~args:[];
+    rebalance_groups t
+  end
+
+(** Circuit breaker open: eject a sick vswitch from every select group
+    without declaring it dead — existing flows keep draining through
+    it, it just gets no new ones. *)
+let quarantine_vswitch t vdpid =
+  pool_change t vdpid
+    ~counter:(fun () -> t.counters.quarantines <- t.counters.quarantines + 1)
+    ~event:"scotch.vswitch_quarantine"
+    ~change:(fun () -> Overlay.set_quarantined t.overlay vdpid true)
+
+(** Circuit breaker closed again: readmit a recovered vswitch to the
+    select groups. *)
+let readmit_vswitch t vdpid =
+  pool_change t vdpid
+    ~counter:(fun () -> t.counters.readmissions <- t.counters.readmissions + 1)
+    ~event:"scotch.vswitch_readmit"
+    ~change:(fun () -> Overlay.set_quarantined t.overlay vdpid false)
+
+(** Autoscaler scale-up: move a standby (backup) vswitch to active
+    duty. *)
+let promote_vswitch t vdpid =
+  pool_change t vdpid
+    ~counter:(fun () -> t.counters.promotions <- t.counters.promotions + 1)
+    ~event:"scotch.vswitch_promote"
+    ~change:(fun () -> Overlay.set_backup t.overlay vdpid false)
+
+(** Autoscaler scale-down: demote an active vswitch to draining
+    standby — no new flows, per-flow rules idle out, and it remains
+    available for future promotion or failover. *)
+let demote_vswitch t vdpid =
+  pool_change t vdpid
+    ~counter:(fun () -> t.counters.demotions <- t.counters.demotions + 1)
+    ~event:"scotch.vswitch_demote"
+    ~change:(fun () -> Overlay.set_backup t.overlay vdpid true)
+
+(** Pool-manager handoff: with an autoscaler in charge, standby
+    vswitches idle on the bench instead of sharing select-group load —
+    promotion is what puts them in rotation.  Rebalances every active
+    group to the new membership. *)
+let bench_standbys t on =
+  Overlay.set_bench_backups t.overlay on;
+  rebalance_groups t
+
+(** The controller handle of a registered vswitch (pool management). *)
+let vswitch_handle_of t vdpid = vswitch_handle t vdpid
+
 (** Convenience: is the overlay currently active for switch [dpid]? *)
 let is_active t dpid = match managed_of t dpid with Some m -> m.active | None -> false
 
 (** The scheduler of a managed switch (tests/observability). *)
 let sched_of t dpid = Option.map (fun m -> m.sched) (managed_of t dpid)
+
+let decision_latency_quantile t q = Scotch_obs.Registry.quantile_opt t.decision_h q
 
 (** Fault injection: suspend/resume the vswitch stats-polling loop (a
     controller-side monitoring outage; §5.3 elephant detection stops). *)

@@ -31,6 +31,10 @@ type counters = {
   mutable activations : int;
   mutable withdrawals : int;
   mutable vswitch_failures : int;
+  mutable quarantines : int;   (** circuit-breaker ejections *)
+  mutable readmissions : int;  (** circuit-breaker readmits *)
+  mutable promotions : int;    (** standby → active (autoscaler up) *)
+  mutable demotions : int;     (** active → draining standby (autoscaler down) *)
 }
 
 type t
@@ -49,6 +53,7 @@ val counters : t -> counters
 val db : t -> Flow_info_db.t
 val config : t -> Config.t
 val overlay : t -> Overlay.t
+val ctrl : t -> C.t
 
 (** Connect an overlay vswitch to the controller and install its
     table-miss rule (full packets to the controller, §4.2). *)
@@ -80,12 +85,44 @@ val app : t -> C.app
     every active select group to start using it. *)
 val add_vswitch_live : t -> Switch.t -> channel_latency:float -> as_backup:bool -> C.sw
 
+(** Circuit breaker open: eject a sick vswitch from every select group
+    without declaring it dead — existing flows keep draining through
+    it, it just gets no new ones.  No-op for unknown dpids. *)
+val quarantine_vswitch : t -> int -> unit
+
+(** Circuit breaker closed again: readmit a recovered vswitch to the
+    select groups. *)
+val readmit_vswitch : t -> int -> unit
+
+(** Autoscaler scale-up: move a standby (backup) vswitch to active
+    duty and rebalance. *)
+val promote_vswitch : t -> int -> unit
+
+(** Autoscaler scale-down: demote an active vswitch to draining
+    standby — no new flows, per-flow rules idle out, still available
+    for future promotion or failover. *)
+val demote_vswitch : t -> int -> unit
+
+(** Pool-manager handoff: [bench_standbys t true] holds backups in
+    reserve — out of every select group until promoted (autoscaler
+    mode); [false] (default) lets them share load like any other
+    member.  Rebalances active groups either way. *)
+val bench_standbys : t -> bool -> unit
+
+(** The controller handle of a registered vswitch (pool management). *)
+val vswitch_handle_of : t -> int -> C.sw option
+
 (** Is the overlay currently active (redirection installed) for this
     switch? *)
 val is_active : t -> int -> bool
 
 (** The Fig. 7 scheduler of a managed switch (observability/tests). *)
 val sched_of : t -> int -> Sched.t option
+
+(** Quantile of the admit→decision latency histogram ([None] until the
+    first observation; the histogram only fills while obs is
+    enabled). *)
+val decision_latency_quantile : t -> float -> float option
 
 (** Fault injection: suspend/resume the vswitch stats-polling loop (a
     controller-side monitoring outage — §5.3 elephant detection

@@ -1,0 +1,46 @@
+(** Per-vswitch circuit breaker with hysteresis: a pure state machine
+    fed health-probe outcomes, deciding when a member is ejected from
+    (and readmitted to) the load-balancing pool.
+
+    Closed → Open when the EWMA health score sinks below
+    [eject_below]; Open → Half_open after [half_open_after] seconds of
+    quarantine; Half_open → Closed after [readmit_probes] consecutive
+    healthy probes with the score back above [readmit_above] (any
+    unhealthy probe snaps back to Open).  [readmit_above] >
+    [eject_below] — Schmitt-trigger hysteresis, so a member hovering
+    at one threshold cannot flap the pool. *)
+
+type config = {
+  ewma_alpha : float;      (** weight of the newest sample (0,1] *)
+  rtt_budget : float;      (** probe round-trip considered fully healthy, s *)
+  eject_below : float;     (** open the breaker below this score *)
+  readmit_above : float;   (** score required (with the streak) to close *)
+  half_open_after : float; (** quarantine time before probing resumes, s *)
+  readmit_probes : int;    (** consecutive healthy probes required to close *)
+}
+
+val default_config : config
+
+(** Raises [Invalid_argument] on inconsistent configs. *)
+val check_config : config -> unit
+
+type state = Closed | Open | Half_open
+
+type probe = Reply of float (** round-trip time, s *) | Timeout
+
+type event = Ejected | Readmitted
+
+type t
+
+(** Raises on inconsistent configs (e.g. [eject_below >=
+    readmit_above]). *)
+val create : ?config:config -> unit -> t
+
+val state : t -> state
+
+(** Current EWMA health score in [0,1]; starts optimistic at 1. *)
+val score : t -> float
+
+(** Fold one probe outcome in ([now] is virtual time); returns the
+    pool-membership change it triggers, if any. *)
+val observe : t -> now:float -> probe -> event option

@@ -1,0 +1,326 @@
+(** The elastic control loop: health-probes the vswitch pool through
+    per-member circuit {!Breaker}s and autoscales pool capacity.
+
+    One periodic loop does both jobs:
+
+    {b Probing.}  Every [probe_period] each registered vswitch gets an
+    Echo request through {!C.request} with a [probe_timeout] deadline.
+    The measured round trip (or timeout) feeds the member's breaker;
+    [Ejected]/[Readmitted] transitions are applied to the pool through
+    {!Scotch.quarantine_vswitch}/{!Scotch.readmit_vswitch}.  Dead
+    members (heartbeat) are skipped — liveness stays the heartbeat's
+    job; the breaker covers the {e gray} failures underneath it, the
+    member that answers but slowly.
+
+    {b Autoscaling.}  Pool utilization is total overlay Packet-In
+    demand over active capacity: [Σ pin_rate / (n_active ×
+    vswitch_capacity)].  Utilization above [high_water] — or any fresh
+    shedding at the admission-control layer — counts toward scale-up;
+    below [low_water] with no shedding counts toward scale-down.  An
+    action needs [sustain_up]/[sustain_down] consecutive ticks {e and}
+    [cooldown] seconds since the last action (hysteresis bands plus
+    rate limiting — the loop is deterministic and cannot oscillate
+    faster than the cooldown).  Scale-up promotes the lowest-dpid
+    standby, falling back to the [provision] callback; scale-down
+    demotes the highest-dpid active member to draining standby (its
+    per-flow rules idle out, and it remains available for failover or
+    future promotion). *)
+
+open Scotch_switch
+module C = Scotch_controller.Controller
+module Scotch = Scotch_core.Scotch
+module Overlay = Scotch_core.Overlay
+module Sched = Scotch_core.Sched
+
+type config = {
+  probe_period : float;      (** control-loop tick, s *)
+  probe_timeout : float;     (** Echo probe deadline (a miss = Timeout), s *)
+  breaker : Breaker.config;  (** per-member breaker parameters *)
+  vswitch_capacity : float;  (** new-flow/s one pool member absorbs *)
+  high_water : float;        (** utilization above this counts toward scale-up *)
+  low_water : float;         (** utilization below this counts toward scale-down *)
+  sustain_up : int;          (** consecutive overloaded ticks before scaling up *)
+  sustain_down : int;        (** consecutive idle ticks before scaling down *)
+  cooldown : float;          (** minimum time between autoscaler actions, s *)
+  min_pool : int;            (** never demote below this many active members *)
+  max_pool : int;            (** never grow beyond this many active members *)
+}
+
+let default_config =
+  { probe_period = 0.25; probe_timeout = 0.1; breaker = Breaker.default_config;
+    vswitch_capacity = 1000.0; high_water = 0.8; low_water = 0.3; sustain_up = 3;
+    sustain_down = 8; cooldown = 2.0; min_pool = 1; max_pool = 8 }
+
+let check_config c =
+  if c.probe_period <= 0.0 then invalid_arg "Elastic: probe_period must be positive";
+  if c.probe_timeout <= 0.0 then invalid_arg "Elastic: probe_timeout must be positive";
+  if c.vswitch_capacity <= 0.0 then invalid_arg "Elastic: vswitch_capacity must be positive";
+  if c.low_water < 0.0 || c.high_water <= c.low_water then
+    invalid_arg "Elastic: need 0 <= low_water < high_water";
+  if c.sustain_up < 1 || c.sustain_down < 1 then
+    invalid_arg "Elastic: sustain counts must be >= 1";
+  if c.cooldown < 0.0 then invalid_arg "Elastic: cooldown must be >= 0";
+  if c.min_pool < 1 || c.max_pool < c.min_pool then
+    invalid_arg "Elastic: need 1 <= min_pool <= max_pool"
+
+type action = { time : float; dir : [ `Up | `Down ]; dpid : int }
+
+type counters = {
+  mutable ejects : int;
+  mutable readmits : int;
+  mutable scale_ups : int;
+  mutable scale_downs : int;
+  mutable probes_sent : int;
+  mutable probe_timeouts : int;
+}
+
+type t = {
+  config : config;
+  app : Scotch.t;
+  ctrl : C.t;
+  provision : (unit -> C.sw option) option;
+  breakers : (int, Breaker.t) Hashtbl.t;
+  mutable up_streak : int;
+  mutable down_streak : int;
+  mutable last_action : float;
+  mutable actions_rev : action list;
+  mutable last_util : float;
+  mutable last_shed : int; (* admission-layer shed total at the last tick *)
+  mutable stop : (unit -> unit) option;
+  counters : counters;
+}
+
+let engine t = C.engine t.ctrl
+let now t = Scotch_sim.Engine.now (engine t)
+
+(** [create ?config ?provision app] — [provision] is called when
+    scale-up finds no standby to promote; it must build, join (active)
+    and return the new member, or [None] when the substrate is out of
+    capacity. *)
+let create ?(config = default_config) ?provision app =
+  check_config config;
+  Breaker.check_config config.breaker;
+  let t =
+    { config; app; ctrl = Scotch.ctrl app; provision; breakers = Hashtbl.create 16;
+      up_streak = 0; down_streak = 0; last_action = neg_infinity; actions_rev = [];
+      last_util = 0.0; last_shed = 0; stop = None;
+      counters =
+        { ejects = 0; readmits = 0; scale_ups = 0; scale_downs = 0; probes_sent = 0;
+          probe_timeouts = 0 } }
+  in
+  let module O = Scotch_obs.Obs in
+  let c = t.counters in
+  O.counter_fn ~help:"Circuit-breaker ejections" "scotch_elastic_ejects_total"
+    (fun () -> c.ejects);
+  O.counter_fn ~help:"Circuit-breaker readmissions" "scotch_elastic_readmits_total"
+    (fun () -> c.readmits);
+  O.counter_fn ~help:"Autoscaler scale-up actions" "scotch_elastic_scale_ups_total"
+    (fun () -> c.scale_ups);
+  O.counter_fn ~help:"Autoscaler scale-down actions" "scotch_elastic_scale_downs_total"
+    (fun () -> c.scale_downs);
+  O.counter_fn ~help:"Health probes sent" "scotch_elastic_probes_total"
+    (fun () -> c.probes_sent);
+  O.counter_fn ~help:"Health probes that timed out" "scotch_elastic_probe_timeouts_total"
+    (fun () -> c.probe_timeouts);
+  O.gauge_fn ~help:"Active (serving) vswitch pool size" "scotch_elastic_pool_active"
+    (fun () -> float_of_int (List.length (Overlay.active_vswitches (Scotch.overlay app))));
+  O.gauge_fn ~help:"Quarantined vswitches" "scotch_elastic_pool_quarantined"
+    (fun () -> float_of_int (Overlay.quarantined_count (Scotch.overlay app)));
+  O.gauge_fn ~help:"Pool utilization (demand over active capacity)"
+    "scotch_elastic_utilization" (fun () -> t.last_util);
+  t
+
+let breaker_of t dpid =
+  match Hashtbl.find_opt t.breakers dpid with
+  | Some b -> b
+  | None ->
+    let b = Breaker.create ~config:t.config.breaker () in
+    Hashtbl.replace t.breakers dpid b;
+    Scotch_obs.Obs.gauge_fn ~help:"EWMA vswitch health score"
+      ~labels:[ ("dpid", string_of_int dpid) ] "scotch_elastic_health_score"
+      (fun () -> Breaker.score b);
+    b
+
+let health_score t dpid = Option.map Breaker.score (Hashtbl.find_opt t.breakers dpid)
+let breaker_state t dpid = Option.map Breaker.state (Hashtbl.find_opt t.breakers dpid)
+
+(** Autoscaler actions taken so far, oldest first. *)
+let actions t = List.rev t.actions_rev
+
+let counters t = t.counters
+let utilization t = t.last_util
+
+let feed_probe t dpid probe =
+  let b = breaker_of t dpid in
+  (match probe with
+  | Breaker.Timeout -> t.counters.probe_timeouts <- t.counters.probe_timeouts + 1
+  | Breaker.Reply _ -> ());
+  match Breaker.observe b ~now:(now t) probe with
+  | Some Breaker.Ejected ->
+    t.counters.ejects <- t.counters.ejects + 1;
+    Scotch.quarantine_vswitch t.app dpid
+  | Some Breaker.Readmitted ->
+    t.counters.readmits <- t.counters.readmits + 1;
+    Scotch.readmit_vswitch t.app dpid
+  | None -> ()
+
+(* Probe every registered vswitch the heartbeat still considers alive.
+   Quarantined members are probed too — that is the half-open path
+   back into the pool. *)
+let probe_pool t =
+  List.iter
+    (fun dpid ->
+      match Scotch.vswitch_handle_of t.app dpid with
+      | Some sw when sw.C.alive ->
+        let sent = now t in
+        t.counters.probes_sent <- t.counters.probes_sent + 1;
+        C.request ~deadline:t.config.probe_timeout
+          ~on_timeout:(fun () -> feed_probe t dpid Breaker.Timeout)
+          t.ctrl sw Scotch_openflow.Of_msg.Echo_request
+          (fun _ -> feed_probe t dpid (Breaker.Reply (now t -. sent)))
+      | Some _ | None -> ())
+    (Scotch.vswitch_dpids t.app)
+
+(* Admission-layer shedding since the previous tick: scheduler
+   refusals/evictions/expiries on every managed switch plus Packet-In
+   losses at the vswitches' OFAs.  Any fresh shedding means demand
+   already exceeds what the pool absorbs, whatever the meters say. *)
+let shed_now t =
+  let sched_shed =
+    List.fold_left
+      (fun acc dpid ->
+        match Scotch.sched_of t.app dpid with
+        | Some s -> acc + Sched.shed_total s
+        | None -> acc)
+      0
+      (Scotch.managed_dpids t.app)
+  in
+  List.fold_left
+    (fun acc dpid ->
+      match Scotch.vswitch_handle_of t.app dpid with
+      | Some sw ->
+        let c = Ofa.counters (Switch.ofa sw.C.device) in
+        acc + c.Ofa.pin_dropped + c.Ofa.pin_expired
+      | None -> acc)
+    sched_shed
+    (Scotch.vswitch_dpids t.app)
+
+(* Standby candidate for promotion: lowest-dpid alive, non-quarantined
+   backup. *)
+let standby_candidate t =
+  let ov = Scotch.overlay t.app in
+  List.fold_left
+    (fun acc dpid ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match Overlay.vswitch ov dpid with
+        | Some v
+          when v.Overlay.alive && v.Overlay.is_backup && not v.Overlay.quarantined ->
+          Some dpid
+        | _ -> None))
+    None
+    (Scotch.vswitch_dpids t.app)
+
+let record_action t dir dpid =
+  t.last_action <- now t;
+  t.actions_rev <- { time = now t; dir; dpid } :: t.actions_rev
+
+let scale_up t =
+  match standby_candidate t with
+  | Some dpid ->
+    t.counters.scale_ups <- t.counters.scale_ups + 1;
+    Scotch.promote_vswitch t.app dpid;
+    record_action t `Up dpid
+  | None -> (
+    match t.provision with
+    | None -> ()
+    | Some f -> (
+      match f () with
+      | Some sw ->
+        t.counters.scale_ups <- t.counters.scale_ups + 1;
+        record_action t `Up sw.C.dpid
+      | None -> ()))
+
+let scale_down t =
+  match List.rev (Overlay.active_vswitches (Scotch.overlay t.app)) with
+  | [] -> ()
+  | v :: _ ->
+    let dpid = Switch.dpid v.Overlay.vsw in
+    t.counters.scale_downs <- t.counters.scale_downs + 1;
+    Scotch.demote_vswitch t.app dpid;
+    record_action t `Down dpid
+
+let autoscale_tick t =
+  let ov = Scotch.overlay t.app in
+  let active = Overlay.active_vswitches ov in
+  let n = List.length active in
+  (* demand: every alive member's Packet-In rate — quarantined and
+     draining members still carry flows whose load would shift onto
+     the active set *)
+  let demand =
+    List.fold_left
+      (fun acc dpid ->
+        match Scotch.vswitch_handle_of t.app dpid with
+        | Some sw when sw.C.alive -> acc +. C.pin_rate t.ctrl sw
+        | Some _ | None -> acc)
+      0.0
+      (Scotch.vswitch_dpids t.app)
+  in
+  let util =
+    if n = 0 then if demand > 0.0 then infinity else 0.0
+    else demand /. (float_of_int n *. t.config.vswitch_capacity)
+  in
+  t.last_util <- util;
+  let shed = shed_now t in
+  let fresh_shed = shed - t.last_shed in
+  t.last_shed <- shed;
+  let overloaded = util > t.config.high_water || fresh_shed > 0 in
+  let idle = util < t.config.low_water && fresh_shed = 0 in
+  if overloaded then begin
+    t.up_streak <- t.up_streak + 1;
+    t.down_streak <- 0
+  end
+  else if idle then begin
+    t.down_streak <- t.down_streak + 1;
+    t.up_streak <- 0
+  end
+  else begin
+    t.up_streak <- 0;
+    t.down_streak <- 0
+  end;
+  let cooled = now t -. t.last_action >= t.config.cooldown in
+  if t.up_streak >= t.config.sustain_up && cooled && n < t.config.max_pool then begin
+    scale_up t;
+    t.up_streak <- 0
+  end
+  else if t.down_streak >= t.config.sustain_down && cooled && n > t.config.min_pool
+  then begin
+    scale_down t;
+    t.down_streak <- 0
+  end
+
+(** Launch the control loop.  Idempotent.  Taking ownership of the
+    pool benches the standbys: from here on, only promotion puts a
+    backup into select-group rotation. *)
+let start t =
+  match t.stop with
+  | Some _ -> ()
+  | None ->
+    Scotch.bench_standbys t.app true;
+    let stop =
+      Scotch_sim.Engine.every (engine t) ~period:t.config.probe_period (fun () ->
+          probe_pool t;
+          autoscale_tick t)
+    in
+    t.stop <- Some stop
+
+(** Stop the loop and hand the pool back: standbys resume plain
+    load-sharing failover duty. *)
+let stop t =
+  match t.stop with
+  | None -> ()
+  | Some f ->
+    f ();
+    Scotch.bench_standbys t.app false;
+    t.stop <- None

@@ -1,0 +1,73 @@
+(** The elastic control loop: health-probes the vswitch pool through
+    per-member circuit {!Breaker}s and autoscales pool capacity.
+
+    Probing: every [probe_period] each alive vswitch gets an Echo
+    request with a [probe_timeout] deadline; round trips (or timeouts)
+    feed the member's breaker, whose transitions quarantine/readmit it
+    in the Scotch pool.  The heartbeat still owns hard liveness; the
+    breaker covers gray failures — members that answer, but slowly.
+
+    Autoscaling: utilization = total overlay Packet-In demand over
+    active capacity.  Sustained utilization above [high_water] (or any
+    fresh admission-layer shedding) scales up — promoting the
+    lowest-dpid standby or calling [provision]; sustained idleness
+    below [low_water] demotes the highest-dpid active member to
+    draining standby.  Hysteresis bands, sustain counts and a cooldown
+    make the loop deterministic and oscillation-free. *)
+
+module C = Scotch_controller.Controller
+module Scotch = Scotch_core.Scotch
+
+type config = {
+  probe_period : float;      (** control-loop tick, s *)
+  probe_timeout : float;     (** Echo probe deadline (a miss = Timeout), s *)
+  breaker : Breaker.config;  (** per-member breaker parameters *)
+  vswitch_capacity : float;  (** new-flow/s one pool member absorbs *)
+  high_water : float;        (** utilization above this counts toward scale-up *)
+  low_water : float;         (** utilization below this counts toward scale-down *)
+  sustain_up : int;          (** consecutive overloaded ticks before scaling up *)
+  sustain_down : int;        (** consecutive idle ticks before scaling down *)
+  cooldown : float;          (** minimum time between autoscaler actions, s *)
+  min_pool : int;            (** never demote below this many active members *)
+  max_pool : int;            (** never grow beyond this many active members *)
+}
+
+val default_config : config
+
+(** One autoscaler action, for oscillation analysis. *)
+type action = { time : float; dir : [ `Up | `Down ]; dpid : int }
+
+type counters = {
+  mutable ejects : int;
+  mutable readmits : int;
+  mutable scale_ups : int;
+  mutable scale_downs : int;
+  mutable probes_sent : int;
+  mutable probe_timeouts : int;
+}
+
+type t
+
+(** [create ?config ?provision app] — [provision] is called when
+    scale-up finds no standby to promote; it must build, join (active)
+    and return the new member, or [None] when the substrate is out of
+    capacity.  Raises on inconsistent configs. *)
+val create : ?config:config -> ?provision:(unit -> C.sw option) -> Scotch.t -> t
+
+(** Launch the control loop.  Idempotent. *)
+val start : t -> unit
+
+val stop : t -> unit
+
+(** Autoscaler actions taken so far, oldest first. *)
+val actions : t -> action list
+
+val counters : t -> counters
+
+(** Utilization computed at the last tick. *)
+val utilization : t -> float
+
+(** EWMA health score of a probed member. *)
+val health_score : t -> int -> float option
+
+val breaker_state : t -> int -> Breaker.state option

@@ -1,0 +1,350 @@
+(** Graceful-degradation experiment: a flash crowd at ~3x the active
+    pool's flow-setup capacity, with a gray failure (gradual vswitch
+    degradation) injected mid-crowd.
+
+    The pool is deliberately weak — two active members of ~50 flows/s
+    each — so the crowd must be absorbed by the three mechanisms under
+    test rather than by raw headroom:
+
+    - {e admission control}: Drop_oldest shedding plus serve-time
+      deadlines on both the controller's Fig. 7 ingress queues and the
+      vswitch OFA pin queues, so admitted flows see bounded decision
+      latency no matter how deep the overload;
+    - {e circuit breakers}: the degraded member answers heartbeats but
+      slows to a crawl; only the Echo-probe health score notices, and
+      the breaker quarantines it out of the select groups until it
+      recovers;
+    - {e the elastic autoscaler}: sustained overload promotes the two
+      standbys and then provisions fresh members (dpids 150+) up to
+      [max_pool]; once the crowd passes, the pool drains back down to
+      [min_pool] without oscillating.
+
+    Reported: per-bin flow success for elastic vs static variants, the
+    active-pool-size timeline and the admitted-flow p99 decision
+    latency.  Same seed ⇒ bit-identical ledger and obs-trace digests
+    (what [test/overload_smoke.ml] checks). *)
+
+open Scotch_switch
+open Scotch_topo
+open Scotch_workload
+open Scotch_faults
+module C = Scotch_controller.Controller
+module Scotch = Scotch_core.Scotch
+module Overlay = Scotch_core.Overlay
+module Elastic = Scotch_elastic.Elastic
+module Breaker = Scotch_elastic.Breaker
+module O = Scotch_obs.Obs
+
+let bin_width = 2.0
+let num_active = 2
+let num_backups = 2
+let max_pool = 6
+
+(** A deliberately weak pool member: an Open vSwitch on a busy host.
+    Max flow-setup rate 1/(1/100 + 1/200 + 1/200) = 50 flows/s; short
+    queues so overload turns into visible shedding, not unbounded
+    latency. *)
+let weak_vswitch =
+  { Profile.scotch_vswitch with
+    name = "weak-vswitch";
+    packet_in_service = 1.0 /. 100.0;
+    flow_mod_service = 1.0 /. 200.0;
+    packet_out_service = 1.0 /. 200.0;
+    ofa_queue_capacity = 50;
+    pin_queue_capacity = 50 }
+
+let vswitch_capacity = Profile.max_flow_setup_rate weak_vswitch
+
+(* Admission-control deadlines (virtual seconds): any served ingress
+   item is at most [ingress_deadline] old, any served pin at most
+   [pin_deadline] — together they bound an admitted flow's decision
+   latency (checked against [p99_bound]). *)
+let ingress_deadline = 0.5
+let pin_deadline = 0.15
+let p99_bound = 0.5
+
+(* Shed early rather than queue deep: the per-port ingress service rate
+   is rule_rate / ports = 20/s, so a backlog of 8 already costs ~0.4s —
+   anything deeper would expire against [ingress_deadline] instead of
+   being diverted.  A low overlay threshold pushes the flash crowd onto
+   the vswitch pool, which is the resource the autoscaler can grow. *)
+let scotch_config =
+  { Scotch_core.Config.default with
+    Scotch_core.Config.shed_policy = Scotch_core.Sched.Drop_oldest;
+    overlay_threshold = 8;
+    ingress_deadline }
+
+(** Flash crowd at [multiplier] x the base rate; with the defaults the
+    peak is 40 x 7.5 = 300 flows/s = 3x the active pool's 100 flows/s. *)
+let trace_params ~scale ~multiplier =
+  { Tracegen.duration = 40.0 *. scale;
+    base_rate = 40.0;
+    flash_start = 10.0 *. scale;
+    flash_end = 30.0 *. scale;
+    flash_multiplier = multiplier;
+    hotspot_fraction = 0.7;
+    num_sources = 4;
+    num_destinations = 2;
+    size_of = Sizes.pareto ~alpha:1.3 ~min_packets:2 ~max_packets:60 ~pkt_rate:200.0 () }
+
+(** One gray failure mid-flash: vswitch 0's service times ramp to
+    [peak] x and back — it never misses a heartbeat, so only the
+    breaker can save the select groups from it. *)
+let degrade_plan ~(params : Tracegen.params) ~peak =
+  let window = params.Tracegen.flash_end -. params.Tracegen.flash_start in
+  Plan.of_list
+    [ Fault.vswitch_degrade
+        ~at:(params.Tracegen.flash_start +. (0.2 *. window))
+        ~duration:(0.6 *. window) ~peak (Testbed.vswitch_dpid 0) ]
+
+let elastic_config =
+  { Elastic.vswitch_capacity;
+    probe_period = 0.25;
+    (* controller messages have strict priority in the OFA, so an Echo
+       only waits out the in-flight job: ~10 ms for a healthy member
+       (even saturated), ~200 ms mean at 40x degradation.  Budget 50 ms
+       (unhealthy above 75 ms), timeout 300 ms. *)
+    probe_timeout = 0.3;
+    breaker = { Breaker.default_config with Breaker.rtt_budget = 0.05 };
+    high_water = 0.8;
+    low_water = 0.3;
+    sustain_up = 3;
+    sustain_down = 8;
+    cooldown = 2.0;
+    min_pool = num_active;
+    max_pool }
+
+(** Join a freshly provisioned vswitch's delivery tunnels without
+    stealing any host's primary cover (the last [cover_host] wins, so
+    re-assert the previous primary). *)
+let cover_all_hosts (net : Testbed.scotch_net) v =
+  let hosts = Array.concat [ net.Testbed.clients; [| net.Testbed.attacker |]; net.Testbed.servers ] in
+  Array.iter
+    (fun h ->
+      let prev = Overlay.cover_of_ip net.Testbed.overlay (Host.ip h) in
+      Overlay.cover_host net.Testbed.overlay ~vswitch_dpid:(Switch.dpid v) h;
+      match prev with
+      | Some p -> Overlay.cover_host net.Testbed.overlay ~vswitch_dpid:p h
+      | None -> ())
+    hosts
+
+let arm_pin_admission v =
+  let ofa = Switch.ofa v in
+  Ofa.set_pin_policy ofa Ofa.Pin_drop_oldest;
+  Ofa.set_pin_deadline ofa pin_deadline
+
+(** The autoscaler's substrate: build, join (active) and arm a new
+    weak vswitch at dpid 150+i, up to [max_pool - num_active -
+    num_backups] of them. *)
+let make_provision (net : Testbed.scotch_net) =
+  let budget = max_pool - num_active - num_backups in
+  let next = ref 0 in
+  fun () ->
+    if !next >= budget then None
+    else begin
+      let i = !next in
+      incr next;
+      let v =
+        Switch.create net.Testbed.engine ~dpid:(150 + i)
+          ~name:(Printf.sprintf "vsw-elastic%d" i)
+          ~profile:weak_vswitch ()
+      in
+      Topology.add_switch net.Testbed.topo v;
+      let sw =
+        Scotch.add_vswitch_live net.Testbed.app v ~channel_latency:Testbed.control_latency
+          ~as_backup:false
+      in
+      cover_all_hosts net v;
+      arm_pin_admission v;
+      Some sw
+    end
+
+(** Admission-layer shedding across the whole net: controller ingress
+    (dropped + evicted + expired) plus vswitch pin queues. *)
+let total_shed (net : Testbed.scotch_net) =
+  let ingress =
+    List.fold_left
+      (fun acc dpid ->
+        match Scotch.sched_of net.Testbed.app dpid with
+        | Some s -> acc + Scotch_core.Sched.shed_total s
+        | None -> acc)
+      0
+      (Scotch.managed_dpids net.Testbed.app)
+  in
+  Array.fold_left
+    (fun acc v ->
+      let c = Ofa.counters (Switch.ofa v) in
+      acc + c.Ofa.pin_dropped + c.Ofa.pin_expired)
+    ingress net.Testbed.vswitches
+
+(** Exact p99 of the admitted-flow decision latency, from the obs
+    trace's "scotch.decision" spans: only flows whose fate was a
+    routing decision count (shed/unroutable flows were refused, not
+    admitted).  The core's decision histogram saturates at its 0.5 s
+    cap under overload, so the trace is the honest source. *)
+let admitted_p99 () =
+  let durs =
+    List.filter_map
+      (fun (e : Scotch_obs.Trace.event) ->
+        if e.Scotch_obs.Trace.name = "scotch.decision"
+           && (match List.assoc_opt "outcome" e.Scotch_obs.Trace.args with
+              | Some ("overlay" | "physical") -> true
+              | Some _ | None -> false)
+        then Some (float_of_int e.Scotch_obs.Trace.dur_ns *. 1e-9)
+        else None)
+      (Scotch_obs.Trace.events (O.tracer ()))
+  in
+  match List.sort compare durs with
+  | [] -> None
+  | sorted ->
+    let n = List.length sorted in
+    let idx = Stdlib.min (n - 1) (int_of_float (float_of_int n *. 0.99)) in
+    Some (List.nth sorted idx)
+
+type outcome = {
+  p99 : float option;            (* admitted-flow decision latency, s *)
+  launched : int;                (* flows actually launched *)
+  delivered : int;               (* flows that reached the server *)
+  shed : int;                    (* admission-layer sheds (ingress + pin) *)
+  success : (float * float) list;         (* per-bin delivery fraction *)
+  pool_timeline : (float * float) list;   (* (t, active pool size), 0.5 s samples *)
+  actions : Elastic.action list; (* autoscaler actions, oldest first *)
+  ejects : int;
+  readmits : int;
+  final_pool : int;              (* active members at the horizon *)
+  ledger_digest : string;
+  trace_digest : string;         (* obs trace digest — the determinism check *)
+  net : Testbed.scotch_net;
+  elastic : Elastic.t option;
+}
+
+let run_variant ?(elastic = true) ~seed ~plan ~(params : Tracegen.params) () =
+  (* fresh obs world per run: the trace feeds both the admitted-flow
+     p99 (decision spans) and the determinism digest; size the ring so
+     nothing is evicted *)
+  O.reset ~capacity:(1 lsl 20) ();
+  O.enable ();
+  let net =
+    Testbed.scotch_net ~seed ~vswitch_profile:weak_vswitch ~config:scotch_config
+      ~num_vswitches:num_active ~num_backups ~num_clients:params.Tracegen.num_sources
+      ~num_servers:params.Tracegen.num_destinations ()
+  in
+  Array.iter arm_pin_admission net.Testbed.vswitches;
+  (* both variants run with benched standbys so they face the same
+     active membership — the static baseline just has nobody to
+     promote them *)
+  Scotch.bench_standbys net.Testbed.app true;
+  let auto =
+    if not elastic then None
+    else begin
+      let a =
+        Elastic.create ~config:elastic_config ~provision:(make_provision net) net.Testbed.app
+      in
+      Elastic.start a;
+      Some a
+    end
+  in
+  let ledger =
+    Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan
+  in
+  let timeline = ref [] in
+  let stop_sampler =
+    Scotch_sim.Engine.every net.Testbed.engine ~period:0.5 ~start:0.0 (fun () ->
+        timeline :=
+          (Scotch_sim.Engine.now net.Testbed.engine,
+           float_of_int (List.length (Overlay.active_vswitches net.Testbed.overlay)))
+          :: !timeline)
+  in
+  let rng = Scotch_util.Rng.create (seed + 17) in
+  let trace = Tracegen.generate rng params in
+  let sources =
+    Array.init params.Tracegen.num_sources (fun i -> Testbed.client_source net ~i ~rate:1.0 ())
+  in
+  let launched =
+    Tracegen.replay net.Testbed.engine trace ~sources ~destinations:net.Testbed.servers
+  in
+  (* run well past the flash so the autoscaler's drain-down converges
+     inside the horizon *)
+  let horizon =
+    Stdlib.max (params.Tracegen.duration +. 16.0) (Plan.last_activity plan +. 6.0)
+  in
+  Testbed.run_until net ~until:horizon;
+  stop_sampler ();
+  Option.iter Elastic.stop auto;
+  let nbins = int_of_float (params.Tracegen.duration /. bin_width) + 1 in
+  let total = Array.make nbins 0 and ok = Array.make nbins 0 in
+  let n_launched = ref 0 and n_delivered = ref 0 in
+  List.iteri
+    (fun i (ev : Tracegen.flow_event) ->
+      match launched.(i) with
+      | None -> ()
+      | Some l ->
+        incr n_launched;
+        let bin = int_of_float (ev.Tracegen.at /. bin_width) in
+        let dst = net.Testbed.servers.(ev.Tracegen.dst) in
+        let delivered = Host.flow_record dst l.Flow_gen.flow_id <> None in
+        if delivered then incr n_delivered;
+        if bin < nbins then begin
+          total.(bin) <- total.(bin) + 1;
+          if delivered then ok.(bin) <- ok.(bin) + 1
+        end)
+    trace;
+  let points = ref [] in
+  for bin = nbins - 1 downto 0 do
+    if total.(bin) > 0 then
+      points :=
+        (float_of_int bin *. bin_width, float_of_int ok.(bin) /. float_of_int total.(bin))
+        :: !points
+  done;
+  { p99 = admitted_p99 ();
+    launched = !n_launched;
+    delivered = !n_delivered;
+    shed = total_shed net;
+    success = !points;
+    pool_timeline = List.rev !timeline;
+    actions = (match auto with Some a -> Elastic.actions a | None -> []);
+    ejects = (match auto with Some a -> (Elastic.counters a).Elastic.ejects | None -> 0);
+    readmits = (match auto with Some a -> (Elastic.counters a).Elastic.readmits | None -> 0);
+    final_pool = List.length (Overlay.active_vswitches net.Testbed.overlay);
+    ledger_digest = Ledger.digest ledger;
+    trace_digest = Scotch_obs.Trace.digest (O.tracer ());
+    net;
+    elastic = auto }
+
+(** The elastic run alone — what the smoke test and the bench drive.
+    [multiplier] tunes crowd intensity (default 7.5 = 3x pool
+    capacity); [peak] the gray failure's severity. *)
+let run_outcome ?(seed = 42) ?(scale = 1.0) ?(multiplier = 7.5) ?(peak = 40.0)
+    ?(elastic = true) () =
+  let params = trace_params ~scale ~multiplier in
+  let plan = degrade_plan ~params ~peak in
+  run_variant ~elastic ~seed ~plan ~params ()
+
+let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
+  let params = trace_params ~scale ~multiplier:7.5 in
+  let plan = degrade_plan ~params ~peak:40.0 in
+  let elastic = run_variant ~elastic:true ~seed ~plan ~params () in
+  let static = run_variant ~elastic:false ~seed ~plan ~params () in
+  Printf.printf
+    "overload: elastic p99=%s s, shed=%d, delivered=%d/%d, actions=%d, ejects=%d, \
+     readmits=%d, final pool=%d\n"
+    (match elastic.p99 with Some q -> Printf.sprintf "%.3f" q | None -> "n/a")
+    elastic.shed elastic.delivered elastic.launched
+    (List.length elastic.actions) elastic.ejects elastic.readmits elastic.final_pool;
+  Printf.printf "overload: static  p99=%s s, shed=%d, delivered=%d/%d\n%!"
+    (match static.p99 with Some q -> Printf.sprintf "%.3f" q | None -> "n/a")
+    static.shed static.delivered static.launched;
+  { Report.id = "overload";
+    title =
+      Printf.sprintf
+        "Graceful degradation: %.0f flows/s flash on a %.0f flows/s pool (3x), gray failure \
+         mid-crowd"
+        (params.Tracegen.base_rate *. params.Tracegen.flash_multiplier)
+        (float_of_int num_active *. vswitch_capacity);
+    x_label = "time (s)";
+    y_label = "success fraction / active pool size";
+    series =
+      [ { Report.label = "flow success (elastic)"; points = elastic.success };
+        { Report.label = "flow success (static pool)"; points = static.success };
+        { Report.label = "active pool (elastic)"; points = elastic.pool_timeline };
+        { Report.label = "active pool (static)"; points = static.pool_timeline } ] }

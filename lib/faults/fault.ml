@@ -16,6 +16,12 @@
       pair; tunnel ports flap the overlay legs).
     - {!Stats_outage}: the controller's vswitch stats polling stops
       (elephant detection blind spot).
+    - {!Vswitch_degrade}: a {e gray} failure — the vswitch's agent
+      slows down gradually (service-time inflation ramps up to a peak
+      and back), never missing a heartbeat; only a health-scored
+      circuit breaker notices.
+    - {!Controller_pause}: a stop-the-world controller freeze (GC
+      pause, failover hiccup) — arrivals are deferred, not lost.
 
     Faults are plain data so plans can be built by hand, generated from
     a seeded PRNG ({!Plan.vswitch_churn}) or compared across runs. *)
@@ -28,6 +34,8 @@ type kind =
   | Channel_drop of float   (* per-message loss probability *)
   | Link_down of int        (* port id on the target switch *)
   | Stats_outage
+  | Vswitch_degrade of float (* peak service-time multiplier, > 1; ramps *)
+  | Controller_pause
 
 type t = {
   at : float;       (* injection time (absolute simulation seconds) *)
@@ -75,6 +83,25 @@ let stats_outage ~at ~duration =
   check ~at ~duration "Fault.stats_outage";
   { at; duration; target = 0; kind = Stats_outage }
 
+(** [vswitch_degrade ~at ~duration ~peak dpid] — gray failure: the
+    vswitch's service times inflate in steps up to [peak]× over the
+    window and recover at the end.  Requires a finite duration (the
+    ramp is scheduled across it). *)
+let vswitch_degrade ~at ~duration ~peak target =
+  check ~at ~duration "Fault.vswitch_degrade";
+  if duration = infinity then
+    invalid_arg "Fault.vswitch_degrade: duration must be finite";
+  if peak <= 1.0 then invalid_arg "Fault.vswitch_degrade: peak must exceed 1";
+  { at; duration; target; kind = Vswitch_degrade peak }
+
+(** [controller_pause ~at ~duration] freezes the controller (GC-stall
+    style): incoming messages are deferred until the window ends. *)
+let controller_pause ~at ~duration =
+  check ~at ~duration "Fault.controller_pause";
+  if duration = infinity then
+    invalid_arg "Fault.controller_pause: duration must be finite";
+  { at; duration; target = 0; kind = Controller_pause }
+
 (** End of the fault's active window ([infinity] for permanent ones). *)
 let ends_at t = t.at +. t.duration
 
@@ -86,11 +113,13 @@ let kind_label = function
   | Channel_drop p -> Printf.sprintf "chan-drop-p%g" p
   | Link_down port -> Printf.sprintf "link-down-port%d" port
   | Stats_outage -> "stats-outage"
+  | Vswitch_degrade p -> Printf.sprintf "vswitch-degrade-x%g" p
+  | Controller_pause -> "controller-pause"
 
 (** Human/ledger label, e.g. ["vswitch-crash@101"]. *)
 let label t =
   match t.kind with
-  | Stats_outage -> kind_label t.kind
+  | Stats_outage | Controller_pause -> kind_label t.kind
   | _ -> Printf.sprintf "%s@%d" (kind_label t.kind) t.target
 
 (** Total order: injection time, then target, then kind — the plan

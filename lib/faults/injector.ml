@@ -32,6 +32,9 @@ module C = Scotch_controller.Controller
     period, coarse enough to stay cheap. *)
 let probe_period = 0.05
 
+(** Stair steps of a {!Fault.Vswitch_degrade} ramp. *)
+let degrade_steps = 8
+
 type env = {
   engine : Scotch_sim.Engine.t;
   ctrl : C.t;
@@ -182,7 +185,9 @@ let clear t (f : Fault.t) (r : Ledger.record) =
     match Switch.link_of_port (device t f.Fault.target) port with
     | Some link -> Scotch_sim.Link.set_up link true
     | None -> ())
-  | Fault.Stats_outage -> Scotch.set_stats_polling t.e.app true);
+  | Fault.Stats_outage -> Scotch.set_stats_polling t.e.app true
+  | Fault.Vswitch_degrade _ -> Ofa.set_slowdown (Switch.ofa (device t f.Fault.target)) 1.0
+  | Fault.Controller_pause -> () (* the pause deadline passes by itself *));
   r.Ledger.cleared_at <- Some (now t)
 
 let inject t (id, (f : Fault.t)) =
@@ -219,6 +224,24 @@ let inject t (id, (f : Fault.t)) =
       | Some link -> Scotch_sim.Link.set_up link false
       | None -> ())
     | Fault.Stats_outage -> Scotch.set_stats_polling t.e.app false
+    | Fault.Vswitch_degrade peak ->
+      (* gray failure: ramp service-time inflation in [degrade_steps]
+         stair steps across the window, peaking at [peak]x and snapping
+         back at clear — gradual enough that the heartbeat never
+         misses, only the breaker's RTT probes see it coming *)
+      let ofa = Switch.ofa (device t f.Fault.target) in
+      let steps = degrade_steps in
+      Ofa.set_slowdown ofa (1.0 +. ((peak -. 1.0) /. float_of_int steps));
+      for k = 2 to steps do
+        let frac = float_of_int k /. float_of_int steps in
+        (* reach the peak at 80% of the window, hold, then clear *)
+        let at = f.Fault.at +. (frac *. f.Fault.duration *. 0.8) in
+        let factor = 1.0 +. ((peak -. 1.0) *. frac) in
+        ignore
+          (Scotch_sim.Engine.schedule_at t.e.engine ~at (fun () ->
+               Ofa.set_slowdown ofa factor))
+      done
+    | Fault.Controller_pause -> C.pause t.e.ctrl ~until:(Fault.ends_at f)
   in
   ignore (Scotch_sim.Engine.schedule_at t.e.engine ~at:f.Fault.at fire);
   if Fault.ends_at f < infinity then

@@ -84,6 +84,32 @@ let ofa_gremlins ~rng ~targets ~start ~until ~mtbf ~mttr =
   in
   go start []
 
+(** [gray_failures ~rng ~targets ~start ~until ~mtbf ~mttr] generates
+    the weather a circuit breaker exists for: mostly gradual vswitch
+    degradations (service-time inflation ramping to a uniform 3–10x
+    peak over an Exp([mttr]) window) with the occasional short
+    controller pause (uniform 0.05–0.25 s GC stall).  No crashes — the
+    heartbeat never fires; every fault here is invisible to binary
+    liveness. *)
+let gray_failures ~rng ~targets ~start ~until ~mtbf ~mttr =
+  if Array.length targets = 0 then invalid_arg "Plan.gray_failures: no targets";
+  if mtbf <= 0.0 || mttr <= 0.0 then invalid_arg "Plan.gray_failures: mtbf/mttr must be positive";
+  let rec go t acc =
+    let t = t +. Rng.exponential rng ~rate:(1.0 /. mtbf) in
+    if t >= until then List.rev acc
+    else begin
+      let target = Rng.choice rng targets in
+      let duration = Stdlib.max (0.1 *. mttr) (Rng.exponential rng ~rate:(1.0 /. mttr)) in
+      let fault =
+        match Rng.int rng 4 with
+        | 0 -> Fault.controller_pause ~at:t ~duration:(0.05 +. Rng.float rng 0.2)
+        | _ -> Fault.vswitch_degrade ~at:t ~duration ~peak:(3.0 +. Rng.float rng 7.0) target
+      in
+      go t (fault :: acc)
+    end
+  in
+  go start []
+
 let pp fmt t =
   Format.fprintf fmt "plan[%d faults]" (length t);
   List.iter (fun (i, f) -> Format.fprintf fmt "@ #%d %a" i Fault.pp f) t.faults

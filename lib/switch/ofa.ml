@@ -41,10 +41,18 @@ type handler = {
 type counters = {
   mutable pin_sent : int;          (* Packet-In messages emitted *)
   mutable pin_dropped : int;       (* new-flow packets lost at the pin queue *)
+  mutable pin_expired : int;       (* queued pin jobs shed past the deadline *)
   mutable flow_mods_handled : int;
   mutable flow_mods_dropped : int; (* controller messages lost at the queue *)
   mutable msgs_handled : int;
 }
+
+(** What happens to a new-flow packet arriving at a full Packet-In
+    queue: refuse it ([Pin_drop_new], the default — §3.2's tail drop)
+    or evict the oldest queued job in its favour ([Pin_drop_oldest] —
+    under sustained overload a recent miss is far more likely to still
+    have a live flow behind it than one queued long ago). *)
+type pin_policy = Pin_drop_new | Pin_drop_oldest
 
 type t = {
   engine : Scotch_sim.Engine.t;
@@ -56,8 +64,10 @@ type t = {
       (* ±5 % service-time jitter: exact identical service times in a
          deterministic simulator phase-lock unrelated devices and create
          correlation cascades no real agent exhibits *)
-  pin_queue : pin_job Queue.t;
+  pin_queue : (float * pin_job) Queue.t; (* (enqueue time, job) *)
   cmsg_queue : Of_msg.t Queue.t;
+  mutable pin_policy : pin_policy;
+  mutable pin_deadline : float; (* 0. = disabled *)
   mutable busy : bool;
   mutable to_controller : Of_msg.t -> unit;
   handler : handler;
@@ -87,6 +97,8 @@ let register_metrics t =
     "scotch_ofa_pin_sent_total" (fun () -> c.pin_sent);
   O.counter_fn ~help:"New-flow packets lost at the Packet-In queue" ~labels
     "scotch_ofa_pin_dropped_total" (fun () -> c.pin_dropped);
+  O.counter_fn ~help:"Queued Packet-In jobs shed past the pin deadline" ~labels
+    "scotch_ofa_pin_expired_total" (fun () -> c.pin_expired);
   O.counter_fn ~help:"FlowMods applied by the OFA" ~labels
     "scotch_ofa_flow_mods_handled_total" (fun () -> c.flow_mods_handled);
   O.counter_fn ~help:"Controller messages lost at the OFA queue" ~labels
@@ -102,10 +114,11 @@ let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) ?(dpid = 0) engine ~pr
   let t =
     { engine; profile; housekeeping_phase; rng = Scotch_util.Rng.create (jitter_seed lxor 0x0FA);
       pin_queue = Queue.create (); cmsg_queue = Queue.create ();
+      pin_policy = Pin_drop_new; pin_deadline = 0.0;
       busy = false; to_controller = (fun _ -> ()); handler;
       counters =
-        { pin_sent = 0; pin_dropped = 0; flow_mods_handled = 0; flow_mods_dropped = 0;
-          msgs_handled = 0 };
+        { pin_sent = 0; pin_dropped = 0; pin_expired = 0; flow_mods_handled = 0;
+          flow_mods_dropped = 0; msgs_handled = 0 };
       next_xid = 1; dead = false; slowdown = 1.0; stalled_until = 0.0; dpid;
       service_h =
         Scotch_obs.Obs.histogram ~help:"OFA job service time (virtual seconds)"
@@ -207,6 +220,33 @@ let stall t ~until = t.stalled_until <- Stdlib.max t.stalled_until until
 
 let stalled_until t = t.stalled_until
 
+(** Admission knobs for the Packet-In queue. *)
+let set_pin_policy t p = t.pin_policy <- p
+
+let pin_policy t = t.pin_policy
+
+let set_pin_deadline t d =
+  if d < 0.0 then invalid_arg "Ofa.set_pin_deadline: deadline must be >= 0";
+  t.pin_deadline <- d
+
+let pin_deadline t = t.pin_deadline
+
+(* Pop the next pin job still worth emitting: stale entries (queued
+   longer than [pin_deadline] ago) are shed without burning a service
+   slot — the controller would only see them after the flow's packets
+   had already been lost or rerouted. *)
+let rec take_fresh_pin t =
+  match Queue.take_opt t.pin_queue with
+  | None -> None
+  | Some (at, j) ->
+    if t.pin_deadline > 0.0
+       && Scotch_sim.Engine.now t.engine -. at > t.pin_deadline
+    then begin
+      t.counters.pin_expired <- t.counters.pin_expired + 1;
+      take_fresh_pin t
+    end
+    else Some j
+
 let rec serve t =
   if t.dead then t.busy <- false
   else begin
@@ -215,7 +255,7 @@ let rec serve t =
     match Queue.take_opt t.cmsg_queue with
     | Some m -> Some (Message_job m)
     | None -> (
-      match Queue.take_opt t.pin_queue with
+      match take_fresh_pin t with
       | Some j -> Some (Packet_in_job j)
       | None -> None)
   in
@@ -251,10 +291,19 @@ let kick t = if not t.busy then serve t
     control-path loss at the heart of §3.2. *)
 let submit_packet_in t (job : pin_job) =
   if t.dead then t.counters.pin_dropped <- t.counters.pin_dropped + 1
-  else if Queue.length t.pin_queue >= t.profile.Profile.pin_queue_capacity then
-    t.counters.pin_dropped <- t.counters.pin_dropped + 1
+  else if Queue.length t.pin_queue >= t.profile.Profile.pin_queue_capacity then begin
+    match t.pin_policy with
+    | Pin_drop_new -> t.counters.pin_dropped <- t.counters.pin_dropped + 1
+    | Pin_drop_oldest ->
+      (* the victim is counted as dropped; the newcomer takes its slot *)
+      (match Queue.take_opt t.pin_queue with
+      | Some _ -> t.counters.pin_dropped <- t.counters.pin_dropped + 1
+      | None -> ());
+      Queue.push (Scotch_sim.Engine.now t.engine, job) t.pin_queue;
+      kick t
+  end
   else begin
-    Queue.push job t.pin_queue;
+    Queue.push (Scotch_sim.Engine.now t.engine, job) t.pin_queue;
     kick t
   end
 

@@ -34,10 +34,16 @@ type handler = {
 type counters = {
   mutable pin_sent : int;          (** Packet-In messages emitted *)
   mutable pin_dropped : int;       (** new-flow packets lost at the pin queue *)
+  mutable pin_expired : int;       (** queued pin jobs shed past the deadline *)
   mutable flow_mods_handled : int;
   mutable flow_mods_dropped : int; (** controller messages lost at the queue *)
   mutable msgs_handled : int;
 }
+
+(** What happens to a new-flow packet arriving at a full Packet-In
+    queue: refuse it ([Pin_drop_new], the default — §3.2's tail drop)
+    or evict the oldest queued job in its favour ([Pin_drop_oldest]). *)
+type pin_policy = Pin_drop_new | Pin_drop_oldest
 
 type t
 
@@ -73,6 +79,19 @@ val slowdown : t -> float
 val stall : t -> until:float -> unit
 
 val stalled_until : t -> float
+
+(** Admission policy for the Packet-In queue (default
+    [Pin_drop_new]). *)
+val set_pin_policy : t -> pin_policy -> unit
+
+val pin_policy : t -> pin_policy
+
+(** Shed queued pin jobs older than this (seconds) at serve time
+    instead of emitting a Packet-In nobody can act on; [0.] (default)
+    disables expiry.  Raises on negative values. *)
+val set_pin_deadline : t -> float -> unit
+
+val pin_deadline : t -> float
 
 (** Queue a new-flow packet for Packet-In generation; dropped (counted)
     when the queue is full — the control-path loss of §3.2. *)

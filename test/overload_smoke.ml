@@ -1,0 +1,115 @@
+(* Graceful-degradation smoke: the overload experiment at reduced
+   scale.  A flash crowd at 3x pool capacity plus a mid-crowd gray
+   failure must leave the admitted-flow p99 decision latency inside the
+   admission-control bound, the autoscaler must grow the pool and drain
+   it back without oscillating, the breaker must eject and readmit the
+   degraded member, and the whole run must be bit-identical across two
+   same-seed executions (ledger + obs-trace digests). *)
+
+open Scotch_experiments
+module Elastic = Scotch_elastic.Elastic
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("overload_smoke: FAIL: " ^ s);
+      exit 1)
+    fmt
+
+let scale = 0.5
+
+let () =
+  let o = Overload.run_outcome ~scale () in
+  let o2 = Overload.run_outcome ~scale () in
+  let st = Overload.run_outcome ~scale ~elastic:false () in
+  Printf.printf
+    "overload_smoke: p99=%s launched=%d delivered=%d shed=%d actions=%d ejects=%d \
+     readmits=%d final_pool=%d\n%!"
+    (match o.Overload.p99 with Some q -> Printf.sprintf "%.3fs" q | None -> "n/a")
+    o.Overload.launched o.Overload.delivered o.Overload.shed
+    (List.length o.Overload.actions) o.Overload.ejects o.Overload.readmits
+    o.Overload.final_pool;
+  (match o.Overload.elastic with
+  | Some a ->
+    let c = Elastic.counters a in
+    Printf.printf "overload_smoke: probes=%d timeouts=%d score100=%s\n%!"
+      c.Elastic.probes_sent c.Elastic.probe_timeouts
+      (match Elastic.health_score a 100 with
+      | Some s -> Printf.sprintf "%.2f" s
+      | None -> "n/a")
+  | None -> ());
+
+  (* overload actually happened: the admission layer shed work *)
+  if o.Overload.shed = 0 then fail "expected admission-layer shedding under a 3x flash";
+
+  (* bounded decision latency for admitted flows *)
+  (match o.Overload.p99 with
+  | None -> fail "no decision-latency observations"
+  | Some q ->
+    if q > Overload.p99_bound then
+      fail "admitted-flow p99 decision latency %.3fs exceeds bound %.3fs" q
+        Overload.p99_bound);
+
+  (* the autoscaler grew the pool under load... *)
+  let ups = List.filter (fun a -> a.Elastic.dir = `Up) o.Overload.actions in
+  if ups = [] then fail "autoscaler never scaled up under a 3x flash";
+  let peak_pool =
+    List.fold_left (fun acc (_, n) -> Stdlib.max acc n) 0.0 o.Overload.pool_timeline
+  in
+  if peak_pool <= float_of_int Overload.num_active then
+    fail "active pool never grew past %d (peak %.0f)" Overload.num_active peak_pool;
+
+  (* ...and converged back down: settled at min_pool, quiet at the end *)
+  if o.Overload.final_pool <> Overload.num_active then
+    fail "pool did not drain back to %d members (final %d)" Overload.num_active
+      o.Overload.final_pool;
+  let horizon =
+    List.fold_left (fun acc (t, _) -> Stdlib.max acc t) 0.0 o.Overload.pool_timeline
+  in
+  List.iter
+    (fun a ->
+      if a.Elastic.time > horizon -. 5.0 then
+        fail "autoscaler still acting at t=%.1f (horizon %.1f): not converged"
+          a.Elastic.time horizon)
+    o.Overload.actions;
+
+  (* no flapping: adjacent opposite-direction actions must be separated
+     by at least the cooldown, and the action count stays bounded *)
+  let rec check_flap = function
+    | a :: (b :: _ as rest) ->
+      if a.Elastic.dir <> b.Elastic.dir && b.Elastic.time -. a.Elastic.time < 2.0 then
+        fail "autoscaler flapped: %s then %s within %.2fs"
+          (match a.Elastic.dir with `Up -> "up" | `Down -> "down")
+          (match b.Elastic.dir with `Up -> "up" | `Down -> "down")
+          (b.Elastic.time -. a.Elastic.time);
+      check_flap rest
+    | _ -> ()
+  in
+  check_flap o.Overload.actions;
+  if List.length o.Overload.actions > 2 * Overload.max_pool then
+    fail "%d autoscaler actions: oscillating" (List.length o.Overload.actions);
+
+  (* the breaker caught the gray failure and later readmitted it *)
+  if o.Overload.ejects < 1 then fail "breaker never ejected the degraded vswitch";
+  if o.Overload.readmits < 1 then fail "breaker never readmitted the recovered vswitch";
+
+  (* graceful, not magical: a sustained 3x flash cannot be fully served
+     (scale-up spends most of the crowd ramping), but the elastic pool
+     must deliver substantially more than the static one and keep the
+     delivered fraction above a floor *)
+  if o.Overload.launched = 0 then fail "no flows launched";
+  let frac = float_of_int o.Overload.delivered /. float_of_int o.Overload.launched in
+  if frac < 0.3 then fail "only %.0f%% of flows delivered" (100.0 *. frac);
+  Printf.printf "overload_smoke: delivered elastic=%d static=%d (launched %d)\n%!"
+    o.Overload.delivered st.Overload.delivered o.Overload.launched;
+  if float_of_int o.Overload.delivered < 1.15 *. float_of_int st.Overload.delivered then
+    fail "elastic pool delivered %d vs static %d: autoscaling bought < 15%%"
+      o.Overload.delivered st.Overload.delivered;
+
+  (* determinism: same seed, same bits *)
+  if o.Overload.ledger_digest <> o2.Overload.ledger_digest then
+    fail "ledger digest differs across same-seed runs";
+  if o.Overload.trace_digest <> o2.Overload.trace_digest then
+    fail "obs trace digest differs across same-seed runs";
+
+  print_endline "overload_smoke: OK"

@@ -1,0 +1,143 @@
+(* The circuit breaker's state machine (lib/elastic/breaker.ml): a
+   pure Schmitt-trigger — eject on a sunk EWMA health score, probe in
+   half-open after quarantine, readmit only on sustained health.  The
+   whole-system behavior (probing a live pool, quarantine wiring) is
+   covered by the overload smoke; these tests pin the transitions and
+   the hysteresis arithmetic. *)
+
+module B = Scotch_elastic.Breaker
+module E = Scotch_elastic.Elastic
+
+let cfg = B.default_config
+(* default: alpha 0.3, rtt_budget 0.02, eject < 0.3, readmit >= 0.7,
+   half_open_after 2.0, 3 healthy probes *)
+
+let state = Alcotest.testable (Fmt.of_to_string (function
+    | B.Closed -> "closed" | B.Open -> "open" | B.Half_open -> "half-open"))
+    ( = )
+
+let test_config_validation () =
+  let bad c = Alcotest.check_raises "rejected" (Invalid_argument "") (fun () ->
+      try ignore (B.create ~config:c ()) with Invalid_argument _ -> raise (Invalid_argument ""))
+  in
+  bad { cfg with B.ewma_alpha = 0.0 };
+  bad { cfg with B.ewma_alpha = 1.5 };
+  bad { cfg with B.rtt_budget = 0.0 };
+  bad { cfg with B.eject_below = 0.8 } (* >= readmit_above *);
+  bad { cfg with B.readmit_above = 1.2 };
+  bad { cfg with B.readmit_probes = 0 };
+  ignore (B.create ())
+
+let test_healthy_stays_closed () =
+  let b = B.create () in
+  for i = 1 to 100 do
+    (* replies well inside budget: perfect health *)
+    match B.observe b ~now:(float_of_int i) (B.Reply (cfg.B.rtt_budget /. 2.0)) with
+    | None -> ()
+    | Some _ -> Alcotest.fail "healthy member changed membership"
+  done;
+  Alcotest.check state "still closed" B.Closed (B.state b);
+  Alcotest.(check (float 1e-9)) "score pinned at 1" 1.0 (B.score b)
+
+let test_sample_mapping () =
+  (* a reply at 2x budget is as bad as a timeout; within budget is
+     perfect: check via the score after one observation *)
+  let after probe =
+    let b = B.create () in
+    ignore (B.observe b ~now:0.0 probe);
+    B.score b
+  in
+  Alcotest.(check (float 1e-9)) "timeout sample = 0" (1.0 -. cfg.B.ewma_alpha)
+    (after B.Timeout);
+  Alcotest.(check (float 1e-9)) "2x budget = timeout" (1.0 -. cfg.B.ewma_alpha)
+    (after (B.Reply (2.0 *. cfg.B.rtt_budget)));
+  Alcotest.(check (float 1e-9)) "within budget = perfect" 1.0
+    (after (B.Reply cfg.B.rtt_budget))
+
+(* Timeouts decay the score geometrically: 0.7^n with the default
+   alpha.  0.7^4 = 0.2401 < 0.3 = first ejection on the 4th. *)
+let eject b ~at =
+  let r = ref 0 in
+  (try
+     for i = 0 to 99 do
+       match B.observe b ~now:(at +. (0.01 *. float_of_int i)) B.Timeout with
+       | Some B.Ejected ->
+         r := i;
+         raise Exit
+       | Some B.Readmitted -> Alcotest.fail "readmitted while degrading"
+       | None -> ()
+     done
+   with Exit -> ());
+  !r
+
+let test_timeouts_eject () =
+  let b = B.create () in
+  Alcotest.(check int) "ejected on the 4th timeout" 3 (eject b ~at:0.0);
+  Alcotest.check state "open" B.Open (B.state b);
+  Alcotest.(check bool) "score below eject threshold" true
+    (B.score b < cfg.B.eject_below)
+
+let test_quarantine_then_half_open () =
+  let b = B.create () in
+  ignore (eject b ~at:0.0);
+  (* probes inside the quarantine window leave it open *)
+  ignore (B.observe b ~now:1.0 (B.Reply 0.0));
+  Alcotest.check state "still quarantined" B.Open (B.state b);
+  (* first probe past half_open_after moves to trial *)
+  ignore (B.observe b ~now:(0.1 +. cfg.B.half_open_after) (B.Reply 0.0));
+  Alcotest.check state "half-open" B.Half_open (B.state b)
+
+let test_relapse_restarts_quarantine () =
+  let b = B.create () in
+  ignore (eject b ~at:0.0);
+  ignore (B.observe b ~now:3.0 (B.Reply 0.0));
+  Alcotest.check state "half-open" B.Half_open (B.state b);
+  (* one bad probe in trial: back to quarantine with a fresh clock *)
+  ignore (B.observe b ~now:3.5 B.Timeout);
+  Alcotest.check state "relapsed" B.Open (B.state b);
+  ignore (B.observe b ~now:(3.5 +. cfg.B.half_open_after -. 0.1) (B.Reply 0.0));
+  Alcotest.check state "wait restarted, still open" B.Open (B.state b)
+
+let test_sustained_health_readmits () =
+  let b = B.create () in
+  ignore (eject b ~at:0.0);
+  (* trial: the transition probe counts as the 1st healthy one; scores
+     climb 0.468 -> 0.628 -> 0.739, crossing readmit_above exactly as
+     the streak reaches readmit_probes *)
+  let ev1 = B.observe b ~now:3.0 (B.Reply 0.0) in
+  let ev2 = B.observe b ~now:3.2 (B.Reply 0.0) in
+  Alcotest.(check bool) "no early readmit" true (ev1 = None && ev2 = None);
+  (match B.observe b ~now:3.4 (B.Reply 0.0) with
+  | Some B.Readmitted -> ()
+  | _ -> Alcotest.fail "3rd consecutive healthy probe must readmit");
+  Alcotest.check state "closed again" B.Closed (B.state b);
+  Alcotest.(check bool) "hysteresis: readmit score above eject band" true
+    (B.score b >= cfg.B.readmit_above)
+
+let test_elastic_config_validation () =
+  let net = Scotch_experiments.Testbed.scotch_net () in
+  let app = net.Scotch_experiments.Testbed.app in
+  let bad c =
+    Alcotest.check_raises "rejected" (Invalid_argument "") (fun () ->
+        try ignore (E.create ~config:c app) with Invalid_argument _ ->
+          raise (Invalid_argument ""))
+  in
+  bad { E.default_config with E.high_water = 0.2 } (* <= low_water *);
+  bad { E.default_config with E.min_pool = 5; max_pool = 4 };
+  bad { E.default_config with E.probe_period = 0.0 };
+  ignore (E.create app)
+
+let () =
+  Alcotest.run "scotch_elastic"
+    [ ( "breaker",
+        [ Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "healthy stays closed" `Quick test_healthy_stays_closed;
+          Alcotest.test_case "sample mapping" `Quick test_sample_mapping;
+          Alcotest.test_case "timeouts eject" `Quick test_timeouts_eject;
+          Alcotest.test_case "quarantine then half-open" `Quick test_quarantine_then_half_open;
+          Alcotest.test_case "relapse restarts quarantine" `Quick
+            test_relapse_restarts_quarantine;
+          Alcotest.test_case "sustained health readmits" `Quick
+            test_sustained_health_readmits ] );
+      ( "elastic",
+        [ Alcotest.test_case "config validation" `Quick test_elastic_config_validation ] ) ]

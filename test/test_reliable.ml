@@ -99,6 +99,69 @@ let test_request_without_deadline_strands () =
   Alcotest.(check int) "not counted as expired" 0 (C.counters ctrl).C.expired_requests
 
 (* ------------------------------------------------------------------ *)
+(* Reconciler vs pool churn: a vswitch ejected mid-reconcile.  Pool
+   removal withdraws the member's intent records; its device rules
+   linger until cleanup.  The reconciler — whose stats snapshot may
+   already be in flight when the ejection lands — must delete those
+   owned leftovers as orphans and never re-install them from a stale
+   diff ("resurrection"). *)
+
+let owned_cookie = 0xBEE5L
+
+let mk_packet i =
+  Scotch_packet.Packet.tcp_syn ~flow_id:i ~created:0.0
+    ~src_mac:(Scotch_packet.Mac.of_host_id 1)
+    ~dst_mac:(Scotch_packet.Mac.of_host_id 2)
+    ~ip_src:(Scotch_packet.Ipv4_addr.of_int (0x0A000000 + i))
+    ~ip_dst:(Scotch_packet.Ipv4_addr.make 10 0 0 200)
+    ~src_port:(1024 + i) ~dst_port:80 ()
+
+let test_churn_no_resurrection () =
+  let e = Scotch_sim.Engine.create () in
+  let topo = Topology.create e in
+  let vsw = Switch.create e ~dpid:100 ~name:"vsw100" ~profile:fast_profile () in
+  Topology.add_switch topo vsw;
+  let ctrl = C.create e topo in
+  let h = C.connect ctrl vsw ~latency:0.001 in
+  let r = R.create ~config:(R.default_config ~owned_cookies:[ owned_cookie ] ()) ctrl in
+  R.register_switch r h;
+  R.start r;
+  let match_of i = Of_match.exact_flow (Scotch_packet.Packet.flow_key (mk_packet i)) in
+  let fm i =
+    Of_msg.Flow_mod.add ~priority:10 ~cookie:owned_cookie ~match_:(match_of i)
+      ~instructions:(Of_action.output (Of_types.Port_no.Physical 1)) ()
+  in
+  R.transaction r h [ Of_msg.Flow_mod (fm 1); Of_msg.Flow_mod (fm 2) ];
+  Scotch_sim.Engine.run e ~until:2.0;
+  let on_device i =
+    Flow_table.peek (Switch.table vsw 0) ~now:(Scotch_sim.Engine.now e)
+      (Of_match.context ~in_port:1 (mk_packet i))
+    <> None
+  in
+  Alcotest.(check bool) "both rules installed and quiet" true (on_device 1 && on_device 2);
+  Alcotest.(check int) "no repairs while healthy" 0
+    ((R.stats r).R.repairs_missing + (R.stats r).R.repairs_orphan);
+  (* ejection lands mid-round: the tick's stats snapshot is in flight
+     when the member's intent is withdrawn *)
+  R.tick r;
+  let intents = Option.get (R.intent_of r 100) in
+  Scotch_reliable.Intent.forget_rule intents ~table_id:0 ~priority:10 ~match_:(match_of 1);
+  Scotch_sim.Engine.run e ~until:6.0;
+  Alcotest.(check bool) "orphan deleted from the device" false (on_device 1);
+  Alcotest.(check bool) "surviving member's rule untouched" true (on_device 2);
+  Alcotest.(check bool) "orphan repair recorded" true ((R.stats r).R.repairs_orphan >= 1);
+  Alcotest.(check int) "never re-installed (no missing repairs)" 0
+    (R.stats r).R.repairs_missing;
+  Alcotest.(check bool) "reconciler converged after churn" true (R.converged r);
+  (* stability: further rounds change nothing — the ejected member's
+     rule stays gone *)
+  let orphan_repairs = (R.stats r).R.repairs_orphan in
+  Scotch_sim.Engine.run e ~until:10.0;
+  Alcotest.(check bool) "still gone rounds later" false (on_device 1);
+  Alcotest.(check int) "no repair churn at steady state" orphan_repairs
+    (R.stats r).R.repairs_orphan
+
+(* ------------------------------------------------------------------ *)
 (* The reconciler under the acceptance storm *)
 
 (* drop_p = 0.2 on every control channel across the flash window, one
@@ -190,4 +253,6 @@ let () =
       ( "reconciler",
         [ Alcotest.test_case "storm converges to intent" `Quick test_storm_converges_to_intent;
           Alcotest.test_case "storm digest deterministic" `Quick test_storm_digest_deterministic;
-          Alcotest.test_case "unimpaired run is quiet" `Quick test_unimpaired_run_is_quiet ] ) ]
+          Alcotest.test_case "unimpaired run is quiet" `Quick test_unimpaired_run_is_quiet;
+          Alcotest.test_case "pool churn: no orphan resurrection" `Quick
+            test_churn_no_resurrection ] ) ]

@@ -319,6 +319,83 @@ let test_gt_select_weights () =
     Alcotest.(check int) "weight 1 share" 1000 counts.(0);
     Alcotest.(check int) "weight 3 share" 3000 counts.(1)
 
+(* qcheck: select-group weights survive pool churn.  After any
+   sequence of member add / remove / breaker-eject cycles (each
+   re-asserting the bucket list, as Scotch's rebalance does), the hash
+   distribution over a full cycle matches the configured weights
+   exactly and an ejected member never receives a flow. *)
+let prop_gt_churn_weights =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [ (3, map (fun w -> `Add w) (int_range 1 4));
+          (2, map (fun i -> `Remove i) (int_bound 40));
+          (2, map (fun i -> `Eject i) (int_bound 40)) ])
+  in
+  let gen = QCheck.Gen.(list_size (int_range 1 25) op_gen) in
+  QCheck.Test.make ~name:"select weights survive churn, ejected buckets get nothing"
+    ~count:100 (QCheck.make gen) (fun ops ->
+      let gt = Group_table.create () in
+      let bucket_of (port, w) =
+        Of_msg.Group_mod.bucket ~weight:w
+          [ Of_action.Output (Of_types.Port_no.Physical port) ]
+      in
+      (* a two-member active pool to start; fresh ports for joiners *)
+      let live = ref [ (100, 1); (101, 1) ] in
+      let benched = ref [] in
+      let next_port = ref 102 in
+      ignore
+        (Group_table.apply gt
+           (Of_msg.Group_mod.add_select ~group_id:1 ~buckets:(List.map bucket_of !live)));
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Add w ->
+            live := !live @ [ (!next_port, w) ];
+            incr next_port
+          | `Remove i when List.length !live > 1 ->
+            live := List.filteri (fun j _ -> j <> i mod List.length !live) !live
+          | `Eject i when List.length !live > 1 ->
+            let k = i mod List.length !live in
+            benched := List.nth !live k :: !benched;
+            live := List.filteri (fun j _ -> j <> k) !live
+          | `Remove _ | `Eject _ -> () (* never empty the pool *));
+          if Group_table.apply gt
+               (Of_msg.Group_mod.modify_select ~group_id:1
+                  ~buckets:(List.map bucket_of !live))
+             <> Ok ()
+          then ok := false
+          else
+            match Group_table.find gt 1 with
+            | None -> ok := false
+            | Some g ->
+              let total = List.fold_left (fun acc (_, w) -> acc + w) 0 !live in
+              let counts = Hashtbl.create 8 in
+              for h = 0 to (50 * total) - 1 do
+                match Group_table.select_bucket g ~flow_hash:h with
+                | [ b ] -> (
+                  match b.Of_msg.Group_mod.actions with
+                  | [ Of_action.Output (Of_types.Port_no.Physical p) ] ->
+                    Hashtbl.replace counts p
+                      (1 + Option.value ~default:0 (Hashtbl.find_opt counts p))
+                  | _ -> ok := false)
+                | _ -> ok := false
+              done;
+              (* exact weighted share for every live member *)
+              List.iter
+                (fun (p, w) ->
+                  if Option.value ~default:0 (Hashtbl.find_opt counts p) <> 50 * w then
+                    ok := false)
+                !live;
+              (* an ejected or removed member gets nothing *)
+              List.iter
+                (fun (p, _) ->
+                  if (not (List.mem_assoc p !live)) && Hashtbl.mem counts p then ok := false)
+                !benched)
+        ops;
+      !ok)
+
 let test_gt_all_type () =
   let gt = Group_table.create () in
   ignore
@@ -693,7 +770,8 @@ let () =
           Alcotest.test_case "rejects bad buckets" `Quick test_gt_rejects_bad_buckets;
           Alcotest.test_case "select deterministic" `Quick test_gt_select_deterministic;
           Alcotest.test_case "select weights" `Quick test_gt_select_weights;
-          Alcotest.test_case "all type" `Quick test_gt_all_type ] );
+          Alcotest.test_case "all type" `Quick test_gt_all_type;
+          QCheck_alcotest.to_alcotest prop_gt_churn_weights ] );
       ( "ofa",
         [ Alcotest.test_case "pin queue cap" `Quick test_ofa_pin_rate_cap;
           Alcotest.test_case "cmsg priority" `Quick test_ofa_cmsg_priority;
