@@ -31,6 +31,7 @@ let figures :
     ("fig14", fun ~seed ~scale -> Fig14.run ~seed ~scale ());
     ("fig15", fun ~seed ~scale -> Fig15.run ~seed ~scale ());
     ("resilience", fun ~seed ~scale -> Resilience.run ~seed ~scale ());
+    ("telemetry", fun ~seed ~scale -> Telemetry.run ~seed ~scale ());
     ("exp-fabric", fun ~seed ~scale -> Exp_fabric.run ~seed ~scale ());
     ("ablation-lb", fun ~seed ~scale -> Ablation.run_lb ~seed ~scale ());
     ("ablation-dedicated-port", fun ~seed ~scale -> Ablation.run_dedicated_port ~seed ~scale ());
@@ -292,6 +293,28 @@ let overload_probe ~seed =
     (json_escape o.Overload.ledger_digest)
     (json_escape o.Overload.trace_digest)
 
+(* The telemetry probe: the sampled-detection experiment in smoke
+   configuration — exact polling vs 1/100 packet sampling on the same
+   seed and workload — reporting detection quality and the stats-channel
+   cost of both paths so CI can gate on precision/recall and on the
+   >= 10x message reduction the subsystem exists for. *)
+let telemetry_probe ~seed =
+  let exact, sampled = Telemetry.summary ~seed ~scale:0.25 () in
+  let side (o : Telemetry.outcome) =
+    Printf.sprintf
+      "{\"msgs\":%d,\"bytes\":%d,\"detected\":%d,\"true_pos\":%d,\"precision\":%.6g,\"recall\":%.6g,\"ttd_s\":%s,\"migrations\":%d}"
+      o.Telemetry.o_msgs o.Telemetry.o_bytes o.Telemetry.o_detected o.Telemetry.o_true_pos
+      o.Telemetry.o_precision o.Telemetry.o_recall
+      (if Float.is_nan o.Telemetry.o_ttd then "null" else Printf.sprintf "%.6g" o.Telemetry.o_ttd)
+      o.Telemetry.o_migrations
+  in
+  Printf.sprintf
+    "{\"sampling_rate\":%.6g,\"elephants\":%d,\"exact\":%s,\"sampled\":%s,\"msgs_reduction_x\":%.6g,\"bytes_reduction_x\":%.6g}"
+    Telemetry.default_rate exact.Telemetry.o_truth (side exact) (side sampled)
+    (Telemetry.reduction ~exact ~sampled)
+    (if sampled.Telemetry.o_bytes = 0 then Float.infinity
+     else float_of_int exact.Telemetry.o_bytes /. float_of_int sampled.Telemetry.o_bytes)
+
 (* ------------------------------------------------------------------ *)
 (* BENCH_core.json: the observability overhead probe.
 
@@ -368,6 +391,7 @@ let write_json ~seed ~scale ~figures:figs ~micro =
   let fault_block = fault_probe ~seed in
   let reconcile_block = reconcile_probe ~seed in
   let overload_block = overload_probe ~seed in
+  let telemetry_block = telemetry_probe ~seed in
   let module O = Scotch_obs.Obs in
   O.disable ();
   O.reset ();
@@ -387,7 +411,8 @@ let write_json ~seed ~scale ~figures:figs ~micro =
           micro));
   Printf.fprintf oc "  \"fault_recovery\": %s,\n" fault_block;
   Printf.fprintf oc "  \"reconciliation\": %s,\n" reconcile_block;
-  Printf.fprintf oc "  \"overload\": %s\n}\n" overload_block;
+  Printf.fprintf oc "  \"overload\": %s,\n" overload_block;
+  Printf.fprintf oc "  \"telemetry\": %s\n}\n" telemetry_block;
   close_out oc;
   Printf.printf "wrote %s\n%!" file
 

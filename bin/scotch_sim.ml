@@ -54,6 +54,11 @@ let specs =
     { name = "ablation-withdrawal";
       doc = "Overlay activation/withdrawal life cycle";
       run = (fun ~seed ~scale -> Ablation.run_withdrawal ~seed ~scale ()) };
+    { name = "telemetry";
+      doc =
+        "Sampled flow telemetry vs exact stats polling: detection precision/recall, \
+         time-to-detect and control-channel reduction per sampling rate";
+      run = (fun ~seed ~scale -> Telemetry.run ~seed ~scale ()) };
     { name = "overload";
       doc =
         "Graceful degradation under overload: 3x flash crowd + gray failure, admission \

@@ -5,6 +5,30 @@
     timeouts are 10 s (§6.1), and thresholds implement the queue
     semantics of Fig. 7. *)
 
+(** How Scotch detects large flows at the overlay vswitches (§5.3).
+
+    [Exact_polling] is the paper's design — poll every vswitch's flow
+    stats each [stats_poll_interval] and compare exact per-flow rates
+    against [elephant_pkt_rate].  Accurate, but the reply carries one
+    record per active vflow rule, so the control channel scales with
+    flow count.
+
+    [Sampled rate] replaces polling with NetFlow-style packet sampling
+    at the vswitch datapath: each overlay packet is sampled with
+    probability [rate] and a top-k sketch is drained per poll period.
+    A flow is declared large when the lower confidence bound of its
+    inverse-probability-scaled rate estimate clears
+    [elephant_pkt_rate].  The reply carries at most k records —
+    constant-size, independent of flow count.
+
+    [Hybrid rate] samples like [Sampled], but confirms each candidate
+    with one targeted exact flow-stats request before migrating —
+    sampling's channel economy with exact-rate confirmation. *)
+type detection =
+  | Exact_polling
+  | Sampled of float
+  | Hybrid of float
+
 type t = {
   rule_rate : float;
       (** R: per-switch physical rule-install service rate (Fig. 7).
@@ -33,6 +57,12 @@ type t = {
       (** packets/second above which a flow is a large (elephant) flow *)
   stats_poll_interval : float;  (** vswitch flow-stats polling period *)
   migration_enabled : bool;     (** large-flow migration (§5.3) *)
+  detection : detection;
+      (** how large flows are found: exact polling (the paper, default)
+          or sampled telemetry — see {!detection} *)
+  telemetry_topk : int;
+      (** sketch capacity per vswitch sampler: at most this many
+          candidate flows per telemetry report *)
   path_load_threshold : float;
       (** maximum Packet-In rate allowed on every switch of a candidate
           physical path before migrating a flow onto it *)
@@ -69,6 +99,8 @@ let default =
     elephant_pkt_rate = 500.0;
     stats_poll_interval = 1.0;
     migration_enabled = true;
+    detection = Exact_polling;
+    telemetry_topk = 16;
     path_load_threshold = 100.0;
     vswitch_rule_idle = 30.0;
     physical_rule_idle = 10.0;

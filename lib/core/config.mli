@@ -3,6 +3,23 @@
     timeouts are 10 s, and thresholds implement the Fig. 7 queue
     semantics. *)
 
+(** How Scotch finds large flows at the overlay vswitches (§5.3).
+
+    [Exact_polling] (the paper's design, and the default) polls every
+    vswitch's flow stats each [stats_poll_interval]; the reply carries
+    one record per active vflow rule, so the control channel scales
+    with flow count.  [Sampled rate] replaces polling with NetFlow-style
+    packet sampling at the vswitch datapath and constant-size top-k
+    telemetry reports; a flow is declared large when the lower
+    confidence bound of its scaled rate estimate clears
+    [elephant_pkt_rate].  [Hybrid rate] samples like [Sampled] but
+    confirms each candidate with one targeted exact stats request
+    before migrating. *)
+type detection =
+  | Exact_polling
+  | Sampled of float
+  | Hybrid of float
+
 type t = {
   rule_rate : float;
       (** R: per-switch physical rule-install service rate (Fig. 7).
@@ -28,6 +45,12 @@ type t = {
       (** packets/second above which a flow is a large (elephant) flow *)
   stats_poll_interval : float;  (** vswitch flow-stats polling period *)
   migration_enabled : bool;     (** large-flow migration (§5.3) *)
+  detection : detection;
+      (** how large flows are found: exact polling (the paper, default)
+          or sampled telemetry — see {!detection} *)
+  telemetry_topk : int;
+      (** sketch capacity per vswitch sampler: at most this many
+          candidate flows per telemetry report *)
   path_load_threshold : float;
       (** maximum Packet-In rate allowed on every switch of a candidate
           physical path before migrating a flow onto it *)

@@ -23,6 +23,7 @@ type entry = {
   mutable migrating : bool;
   mutable last_packet_count : int; (* at previous stats poll *)
   mutable last_active : float;     (* last time the flow was known alive *)
+  mutable last_poll_at : float;    (* when last_packet_count was observed *)
 }
 
 type t = {
@@ -50,7 +51,7 @@ let admit t ~key ~first_hop ~ingress_port ~now =
   | None ->
     let e =
       { key; first_hop; ingress_port; created = now; kind = Pending; migrating = false;
-        last_packet_count = 0; last_active = now }
+        last_packet_count = 0; last_active = now; last_poll_at = 0.0 }
     in
     Flow_key.Hashtbl.replace t.flows key e;
     e
@@ -67,6 +68,19 @@ let remove t key =
   | Some e ->
     count_kind t e.kind (-1);
     Flow_key.Hashtbl.remove t.flows key
+
+(** [observe_count t e ~packets ~now ~interval] folds a fresh cumulative
+    packet count into the entry and returns the flow's packet rate over
+    [interval] — the shared rate arithmetic of both the exact-polling
+    and sampled-telemetry detection paths.  Negative deltas (a vswitch
+    rule expired and was re-installed, resetting its counter) clamp to
+    zero rather than poisoning the rate. *)
+let observe_count _t e ~packets ~now ~interval =
+  let delta = Stdlib.max 0 (packets - e.last_packet_count) in
+  e.last_packet_count <- packets;
+  e.last_poll_at <- now;
+  if delta > 0 then e.last_active <- now;
+  if interval > 0.0 then float_of_int delta /. interval else 0.0
 
 let size t = Flow_key.Hashtbl.length t.flows
 let overlay_count t = t.overlay_count

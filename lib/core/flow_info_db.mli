@@ -20,6 +20,7 @@ type entry = {
   mutable migrating : bool;
   mutable last_packet_count : int; (** at the previous stats poll *)
   mutable last_active : float;     (** last time the flow was known alive *)
+  mutable last_poll_at : float;    (** when [last_packet_count] was observed *)
 }
 
 type t
@@ -34,6 +35,12 @@ val admit : t -> key:Flow_key.t -> first_hop:int -> ingress_port:int -> now:floa
 (** Transition a flow's path kind, keeping the per-kind counts
     consistent. *)
 val set_kind : t -> entry -> path_kind -> unit
+
+(** Fold a fresh cumulative packet count into the entry and return the
+    flow's packet rate over [interval] — the shared rate arithmetic of
+    the exact-polling and sampled-telemetry detection paths.  Negative
+    deltas (counter reset after rule re-install) clamp to zero. *)
+val observe_count : t -> entry -> packets:int -> now:float -> interval:float -> float
 
 val remove : t -> Flow_key.t -> unit
 val size : t -> int

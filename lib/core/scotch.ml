@@ -82,6 +82,21 @@ type t = {
   pool_adds_c : Scotch_obs.Registry.counter;
   decision_h : Scotch_obs.Registry.histogram;
       (* flow admit → routing decision complete (virtual s); obs-gated *)
+  samplers : (int, Scotch_telemetry.Sampler.t) Hashtbl.t;
+      (* per-vswitch packet samplers, present only under a sampled
+         detection policy — Exact_polling never creates one *)
+  duty : Scotch_telemetry.Assignment.t;
+      (* Floware-style ledger of which uplinks each pool member samples *)
+  mutable on_elephant : Flow_key.t -> unit;
+      (* detection hook (experiments record ground-truth hits); the
+         default no-op keeps Exact_polling runs bit-identical *)
+  mutable ch_exact_msgs : int;
+      (* control-channel ledger of the detection loop: message units
+         (one per request, one per reply plus one per carried record)
+         and encoded wire bytes, split by detection mode *)
+  mutable ch_exact_bytes : int;
+  mutable ch_sampled_msgs : int;
+  mutable ch_sampled_bytes : int;
 }
 
 let create ?reliable ctrl overlay policy config =
@@ -103,7 +118,10 @@ let create ?reliable ctrl overlay policy config =
           "scotch_core_pool_additions_total";
       decision_h =
         O.histogram ~help:"Flow admit to routing decision (virtual seconds)" ~lo:0.0 ~hi:0.5
-          ~bins:50 "scotch_core_decision_latency_seconds" }
+          ~bins:50 "scotch_core_decision_latency_seconds";
+      samplers = Hashtbl.create 16; duty = Scotch_telemetry.Assignment.create ();
+      on_elephant = (fun _ -> ());
+      ch_exact_msgs = 0; ch_exact_bytes = 0; ch_sampled_msgs = 0; ch_sampled_bytes = 0 }
   in
   (* re-express the Scotch ledger on the registry (polled at snapshot) *)
   let c = t.counters in
@@ -135,6 +153,18 @@ let create ?reliable ctrl overlay policy config =
     "scotch_core_vswitch_promotions_total" (fun () -> c.promotions);
   O.counter_fn ~help:"Active vswitches demoted to draining standby"
     "scotch_core_vswitch_demotions_total" (fun () -> c.demotions);
+  O.counter_fn ~help:"Elephant-detection channel cost (message units)"
+    ~labels:[ ("mode", "exact") ] "scotch_core_stats_channel_msgs_total"
+    (fun () -> t.ch_exact_msgs);
+  O.counter_fn ~help:"Elephant-detection channel cost (message units)"
+    ~labels:[ ("mode", "sampled") ] "scotch_core_stats_channel_msgs_total"
+    (fun () -> t.ch_sampled_msgs);
+  O.counter_fn ~help:"Elephant-detection channel cost (wire bytes)"
+    ~labels:[ ("mode", "exact") ] "scotch_core_stats_channel_bytes_total"
+    (fun () -> t.ch_exact_bytes);
+  O.counter_fn ~help:"Elephant-detection channel cost (wire bytes)"
+    ~labels:[ ("mode", "sampled") ] "scotch_core_stats_channel_bytes_total"
+    (fun () -> t.ch_sampled_bytes);
   t
 
 let counters t = t.counters
@@ -211,6 +241,64 @@ let uninstall t sw ?(table_id = 0) ?priority ~match_ () =
     { (Of_msg.Flow_mod.delete ~table_id ~match_ ()) with
       Of_msg.Flow_mod.priority = Option.value priority ~default:0 }
 
+(** {1 Sampled telemetry (§5.3 alternative detection)} *)
+
+(* Sampler coin streams are seeded from this constant and the vswitch
+   dpid, so same-seed runs replay identical sample sets. *)
+let telemetry_seed = 0x7E1E
+
+(* Recompute the Floware duty ledger and push it into the samplers:
+   each active pool member samples exactly the uplink tunnels that
+   terminate at it, so every overlay packet is sampled once pool-wide
+   and duty shares track the select-group spread.  No-op under
+   Exact_polling. *)
+let refresh_sampling_duty t =
+  match t.config.Config.detection with
+  | Config.Exact_polling -> ()
+  | Config.Sampled _ | Config.Hybrid _ ->
+    let active =
+      List.map (fun v -> Switch.dpid v.Overlay.vsw) (Overlay.active_vswitches t.overlay)
+    in
+    Scotch_telemetry.Assignment.refresh t.duty ~uplinks:(Overlay.all_uplinks t.overlay) ~active;
+    Hashtbl.iter
+      (fun vdpid s ->
+        match Scotch_telemetry.Assignment.duty_tunnels t.duty vdpid with
+        | [] -> Scotch_telemetry.Sampler.set_enabled s false
+        | tids ->
+          Scotch_telemetry.Sampler.set_enabled s true;
+          Scotch_telemetry.Sampler.set_duty_uplinks s tids)
+      t.samplers
+
+(* Under a sampled policy, give the vswitch a datapath sampler; it
+   starts disabled and earns duty at the next ledger refresh. *)
+let attach_sampler t dev =
+  match t.config.Config.detection with
+  | Config.Exact_polling -> ()
+  | Config.Sampled rate | Config.Hybrid rate ->
+    let dpid = Switch.dpid dev in
+    let s =
+      Scotch_telemetry.Sampler.create ~topk:t.config.Config.telemetry_topk
+        ~seed:telemetry_seed ~dpid ~rate ()
+    in
+    Scotch_telemetry.Sampler.set_enabled s false;
+    Switch.set_sampler dev (Some s);
+    Hashtbl.replace t.samplers dpid s;
+    refresh_sampling_duty t
+
+(* Control-channel ledger of the detection loop: one unit per request,
+   one per reply plus one per carried record, and the encoded wire size
+   of each message — the §5.3 cost the sampled policy is built to cut. *)
+let account t ~sampled ~units payload =
+  let bytes = Bytes.length (Of_wire.encode (Of_msg.make ~xid:0 payload)) in
+  if sampled then begin
+    t.ch_sampled_msgs <- t.ch_sampled_msgs + units;
+    t.ch_sampled_bytes <- t.ch_sampled_bytes + bytes
+  end
+  else begin
+    t.ch_exact_msgs <- t.ch_exact_msgs + units;
+    t.ch_exact_bytes <- t.ch_exact_bytes + bytes
+  end
+
 (** {1 Registration} *)
 
 (** [register_vswitch t dev ~channel_latency] connects an overlay
@@ -219,6 +307,7 @@ let uninstall t sw ?(table_id = 0) ?priority ~match_ () =
 let register_vswitch t dev ~channel_latency =
   let sw = C.connect t.ctrl dev ~latency:channel_latency in
   Hashtbl.replace t.vswitch_handles (Switch.dpid dev) sw;
+  attach_sampler t dev;
   install t sw ~table_id:0 ~priority:0 ~cookie:Config.cookie_miss ~match_:Of_match.wildcard
     ~instructions:Of_action.to_controller ();
   sw
@@ -603,14 +692,35 @@ let flow_key_of_match (m : Of_match.t) =
          ?l4_src:m.Of_match.l4_src ?l4_dst:m.Of_match.l4_dst ())
   | _ -> None
 
+(* Common tail of every detection path: count, trace, fire the
+   ground-truth hook, and queue the migration through the first hop's
+   large-flow queue.  The caller has already set [e.migrating]. *)
+let launch_migration t ~vdpid (e : Flow_info_db.entry) =
+  t.counters.elephants_detected <- t.counters.elephants_detected + 1;
+  let detected_at =
+    if Scotch_obs.Obs.is_enabled () then begin
+      Scotch_obs.Obs.instant ~name:"scotch.elephant_detected" ~cat:"core" ~ts:(now t)
+        ~tid:vdpid ~args:[];
+      now t
+    end
+    else 0.0
+  in
+  t.on_elephant e.Flow_info_db.key;
+  match managed_of t e.Flow_info_db.first_hop with
+  | Some m -> Sched.submit_large m.sched (fun () -> do_migration ~detected_at t e)
+  | None -> e.Flow_info_db.migrating <- false
+
 let poll_vswitch_stats t vdpid =
   match vswitch_handle t vdpid with
   | None -> ()
   | Some sw ->
-    C.request t.ctrl sw
-      (Of_msg.Flow_stats_request { Of_msg.Stats.table_id = 0xFF; match_ = Of_match.wildcard })
+    let req = { Of_msg.Stats.table_id = 0xFF; match_ = Of_match.wildcard } in
+    account t ~sampled:false ~units:1 (Of_msg.Flow_stats_request req);
+    C.request t.ctrl sw (Of_msg.Flow_stats_request req)
       (function
         | Of_msg.Flow_stats_reply stats ->
+          account t ~sampled:false ~units:(1 + List.length stats)
+            (Of_msg.Flow_stats_reply stats);
           List.iter
             (fun (st : Of_msg.Stats.flow_stat) ->
               if st.Of_msg.Stats.cookie = Config.cookie_vflow then
@@ -621,14 +731,10 @@ let poll_vswitch_stats t vdpid =
                   | Some e -> (
                     match e.Flow_info_db.kind with
                     | Flow_info_db.Overlay { entry_vswitch } when entry_vswitch = vdpid ->
-                      let delta =
-                        st.Of_msg.Stats.packet_count - e.Flow_info_db.last_packet_count
-                      in
-                      e.Flow_info_db.last_packet_count <- st.Of_msg.Stats.packet_count;
-                      if delta > 0 then
-                        e.Flow_info_db.last_active <- now t;
                       let rate =
-                        float_of_int delta /. t.config.Config.stats_poll_interval
+                        Flow_info_db.observe_count t.db e
+                          ~packets:st.Of_msg.Stats.packet_count ~now:(now t)
+                          ~interval:t.config.Config.stats_poll_interval
                       in
                       if
                         t.config.Config.migration_enabled
@@ -636,23 +742,100 @@ let poll_vswitch_stats t vdpid =
                         && not e.Flow_info_db.migrating
                       then begin
                         e.Flow_info_db.migrating <- true;
-                        t.counters.elephants_detected <- t.counters.elephants_detected + 1;
-                        let detected_at =
-                          if Scotch_obs.Obs.is_enabled () then begin
-                            Scotch_obs.Obs.instant ~name:"scotch.elephant_detected" ~cat:"core"
-                              ~ts:(now t) ~tid:vdpid ~args:[];
-                            now t
-                          end
-                          else 0.0
-                        in
-                        match managed_of t e.Flow_info_db.first_hop with
-                        | Some m ->
-                          Sched.submit_large m.sched (fun () -> do_migration ~detected_at t e)
-                        | None -> e.Flow_info_db.migrating <- false
+                        launch_migration t ~vdpid e
                       end
                     | _ -> ())
                   | None -> ()))
             stats
+        | _ -> ())
+
+(* Hybrid confirmation: one targeted exact stats request for a sampled
+   candidate.  The switch filters on the flow's exact match, so the
+   reply carries at most one record — the channel stays constant-size
+   while migration decisions use an exact rate. *)
+let confirm_candidate t ~vdpid sw (e : Flow_info_db.entry) =
+  e.Flow_info_db.migrating <- true; (* hold the flow while confirming *)
+  let req =
+    { Of_msg.Stats.table_id = 0xFF; match_ = Of_match.exact_flow e.Flow_info_db.key }
+  in
+  account t ~sampled:true ~units:1 (Of_msg.Flow_stats_request req);
+  C.request t.ctrl sw (Of_msg.Flow_stats_request req)
+    (function
+      | Of_msg.Flow_stats_reply stats -> (
+        account t ~sampled:true ~units:(1 + List.length stats)
+          (Of_msg.Flow_stats_reply stats);
+        match
+          List.find_opt
+            (fun (st : Of_msg.Stats.flow_stat) -> st.Of_msg.Stats.cookie = Config.cookie_vflow)
+            stats
+        with
+        | None -> e.Flow_info_db.migrating <- false
+        | Some st ->
+          let base =
+            if e.Flow_info_db.last_poll_at > 0.0 then e.Flow_info_db.last_poll_at
+            else e.Flow_info_db.created
+          in
+          let rate =
+            Flow_info_db.observe_count t.db e ~packets:st.Of_msg.Stats.packet_count
+              ~now:(now t) ~interval:(now t -. base)
+          in
+          if t.config.Config.migration_enabled && rate > t.config.Config.elephant_pkt_rate
+          then launch_migration t ~vdpid e
+          else e.Flow_info_db.migrating <- false)
+      | _ -> e.Flow_info_db.migrating <- false)
+
+(* Sampled detection (§5.3 via the telemetry subsystem): drain each
+   duty vswitch's sampler window and rank the carried top-k records by
+   the lower confidence bound of their inverse-probability-scaled rate
+   estimate.  Constant-size replies replace the per-vflow stats dump. *)
+let poll_vswitch_telemetry t vdpid =
+  match vswitch_handle t vdpid with
+  | None -> ()
+  | Some sw ->
+    account t ~sampled:true ~units:1 Of_msg.Telemetry_request;
+    C.request t.ctrl sw Of_msg.Telemetry_request
+      (function
+        | Of_msg.Telemetry_reply tr ->
+          account t ~sampled:true ~units:(1 + List.length tr.Of_msg.Telemetry.records)
+            (Of_msg.Telemetry_reply tr);
+          let rate = tr.Of_msg.Telemetry.rate in
+          let window = tr.Of_msg.Telemetry.window in
+          if rate > 0.0 && window > 0.0 then
+            List.iter
+              (fun (r : Of_msg.Telemetry.record) ->
+                match Flow_info_db.find t.db r.Of_msg.Telemetry.key with
+                | None -> ()
+                | Some e -> (
+                  match e.Flow_info_db.kind with
+                  | Flow_info_db.Overlay { entry_vswitch } when entry_vswitch = vdpid -> (
+                    let c = r.Of_msg.Telemetry.sampled in
+                    let lower = Scotch_telemetry.Estimator.rate_lower ~rate ~window c in
+                    let candidate =
+                      t.config.Config.migration_enabled
+                      && lower > t.config.Config.elephant_pkt_rate
+                      && not e.Flow_info_db.migrating
+                    in
+                    match t.config.Config.detection with
+                    | Config.Exact_polling -> ()
+                    | Config.Sampled _ ->
+                      (* fold the scaled size estimate into the ledger so
+                         withdrawal pinning still sees flow sizes *)
+                      let est =
+                        e.Flow_info_db.last_packet_count
+                        + int_of_float
+                            (Float.round (Scotch_telemetry.Estimator.scaled ~rate c))
+                      in
+                      let (_ : float) =
+                        Flow_info_db.observe_count t.db e ~packets:est ~now:(now t)
+                          ~interval:window
+                      in
+                      if candidate then begin
+                        e.Flow_info_db.migrating <- true;
+                        launch_migration t ~vdpid e
+                      end
+                    | Config.Hybrid _ -> if candidate then confirm_candidate t ~vdpid sw e)
+                  | _ -> ()))
+              tr.Of_msg.Telemetry.records
         | _ -> ())
 
 (** Control-plane load check for a candidate physical path (§5.3: the
@@ -826,7 +1009,9 @@ let rebalance_groups t =
           install_group t m
         end
       end)
-    t.managed
+    t.managed;
+  (* monitoring duty follows select-group membership *)
+  refresh_sampling_duty t
 
 let handle_switch_dead t (sw : C.sw) =
   let dpid = sw.C.dpid in
@@ -872,6 +1057,7 @@ let monitor_tick t =
     heartbeat (§5.6). *)
 let start t =
   let cfg = t.config in
+  refresh_sampling_duty t;
   let (_ : unit -> unit) =
     Scotch_sim.Engine.every (engine t) ~period:cfg.Config.monitor_interval (fun () ->
         monitor_tick t)
@@ -879,8 +1065,15 @@ let start t =
   let (_ : unit -> unit) =
     Scotch_sim.Engine.every (engine t) ~period:cfg.Config.stats_poll_interval (fun () ->
         if t.stats_polling then
+          (* a Stats_outage fault gates both detection styles here *)
           Overlay.iter_vswitches t.overlay (fun v ->
-              if v.Overlay.alive then poll_vswitch_stats t (Switch.dpid v.Overlay.vsw)))
+              if v.Overlay.alive then
+                match cfg.Config.detection with
+                | Config.Exact_polling -> poll_vswitch_stats t (Switch.dpid v.Overlay.vsw)
+                | Config.Sampled _ | Config.Hybrid _ ->
+                  let vdpid = Switch.dpid v.Overlay.vsw in
+                  if Scotch_telemetry.Assignment.duty_tunnels t.duty vdpid <> [] then
+                    poll_vswitch_telemetry t vdpid))
   in
   C.start_heartbeat t.ctrl ~period:cfg.Config.heartbeat_period
     ~timeout:cfg.Config.heartbeat_timeout;
@@ -995,10 +1188,34 @@ let sched_of t dpid = Option.map (fun m -> m.sched) (managed_of t dpid)
 let decision_latency_quantile t q = Scotch_obs.Registry.quantile_opt t.decision_h q
 
 (** Fault injection: suspend/resume the vswitch stats-polling loop (a
-    controller-side monitoring outage; §5.3 elephant detection stops). *)
+    controller-side monitoring outage; §5.3 elephant detection stops —
+    under a sampled policy, telemetry polling stops through the same
+    gate). *)
 let set_stats_polling t enabled = t.stats_polling <- enabled
 
 let stats_polling t = t.stats_polling
+
+(** {1 Telemetry observability} *)
+
+(** [set_on_elephant t f] installs a hook fired at every elephant
+    detection, with the flow's key — experiments use it to measure
+    precision/recall and time-to-detect against ground truth. *)
+let set_on_elephant t f = t.on_elephant <- f
+
+(** Channel cost of the exact detection path so far, as
+    [(message units, wire bytes)]. *)
+let exact_channel t = (t.ch_exact_msgs, t.ch_exact_bytes)
+
+(** Channel cost of the sampled detection path (telemetry polls plus
+    Hybrid confirmations), as [(message units, wire bytes)]. *)
+let sampled_channel t = (t.ch_sampled_msgs, t.ch_sampled_bytes)
+
+(** The sampler attached to a vswitch, when running under a sampled
+    detection policy (tests/observability). *)
+let sampler_of t vdpid = Hashtbl.find_opt t.samplers vdpid
+
+(** The monitoring-duty ledger (tests/observability). *)
+let sampling_duty t = t.duty
 
 (** Dpids of all managed physical switches, sorted (observability). *)
 let managed_dpids t =

@@ -125,11 +125,35 @@ val sched_of : t -> int -> Sched.t option
 val decision_latency_quantile : t -> float -> float option
 
 (** Fault injection: suspend/resume the vswitch stats-polling loop (a
-    controller-side monitoring outage — §5.3 elephant detection
-    stops). *)
+    controller-side monitoring outage — §5.3 elephant detection stops;
+    under a sampled policy, telemetry polling stops through the same
+    gate). *)
 val set_stats_polling : t -> bool -> unit
 
 val stats_polling : t -> bool
+
+(** {1 Sampled telemetry (§5.3 alternative detection)} *)
+
+(** Install a hook fired at every elephant detection with the flow's
+    key — experiments use it to measure precision/recall and
+    time-to-detect against ground truth.  The default is a no-op. *)
+val set_on_elephant : t -> (Scotch_packet.Flow_key.t -> unit) -> unit
+
+(** Channel cost of the exact detection path so far, as
+    [(message units, wire bytes)]: one unit per request, one per reply
+    plus one per carried record. *)
+val exact_channel : t -> int * int
+
+(** Channel cost of the sampled detection path (telemetry polls plus
+    Hybrid confirmations), same units. *)
+val sampled_channel : t -> int * int
+
+(** The sampler attached to a vswitch, when running under a sampled
+    detection policy (tests/observability). *)
+val sampler_of : t -> int -> Scotch_telemetry.Sampler.t option
+
+(** The Floware-style monitoring-duty ledger (tests/observability). *)
+val sampling_duty : t -> Scotch_telemetry.Assignment.t
 
 (** Dpids of all managed physical switches, sorted (observability). *)
 val managed_dpids : t -> int list

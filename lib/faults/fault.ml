@@ -15,7 +15,8 @@
     - {!Link_down}: a data link flaps (addressed as a (switch, port)
       pair; tunnel ports flap the overlay legs).
     - {!Stats_outage}: the controller's vswitch stats polling stops
-      (elephant detection blind spot).
+      (elephant detection blind spot; under a sampled detection policy
+      the telemetry polls stop through the same gate).
     - {!Vswitch_degrade}: a {e gray} failure — the vswitch's agent
       slows down gradually (service-time inflation ramps up to a peak
       and back), never missing a heartbeat; only a health-scored

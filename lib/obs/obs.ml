@@ -55,3 +55,27 @@ let span ~name ~cat ~ts ~dur ~tid ~args =
 
 let instant ~name ~cat ~ts ~tid ~args =
   Trace.instant !default_tracer ~name ~cat ~ts ~tid ~args
+
+(** {1 Hot-site decimation}
+
+    Per-packet trace sites (datapath misses, OFA service spans) fire
+    millions of times per simulated second; recording each one is the
+    dominant observability cost.  A {!hot_site} is a per-call-site tick
+    counter: {!hot_keep} keeps the first event at the site and every
+    [hot_sample]-th thereafter, so every site still appears in the
+    trace (smoke tests rely on this) while the volume drops by the
+    sampling factor.  Deterministic — no RNG. *)
+
+type hot_site = { mutable tick : int }
+
+let hot_sample = ref 8
+
+let set_hot_sample n =
+  if n < 1 then invalid_arg "Obs.set_hot_sample: factor must be >= 1";
+  hot_sample := n
+
+let hot_site () = { tick = 0 }
+
+let hot_keep site =
+  site.tick <- site.tick + 1;
+  !hot_sample <= 1 || site.tick mod !hot_sample = 1

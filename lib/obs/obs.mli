@@ -38,3 +38,23 @@ val span :
 
 val instant :
   name:string -> cat:string -> ts:float -> tid:int -> args:(string * string) list -> unit
+
+(** {1 Hot-site decimation}
+
+    Per-packet trace sites (datapath misses, OFA service spans)
+    dominate observability cost.  Allocate one {!hot_site} per call
+    site and gate the event on {!hot_keep}: the first event at the
+    site is always kept (so every site still appears in the trace) and
+    thereafter one in [hot_sample] is.  Deterministic — no RNG. *)
+
+type hot_site
+
+val hot_site : unit -> hot_site
+
+(** [hot_keep site] ticks the site and says whether this event should
+    be recorded. *)
+val hot_keep : hot_site -> bool
+
+(** Global decimation factor for hot sites (default 8; [1] keeps
+    everything).  Raises on factors < 1. *)
+val set_hot_sample : int -> unit

@@ -5,8 +5,9 @@
     ([Registry.counter] et al. hash the (name, labels) key), and the
     hot-path operations on a handle are plain field stores:
     {!incr}/{!add} bump an int cell, {!set} writes an unboxed float
-    cell, {!observe} bins into a pre-allocated {!Scotch_util.Histogram}
-    — no allocation, no hashing, no branching on metric identity.
+    cell, {!observe} stores into a pre-allocated batch that is binned
+    into the {!Scotch_util.Histogram} on overflow or at read time — no
+    allocation, no hashing, no branching on metric identity.
     Exposition ({!to_prometheus}, {!to_json}, {!samples}) walks the
     registry in a deterministic (name, labels) order, so two seeded
     runs of the simulator produce byte-identical snapshots.
@@ -30,7 +31,14 @@ type gauge = { mutable g : float }
 type histogram = {
   h : Histogram.t;
   hsum : gauge; (* running sum of observations, for Prometheus [_sum] *)
+  pending : float array; (* batched observations, binned on flush *)
+  mutable npending : int;
 }
+
+(* Observation batch size: the hot path does one array store per
+   observe; binning (bounds checks, bin index arithmetic, float sum)
+   runs once per batch, or lazily at read time. *)
+let batch = 64
 
 type fn_cell = { mutable fn : unit -> float }
 type int_fn_cell = { mutable ifn : unit -> int }
@@ -117,7 +125,11 @@ let gauge_fn t ?(help = "") ?(labels = []) name f =
     bins).  On re-registration the existing histogram is returned and
     the bounds are ignored. *)
 let histogram t ?(help = "") ?(labels = []) ?(lo = 0.0) ?(hi = 1.0) ?(bins = 50) name =
-  let make () = Histogram { h = Histogram.create ~lo ~hi ~bins; hsum = { g = 0.0 } } in
+  let make () =
+    Histogram
+      { h = Histogram.create ~lo ~hi ~bins; hsum = { g = 0.0 };
+        pending = Array.make batch 0.0; npending = 0 }
+  in
   match (register t ~help ~labels name make).kind with
   | Histogram h -> h
   | k -> mismatch name k "histogram"
@@ -131,13 +143,22 @@ let counter_value c = c.c
 let set g v = g.g <- v
 let gauge_value g = g.g
 
-let observe hm x =
-  Histogram.add hm.h x;
-  hm.hsum.g <- hm.hsum.g +. x
+let flush hm =
+  for i = 0 to hm.npending - 1 do
+    let x = hm.pending.(i) in
+    Histogram.add hm.h x;
+    hm.hsum.g <- hm.hsum.g +. x
+  done;
+  hm.npending <- 0
 
-let observations hm = Histogram.count hm.h
-let sum hm = hm.hsum.g
-let quantile_opt hm p = Histogram.quantile_opt hm.h p
+let observe hm x =
+  if hm.npending >= batch then flush hm;
+  hm.pending.(hm.npending) <- x;
+  hm.npending <- hm.npending + 1
+
+let observations hm = flush hm; Histogram.count hm.h
+let sum hm = flush hm; hm.hsum.g
+let quantile_opt hm p = flush hm; Histogram.quantile_opt hm.h p
 
 (** {1 Snapshotting} *)
 
@@ -159,7 +180,7 @@ let value_of m =
   | Counter_fn cell -> float_of_int (cell.ifn ())
   | Gauge g -> g.g
   | Gauge_fn cell -> cell.fn ()
-  | Histogram hm -> float_of_int (Histogram.count hm.h)
+  | Histogram hm -> flush hm; float_of_int (Histogram.count hm.h)
 
 (** Every metric as a (deterministically ordered) flat sample list —
     the programmatic snapshot tests and summary tables read. *)
@@ -198,6 +219,7 @@ let float_str v =
 (* Cumulative Prometheus buckets: everything at or below each bin's
    upper edge, underflow included from the first bucket on. *)
 let histogram_lines buf name labels hm =
+  flush hm;
   let h = hm.h in
   let ls ~extra =
     render_labels (canon_labels (extra @ labels))
@@ -268,6 +290,7 @@ let json_of_metric m =
   in
   match m.kind with
   | Histogram hm ->
+    flush hm;
     let h = hm.h in
     let buckets = ref [] in
     let acc = ref (Histogram.underflow h) in

@@ -64,7 +64,11 @@ val counter_value : counter -> int
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
+(** Observations are batched: the hot path is a single array store, and
+    binning runs once per 64 observations or lazily at the first read
+    ({!observations}/{!sum}/{!quantile_opt}/exposition). *)
 val observe : histogram -> float -> unit
+
 val observations : histogram -> int
 val sum : histogram -> float
 val quantile_opt : histogram -> float -> float option

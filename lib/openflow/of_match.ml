@@ -106,6 +106,23 @@ let is_wildcard t = specificity t = 0
 
 let equal (a : t) (b : t) = a = b
 
+(* OpenFlow multipart flow-stats filtering: a rule is selected when
+   every field the request specifies is present in the rule's match
+   with the same value (the rule may be strictly more specific).  The
+   wildcard request selects everything. *)
+let selects (filter : t) (m : t) =
+  let field a b = match a with None -> true | Some v -> b = Some v in
+  field filter.in_port m.in_port
+  && field filter.eth_type m.eth_type
+  && field filter.ip_src m.ip_src
+  && field filter.ip_dst m.ip_dst
+  && field filter.ip_proto m.ip_proto
+  && field filter.l4_src m.l4_src
+  && field filter.l4_dst m.l4_dst
+  && field filter.mpls_label m.mpls_label
+  && (match filter.gre_key with None -> true | Some v -> m.gre_key = Some v)
+  && field filter.tunnel_id m.tunnel_id
+
 let pp fmt (t : t) =
   let parts = ref [] in
   let add name s = parts := Printf.sprintf "%s=%s" name s :: !parts in

@@ -59,4 +59,10 @@ val specificity : t -> int
 
 val is_wildcard : t -> bool
 val equal : t -> t -> bool
+
+(** [selects filter m]: every field specified in [filter] is present in
+    [m] with the same value ([m] may be strictly more specific) — the
+    multipart flow-stats request filter.  The wildcard selects
+    everything. *)
+val selects : t -> t -> bool
 val pp : Format.formatter -> t -> unit

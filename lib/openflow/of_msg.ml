@@ -129,6 +129,28 @@ module Stats = struct
   type group_stats_reply = group_desc list
 end
 
+(** {1 Telemetry (multipart) — the sampled-measurement alternative to
+    exhaustive flow-stats polling: a vswitch's sampler drains one
+    bounded top-k window per poll, so the reply carries at most [k]
+    records however many flows the switch holds} *)
+
+module Telemetry = struct
+  type record = {
+    key : Scotch_packet.Flow_key.t;
+    sampled : int; (* coin hits for this flow within the window *)
+  }
+
+  type report = {
+    rate : float;   (* sampling probability in force this window *)
+    window : float; (* seconds covered by the window *)
+    seen : int;     (* duty packets offered to the sampler *)
+    sampled : int;  (* total coin hits *)
+    records : record list; (* heaviest first *)
+  }
+
+  let empty = { rate = 0.0; window = 0.0; seen = 0; sampled = 0; records = [] }
+end
+
 (** {1 The message sum type} *)
 
 type payload =
@@ -145,6 +167,8 @@ type payload =
   | Table_stats_reply of Stats.table_stats_reply
   | Group_stats_request
   | Group_stats_reply of Stats.group_stats_reply
+  | Telemetry_request
+  | Telemetry_reply of Telemetry.report
   | Barrier_request
   | Barrier_reply
   | Error of string
@@ -168,6 +192,8 @@ let kind_name t =
   | Table_stats_reply _ -> "TABLE_STATS_REPLY"
   | Group_stats_request -> "GROUP_STATS_REQUEST"
   | Group_stats_reply _ -> "GROUP_STATS_REPLY"
+  | Telemetry_request -> "TELEMETRY_REQUEST"
+  | Telemetry_reply _ -> "TELEMETRY_REPLY"
   | Barrier_request -> "BARRIER_REQUEST"
   | Barrier_reply -> "BARRIER_REPLY"
   | Error _ -> "ERROR"

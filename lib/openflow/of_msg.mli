@@ -113,6 +113,27 @@ module Stats : sig
   type group_stats_reply = group_desc list
 end
 
+(** Telemetry (multipart): the sampled-measurement alternative to
+    exhaustive flow-stats polling — one bounded top-k window per poll,
+    at most [k] records however many flows the switch holds. *)
+module Telemetry : sig
+  type record = {
+    key : Scotch_packet.Flow_key.t;
+    sampled : int; (** coin hits for this flow within the window *)
+  }
+
+  type report = {
+    rate : float;   (** sampling probability in force this window *)
+    window : float; (** seconds covered by the window *)
+    seen : int;     (** duty packets offered to the sampler *)
+    sampled : int;  (** total coin hits *)
+    records : record list; (** heaviest first *)
+  }
+
+  (** What a switch with no sampler attached replies. *)
+  val empty : report
+end
+
 type payload =
   | Hello
   | Echo_request
@@ -127,6 +148,8 @@ type payload =
   | Table_stats_reply of Stats.table_stats_reply
   | Group_stats_request
   | Group_stats_reply of Stats.group_stats_reply
+  | Telemetry_request
+  | Telemetry_reply of Telemetry.report
   | Barrier_request
   | Barrier_reply
   | Error of string

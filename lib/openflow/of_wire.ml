@@ -232,6 +232,7 @@ let t_barrier_reply = 21
 let mp_flow = 1
 let mp_table = 3
 let mp_group_desc = 7
+let mp_telemetry = 8 (* experimenter-style: the sampled-telemetry digest *)
 
 let encode_flow_mod b (fm : Of_msg.Flow_mod.t) =
   W.u8 b (match fm.command with Add -> 0 | Modify -> 1 | Delete -> 3);
@@ -347,6 +348,53 @@ let decode_flow_stat r : Of_msg.Stats.flow_stat =
   let match_ = decode_match r in
   { table_id; priority; packet_count; byte_count; cookie; duration; match_ }
 
+(* Telemetry floats (sampling rate, window seconds) travel as IEEE-754
+   bit patterns: exact round-trip, unlike the millisecond timeouts. *)
+let encode_f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+let decode_f64 (r : R.t) =
+  R.need r 8;
+  let v = Int64.float_of_bits (Bytes.get_int64_be r.R.data r.R.off) in
+  r.R.off <- r.R.off + 8;
+  v
+
+let encode_telemetry_report b (tr : Of_msg.Telemetry.report) =
+  encode_f64 b tr.rate;
+  encode_f64 b tr.window;
+  W.u32 b tr.seen;
+  W.u32 b tr.sampled;
+  W.u16 b (List.length tr.records);
+  List.iter
+    (fun (rec_ : Of_msg.Telemetry.record) ->
+      let k = rec_.Of_msg.Telemetry.key in
+      W.u32 b (Scotch_packet.Ipv4_addr.to_int k.Scotch_packet.Flow_key.ip_src);
+      W.u32 b (Scotch_packet.Ipv4_addr.to_int k.Scotch_packet.Flow_key.ip_dst);
+      W.u8 b k.Scotch_packet.Flow_key.proto;
+      W.u16 b k.Scotch_packet.Flow_key.l4_src;
+      W.u16 b k.Scotch_packet.Flow_key.l4_dst;
+      W.u32 b rec_.Of_msg.Telemetry.sampled)
+    tr.records
+
+let decode_telemetry_report r : Of_msg.Telemetry.report =
+  let rate = decode_f64 r in
+  let window = decode_f64 r in
+  let seen = R.u32 r in
+  let sampled = R.u32 r in
+  let n = R.u16 r in
+  let records =
+    List.init n (fun _ ->
+        let ip_src = Scotch_packet.Ipv4_addr.of_int (R.u32 r) in
+        let ip_dst = Scotch_packet.Ipv4_addr.of_int (R.u32 r) in
+        let proto = R.u8 r in
+        let l4_src = R.u16 r in
+        let l4_dst = R.u16 r in
+        let count = R.u32 r in
+        { Of_msg.Telemetry.key =
+            Scotch_packet.Flow_key.make ~ip_src ~ip_dst ~proto ~l4_src ~l4_dst ();
+          sampled = count })
+  in
+  { rate; window; seen; sampled; records }
+
 let encode_group_type b (gt : Of_msg.Group_mod.group_type) =
   W.u8 b (match gt with All -> 0 | Select -> 1 | Indirect -> 2 | Fast_failover -> 3)
 
@@ -392,8 +440,10 @@ let type_code (p : Of_msg.payload) =
   | Packet_out _ -> t_packet_out
   | Flow_mod _ -> t_flow_mod
   | Group_mod _ -> t_group_mod
-  | Flow_stats_request _ | Table_stats_request | Group_stats_request -> t_multipart_request
-  | Flow_stats_reply _ | Table_stats_reply _ | Group_stats_reply _ -> t_multipart_reply
+  | Flow_stats_request _ | Table_stats_request | Group_stats_request | Telemetry_request ->
+    t_multipart_request
+  | Flow_stats_reply _ | Table_stats_reply _ | Group_stats_reply _ | Telemetry_reply _ ->
+    t_multipart_reply
   | Barrier_request -> t_barrier_request
   | Barrier_reply -> t_barrier_reply
 
@@ -425,7 +475,11 @@ let encode (msg : Of_msg.t) =
   | Group_stats_reply descs ->
     W.u16 body mp_group_desc;
     W.u16 body (List.length descs);
-    List.iter (encode_group_desc body) descs);
+    List.iter (encode_group_desc body) descs
+  | Telemetry_request -> W.u16 body mp_telemetry
+  | Telemetry_reply tr ->
+    W.u16 body mp_telemetry;
+    encode_telemetry_report body tr);
   let body = Buffer.to_bytes body in
   let framed = W.create () in
   W.u8 framed version;
@@ -464,6 +518,7 @@ let decode data : Of_msg.t =
         Flow_stats_request { table_id; match_ }
       | x when x = mp_table -> Table_stats_request
       | x when x = mp_group_desc -> Group_stats_request
+      | x when x = mp_telemetry -> Telemetry_request
       | x -> fail "unknown multipart request subtype %d" x
     end
     else if ty = t_multipart_reply then begin
@@ -477,6 +532,7 @@ let decode data : Of_msg.t =
       | x when x = mp_group_desc ->
         let n = R.u16 r in
         Group_stats_reply (List.init n (fun _ -> decode_group_desc r))
+      | x when x = mp_telemetry -> Telemetry_reply (decode_telemetry_report r)
       | x -> fail "unknown multipart reply subtype %d" x
     end
     else fail "unknown message type %d" ty

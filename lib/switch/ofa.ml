@@ -35,6 +35,7 @@ type handler = {
   flow_stats : Of_msg.Stats.flow_stats_request -> Of_msg.Stats.flow_stats_reply;
   table_stats : unit -> Of_msg.Stats.table_stats_reply;
   group_stats : unit -> Of_msg.Stats.group_stats_reply;
+  telemetry : unit -> Of_msg.Telemetry.report; (* drain the sampler window *)
   on_flow_mod_rejected : unit -> unit; (* datapath reject stall hook *)
 }
 
@@ -84,6 +85,8 @@ type t = {
   dpid : int;
   service_h : Scotch_obs.Registry.histogram;
       (* service-time distribution; observed only when obs is enabled *)
+  hot_pin : Scotch_obs.Obs.hot_site; (* trace decimation: per-job serve spans *)
+  hot_msg : Scotch_obs.Obs.hot_site;
 }
 
 (* Re-express this agent's ledger on the metrics registry: counters are
@@ -123,7 +126,8 @@ let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) ?(dpid = 0) engine ~pr
       service_h =
         Scotch_obs.Obs.histogram ~help:"OFA job service time (virtual seconds)"
           ~labels:[ ("dpid", string_of_int dpid) ] ~lo:0.0 ~hi:0.05 ~bins:50
-          "scotch_ofa_service_time_seconds" }
+          "scotch_ofa_service_time_seconds";
+      hot_pin = Scotch_obs.Obs.hot_site (); hot_msg = Scotch_obs.Obs.hot_site () }
   in
   register_metrics t;
   t
@@ -191,10 +195,11 @@ let execute t (job : job) =
     | Of_msg.Flow_stats_request req -> reply (Of_msg.Flow_stats_reply (t.handler.flow_stats req))
     | Of_msg.Table_stats_request -> reply (Of_msg.Table_stats_reply (t.handler.table_stats ()))
     | Of_msg.Group_stats_request -> reply (Of_msg.Group_stats_reply (t.handler.group_stats ()))
+    | Of_msg.Telemetry_request -> reply (Of_msg.Telemetry_reply (t.handler.telemetry ()))
     | Of_msg.Barrier_request -> reply Of_msg.Barrier_reply
     | Of_msg.Hello | Of_msg.Echo_reply | Of_msg.Barrier_reply | Of_msg.Error _
     | Of_msg.Flow_stats_reply _ | Of_msg.Table_stats_reply _ | Of_msg.Group_stats_reply _
-    | Of_msg.Packet_in _ -> ())
+    | Of_msg.Telemetry_reply _ | Of_msg.Packet_in _ -> ())
 
 (** Failure injection (§5.6 testing): a dead OFA neither serves nor
     accepts anything — in particular it stops answering Echo requests,
@@ -269,12 +274,16 @@ let rec serve t =
     let finish = start +. service_time t job in
     if Scotch_obs.Obs.is_enabled () then begin
       Scotch_obs.Registry.observe t.service_h (finish -. start);
-      Scotch_obs.Obs.span
-        ~name:
-          (match job with
-          | Packet_in_job _ -> "ofa.serve.packet_in"
-          | Message_job _ -> "ofa.serve.msg")
-        ~cat:"switch" ~ts:start ~dur:(finish -. start) ~tid:t.dpid ~args:[]
+      (* per-job spans fire for every served packet — decimated per site
+         so the histogram stays exact but the trace stays small *)
+      let name, site =
+        match job with
+        | Packet_in_job _ -> ("ofa.serve.packet_in", t.hot_pin)
+        | Message_job _ -> ("ofa.serve.msg", t.hot_msg)
+      in
+      if Scotch_obs.Obs.hot_keep site then
+        Scotch_obs.Obs.span ~name ~cat:"switch" ~ts:start ~dur:(finish -. start) ~tid:t.dpid
+          ~args:[]
     end;
     ignore
       (Scotch_sim.Engine.schedule_at t.engine ~at:finish (fun () ->

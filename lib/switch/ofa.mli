@@ -28,6 +28,7 @@ type handler = {
   flow_stats : Of_msg.Stats.flow_stats_request -> Of_msg.Stats.flow_stats_reply;
   table_stats : unit -> Of_msg.Stats.table_stats_reply;
   group_stats : unit -> Of_msg.Stats.group_stats_reply;
+  telemetry : unit -> Of_msg.Telemetry.report; (** drain the sampler window *)
   on_flow_mod_rejected : unit -> unit; (** datapath reject-stall hook *)
 }
 

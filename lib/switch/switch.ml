@@ -50,6 +50,9 @@ type t = {
   mutable dp_blocked_until : float;
   mutable failed : bool; (* failure injection: data and control planes dead *)
   counters : counters;
+  mutable sampler : Scotch_telemetry.Sampler.t option; (* §5.3 sampled telemetry tap *)
+  hot_miss : Scotch_obs.Obs.hot_site; (* trace decimation for dp.miss *)
+  hot_punt : Scotch_obs.Obs.hot_site; (* trace decimation for dp.punt *)
 }
 
 let ofa t = Option.get t.ofa
@@ -92,14 +95,17 @@ let flood t ~in_port pkt =
 
 let to_ofa t ~in_port ~tunnel_id ~reason pkt =
   (* the start of the packet-in lifecycle: a data-plane miss (or
-     explicit punt) hands the packet to the slow path *)
-  if Scotch_obs.Obs.is_enabled () then
-    Scotch_obs.Obs.instant
-      ~name:
-        (match reason with
-        | Of_types.Packet_in_reason.No_match -> "dp.miss"
-        | _ -> "dp.punt")
-      ~cat:"switch" ~ts:(now t) ~tid:t.dpid ~args:[];
+     explicit punt) hands the packet to the slow path.  These fire per
+     missed packet, so the trace row is decimated per site. *)
+  if Scotch_obs.Obs.is_enabled () then begin
+    let name, site =
+      match reason with
+      | Of_types.Packet_in_reason.No_match -> ("dp.miss", t.hot_miss)
+      | _ -> ("dp.punt", t.hot_punt)
+    in
+    if Scotch_obs.Obs.hot_keep site then
+      Scotch_obs.Obs.instant ~name ~cat:"switch" ~ts:(now t) ~tid:t.dpid ~args:[]
+  end;
   Ofa.submit_packet_in (ofa t) { Ofa.in_port; tunnel_id; reason; packet = pkt }
 
 (** Execute an action list; returns the (possibly rewritten) packet so
@@ -207,6 +213,12 @@ let receive t ~in_port pkt =
         | _ -> (Some tid, pkt))
       | _ -> (None, pkt)
     in
+    (match t.sampler with
+    | Some s ->
+      (* telemetry tap: after decap, before table lookup — NetFlow-style
+         port sampling that never touches the OFA (§4.1 spirit) *)
+      Scotch_telemetry.Sampler.offer s ~tunnel_id (fun () -> Packet.flow_key pkt)
+    | None -> ());
     let ctx = Of_match.context ?tunnel_id ~in_port pkt in
     run_table t ~table_id:0 ~ctx pkt
   end
@@ -262,7 +274,9 @@ let handler_of t : Ofa.handler =
                  req.Of_msg.Stats.table_id = 0xFF
                  || Flow_table.table_id table = req.Of_msg.Stats.table_id
                then Flow_table.stats table ~now:tnow
-               else []));
+               else [])
+        |> List.filter (fun (fs : Of_msg.Stats.flow_stat) ->
+               Of_match.selects req.Of_msg.Stats.match_ fs.Of_msg.Stats.match_));
     table_stats =
       (fun () ->
         { Of_msg.Stats.active_entries =
@@ -280,6 +294,20 @@ let handler_of t : Ofa.handler =
         List.sort
           (fun (a : Of_msg.Stats.group_desc) b -> compare a.group_id b.group_id)
           !descs);
+    telemetry =
+      (fun () ->
+        match t.sampler with
+        | None -> Of_msg.Telemetry.empty
+        | Some s ->
+          let r = Scotch_telemetry.Sampler.report s ~now:(now t) in
+          { Of_msg.Telemetry.rate = r.Scotch_telemetry.Sampler.r_rate;
+            window = r.Scotch_telemetry.Sampler.r_window;
+            seen = r.Scotch_telemetry.Sampler.r_seen;
+            sampled = r.Scotch_telemetry.Sampler.r_sampled;
+            records =
+              List.map
+                (fun (key, sampled) -> { Of_msg.Telemetry.key; sampled })
+                r.Scotch_telemetry.Sampler.r_records });
     on_flow_mod_rejected =
       (fun () ->
         let stall = t.profile.Profile.tcam_reject_stall in
@@ -302,7 +330,10 @@ let create engine ~dpid ~name ~profile ?(num_tables = 2) () =
       dp_blocked_until = 0.0; failed = false;
       counters =
         { rx = 0; tx = 0; dropped_blocked = 0; dropped_capacity = 0; dropped_no_rule = 0;
-          dropped_action = 0 } }
+          dropped_action = 0 };
+      sampler = None;
+      hot_miss = Scotch_obs.Obs.hot_site ();
+      hot_punt = Scotch_obs.Obs.hot_site () }
   in
   (* golden-ratio phase spread: devices' maintenance windows never line
      up, whatever the dpid pattern *)
@@ -371,6 +402,13 @@ let ports_snapshot t =
 
 let dpid t = t.dpid
 let name t = t.name
+
+(** Attach (or detach, with [None]) the telemetry sampler feeding off
+    the receive path.  [None] — the default — leaves the datapath
+    byte-identical to a telemetry-free build. *)
+let set_sampler t s = t.sampler <- s
+
+let sampler t = t.sampler
 let profile t = t.profile
 let counters t = t.counters
 let tables t = t.tables

@@ -67,6 +67,14 @@ val all_ports : t -> int list
 val ports_snapshot : t -> (int * port_kind * Scotch_sim.Link.t option) list
 val dpid : t -> Of_types.datapath_id
 val name : t -> string
+
+(** Attach (or detach, with [None]) a telemetry sampler fed from the
+    receive path, after tunnel decap and the admission gates.  [None]
+    (the default) leaves the datapath identical to a telemetry-free
+    build — no RNG draws, no extra work per packet. *)
+val set_sampler : t -> Scotch_telemetry.Sampler.t option -> unit
+
+val sampler : t -> Scotch_telemetry.Sampler.t option
 val profile : t -> Profile.t
 val counters : t -> counters
 val tables : t -> Flow_table.t array

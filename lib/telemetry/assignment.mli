@@ -1,0 +1,32 @@
+(** Floware-style monitoring-duty ledger: which uplink tunnels each
+    active pool member samples, the duty share each owns, and a pure
+    mirror of the data plane's bucket choice.  Refresh on every pool
+    change. *)
+
+open Scotch_packet
+
+type t
+
+val create : unit -> t
+
+(** Recompute the duty map from the overlay uplink table ([(phys dpid,
+    (vswitch dpid, tunnel id) list)]) restricted to the [active] pool;
+    bumps {!generation}. *)
+val refresh : t -> uplinks:(int * (int * int) list) list -> active:int list -> unit
+
+(** Uplink tunnel ids that are [vdpid]'s monitoring duty (empty for
+    non-members). *)
+val duty_tunnels : t -> int -> int list
+
+(** Fraction of the monitored flow space owned by [vdpid]. *)
+val share : t -> int -> float
+
+(** Active pool members, sorted. *)
+val members : t -> int list
+
+val generation : t -> int
+
+(** The pool member that monitors [key] among a switch's [assigned]
+    [(vswitch dpid, tunnel id)] uplinks — the data plane's select-bucket
+    choice, mirrored. *)
+val owner : assigned:(int * int) list -> Flow_key.t -> int option
