@@ -315,6 +315,82 @@ let telemetry_probe ~seed =
     (if sampled.Telemetry.o_bytes = 0 then Float.infinity
      else float_of_int exact.Telemetry.o_bytes /. float_of_int sampled.Telemetry.o_bytes)
 
+(* The incremental-verification probe: the resilience workload in smoke
+   configuration run twice — [Config.verify = Off], then [Continuous] —
+   reporting engine events/sec for both plus the verifier's per-update
+   latency percentiles and full-rescan audit ledger.
+
+   Two overhead lenses are exported.  [overhead_frac] is the raw
+   events/s throughput lost versus Off — honest but dominated by how
+   fast the simulator itself is: this engine retires an event in well
+   under a microsecond, so ANY per-update verification (trie lookups,
+   class re-walks, periodic O(model) audits) reads as a large fraction
+   of it.  [realtime_frac] is the deployment-relevant budget: verifier
+   wall-seconds spent per SIMULATED second, i.e. the fraction of a real
+   controller's wall clock continuous verification would consume on
+   this same update stream at its real arrival times.  The CI gate
+   holds [realtime_frac <= 0.15] (the issue's 15 % budget), bounds the
+   p99 per-update latency, and requires every full-rescan equivalence
+   audit to agree with the maintained diagnostic set. *)
+
+let verify_probe_run ~seed ~mode =
+  let module O = Scotch_obs.Obs in
+  O.reset ();
+  O.disable ();
+  let config = { Scotch_core.Config.default with Scotch_core.Config.verify = mode } in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Resilience.run_outcome ~config ~seed ~scale:0.25 ~kills:2 ~multiplier:5.0 () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let engine = outcome.Resilience.net.Testbed.engine in
+  let events = Scotch_sim.Engine.processed engine in
+  let sim_s = Scotch_sim.Engine.now engine in
+  (wall, events, sim_s, outcome.Resilience.verify)
+
+let verify_probe_best ~seed ~mode ~reps =
+  let best = ref (verify_probe_run ~seed ~mode) in
+  for _ = 2 to reps do
+    let ((w, _, _, _) as r) = verify_probe_run ~seed ~mode in
+    let bw, _, _, _ = !best in
+    if w < bw then best := r
+  done;
+  !best
+
+let verify_probe ~seed =
+  let module C = Scotch_core.Config in
+  ignore (verify_probe_run ~seed ~mode:C.Off) (* warm-up *);
+  let off_wall, off_events, _, _ = verify_probe_best ~seed ~mode:C.Off ~reps:3 in
+  let cont_wall, cont_events, sim_s, hooks =
+    verify_probe_best ~seed ~mode:C.Continuous ~reps:3
+  in
+  let rate n wall = float_of_int n /. wall in
+  let off_rate = rate off_events off_wall and cont_rate = rate cont_events cont_wall in
+  (* fraction of Off-mode event throughput lost to continuous checks *)
+  let overhead = 1.0 -. (cont_rate /. off_rate) in
+  (* verifier wall-seconds per simulated second of the update stream *)
+  let realtime = if sim_s > 0.0 then (cont_wall -. off_wall) /. sim_s else 0.0 in
+  let incr =
+    match Option.bind hooks Scotch_verify.Hooks.incremental with
+    | Some incr -> incr
+    | None -> failwith "verify probe: Continuous run installed no incremental verifier"
+  in
+  let st = Scotch_verify.Incremental.stats incr in
+  let errors =
+    List.length (Scotch_verify.Diagnostic.errors (Scotch_verify.Incremental.diagnostics incr))
+  in
+  Printf.sprintf
+    "{\n\
+    \    \"workload\": \"resilience smoke: 2 vswitch kills mid flash crowd, scale 0.25\",\n\
+    \    \"off\": {\"wall_s\":%.3f,\"engine_events\":%d,\"events_per_s\":%.0f},\n\
+    \    \"continuous\": {\"wall_s\":%.3f,\"engine_events\":%d,\"events_per_s\":%.0f,\"sim_s\":%.1f,\"updates\":%d,\"classes_touched\":%d,\"class_count\":%d,\"p50_update_us\":%.1f,\"p99_update_us\":%.1f,\"equiv_checks\":%d,\"equiv_mismatches\":%d,\"errors\":%d},\n\
+    \    \"overhead_frac\": %.4f,\n\
+    \    \"realtime_frac\": %.4f\n\
+    \  }"
+    off_wall off_events off_rate cont_wall cont_events cont_rate sim_s
+    st.Scotch_verify.Incremental.updates st.Scotch_verify.Incremental.classes_touched
+    st.Scotch_verify.Incremental.class_count st.Scotch_verify.Incremental.p50_us
+    st.Scotch_verify.Incremental.p99_us st.Scotch_verify.Incremental.equiv_checks
+    st.Scotch_verify.Incremental.equiv_mismatches errors overhead realtime
+
 (* ------------------------------------------------------------------ *)
 (* BENCH_core.json: the observability overhead probe.
 
@@ -364,6 +440,9 @@ let write_core_json ~seed =
   let series = Scotch_obs.Registry.size (O.registry ()) in
   O.disable ();
   O.reset ();
+  (* the verify probe resets/disables obs itself, so it must run after
+     the obs measurements are captured *)
+  let verify_block = verify_probe ~seed in
   let rate n wall = float_of_int n /. wall in
   let overhead = (on_wall /. off_wall) -. 1.0 in
   let file = "BENCH_core.json" in
@@ -375,11 +454,12 @@ let write_core_json ~seed =
     \  \"workload\": \"scotch_net, 500 fl/s attack + 20 fl/s client, 2 simulated s\",\n\
     \  \"obs_off\": {\"wall_s\":%.3f,\"engine_events\":%d,\"events_per_s\":%.0f,\"packet_ins\":%d,\"packet_ins_per_s\":%.0f},\n\
     \  \"obs_on\": {\"wall_s\":%.3f,\"engine_events\":%d,\"events_per_s\":%.0f,\"packet_ins\":%d,\"packet_ins_per_s\":%.0f,\"series\":%d,\"trace_events\":%d},\n\
-    \  \"overhead_frac\": %.4f\n\
+    \  \"overhead_frac\": %.4f,\n\
+    \  \"verify\": %s\n\
      }\n"
     seed off_wall off_events (rate off_events off_wall) off_pins (rate off_pins off_wall)
     on_wall on_events (rate on_events on_wall) on_pins (rate on_pins on_wall) series
-    trace_events overhead;
+    trace_events overhead verify_block;
   close_out oc;
   Printf.printf "wrote %s (obs overhead %+.1f%%: %.0f -> %.0f events/s)\n%!" file
     (100.0 *. overhead) (rate off_events off_wall) (rate on_events on_wall)

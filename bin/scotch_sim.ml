@@ -281,19 +281,38 @@ let verify_net_cmd =
   let doc =
     "Statically verify the dataplane of every experiment topology at steady state: no \
      forwarding loops, no blackholes, no shadowed rules, sane groups, full table-miss \
-     coverage and overlay symmetry.  Exits non-zero on any diagnostic."
+     coverage and overlay symmetry.  With --watch, verification instead runs continuously \
+     while the scenario's workload executes — the incremental verifier re-checks every \
+     rule/group/liveness delta at the install chokepoint and audits itself against full \
+     rescans.  Exit codes: 0 clean, 1 violations (or audit mismatches), 2 usage."
   in
   let scenario_arg =
     let doc = "Only lint the named scenario(s); repeatable.  Default: all." in
     Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"NAME" ~doc)
   in
-  let run seed scenario_names =
-    let only = match scenario_names with [] -> None | ns -> Some ns in
+  let watch_arg =
+    let doc =
+      "Continuous mode: run each scenario under Config.Continuous, re-verifying on every \
+       dataplane delta, and report per-update latency, classes touched and the full-rescan \
+       audit count alongside any violations (with first-seen virtual timestamps)."
+    in
+    Arg.(value & flag & info [ "watch" ] ~doc)
+  in
+  let print_diag d =
+    let d_ts =
+      match d.Scotch_verify.Diagnostic.first_at with
+      | Some t -> Printf.sprintf " [first at t=%.3fs]" t
+      | None -> ""
+    in
+    Printf.printf "  %s%s\n" (Scotch_verify.Diagnostic.to_string d) d_ts
+  in
+  let usage_error msg =
+    Printf.eprintf "verify-net: %s (known: %s)\n" msg (String.concat ", " Lint.names);
+    exit 2
+  in
+  let run_snapshot ~seed ~only =
     let results =
-      try Lint.run_all ~seed ?only ()
-      with Invalid_argument msg ->
-        Printf.eprintf "verify-net: %s (known: %s)\n" msg (String.concat ", " Lint.names);
-        exit 2
+      try Lint.run_all ~seed ?only () with Invalid_argument msg -> usage_error msg
     in
     let total =
       List.fold_left
@@ -302,9 +321,7 @@ let verify_net_cmd =
           | [] -> Printf.printf "%-22s clean\n" name
           | ds ->
             Printf.printf "%-22s %d diagnostic(s)\n" name (List.length ds);
-            List.iter
-              (fun d -> Printf.printf "  %s\n" (Scotch_verify.Diagnostic.to_string d))
-              ds);
+            List.iter print_diag ds);
           acc + List.length diags)
         0 results
     in
@@ -315,7 +332,40 @@ let verify_net_cmd =
     end
     else Printf.printf "verify-net: all %d scenario(s) clean\n" (List.length results)
   in
-  Cmd.v (Cmd.info "verify-net" ~doc) Term.(const run $ seed_arg $ scenario_arg)
+  let run_watch ~seed ~only =
+    let results =
+      try Lint.watch_all ~seed ?only () with Invalid_argument msg -> usage_error msg
+    in
+    let bad =
+      List.fold_left
+        (fun acc (name, (w : Lint.watch_report)) ->
+          let verdict =
+            if w.Lint.w_diagnostics = [] && w.Lint.w_equiv_mismatches = 0 then "clean"
+            else
+              Printf.sprintf "%d diagnostic(s), %d audit mismatch(es)"
+                (List.length w.Lint.w_diagnostics) w.Lint.w_equiv_mismatches
+          in
+          Printf.printf
+            "%-22s %-12s updates=%d classes=%d/%d p50=%.0fus p99=%.0fus audits=%d\n" name
+            verdict w.Lint.w_updates w.Lint.w_classes_touched w.Lint.w_class_count
+            w.Lint.w_p50_us w.Lint.w_p99_us w.Lint.w_equiv_checks;
+          List.iter print_diag w.Lint.w_diagnostics;
+          acc + List.length w.Lint.w_diagnostics + w.Lint.w_equiv_mismatches)
+        0 results
+    in
+    if bad > 0 then begin
+      Printf.printf "verify-net --watch: %d problem(s) across %d scenario(s)\n" bad
+        (List.length results);
+      exit 1
+    end
+    else
+      Printf.printf "verify-net --watch: all %d scenario(s) clean\n" (List.length results)
+  in
+  let run seed scenario_names watch =
+    let only = match scenario_names with [] -> None | ns -> Some ns in
+    if watch then run_watch ~seed ~only else run_snapshot ~seed ~only
+  in
+  Cmd.v (Cmd.info "verify-net" ~doc) Term.(const run $ seed_arg $ scenario_arg $ watch_arg)
 
 let list_cmd =
   let doc = "List experiments with the paper artifact each regenerates." in

@@ -29,6 +29,22 @@ type detection =
   | Sampled of float
   | Hybrid of float
 
+(** When the dataplane verifier runs.
+
+    [Off] never verifies (the default — runs are bit-identical to a
+    build without the verifier).  [Phases] snapshots the whole network
+    and checks every invariant at each experiment phase boundary and at
+    run end — cheap per check but violations surface late.
+    [Continuous] additionally verifies incrementally on every rule,
+    group or port change at the install chokepoint: only the header-space
+    equivalence classes a delta can affect are re-walked, so each update
+    costs microseconds and violations carry the virtual time at which
+    they first appeared. *)
+type verify =
+  | Off
+  | Phases
+  | Continuous
+
 type t = {
   rule_rate : float;
       (** R: per-switch physical rule-install service rate (Fig. 7).
@@ -85,6 +101,9 @@ type t = {
           fair sharing of the SDN network across groups", e.g. one group
           per customer).  [None] keeps the paper's default example:
           one group per ingress port of the first-hop switch. *)
+  verify : verify;
+      (** dataplane verification mode — see {!verify}; [Off] keeps runs
+          bit-identical to the unverified build *)
 }
 
 let default =
@@ -110,7 +129,8 @@ let default =
     vswitches_per_switch = 4;
     shed_policy = Sched.Drop_new;
     ingress_deadline = 0.0;
-    flow_group = None }
+    flow_group = None;
+    verify = Off }
 
 (** Cookie values tagging Scotch-owned rules, so overlay (green) rules
     can be withdrawn wholesale and told apart from per-flow (red)

@@ -20,6 +20,18 @@ type detection =
   | Sampled of float
   | Hybrid of float
 
+(** When the dataplane verifier runs.  [Off] (the default) never
+    verifies and keeps runs bit-identical to an unverified build;
+    [Phases] runs every invariant over a whole-network snapshot at
+    experiment phase boundaries and run end; [Continuous] additionally
+    re-verifies incrementally on every rule/group/port change at the
+    install chokepoint, re-walking only the header-space equivalence
+    classes the delta can affect. *)
+type verify =
+  | Off
+  | Phases
+  | Continuous
+
 type t = {
   rule_rate : float;
       (** R: per-switch physical rule-install service rate (Fig. 7).
@@ -71,6 +83,8 @@ type t = {
       (** Optional flow-grouping override for the fair scheduler (§5.2,
           e.g. one group per customer); [None] = one group per ingress
           port of the first-hop switch (the paper's example). *)
+  verify : verify;
+      (** dataplane verification mode — see {!verify} *)
 }
 
 val default : t

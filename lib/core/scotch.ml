@@ -73,6 +73,10 @@ type t = {
       (* fault injection: a stats-polling outage suspends elephant
          detection (the §5.3 loop) without touching anything else *)
   mutable phase_hooks : (phase -> unit) list;
+  mutable install_hooks : (C.sw -> Of_msg.payload list -> unit) list;
+      (* fired at the send chokepoint, before dispatch — the verifier's
+         view of every install leaving the controller, on both the
+         reliable and the legacy direct path *)
   reliable : Reliable.t option;
       (* when present, every Flow/Group-mod goes through the intent
          store and barrier-acked transactions, and [start] launches the
@@ -109,7 +113,7 @@ let create ?reliable ctrl overlay policy config =
           flows_unroutable = 0; elephants_detected = 0; migrations_completed = 0;
           activations = 0; withdrawals = 0; vswitch_failures = 0; quarantines = 0;
           readmissions = 0; promotions = 0; demotions = 0 };
-      stats_polling = true; phase_hooks = []; reliable;
+      stats_polling = true; phase_hooks = []; install_hooks = []; reliable;
       rebalances_c =
         O.counter ~help:"Select-group rebalances after pool changes"
           "scotch_core_group_rebalances_total";
@@ -209,7 +213,19 @@ let notify_phase t p = List.iter (fun f -> f p) t.phase_hooks
 
 let reliable t = t.reliable
 
+(** [on_install t f] registers [f] to run at the send chokepoint with
+    every outgoing Flow/Group-mod batch, before dispatch — the
+    verifier's view of installs on both send paths.  Cheap no-op when
+    nothing is registered. *)
+let on_install t f = t.install_hooks <- f :: t.install_hooks
+
+let notify_install t sw payloads =
+  match t.install_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun f -> f sw payloads) hooks
+
 let send_fm t (sw : C.sw) fm =
+  notify_install t sw [ Of_msg.Flow_mod fm ];
   match t.reliable with
   | None -> C.send t.ctrl sw (Of_msg.Flow_mod fm)
   | Some r ->
@@ -217,6 +233,7 @@ let send_fm t (sw : C.sw) fm =
     Reliable.flow_mod r sw fm
 
 let send_gm t (sw : C.sw) gm =
+  notify_install t sw [ Of_msg.Group_mod gm ];
   match t.reliable with
   | None -> C.send t.ctrl sw (Of_msg.Group_mod gm)
   | Some r ->
@@ -224,6 +241,7 @@ let send_gm t (sw : C.sw) gm =
     Reliable.group_mod r sw gm
 
 let send_batch t (sw : C.sw) payloads =
+  notify_install t sw payloads;
   match t.reliable with
   | None -> List.iter (C.send t.ctrl sw) payloads
   | Some r ->

@@ -175,3 +175,9 @@ val on_phase : t -> (phase -> unit) -> unit
     which repairs vswitches behind this module's back — can announce
     [`Post_recovery]. *)
 val notify_phase : t -> phase -> unit
+
+(** Register a callback to run at the send chokepoint with every
+    outgoing Flow/Group-mod batch, before dispatch — the verifier's
+    view of installs on both the reliable and the legacy direct path.
+    Cheap no-op when nothing is registered. *)
+val on_install : t -> (C.sw -> Scotch_openflow.Of_msg.payload list -> unit) -> unit

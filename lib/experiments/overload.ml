@@ -218,14 +218,16 @@ type outcome = {
   elastic : Elastic.t option;
 }
 
-let run_variant ?(elastic = true) ~seed ~plan ~(params : Tracegen.params) () =
+let run_variant ?(elastic = true) ?(verify = Scotch_core.Config.Off) ~seed ~plan
+    ~(params : Tracegen.params) () =
   (* fresh obs world per run: the trace feeds both the admitted-flow
      p99 (decision spans) and the determinism digest; size the ring so
      nothing is evicted *)
   O.reset ~capacity:(1 lsl 20) ();
   O.enable ();
   let net =
-    Testbed.scotch_net ~seed ~vswitch_profile:weak_vswitch ~config:scotch_config
+    Testbed.scotch_net ~seed ~vswitch_profile:weak_vswitch
+      ~config:{ scotch_config with Scotch_core.Config.verify }
       ~num_vswitches:num_active ~num_backups ~num_clients:params.Tracegen.num_sources
       ~num_servers:params.Tracegen.num_destinations ()
   in
@@ -315,10 +317,10 @@ let run_variant ?(elastic = true) ~seed ~plan ~(params : Tracegen.params) () =
     [multiplier] tunes crowd intensity (default 7.5 = 3x pool
     capacity); [peak] the gray failure's severity. *)
 let run_outcome ?(seed = 42) ?(scale = 1.0) ?(multiplier = 7.5) ?(peak = 40.0)
-    ?(elastic = true) () =
+    ?(elastic = true) ?(verify = Scotch_core.Config.Off) () =
   let params = trace_params ~scale ~multiplier in
   let plan = degrade_plan ~params ~peak in
-  run_variant ~elastic ~seed ~plan ~params ()
+  run_variant ~elastic ~verify ~seed ~plan ~params ()
 
 let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
   let params = trace_params ~scale ~multiplier:7.5 in

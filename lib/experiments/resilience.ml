@@ -106,9 +106,9 @@ let record_convergence (net : Testbed.scotch_net) ledger =
         conv_windows = R.divergence_windows r;
         conv_digest = R.digest r }
 
-let run_variant ?(reconcile = false) ~seed ~plan ~(params : Tracegen.params) () =
+let run_variant ?config ?(reconcile = false) ~seed ~plan ~(params : Tracegen.params) () =
   let net =
-    Testbed.scotch_net ~seed ~num_vswitches ~num_backups
+    Testbed.scotch_net ?config ~seed ~num_vswitches ~num_backups
       ~num_clients:params.Tracegen.num_sources ~num_servers:params.Tracegen.num_destinations
       ~reconcile ()
   in
@@ -156,13 +156,13 @@ let run_variant ?(reconcile = false) ~seed ~plan ~(params : Tracegen.params) () 
     intensity (lower it for fast smoke runs).  With [~reconcile:true]
     installs go through the reliable layer; [drop_p > 0] adds the
     control-channel storm of {!impairment_plan} to the kill plan. *)
-let run_outcome ?(seed = 42) ?(scale = 1.0) ?(kills = 2) ?(multiplier = 25.0)
+let run_outcome ?config ?(seed = 42) ?(scale = 1.0) ?(kills = 2) ?(multiplier = 25.0)
     ?(reconcile = false) ?(drop_p = 0.0) () =
   let params = trace_params ~scale ~multiplier in
   let outage = Stdlib.max 6.0 (0.3 *. params.Tracegen.duration) in
   let plan = kill_plan ~params ~kills ~outage in
   let plan = if drop_p > 0.0 then Plan.merge plan (impairment_plan ~params ~drop_p) else plan in
-  run_variant ~reconcile ~seed ~plan ~params ()
+  run_variant ?config ~reconcile ~seed ~plan ~params ()
 
 let run ?(seed = 42) ?(scale = 1.0) ?(reconcile = false) ?(drop_p = 0.0) () : Report.figure =
   let kills = 2 in

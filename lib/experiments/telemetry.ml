@@ -35,6 +35,8 @@ type outcome = {
   o_msgs : int;        (** detection channel cost, message units *)
   o_bytes : int;       (** detection channel cost, wire bytes *)
   o_migrations : int;
+  o_verify_checks : int; (** verification checks run (0 when verify off) *)
+  o_verify_errors : int; (** error-severity diagnostics across all checks *)
 }
 
 let label_of = function
@@ -42,8 +44,8 @@ let label_of = function
   | Config.Sampled r -> Printf.sprintf "sampled@%g" r
   | Config.Hybrid r -> Printf.sprintf "hybrid@%g" r
 
-let run_mode ?(seed = 42) ~detection ~duration () =
-  let config = { Config.default with Config.detection } in
+let run_mode ?(seed = 42) ?(verify = Config.Off) ~detection ~duration () =
+  let config = { Config.default with Config.detection; verify } in
   let net = Testbed.scotch_net ~seed ~config () in
   (* the spoofed flood shares the client's ingress port, so the
      elephants are diverted onto the overlay like everything else on
@@ -110,14 +112,24 @@ let run_mode ?(seed = 42) ~detection ~duration () =
     o_ttd = (if true_pos = 0 then Float.nan else ttd_sum /. float_of_int true_pos);
     o_msgs = msgs;
     o_bytes = bytes;
-    o_migrations = (Scotch.counters app).Scotch.migrations_completed }
+    o_migrations = (Scotch.counters app).Scotch.migrations_completed;
+    o_verify_checks =
+      (match net.Testbed.verify with
+      | Some v -> Scotch_verify.Hooks.checks_run v
+      | None -> 0);
+    o_verify_errors =
+      (match net.Testbed.verify with
+      | Some v -> Scotch_verify.Hooks.error_count v
+      | None -> 0) }
 
 (** Exact baseline and the headline 1/100 sampled run on the same seed
-    — what the smoke gate and the bench probe consume. *)
-let summary ?(seed = 42) ?(scale = 1.0) () =
+    — what the smoke gate and the bench probe consume.  [verify]
+    (default off) runs both under the dataplane verifier; the outcome's
+    check/error counts gate on it. *)
+let summary ?(seed = 42) ?(scale = 1.0) ?(verify = Config.Off) () =
   let duration = Stdlib.max 12.0 (20.0 *. scale) in
-  let exact = run_mode ~seed ~detection:Config.Exact_polling ~duration () in
-  let sampled = run_mode ~seed ~detection:(Config.Sampled default_rate) ~duration () in
+  let exact = run_mode ~seed ~verify ~detection:Config.Exact_polling ~duration () in
+  let sampled = run_mode ~seed ~verify ~detection:(Config.Sampled default_rate) ~duration () in
   (exact, sampled)
 
 let reduction ~(exact : outcome) ~(sampled : outcome) =

@@ -115,6 +115,9 @@ type t = {
   mutable records : record list; (* newest first *)
   mutable next_record_id : int;
   mutable stop_reconciler : (unit -> unit) option;
+  mutable on_install : (int -> unit) option;
+      (* verifier tap: fired with the dpid after a transaction's intents
+         are recorded — the intent store for that switch is stale *)
   divergence_h : Scotch_obs.Registry.histogram;
       (* closed divergence windows (virtual seconds); obs-gated *)
 }
@@ -129,6 +132,7 @@ let create ?config ctrl =
           repairs_orphan = 0; repairs_group = 0; resyncs = 0; degraded_transitions = 0;
           degraded_seconds = 0.0 };
       windows = []; records = []; next_record_id = 0; stop_reconciler = None;
+      on_install = None;
       divergence_h =
         Scotch_obs.Obs.histogram ~help:"Closed intent/device divergence windows (virtual s)"
           ~lo:0.0 ~hi:5.0 ~bins:50 "scotch_reliable_divergence_window_seconds" }
@@ -292,8 +296,15 @@ let transaction t (sw : C.sw) payloads =
   if payloads <> [] then begin
     let ss = state_exn "transaction" t sw.C.dpid in
     List.iter (record_payload t ss) payloads;
+    (match t.on_install with None -> () | Some f -> f sw.C.dpid);
     enqueue t ss payloads
   end
+
+(** Attach (or detach, with [None]) an install observer, fired with the
+    dpid after a transaction's intents are recorded — the incremental
+    verifier's cue that the intent store for that switch changed.
+    [None] (the default) costs one [match] per transaction. *)
+let set_on_install t f = t.on_install <- f
 
 let flow_mod t sw fm = transaction t sw [ Of_msg.Flow_mod fm ]
 let group_mod t sw gm = transaction t sw [ Of_msg.Group_mod gm ]

@@ -86,6 +86,12 @@ val transaction : t -> C.sw -> Of_msg.payload list -> unit
 val flow_mod : t -> C.sw -> Of_msg.Flow_mod.t -> unit
 val group_mod : t -> C.sw -> Of_msg.Group_mod.t -> unit
 
+(** Attach (or detach, with [None]) an install observer, fired with the
+    dpid after a transaction's intents are recorded — the incremental
+    verifier's cue that the switch's intent store changed.  [None] (the
+    default) costs one [match] per transaction. *)
+val set_on_install : t -> (int -> unit) option -> unit
+
 (** Flag a switch for a full-table resync at the next reconciler tick —
     wire this to the controller's [switch_alive] hook. *)
 val request_resync : t -> Of_types.datapath_id -> unit

@@ -45,26 +45,38 @@ type bucket = {
   mutable scan : rule list;                (* non-exact rules only *)
 }
 
+(** One applied table mutation, as seen by an {!set_on_change}
+    observer.  A replace fires [Rule_removed old] then [Rule_added new];
+    sweeps fire [Rule_removed] per reaped rule.  Lazy expiry is not a
+    mutation: an expired rule is only reported when a sweep reaps it. *)
+type change = Rule_added of rule | Rule_removed of rule
+
 type t = {
   table_id : Of_types.table_id;
   capacity : int;
   mutable buckets : bucket list; (* descending priority *)
   mutable count : int;           (* rules present (possibly expired, pre-sweep) *)
   mutable insert_failures : int;
+  mutable on_change : (change -> unit) option; (* verifier tap *)
 }
 
 let create ?(capacity = max_int) ~table_id () =
-  { table_id; capacity; buckets = []; count = 0; insert_failures = 0 }
+  { table_id; capacity; buckets = []; count = 0; insert_failures = 0; on_change = None }
 
 let table_id t = t.table_id
+
+let set_on_change t f = t.on_change <- f
+
+let notify t ch = match t.on_change with None -> () | Some f -> f ch
 
 let is_expired ~now r =
   (r.hard_timeout > 0.0 && now -. r.installed_at >= r.hard_timeout)
   || (r.idle_timeout > 0.0 && now -. r.last_used >= r.idle_timeout)
 
-let remove_from_bucket b r =
+let remove_from_bucket t b r =
   Hashtbl.remove b.by_match r.match_;
-  if not (is_exact_shape r.match_) then b.scan <- List.filter (fun x -> x != r) b.scan
+  if not (is_exact_shape r.match_) then b.scan <- List.filter (fun x -> x != r) b.scan;
+  notify t (Rule_removed r)
 
 (** Remove expired rules; returns the number reaped. *)
 let sweep t ~now =
@@ -74,7 +86,7 @@ let sweep t ~now =
       let dead = Hashtbl.fold (fun _ r acc -> if is_expired ~now r then r :: acc else acc) b.by_match [] in
       List.iter
         (fun r ->
-          remove_from_bucket b r;
+          remove_from_bucket t b r;
           incr reaped)
         dead)
     t.buckets;
@@ -111,9 +123,10 @@ let insert t ~now ~priority ~match_ ~instructions ~idle_timeout ~hard_timeout ~c
   match Hashtbl.find_opt b.by_match match_ with
   | Some old ->
     let r = { (fresh ()) with packet_count = old.packet_count; byte_count = old.byte_count } in
-    remove_from_bucket b old;
+    remove_from_bucket t b old;
     Hashtbl.replace b.by_match match_ r;
     if not (is_exact_shape match_) then b.scan <- r :: b.scan;
+    notify t (Rule_added r);
     Ok ()
   | None ->
     if t.count >= t.capacity then ignore (sweep t ~now);
@@ -128,6 +141,7 @@ let insert t ~now ~priority ~match_ ~instructions ~idle_timeout ~hard_timeout ~c
       Hashtbl.replace b.by_match match_ r;
       if not (is_exact_shape match_) then b.scan <- r :: b.scan;
       t.count <- t.count + 1;
+      notify t (Rule_added r);
       Ok ()
     end
 
@@ -143,7 +157,7 @@ let delete t ?priority ~match_ () =
       | _ -> (
         match Hashtbl.find_opt b.by_match match_ with
         | Some r ->
-          remove_from_bucket b r;
+          remove_from_bucket t b r;
           incr removed
         | None -> ()))
     t.buckets;
@@ -161,7 +175,7 @@ let delete_by_cookie t cookie =
       in
       List.iter
         (fun r ->
-          remove_from_bucket b r;
+          remove_from_bucket t b r;
           incr removed)
         dead)
     t.buckets;
@@ -231,6 +245,24 @@ let insert_failures t = t.insert_failures
 
 let iter_rules t f = List.iter (fun b -> Hashtbl.iter (fun _ r -> f r) b.by_match) t.buckets
 
+(* The deterministic tie-break below orders same-priority rules by
+   their printed match; matches are immutable, so the string is
+   computed once per distinct match rather than inside the comparator
+   (where it dominates on reactive tables whose rules all share one
+   priority — continuous verification reads the table on every
+   install).  Bounded by an occasional reset so a long-lived process
+   cannot accumulate strings for every flow it ever saw. *)
+let pp_memo : (Of_match.t, string) Hashtbl.t = Hashtbl.create 1024
+
+let printed_match m =
+  match Hashtbl.find_opt pp_memo m with
+  | Some s -> s
+  | None ->
+    if Hashtbl.length pp_memo > 100_000 then Hashtbl.reset pp_memo;
+    let s = Format.asprintf "%a" Of_match.pp m in
+    Hashtbl.add pp_memo m s;
+    s
+
 (** Live rules at [now], highest priority first (ties broken by
     specificity then by printed match, so the order is deterministic
     whatever the hashing) — the flow-table half of a
@@ -239,16 +271,17 @@ let live_rules t ~now =
   let acc = ref [] in
   List.iter
     (fun b ->
-      Hashtbl.iter (fun _ r -> if not (is_expired ~now r) then acc := r :: !acc) b.by_match)
+      Hashtbl.iter
+        (fun _ r ->
+          if not (is_expired ~now r) then
+            acc := (Of_match.specificity r.match_, printed_match r.match_, r) :: !acc)
+        b.by_match)
     t.buckets;
-  List.sort
-    (fun a b ->
-      match compare b.priority a.priority with
-      | 0 -> (
-        match compare (Of_match.specificity b.match_) (Of_match.specificity a.match_) with
-        | 0 ->
-          compare (Format.asprintf "%a" Of_match.pp a.match_)
-            (Format.asprintf "%a" Of_match.pp b.match_)
-        | c -> c)
-      | c -> c)
-    !acc
+  List.map
+    (fun (_, _, r) -> r)
+    (List.sort
+       (fun (sa, ka, (a : rule)) (sb, kb, (b : rule)) ->
+         match compare b.priority a.priority with
+         | 0 -> ( match compare sb sa with 0 -> compare ka kb | c -> c)
+         | c -> c)
+       !acc)

@@ -23,8 +23,19 @@ type rule = {
 
 type t
 
+(** One applied table mutation, as seen by an {!set_on_change}
+    observer.  A replace fires [Rule_removed old] then [Rule_added new];
+    sweeps fire [Rule_removed] per reaped rule.  Lazy expiry is not a
+    mutation: an expired rule is only reported when a sweep reaps it. *)
+type change = Rule_added of rule | Rule_removed of rule
+
 val create : ?capacity:int -> table_id:Of_types.table_id -> unit -> t
 val table_id : t -> Of_types.table_id
+
+(** Attach (or detach, with [None]) a mutation observer, fired
+    synchronously after every applied rule add/replace/delete/reap.
+    [None] — the default — costs one [match] per mutation. *)
+val set_on_change : t -> (change -> unit) option -> unit
 
 (** Remove expired rules; returns the number reaped. *)
 val sweep : t -> now:float -> int

@@ -28,6 +28,21 @@ type port = {
   out : Scotch_sim.Link.t option;
 }
 
+(** A dataplane state change, as seen by an {!set_on_update} observer.
+    Table events carry the applied rule delta (sourced from
+    {!Flow_table.set_on_change}, so capacity sweeps are covered too) —
+    an observer tracking a big reactive table never has to re-read it.
+    For groups and liveness the observer reads the new state through
+    the normal accessors ([group_table], [ports_snapshot]). *)
+type update_event =
+  | Table_changed of {
+      table_id : int;
+      added : Flow_table.rule list;
+      removed : Flow_table.rule list;
+    }
+  | Groups_changed        (* the group table changed *)
+  | Liveness_changed of bool (* switch failed (true) or revived (false) *)
+
 type counters = {
   mutable rx : int;
   mutable tx : int;
@@ -51,6 +66,7 @@ type t = {
   mutable failed : bool; (* failure injection: data and control planes dead *)
   counters : counters;
   mutable sampler : Scotch_telemetry.Sampler.t option; (* §5.3 sampled telemetry tap *)
+  mutable on_update : (update_event -> unit) option; (* verifier tap *)
   hot_miss : Scotch_obs.Obs.hot_site; (* trace decimation for dp.miss *)
   hot_punt : Scotch_obs.Obs.hot_site; (* trace decimation for dp.punt *)
 }
@@ -58,6 +74,8 @@ type t = {
 let ofa t = Option.get t.ofa
 
 let now t = Scotch_sim.Engine.now t.engine
+
+let notify_update t ev = match t.on_update with None -> () | Some f -> f ev
 
 (* ------------------------------------------------------------------ *)
 (* Output path *)
@@ -258,7 +276,13 @@ let handler_of t : Ofa.handler =
             | Error `Table_full -> ());
             result
           end);
-    modify_group = (fun gm -> Group_table.apply t.groups gm);
+    modify_group =
+      (fun gm ->
+        let result = Group_table.apply t.groups gm in
+        (match result with
+        | Ok () -> notify_update t Groups_changed
+        | Error _ -> ());
+        result);
     execute_packet_out =
       (fun po ->
         let ctx = Of_match.context ~in_port:po.Of_msg.Packet_out.in_port po.Of_msg.Packet_out.packet in
@@ -331,7 +355,7 @@ let create engine ~dpid ~name ~profile ?(num_tables = 2) () =
       counters =
         { rx = 0; tx = 0; dropped_blocked = 0; dropped_capacity = 0; dropped_no_rule = 0;
           dropped_action = 0 };
-      sampler = None;
+      sampler = None; on_update = None;
       hot_miss = Scotch_obs.Obs.hot_site ();
       hot_punt = Scotch_obs.Obs.hot_site () }
   in
@@ -376,7 +400,8 @@ let add_input_port t ~port_id ?(kind = Normal) ?(encap = Mpls_tunnel) () =
 (** Failure injection: kill or revive both planes of the switch. *)
 let set_failed t failed =
   t.failed <- failed;
-  Ofa.set_dead (ofa t) failed
+  Ofa.set_dead (ofa t) failed;
+  notify_update t (Liveness_changed failed)
 
 let is_failed t = t.failed
 
@@ -409,6 +434,30 @@ let name t = t.name
 let set_sampler t s = t.sampler <- s
 
 let sampler t = t.sampler
+
+(** Attach (or detach, with [None]) a dataplane-update observer, fired
+    synchronously after every applied rule mutation, group-mod or
+    liveness flip.  Table events come straight from each
+    {!Flow_table.set_on_change} tap, which this call wires (or clears),
+    so the default [None] keeps the flow tables observer-free. *)
+let set_on_update t f =
+  t.on_update <- f;
+  Array.iter
+    (fun tbl ->
+      Flow_table.set_on_change tbl
+        (match f with
+        | None -> None
+        | Some _ ->
+          let table_id = Flow_table.table_id tbl in
+          Some
+            (fun ch ->
+              let added, removed =
+                match ch with
+                | Flow_table.Rule_added r -> ([ r ], [])
+                | Flow_table.Rule_removed r -> ([], [ r ])
+              in
+              notify_update t (Table_changed { table_id; added; removed }))))
+    t.tables
 let profile t = t.profile
 let counters t = t.counters
 let tables t = t.tables

@@ -15,6 +15,20 @@ type tunnel_encap = Mpls_tunnel | Gre_tunnel
 
 type port_kind = Normal | Tunnel of int (** tunnel id *)
 
+(** A dataplane state change, as seen by a {!set_on_update} observer.
+    Table events carry the applied rule delta (from
+    {!Flow_table.set_on_change}, so capacity sweeps are covered too);
+    for groups and liveness the observer reads the new state through
+    the normal accessors ([group_table], [ports_snapshot]). *)
+type update_event =
+  | Table_changed of {
+      table_id : int;
+      added : Flow_table.rule list;
+      removed : Flow_table.rule list;
+    }  (** flow table [table_id] applied this rule delta *)
+  | Groups_changed            (** the group table changed *)
+  | Liveness_changed of bool  (** switch failed (true) or revived (false) *)
+
 type counters = {
   mutable rx : int;
   mutable tx : int;
@@ -75,6 +89,14 @@ val name : t -> string
 val set_sampler : t -> Scotch_telemetry.Sampler.t option -> unit
 
 val sampler : t -> Scotch_telemetry.Sampler.t option
+
+(** Attach (or detach, with [None]) a dataplane-update observer, fired
+    synchronously after every applied rule mutation, group-mod or
+    liveness flip — the incremental verifier's tap.  Wires (or clears)
+    every flow table's {!Flow_table.set_on_change}; [None] (the
+    default) leaves the tables observer-free and costs nothing on the
+    packet path. *)
+val set_on_update : t -> (update_event -> unit) option -> unit
 val profile : t -> Profile.t
 val counters : t -> counters
 val tables : t -> Flow_table.t array

@@ -1,778 +1,15 @@
-(** The static dataplane analyzer: five invariants over a
-    {!Snapshot.t}, no traffic required.
+(** The static dataplane analyzer: every registered invariant
+    ({!Invariant.all}) over a {!Snapshot.t}, no traffic required.
 
-    Local checks (blackholes, shadows, group sanity, coverage) are per
-    rule/group/switch.  The loop invariant is global: a symbolic packet
-    — a forged {!Scotch_packet.Packet.t}, so matching reuses
-    {!Scotch_openflow.Of_match.matches} verbatim — is walked through
-    the snapshot's pipeline (tables, groups, tunnels with
-    encap/decap) from every reachable injection point, and must never
-    revisit a (switch, in-port, encap-stack) state. *)
+    The per-invariant logic lives in the [Inv_*] modules; this is the
+    whole-snapshot composition.  The incremental verifier
+    ({!Incremental}) reuses the same modules per node/class, so the two
+    paths cannot drift apart. *)
 
-open Scotch_openflow
-open Scotch_packet
-open Scotch_switch
 module D = Diagnostic
-module S = Snapshot
 
-let max_hops = 64
-
-(* ------------------------------------------------------------------ *)
-(* Shared helpers *)
-
-let pp_rule (r : Flow_table.rule) =
-  Format.asprintf "prio %d %a" r.Flow_table.priority Of_match.pp r.Flow_table.match_
-
-(** The exact 5-tuple a match pins down, when it pins one down. *)
-let flow_key_of_match (m : Of_match.t) =
-  match (m.Of_match.ip_src, m.Of_match.ip_dst, m.Of_match.ip_proto) with
-  | Some s, Some d, Some proto
-    when s.Of_match.mask = Ipv4_addr.mask32 && d.Of_match.mask = Ipv4_addr.mask32 ->
-    Some
-      (Flow_key.make
-         ~ip_src:(Ipv4_addr.of_int s.Of_match.value)
-         ~ip_dst:(Ipv4_addr.of_int d.Of_match.value)
-         ~proto ?l4_src:m.Of_match.l4_src ?l4_dst:m.Of_match.l4_dst ())
-  | _ -> None
-
-(** Liveness of a dpid as the checker sees it: device not failed, and —
-    when it is an overlay vswitch the controller tracks — marked alive
-    in the overlay bookkeeping. *)
-let peer_live snap dpid =
-  let device_ok = match S.node snap dpid with Some n -> not n.S.failed | None -> false in
-  let overlay_ok =
-    match snap.S.overlay with
-    | None -> true
-    | Some ov -> (
-      match List.find_opt (fun (d, _, _) -> d = dpid) ov.S.vswitches with
-      | Some (_, alive, _) -> alive
-      | None -> true)
-  in
-  device_ok && overlay_ok
-
-(** Diagnostics for one [Output port] target.  [dead_severity] grades a
-    dead endpoint: {e rules} pointing at a dead switch are warnings
-    (idle timeouts reclaim them; §5.6 rehashing reroutes the flows),
-    while {e group buckets} doing so are errors (groups never expire —
-    only the failover rebalance can fix them). *)
-let check_output snap (n : S.node) ~invariant ~dead_severity ?table_id ?rule port_id =
-  let mk = D.make ~dpid:n.S.dpid ?table_id ?rule ~invariant in
-  match S.find_port n port_id with
-  | None -> [ mk ~severity:D.Error (Printf.sprintf "output to unknown port %d" port_id) ]
-  | Some p ->
-    let link =
-      match (p.S.link_up, p.S.endpoint) with
-      | None, _ | _, S.Disconnected ->
-        [ mk ~severity:D.Error
-            (Printf.sprintf "output to port %d, which has no outgoing link" port_id) ]
-      | Some false, _ ->
-        [ mk ~severity:D.Warning
-            (Printf.sprintf "output to port %d, whose link is administratively down" port_id) ]
-      | Some true, _ -> []
-    in
-    let endpoint =
-      match p.S.endpoint with
-      | S.To_switch { peer; _ } when not (peer_live snap peer) ->
-        [ mk ~severity:dead_severity
-            (match p.S.tunnel with
-            | Some tid ->
-              Printf.sprintf "port %d is tunnel %d to dead switch %d" port_id tid peer
-            | None -> Printf.sprintf "port %d leads to dead switch %d" port_id peer) ]
-      | _ -> []
-    in
-    link @ endpoint
-
-(* ------------------------------------------------------------------ *)
-(* Invariant 4: group sanity *)
-
-let check_groups snap (n : S.node) =
-  List.concat_map
-    (fun (g : S.group) ->
-      let mk = D.make ~dpid:n.S.dpid ~invariant:D.Group_sanity in
-      let label = Printf.sprintf "group %d" g.S.group_id in
-      if g.S.buckets = [] then
-        [ mk ~severity:D.Error (label ^ " has an empty bucket list") ]
-      else begin
-        let weights =
-          if
-            List.exists (fun (b : Of_msg.Group_mod.bucket) -> b.Of_msg.Group_mod.weight <= 0)
-              g.S.buckets
-          then [ mk ~severity:D.Error (label ^ " has a bucket with non-positive weight") ]
-          else []
-        in
-        let targets =
-          List.concat_map
-            (fun (b : Of_msg.Group_mod.bucket) ->
-              List.concat_map
-                (function
-                  | Of_action.Output (Of_types.Port_no.Physical p) ->
-                    check_output snap n ~invariant:D.Group_sanity ~dead_severity:D.Error
-                      ~rule:label p
-                  | _ -> [])
-                b.Of_msg.Group_mod.actions)
-            g.S.buckets
-        in
-        weights @ targets
-      end)
-    n.S.groups
-
-(* ------------------------------------------------------------------ *)
-(* Invariant 2: blackholes (local, per rule) *)
-
-let check_rule_local snap (n : S.node) ~table_id (r : Flow_table.rule) =
-  let mk = D.make ~dpid:n.S.dpid ~table_id ~rule:(pp_rule r) in
-  let actions = Of_action.actions_of_instructions r.Flow_table.instructions in
-  let goto = Of_action.goto_of_instructions r.Flow_table.instructions in
-  let empty =
-    if actions = [] && goto = None then
-      [ mk ~severity:D.Error ~invariant:D.Blackhole
-          "rule has no actions and no goto: every hit is silently dropped" ]
-    else []
-  in
-  let outputs =
-    List.concat_map
-      (function
-        | Of_action.Output (Of_types.Port_no.Physical p) ->
-          check_output snap n ~invariant:D.Blackhole ~dead_severity:D.Warning ~table_id
-            ~rule:(pp_rule r) p
-        | Of_action.Group gid ->
-          if List.exists (fun (g : S.group) -> g.S.group_id = gid) n.S.groups then []
-          else
-            [ mk ~severity:D.Error ~invariant:D.Blackhole
-                (Printf.sprintf "rule points at unknown group %d" gid) ]
-        | _ -> [])
-      actions
-  in
-  let goto_diags =
-    match goto with
-    | None -> []
-    | Some next ->
-      if next <= table_id || next >= n.S.num_tables then
-        [ mk ~severity:D.Error ~invariant:D.Blackhole
-            (Printf.sprintf "goto table %d is outside the pipeline (tables %d..%d)" next
-               (table_id + 1) (n.S.num_tables - 1)) ]
-      else begin
-        match List.assoc_opt next n.S.rules with
-        | Some [] | None ->
-          [ mk ~severity:D.Error ~invariant:D.Blackhole
-              (Printf.sprintf "goto into empty table %d: every hit misses and is dropped" next) ]
-        | Some _ -> []
-      end
-  in
-  empty @ outputs @ goto_diags
-
-(* ------------------------------------------------------------------ *)
-(* Invariant 3: shadowed rules *)
-
-let covers_field hi lo =
-  match (hi, lo) with
-  | None, _ -> true
-  | Some _, None -> false
-  | Some a, Some b -> a = b
-
-let covers_masked hi lo =
-  match (hi, lo) with
-  | None, _ -> true
-  | Some _, None -> false
-  | Some (a : Of_match.masked), Some (b : Of_match.masked) ->
-    a.Of_match.mask land b.Of_match.mask = a.Of_match.mask
-    && a.Of_match.value land a.Of_match.mask = b.Of_match.value land a.Of_match.mask
-
-(** [covers hi lo]: every packet matching [lo] also matches [hi] —
-    each constraint of [hi] is implied by [lo]'s constraints. *)
-let covers (hi : Of_match.t) (lo : Of_match.t) =
-  covers_field hi.Of_match.in_port lo.Of_match.in_port
-  && covers_field hi.Of_match.eth_type lo.Of_match.eth_type
-  && covers_masked hi.Of_match.ip_src lo.Of_match.ip_src
-  && covers_masked hi.Of_match.ip_dst lo.Of_match.ip_dst
-  && covers_field hi.Of_match.ip_proto lo.Of_match.ip_proto
-  && covers_field hi.Of_match.l4_src lo.Of_match.l4_src
-  && covers_field hi.Of_match.l4_dst lo.Of_match.l4_dst
-  && covers_field hi.Of_match.mpls_label lo.Of_match.mpls_label
-  && covers_field hi.Of_match.gre_key lo.Of_match.gre_key
-  && covers_field hi.Of_match.tunnel_id lo.Of_match.tunnel_id
-
-let shadow_diag (n : S.node) ~table_id hi lo =
-  D.make ~dpid:n.S.dpid ~table_id ~rule:(pp_rule lo) ~severity:D.Warning ~invariant:D.Shadow
-    (Printf.sprintf "rule is unreachable: fully covered by higher-priority rule %s" (pp_rule hi))
-
-(** Shadow detection in one table.  To stay near-linear on tables full
-    of exact per-flow rules, rules pinning an exact 5-tuple are bucketed
-    by that key — an exact higher-priority rule can only cover a rule
-    constrained to the same 5-tuple — and only the (few) non-exact
-    rules are compared against the full table. *)
-let check_shadows (n : S.node) ~table_id rules =
-  let by_key : Flow_table.rule list ref Flow_key.Hashtbl.t = Flow_key.Hashtbl.create 64 in
-  let non_exact = ref [] in
-  List.iter
-    (fun (r : Flow_table.rule) ->
-      match flow_key_of_match r.Flow_table.match_ with
-      | Some key -> (
-        match Flow_key.Hashtbl.find_opt by_key key with
-        | Some l -> l := r :: !l
-        | None -> Flow_key.Hashtbl.add by_key key (ref [ r ]))
-      | None -> non_exact := r :: !non_exact)
-    rules;
-  let acc = ref [] in
-  let consider hi lo =
-    if
-      hi.Flow_table.priority > lo.Flow_table.priority
-      && covers hi.Flow_table.match_ lo.Flow_table.match_
-    then acc := shadow_diag n ~table_id hi lo :: !acc
-  in
-  List.iter (fun hi -> List.iter (fun lo -> consider hi lo) rules) !non_exact;
-  Flow_key.Hashtbl.iter
-    (fun _ l ->
-      match !l with
-      | [] | [ _ ] -> ()
-      | group -> List.iter (fun hi -> List.iter (fun lo -> consider hi lo) group) group)
-    by_key;
-  !acc
-
-(* ------------------------------------------------------------------ *)
-(* Invariant 1: the symbolic loop walk *)
-
-(** Forge a minimal packet realizing a flow key, so the walk can reuse
-    {!Of_match.matches} and the group hash verbatim. *)
-let packet_of_key (key : Flow_key.t) =
-  let l4 =
-    if key.Flow_key.proto = Headers.Ipv4.proto_tcp then
-      Headers.L4.Tcp
-        (Headers.Tcp.make ~src_port:key.Flow_key.l4_src ~dst_port:key.Flow_key.l4_dst ())
-    else if key.Flow_key.proto = Headers.Ipv4.proto_udp then
-      Headers.L4.Udp
-        (Headers.Udp.make ~src_port:key.Flow_key.l4_src ~dst_port:key.Flow_key.l4_dst)
-    else Headers.L4.Other key.Flow_key.proto
-  in
-  Packet.make ~flow_id:0 ~created:0.0
-    ~eth:
-      (Headers.Ethernet.make ~src:(Mac.of_int 0xbeef) ~dst:(Mac.of_int 0xcafe)
-         ~ethertype:Headers.Ethernet.ethertype_ipv4)
-    ~ip:
-      (Headers.Ipv4.make ~src:key.Flow_key.ip_src ~dst:key.Flow_key.ip_dst
-         ~proto:key.Flow_key.proto ())
-    ~l4 ()
-
-let stack_sig pkt =
-  String.concat "|"
-    (List.map (fun e -> Format.asprintf "%a" Headers.Encap.pp e) pkt.Packet.encaps)
-
-(** Per-table match index: exact-5-tuple rules probed by the packet's
-    own key, the rest scanned — mirroring {!Flow_table}'s layout so
-    thousands of reactive per-flow rules cost O(1) per lookup. *)
-type tbl_index = {
-  exact : Flow_table.rule list Flow_key.Hashtbl.t; (* descending priority *)
-  scan : Flow_table.rule list;                     (* descending priority *)
-}
-
-let is_exact_shape (m : Of_match.t) =
-  m.Of_match.in_port = None && m.Of_match.eth_type = None && m.Of_match.mpls_label = None
-  && m.Of_match.gre_key = None && m.Of_match.tunnel_id = None
-  && m.Of_match.ip_proto <> None && m.Of_match.l4_src <> None && m.Of_match.l4_dst <> None
-  && (match m.Of_match.ip_src with
-     | Some { Of_match.mask; _ } -> mask = Ipv4_addr.mask32
-     | None -> false)
-  &&
-  match m.Of_match.ip_dst with
-  | Some { Of_match.mask; _ } -> mask = Ipv4_addr.mask32
-  | None -> false
-
-let index_table rules =
-  let exact = Flow_key.Hashtbl.create 64 in
-  let scan = ref [] in
-  (* [rules] is descending priority; keep that order in both halves *)
-  List.iter
-    (fun (r : Flow_table.rule) ->
-      if is_exact_shape r.Flow_table.match_ then begin
-        match flow_key_of_match r.Flow_table.match_ with
-        | Some key ->
-          Flow_key.Hashtbl.replace exact key
-            (match Flow_key.Hashtbl.find_opt exact key with
-            | Some l -> l @ [ r ]
-            | None -> [ r ])
-        | None -> scan := r :: !scan
-      end
-      else scan := r :: !scan)
-    rules;
-  { exact; scan = List.rev !scan }
-
-let index_lookup idx (ctx : Of_match.context) =
-  let first l = List.find_opt (fun r -> Of_match.matches r.Flow_table.match_ ctx) l in
-  let exact =
-    match Flow_key.Hashtbl.find_opt idx.exact (Packet.flow_key ctx.Of_match.packet) with
-    | Some l -> first l
-    | None -> None
-  in
-  match (exact, first idx.scan) with
-  | Some a, Some b -> if b.Flow_table.priority > a.Flow_table.priority then Some b else Some a
-  | (Some _ as r), None | None, (Some _ as r) -> r
-  | None, None -> None
-
-type walk_env = {
-  snap : S.t;
-  indexes : (int * int, tbl_index) Hashtbl.t; (* (dpid, table) -> index *)
-  mutable diags : D.t list;
-}
-
-let index_of env (n : S.node) table_id =
-  match Hashtbl.find_opt env.indexes (n.S.dpid, table_id) with
-  | Some idx -> idx
-  | None ->
-    let idx = index_table (Option.value (List.assoc_opt table_id n.S.rules) ~default:[]) in
-    Hashtbl.replace env.indexes (n.S.dpid, table_id) idx;
-    idx
-
-(** Group-bucket choice, mirroring {!Group_table.select_bucket}. *)
-let select_bucket (g : S.group) ~flow_hash =
-  match (g.S.group_type, g.S.buckets) with
-  | _, [] -> []
-  | Of_msg.Group_mod.All, buckets -> buckets
-  | (Of_msg.Group_mod.Indirect | Of_msg.Group_mod.Fast_failover), b :: _ -> [ b ]
-  | Of_msg.Group_mod.Select, buckets ->
-    let total =
-      List.fold_left (fun acc (b : Of_msg.Group_mod.bucket) -> acc + max 1 b.Of_msg.Group_mod.weight) 0 buckets
-    in
-    let target = flow_hash mod total in
-    let rec go acc = function
-      | [] -> [ List.hd buckets ]
-      | (b : Of_msg.Group_mod.bucket) :: rest ->
-        let acc = acc + max 1 b.Of_msg.Group_mod.weight in
-        if target < acc then [ b ] else go acc rest
-    in
-    go 0 buckets
-
-let witness_of key path =
-  Printf.sprintf "%s via %s" (Flow_key.to_string key)
-    (String.concat " -> "
-       (List.rev_map (fun (dpid, in_port, _) -> Printf.sprintf "%d:%d" dpid in_port) path))
-
-(** Walk one symbolic packet from an arrival, following every output it
-    generates; report a Loop diagnostic on the first state revisit or
-    hop-budget exhaustion.  One report per walk is enough — a loop
-    revisits its states forever. *)
-let walk env ~key start_dpid ~in_port pkt =
-  let looped = ref false in
-  let report ~dpid path msg =
-    if not !looped then begin
-      looped := true;
-      env.diags <-
-        D.make ~dpid ~witness:(witness_of key path) ~severity:D.Error ~invariant:D.Loop msg
-        :: env.diags
-    end
-  in
-  let rec arrive path dpid ~in_port pkt =
-    if not !looped then
-      match S.node env.snap dpid with
-      | None -> ()
-      | Some n ->
-        if not n.S.failed then begin
-          (* tunnel-port arrival: strip the matching outer header and
-             surface the tunnel id, as the datapath does *)
-          let tunnel_id, pkt =
-            match S.find_port n in_port with
-            | Some { S.tunnel = Some tid; _ } -> (
-              match Packet.pop_encap pkt with
-              | Some (Headers.Encap.Mpls { label }, pkt') when label = tid -> (Some tid, pkt')
-              | Some (Headers.Encap.Gre { key = k }, pkt') when Int32.to_int k = tid ->
-                (Some tid, pkt')
-              | _ -> (Some tid, pkt))
-            | _ -> (None, pkt)
-          in
-          let state = (dpid, in_port, stack_sig pkt) in
-          if List.mem state path then
-            report ~dpid path
-              (Printf.sprintf "forwarding loop: (dpid %d, in-port %d) revisited" dpid in_port)
-          else if List.length path >= max_hops then
-            report ~dpid path
-              (Printf.sprintf "hop budget (%d) exhausted: probable forwarding loop" max_hops)
-          else begin
-            let path = state :: path in
-            let ctx = Of_match.context ?tunnel_id ~in_port pkt in
-            run_table path n ~ctx ~table_id:0 pkt
-          end
-        end
-  and run_table path (n : S.node) ~ctx ~table_id pkt =
-    let ctx = { ctx with Of_match.packet = pkt } in
-    match index_lookup (index_of env n table_id) ctx with
-    | None -> () (* bare miss: drop; the coverage invariant owns this *)
-    | Some r ->
-      let pkt = apply path n ~ctx pkt (Of_action.actions_of_instructions r.Flow_table.instructions) in
-      (match Of_action.goto_of_instructions r.Flow_table.instructions with
-      | Some next when next > table_id && next < n.S.num_tables ->
-        run_table path n ~ctx ~table_id:next pkt
-      | Some _ | None -> ())
-  and transmit path (_n : S.node) (p : S.port) pkt =
-    let pkt =
-      match p.S.tunnel with
-      | Some tid -> Packet.push_encap (Headers.Encap.mpls tid) pkt
-      | None -> pkt
-    in
-    match p.S.endpoint with
-    | S.To_switch { peer; peer_in_port } -> arrive path peer ~in_port:peer_in_port pkt
-    | S.To_host _ | S.Opaque | S.Disconnected -> ()
-  and emit path n pid pkt =
-    match S.find_port n pid with Some p -> transmit path n p pkt | None -> ()
-  and apply path (n : S.node) ~(ctx : Of_match.context) pkt actions =
-    match actions with
-    | [] -> pkt
-    | act :: rest ->
-      if !looped then pkt
-      else begin
-        let continue pkt = apply path n ~ctx pkt rest in
-        match act with
-        | Of_action.Output (Of_types.Port_no.Physical p) ->
-          if p <> ctx.Of_match.in_port then emit path n p pkt;
-          continue pkt
-        | Of_action.Output Of_types.Port_no.In_port ->
-          emit path n ctx.Of_match.in_port pkt;
-          continue pkt
-        | Of_action.Output Of_types.Port_no.All ->
-          List.iter
-            (fun (p : S.port) ->
-              if p.S.port_id <> ctx.Of_match.in_port && p.S.tunnel = None then
-                transmit path n p pkt)
-            n.S.ports;
-          continue pkt
-        | Of_action.Output
-            (Of_types.Port_no.Controller | Of_types.Port_no.Local | Of_types.Port_no.Any) ->
-          continue pkt
-        | Of_action.Group gid -> (
-          match List.find_opt (fun (g : S.group) -> g.S.group_id = gid) n.S.groups with
-          | None -> continue pkt
-          | Some g ->
-            let flow_hash = Flow_key.hash (Packet.flow_key pkt) in
-            List.iter
-              (fun (b : Of_msg.Group_mod.bucket) ->
-                ignore (apply path n ~ctx pkt b.Of_msg.Group_mod.actions))
-              (select_bucket g ~flow_hash);
-            continue pkt)
-        | Of_action.Push_mpls label -> continue (Packet.push_encap (Headers.Encap.mpls label) pkt)
-        | Of_action.Pop_mpls -> (
-          match Packet.pop_encap pkt with
-          | Some (Headers.Encap.Mpls _, pkt') -> continue pkt'
-          | Some _ | None -> continue pkt)
-        | Of_action.Push_gre k -> continue (Packet.push_encap (Headers.Encap.gre k) pkt)
-        | Of_action.Pop_gre -> (
-          match Packet.pop_encap pkt with
-          | Some (Headers.Encap.Gre _, pkt') -> continue pkt'
-          | Some _ | None -> continue pkt)
-        | Of_action.Set_eth_dst _ | Of_action.Set_eth_src _ | Of_action.Dec_ttl
-        | Of_action.Drop ->
-          continue pkt
-      end
-  in
-  arrive [] start_dpid ~in_port pkt
-
-(** Caps keeping the walk budget bounded on big snapshots; generous
-    multiples of what any current topology produces. *)
-let max_seed_keys = 4096
-
-let max_orphan_keys = 128
-
-(** Injection seeds: the flow-key equivalence classes worth walking.
-    Each exact rule's 5-tuple is injected at its source host's
-    attachment port; keys whose source IP matches no host (spoofed
-    attack flows) are injected at {e every} host-facing edge port of a
-    managed switch, since their true ingress is unknowable.  A fresh
-    synthetic flow per (src, dst) host pair covers paths no reactive
-    rule pins yet. *)
-let seeds snap =
-  let host_by_ip ip = List.find_opt (fun h -> h.S.host_ip = ip) snap.S.hosts in
-  let keys = ref Flow_key.Set.empty in
-  List.iter
-    (fun (n : S.node) ->
-      List.iter
-        (fun (_, rules) ->
-          List.iter
-            (fun (r : Flow_table.rule) ->
-              match flow_key_of_match r.Flow_table.match_ with
-              | Some key -> keys := Flow_key.Set.add key !keys
-              | None -> ())
-            rules)
-        n.S.rules)
-    snap.S.nodes;
-  List.iter
-    (fun src ->
-      List.iter
-        (fun dst ->
-          if src.S.host_ip <> dst.S.host_ip then
-            keys :=
-              Flow_key.Set.add
-                (Flow_key.make
-                   ~ip_src:(Ipv4_addr.of_int src.S.host_ip)
-                   ~ip_dst:(Ipv4_addr.of_int dst.S.host_ip)
-                   ~proto:Headers.Ipv4.proto_tcp ~l4_src:53123 ~l4_dst:80 ())
-                !keys)
-        snap.S.hosts)
-    snap.S.hosts;
-  let edge_ports =
-    (* host-facing ports of managed switches: where unattributable
-       (spoofed-source) flows can plausibly enter *)
-    List.concat_map
-      (fun (n : S.node) ->
-        if List.mem n.S.dpid snap.S.managed then
-          List.filter_map
-            (fun (p : S.port) ->
-              match p.S.endpoint with
-              | S.To_host _ -> Some (n.S.dpid, p.S.port_id)
-              | _ -> None)
-            n.S.ports
-        else [])
-      snap.S.nodes
-  in
-  let known, orphan =
-    List.partition
-      (fun key -> host_by_ip (Ipv4_addr.to_int key.Flow_key.ip_src) <> None)
-      (Flow_key.Set.elements !keys)
-  in
-  let take n l = List.filteri (fun i _ -> i < n) l in
-  let known = take max_seed_keys known and orphan = take max_orphan_keys orphan in
-  List.filter_map
-    (fun key ->
-      match host_by_ip (Ipv4_addr.to_int key.Flow_key.ip_src) with
-      | Some h -> Some (key, [ (h.S.attach_dpid, h.S.attach_port) ])
-      | None -> None)
-    known
-  @ List.map (fun key -> (key, edge_ports)) orphan
-
-let check_loops snap =
-  let env = { snap; indexes = Hashtbl.create 64; diags = [] } in
-  List.iter
-    (fun (key, points) ->
-      List.iter
-        (fun (dpid, in_port) -> walk env ~key dpid ~in_port (packet_of_key key))
-        points)
-    (seeds snap);
-  env.diags
-
-(* ------------------------------------------------------------------ *)
-(* Invariant 5: table-miss coverage and overlay symmetry *)
-
-let has_miss_rule (n : S.node) =
-  match List.assoc_opt 0 n.S.rules with
-  | None -> false
-  | Some rules ->
-    List.exists
-      (fun (r : Flow_table.rule) ->
-        r.Flow_table.priority = 0 && Of_match.is_wildcard r.Flow_table.match_)
-      rules
-
-let check_coverage snap =
-  let miss =
-    List.concat_map
-      (fun dpid ->
-        match S.node snap dpid with
-        | None ->
-          [ D.make ~dpid ~severity:D.Error ~invariant:D.Coverage
-              "controlled switch is missing from the topology" ]
-        | Some n ->
-          if has_miss_rule n then []
-          else
-            [ D.make ~dpid ~table_id:0 ~severity:D.Error ~invariant:D.Coverage
-                "controlled switch has no table-miss rule: unmatched packets vanish \
-                 instead of reaching the controller" ])
-      (S.controlled snap)
-  in
-  let overlay =
-    match snap.S.overlay with
-    | None -> []
-    | Some ov ->
-      let alive dpid =
-        match List.find_opt (fun (d, _, _) -> d = dpid) ov.S.vswitches with
-        | Some (_, a, _) -> a
-        | None -> false
-      in
-      let deliveries_of dpid = Option.value (List.assoc_opt dpid ov.S.deliveries) ~default:[] in
-      let mesh_of dpid = Option.value (List.assoc_opt dpid ov.S.mesh) ~default:[] in
-      let uplink_sym =
-        (* §5.2: redirected Packet-Ins are attributed through the
-           tunnel-origin table, so every uplink must be registered in
-           it — and its tunnel port must really exist on the device. *)
-        List.concat_map
-          (fun (phys, ups) ->
-            List.concat_map
-              (fun (vdpid, tid) ->
-                let origin =
-                  match List.assoc_opt tid ov.S.tunnel_origins with
-                  | Some d when d = phys -> []
-                  | Some d ->
-                    [ D.make ~dpid:phys ~severity:D.Error ~invariant:D.Coverage
-                        (Printf.sprintf
-                           "uplink tunnel %d is attributed to switch %d in the origin map" tid d) ]
-                  | None ->
-                    [ D.make ~dpid:phys ~severity:D.Error ~invariant:D.Coverage
-                        (Printf.sprintf
-                           "uplink tunnel %d to vswitch %d is missing from the origin map: \
-                            redirected Packet-Ins cannot be attributed" tid vdpid) ]
-                in
-                let port =
-                  match S.node snap phys with
-                  | None -> []
-                  | Some n -> (
-                    match S.find_port n (Scotch_topo.Topology.tunnel_port_of_id tid) with
-                    | Some { S.endpoint = S.To_switch { peer; _ }; _ } when peer = vdpid -> []
-                    | _ ->
-                      [ D.make ~dpid:phys ~severity:D.Error ~invariant:D.Coverage
-                          (Printf.sprintf
-                             "uplink tunnel %d to vswitch %d has no matching tunnel port on \
-                              the device" tid vdpid) ])
-                in
-                origin @ port)
-              ups)
-          ov.S.uplinks
-      in
-      let cover_diags =
-        List.concat_map
-          (fun (ip, recorded) ->
-            let ip_s = Ipv4_addr.to_string (Ipv4_addr.of_int ip) in
-            let effective =
-              if alive recorded then Some recorded
-              else
-                List.find_map
-                  (fun (d, a, _) ->
-                    if a && List.mem_assoc ip (deliveries_of d) then Some d else None)
-                  ov.S.vswitches
-            in
-            match effective with
-            | None ->
-              [ D.make ~dpid:recorded ~severity:D.Error ~invariant:D.Coverage
-                  (Printf.sprintf "host %s has no alive covering vswitch" ip_s) ]
-            | Some c ->
-              let fallback =
-                if c <> recorded then
-                  [ D.make ~dpid:recorded ~severity:D.Warning ~invariant:D.Coverage
-                      (Printf.sprintf
-                         "recorded cover of host %s is dead; falling back to vswitch %d" ip_s c) ]
-                else []
-              in
-              let delivery =
-                if List.mem_assoc ip (deliveries_of c) then []
-                else
-                  [ D.make ~dpid:c ~severity:D.Error ~invariant:D.Coverage
-                      (Printf.sprintf "covering vswitch has no delivery tunnel to host %s" ip_s) ]
-              in
-              (* return-path symmetry: any entry vswitch must reach the
-                 cover over the mesh, so a flow redirected anywhere can
-                 still be delivered (§4.1) *)
-              let reach =
-                List.concat_map
-                  (fun (v, a, backup) ->
-                    if (not a) || backup || v = c then []
-                    else if List.mem_assoc c (mesh_of v) then []
-                    else
-                      [ D.make ~dpid:v ~severity:D.Error ~invariant:D.Coverage
-                          (Printf.sprintf
-                             "entry vswitch %d has no mesh tunnel to vswitch %d covering host \
-                              %s: no return path" v c ip_s) ])
-                  ov.S.vswitches
-              in
-              fallback @ delivery @ reach)
-          ov.S.covers
-      in
-      uplink_sym @ cover_diags
-  in
-  miss @ overlay
-
-(* ------------------------------------------------------------------ *)
-(* Invariant 6: intent/actual divergence (reliable layer) *)
-
-(** Diff each reliable-managed switch's intent store against the
-    captured device tables.  Entries younger than the repair grace — on
-    either side — may still be in flight and are skipped, mirroring the
-    reconciler; failed switches are skipped (the resync-at-recovery path
-    owns them). *)
-let check_divergence snap =
-  match snap.S.intents with
-  | None -> []
-  | Some st ->
-    List.concat_map
-      (fun (inode : S.intent_node) ->
-        match S.node snap inode.S.int_dpid with
-        | None -> [] (* coverage already reports controlled switches missing entirely *)
-        | Some n when n.S.failed -> []
-        | Some n ->
-          let live =
-            List.concat_map (fun (tid, rules) -> List.map (fun r -> (tid, r)) rules) n.S.rules
-          in
-          let mk = D.make ~dpid:n.S.dpid ~severity:D.Error ~invariant:D.Divergence in
-          let missing =
-            List.filter_map
-              (fun (ir : S.intent_rule) ->
-                if (not ir.S.ir_durable) || ir.S.ir_age < st.S.grace then None
-                else if
-                  List.exists
-                    (fun (tid, (r : Flow_table.rule)) ->
-                      tid = ir.S.ir_table && r.Flow_table.priority = ir.S.ir_priority
-                      && r.Flow_table.match_ = ir.S.ir_match)
-                    live
-                then None
-                else
-                  Some
-                    (mk ~table_id:ir.S.ir_table
-                       ~rule:(Format.asprintf "prio %d %a" ir.S.ir_priority Of_match.pp
-                                ir.S.ir_match)
-                       "durable intent rule is missing from the device"))
-              inode.S.int_rules
-          in
-          let orphans =
-            List.filter_map
-              (fun (tid, (r : Flow_table.rule)) ->
-                if not (List.mem r.Flow_table.cookie st.S.owned) then None
-                else if snap.S.now -. r.Flow_table.installed_at < st.S.grace then None
-                else if
-                  List.exists
-                    (fun (ir : S.intent_rule) ->
-                      ir.S.ir_table = tid && ir.S.ir_priority = r.Flow_table.priority
-                      && ir.S.ir_match = r.Flow_table.match_)
-                    inode.S.int_rules
-                then None
-                else
-                  Some
-                    (mk ~table_id:tid ~rule:(pp_rule r)
-                       "device rule with a reconciler-owned cookie has no intent (orphan)"))
-              live
-          in
-          let group_diags =
-            List.filter_map
-              (fun (ig : S.intent_group) ->
-                if ig.S.ig_age < st.S.grace then None
-                else
-                  match List.find_opt (fun (g : S.group) -> g.S.group_id = ig.S.ig_id) n.S.groups with
-                  | None ->
-                    Some (mk (Printf.sprintf "intent group %d is missing from the device" ig.S.ig_id))
-                  | Some g when
-                      g.S.group_type <> ig.S.ig_type || g.S.buckets <> ig.S.ig_buckets ->
-                    Some
-                      (mk
-                         (Printf.sprintf "group %d buckets on the device differ from intent"
-                            ig.S.ig_id))
-                  | Some _ -> None)
-              inode.S.int_groups
-            @ List.filter_map
-                (fun (g : S.group) ->
-                  if List.exists (fun (ig : S.intent_group) -> ig.S.ig_id = g.S.group_id)
-                       inode.S.int_groups
-                  then None
-                  else Some (mk (Printf.sprintf "device group %d has no intent (orphan)" g.S.group_id)))
-                n.S.groups
-          in
-          missing @ orphans @ group_diags)
-      st.S.per_switch
-
-(* ------------------------------------------------------------------ *)
+let max_hops = Inv_loop.max_hops
 
 let check snap =
-  let local =
-    List.concat_map
-      (fun (n : S.node) ->
-        if n.S.failed then []
-        else
-          check_groups snap n
-          @ List.concat_map
-              (fun (table_id, rules) ->
-                List.concat_map (fun r -> check_rule_local snap n ~table_id r) rules
-                @ check_shadows n ~table_id rules)
-              n.S.rules)
-      snap.S.nodes
-  in
-  D.normalize (local @ check_loops snap @ check_coverage snap @ check_divergence snap)
+  D.normalize
+    (List.concat_map (fun (module I : Invariant.S) -> I.snapshot snap) Invariant.all)

@@ -12,10 +12,16 @@ type t = {
   rule : string option;
   witness : string option;
   message : string;
+  first_at : float option;
+      (** Virtual time at which the incremental verifier first saw this
+          violation; [None] for snapshot checks.  Ignored by {!compare},
+          so diagnostic identity is independent of when it was found. *)
 }
 
-let make ?dpid ?table_id ?rule ?witness ~severity ~invariant message =
-  { severity; invariant; dpid; table_id; rule; witness; message }
+let make ?dpid ?table_id ?rule ?witness ?first_at ~severity ~invariant message =
+  { severity; invariant; dpid; table_id; rule; witness; message; first_at }
+
+let with_first_at at d = { d with first_at = Some at }
 
 let is_error d = d.severity = Error
 
@@ -61,6 +67,7 @@ let pp fmt d =
   (match d.table_id with Some tid -> Format.fprintf fmt " table %d" tid | None -> ());
   Format.fprintf fmt ": %s" d.message;
   (match d.rule with Some r -> Format.fprintf fmt " (rule %s)" r | None -> ());
-  match d.witness with Some w -> Format.fprintf fmt " [witness: %s]" w | None -> ()
+  (match d.witness with Some w -> Format.fprintf fmt " [witness: %s]" w | None -> ());
+  match d.first_at with Some at -> Format.fprintf fmt " [first at t=%.3f]" at | None -> ()
 
 let to_string d = Format.asprintf "%a" pp d

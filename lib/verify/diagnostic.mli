@@ -37,17 +37,26 @@ type t = {
   rule : string option;   (** printed form of the offending rule/group *)
   witness : string option; (** flow key or walk trace demonstrating it *)
   message : string;
+  first_at : float option;
+      (** Virtual time at which the incremental verifier first saw this
+          violation; [None] for snapshot checks.  Ignored by {!compare},
+          so diagnostic identity is independent of when it was found. *)
 }
 
 val make :
-  ?dpid:int -> ?table_id:int -> ?rule:string -> ?witness:string ->
+  ?dpid:int -> ?table_id:int -> ?rule:string -> ?witness:string -> ?first_at:float ->
   severity:severity -> invariant:invariant -> string -> t
+
+(** Stamp the first-seen virtual time. *)
+val with_first_at : float -> t -> t
 
 val is_error : t -> bool
 val invariant_name : invariant -> string
 
 (** Total order (severity first, errors before warnings, then location)
-    used to sort and de-duplicate reports. *)
+    used to sort and de-duplicate reports.  [first_at] is ignored, so a
+    violation found incrementally at t=3.2 equals the same violation
+    found by a snapshot rescan. *)
 val compare : t -> t -> int
 
 (** Sort and drop exact duplicates. *)

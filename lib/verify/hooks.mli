@@ -1,12 +1,18 @@
-(** Debug-mode assertion hooks: run the invariant checker at the phase
+(** Verification hooks: run the invariant checker at the phase
     boundaries the Scotch app and fault injector announce
-    (post-redirect, post-withdrawal, post-migration, post-recovery) and
-    whenever an {!Scotch_sim.Engine.run} call returns.
+    (post-redirect, post-withdrawal, post-migration, post-recovery),
+    whenever an {!Scotch_sim.Engine.run} call returns, and — under
+    [Config.Continuous] — incrementally on every flow-mod, group-mod
+    and liveness flip at the install chokepoints.
 
-    Disabled by default — {!install} is a no-op unless {!enable} was
-    called or the [SCOTCH_VERIFY] environment variable is set — so
-    production runs pay nothing.  Findings are collected, not raised:
-    read {!reports} / {!error_count} after the run. *)
+    The mode comes from the app's {!Scotch_core.Config.verify} knob;
+    the legacy {!enable} switch / [SCOTCH_VERIFY] environment variable
+    still means "at least phase checks".  With [Config.Off] and the
+    switch clear (the default), {!install} is a no-op and production
+    runs pay nothing.  Findings are collected, not raised: read
+    {!reports} / {!error_count} after the run; continuous-mode
+    diagnostics carry the virtual time each violation first appeared
+    ({!Diagnostic.first_at}). *)
 
 type report = {
   phase : string; (** which boundary fired ("post-recovery", "run-end", …) *)
@@ -16,9 +22,9 @@ type report = {
 
 type t
 
-(** Turn debug-mode verification on/off for subsequently installed
-    hooks.  [SCOTCH_VERIFY=1] in the environment enables it at
-    startup. *)
+(** Turn phase-boundary verification on/off for subsequently installed
+    hooks, regardless of the config knob.  [SCOTCH_VERIFY=1] in the
+    environment enables it at startup. *)
 val enable : unit -> unit
 
 val disable : unit -> unit
@@ -31,12 +37,21 @@ val is_enabled : unit -> bool
     the dataplane settle. *)
 val settle_delay : float
 
+(** Continuous-mode audit cadence: every this many incremental updates,
+    the maintained diagnostic set is compared against a full rescan of
+    the tracked model. *)
+val equiv_every : int
+
 (** [install ?phases ?run_end ~engine ~topo scotch] subscribes the
     checker to the app's phase boundaries (default: [`Post_recovery]
     only — redirects and migrations legitimately overlap in-flight
     installs) and, when [run_end] (default [true]), to every
-    {!Scotch_sim.Engine.run} return.  Returns [None] when verification
-    is disabled. *)
+    {!Scotch_sim.Engine.run} return.  Under [Config.Continuous] it also
+    builds an {!Incremental} verifier, taps every switch's dataplane
+    updates and the reliable layer's installs, re-verifies the affected
+    header-space classes on each delta, audits against a full rescan
+    every {!equiv_every} updates and resyncs at each phase check.
+    Returns [None] when verification is disabled. *)
 val install :
   ?phases:Scotch_core.Scotch.phase list -> ?run_end:bool -> engine:Scotch_sim.Engine.t ->
   topo:Scotch_topo.Topology.t -> Scotch_core.Scotch.t -> t option
@@ -52,3 +67,11 @@ val error_count : t -> int
 
 (** Reports for one phase label. *)
 val reports_of_phase : t -> string -> report list
+
+(** The continuous-mode incremental verifier, when running under
+    [Config.Continuous] (latency/class statistics live on it). *)
+val incremental : t -> Incremental.t option
+
+(** Install batches seen at the controller's send chokepoint
+    (continuous mode only; [0] otherwise). *)
+val installs_issued : t -> int

@@ -1,0 +1,988 @@
+(** The incremental dataplane verifier: per-update invariant checking.
+
+    Maintains a pure {!Snapshot.t} model of the network plus cached
+    per-invariant results, and on each delta (flow-mod, group-mod,
+    port/failure event, overlay or intent refresh) recomputes only what
+    the delta can affect:
+
+    {ul
+    {- {b Loop}: header space is partitioned into the same flow-key
+       equivalence classes the snapshot checker seeds
+       ({!Inv_loop.assign}); a {!Match_trie} maps a changed rule's
+       match to the classes it can touch, and each cached class records
+       the dpids its last walk visited, so group/port/failure events on
+       a switch re-walk exactly the classes whose paths cross it.  The
+       shared per-table walk indexes are mutated in place on exact-rule
+       deltas ({!Inv_loop.index_delta}).}
+    {- {b Blackhole}: cached {e per rule} (only violating rules are
+       stored); a rule delta grades just the delta rules.  Whole-node
+       rebuilds happen only when the rule environment shifts: a table
+       flipping empty<->nonempty (goto targets), a group delta
+       (membership), and port/failure/overlay events (peer liveness).}
+    {- {b Shadow}: cached per (node, table) as the same exact-key
+       buckets the snapshot pass uses, with each finding tagged by its
+       (higher, lower) rule pair; an added rule is paired only against
+       its own bucket plus the non-exact rules, a removed rule drops
+       its structures and any finding it participates in.}
+    {- {b Group sanity}: cached per node; recomputed on that node's
+       group deltas and on liveness-affecting events.}
+    {- {b Coverage}: recomputed on port, overlay and membership
+       changes, and on table-0 deltas only when the delta contains a
+       miss-shaped (priority-0 wildcard) rule — per-flow rule churn
+       cannot change miss coverage.}
+    {- {b Divergence}: cached per reliable-managed switch; recomputed
+       on that switch's deltas, on the intent nodes an intent refresh
+       actually changed, and when an in-grace device rule ages past the
+       repair grace ({!Inv_divergence.deadline}).}}
+
+    Rule state is held in slot-keyed per-table stores so a
+    {!Table_delta} (the switch tap's shape) costs O(delta) even on a
+    table holding tens of thousands of reactive rules: the model's rule
+    {e list} for a churned table is merely marked stale and
+    re-materialized on demand, before any whole-model reader (the
+    full-rescan audit, coverage, a node rebuild) runs.
+
+    All per-class and per-rule oracles are the same [Inv_*] functions
+    the snapshot {!Checker} composes, so the two paths cannot drift;
+    the {!check_equivalence} audit verifies [diagnostics t] equals a
+    fresh [Checker.check (model t)] and is exported to the bench/CI
+    gate.  Every cached finding set mirrors its contents into a
+    refcounted diagnostic {e ledger}; the current diagnostic list is
+    the ledger's key set, so an apply costs O(its own diag delta) even
+    during violation-heavy windows — never an O(model) re-gather.
+
+    Diagnostics carry {!Diagnostic.t.first_at}: the virtual time at
+    which the violation first entered the current set. *)
+
+open Scotch_openflow
+open Scotch_packet
+open Scotch_switch
+module D = Diagnostic
+module S = Snapshot
+module DMap = Map.Make (D)
+
+type update =
+  | Table of { dpid : int; table_id : int; rules : Flow_table.rule list }
+      (** the table's full post-delta live rule list (diffed here) *)
+  | Table_delta of {
+      dpid : int;
+      table_id : int;
+      added : Flow_table.rule list;
+      removed : Flow_table.rule list;
+    }
+      (** the applied rule delta itself — the {!Scotch_switch.Switch}
+          tap's shape; O(delta) regardless of table size *)
+  | Groups of { dpid : int; groups : S.group list }
+  | Ports of { dpid : int; ports : S.port list; failed : bool }
+  | Node of S.node  (** switch joined or wholesale refresh *)
+  | Remove_node of int
+  | Hosts of S.host list
+  | Overlay of S.overlay_state option
+  | Intents of S.intent_state option
+  | Managed of { managed : int list; vswitch_dpids : int list }
+  | Tick  (** pure virtual-time advance (grace aging) *)
+
+type class_cache = {
+  mutable entry : (int * int) list;
+  mutable cdiags : D.t list;
+  mutable ctouched : int list; (* sorted dpids the walk visited *)
+}
+
+(* Rule-slot identity within a table: {!Flow_table} replaces on equal
+   (priority, match), which is also how {!diff_rules} keys. *)
+type slot = int * Of_match.t
+
+(** Shadow state of one (node, table): the snapshot pass's exact-key
+    buckets plus findings tagged with the (hi, lo) rule pair that
+    produced them, so removals can retract exactly their findings. *)
+type shadow_tbl = {
+  sh_buckets : Flow_table.rule list Flow_key.Hashtbl.t;
+  mutable sh_nonexact : Flow_table.rule list;
+  mutable sh_diags : (slot * slot * D.t) list;
+}
+
+type local_cache = {
+  mutable lc_grp : D.t list; (* group sanity, whole node *)
+  lc_bh : (int * slot, D.t list) Hashtbl.t; (* violating rules only *)
+  lc_shadow : (int, shadow_tbl) Hashtbl.t; (* table_id -> state *)
+}
+
+let lat_cap = 8192
+
+type t = {
+  mutable model : S.t;
+  mutable trie : Match_trie.t;
+  refs : int ref Flow_key.Hashtbl.t; (* rule-derived refcounts; host-pair keys hold one *)
+  mutable host_keys : Flow_key.Set.t;
+  mutable host_by_ip : (int, S.host) Hashtbl.t;
+  mutable edges : (int * int) list; (* orphan injection points *)
+  mutable known_active : Flow_key.Set.t;
+  mutable known_overflow : Flow_key.Set.t;
+  mutable orphan_active : Flow_key.Set.t;
+  mutable orphan_overflow : Flow_key.Set.t;
+  mutable n_known_active : int; (* cardinals, maintained: Set.cardinal is O(n) *)
+  mutable n_orphan_active : int;
+  classes : class_cache Flow_key.Hashtbl.t; (* exactly the active sets *)
+  indexes : (int * int, Inv_loop.tbl_index) Hashtbl.t;
+  stores : (int * int, (slot, Flow_table.rule) Hashtbl.t) Hashtbl.t;
+      (* (dpid, table) -> authoritative slot-keyed rule store; the
+         model's rule {e lists} may lag it (see [stale]) *)
+  stale : (int * int, unit) Hashtbl.t;
+      (* tables whose model list lags its store; flushed before any
+         whole-model read.  Invariant: a stale table's walk index is
+         already built, so no walk rebuilds one from the stale list. *)
+  local : (int, local_cache) Hashtbl.t; (* per-node blackhole+shadow+group *)
+  mutable coverage : D.t list;
+  div : (int, D.t list) Hashtbl.t;
+  div_deadlines : (int, float) Hashtbl.t;
+  mutable ledger : int DMap.t;
+      (* live diagnostic -> multiplicity across every cache; its key
+         set IS the current diagnostic set *)
+  mutable changed : unit DMap.t; (* ledger keys touched since [settle] *)
+  mutable first_seen : float DMap.t;
+  mutable current : D.t list; (* ledger keys in order, stamped *)
+  (* counters *)
+  mutable n_updates : int;
+  mutable n_classes_touched : int;
+  mutable n_last_classes : int;
+  mutable n_violations : int; (* distinct violations ever entered *)
+  mutable n_equiv_checks : int;
+  mutable n_equiv_mismatches : int;
+  lat : float array; (* seconds per apply, ring buffer *)
+  mutable lat_total : int;
+}
+
+type stats = {
+  updates : int;
+  classes_touched : int;
+  last_classes_touched : int;
+  class_count : int;
+  violations_seen : int;
+  equiv_checks : int;
+  equiv_mismatches : int;
+  p50_us : float;
+  p99_us : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The diagnostic ledger: every cached finding set (per-class walks,
+   per-rule blackholes, shadow pairs, group sanity, coverage,
+   divergence) mirrors its contents here as refcounts, so the current
+   diagnostic set never has to be re-gathered from the caches.  A
+   violation-churning update costs O(its own diag delta); [settle]
+   reconciles first-seen stamps and rebuilds the ordered list only when
+   something actually changed. *)
+
+let ledger_add t ds =
+  List.iter
+    (fun d ->
+      let n = Option.value (DMap.find_opt d t.ledger) ~default:0 in
+      t.ledger <- DMap.add d (n + 1) t.ledger;
+      t.changed <- DMap.add d () t.changed)
+    ds
+
+let ledger_remove t ds =
+  List.iter
+    (fun d ->
+      match DMap.find_opt d t.ledger with
+      | None -> () (* a cache retracting a finding it never registered *)
+      | Some n ->
+        if n <= 1 then t.ledger <- DMap.remove d t.ledger
+        else t.ledger <- DMap.add d (n - 1) t.ledger;
+        t.changed <- DMap.add d () t.changed)
+    ds
+
+(* ------------------------------------------------------------------ *)
+(* Class universe maintenance *)
+
+let is_known t (key : Flow_key.t) =
+  Hashtbl.mem t.host_by_ip (Ipv4_addr.to_int key.Flow_key.ip_src)
+
+let entry_of t key =
+  match Hashtbl.find_opt t.host_by_ip (Ipv4_addr.to_int key.Flow_key.ip_src) with
+  | Some h -> [ (h.S.attach_dpid, h.S.attach_port) ]
+  | None -> t.edges
+
+(* Activation keeps the exact capped selection the snapshot checker
+   makes: the first [max_seed_keys] known / [max_orphan_keys] orphan
+   keys in {!Flow_key.Set} order.  [dirty] collects classes needing a
+   (re-)walk this apply. *)
+let activate t dirty key =
+  Match_trie.add t.trie key;
+  Flow_key.Hashtbl.replace t.classes key { entry = entry_of t key; cdiags = []; ctouched = [] };
+  Hashtbl.replace dirty key ()
+
+let deactivate t dirty key =
+  (match Flow_key.Hashtbl.find_opt t.classes key with
+  | Some c when c.cdiags <> [] -> ledger_remove t c.cdiags
+  | _ -> ());
+  Match_trie.remove t.trie key;
+  Flow_key.Hashtbl.remove t.classes key;
+  Hashtbl.remove dirty key
+
+let enter_universe t dirty key =
+  if is_known t key then begin
+    if t.n_known_active < Inv_loop.max_seed_keys then begin
+      t.known_active <- Flow_key.Set.add key t.known_active;
+      t.n_known_active <- t.n_known_active + 1;
+      activate t dirty key
+    end
+    else begin
+      let mx = Flow_key.Set.max_elt t.known_active in
+      if Flow_key.compare key mx < 0 then begin
+        t.known_active <- Flow_key.Set.add key (Flow_key.Set.remove mx t.known_active);
+        t.known_overflow <- Flow_key.Set.add mx t.known_overflow;
+        deactivate t dirty mx;
+        activate t dirty key
+      end
+      else t.known_overflow <- Flow_key.Set.add key t.known_overflow
+    end
+  end
+  else if t.n_orphan_active < Inv_loop.max_orphan_keys then begin
+    t.orphan_active <- Flow_key.Set.add key t.orphan_active;
+    t.n_orphan_active <- t.n_orphan_active + 1;
+    activate t dirty key
+  end
+  else begin
+    let mx = Flow_key.Set.max_elt t.orphan_active in
+    if Flow_key.compare key mx < 0 then begin
+      t.orphan_active <- Flow_key.Set.add key (Flow_key.Set.remove mx t.orphan_active);
+      t.orphan_overflow <- Flow_key.Set.add mx t.orphan_overflow;
+      deactivate t dirty mx;
+      activate t dirty key
+    end
+    else t.orphan_overflow <- Flow_key.Set.add key t.orphan_overflow
+  end
+
+let leave_universe t dirty key =
+  if Flow_key.Set.mem key t.known_active then begin
+    t.known_active <- Flow_key.Set.remove key t.known_active;
+    t.n_known_active <- t.n_known_active - 1;
+    deactivate t dirty key;
+    match Flow_key.Set.min_elt_opt t.known_overflow with
+    | Some k ->
+      t.known_overflow <- Flow_key.Set.remove k t.known_overflow;
+      t.known_active <- Flow_key.Set.add k t.known_active;
+      t.n_known_active <- t.n_known_active + 1;
+      activate t dirty k
+    | None -> ()
+  end
+  else if Flow_key.Set.mem key t.known_overflow then
+    t.known_overflow <- Flow_key.Set.remove key t.known_overflow
+  else if Flow_key.Set.mem key t.orphan_active then begin
+    t.orphan_active <- Flow_key.Set.remove key t.orphan_active;
+    t.n_orphan_active <- t.n_orphan_active - 1;
+    deactivate t dirty key;
+    match Flow_key.Set.min_elt_opt t.orphan_overflow with
+    | Some k ->
+      t.orphan_overflow <- Flow_key.Set.remove k t.orphan_overflow;
+      t.orphan_active <- Flow_key.Set.add k t.orphan_active;
+      t.n_orphan_active <- t.n_orphan_active + 1;
+      activate t dirty k
+    | None -> ()
+  end
+  else t.orphan_overflow <- Flow_key.Set.remove key t.orphan_overflow
+
+let ref_key t dirty key =
+  match Flow_key.Hashtbl.find_opt t.refs key with
+  | Some r -> incr r
+  | None ->
+    Flow_key.Hashtbl.add t.refs key (ref 1);
+    enter_universe t dirty key
+
+let unref_key t dirty key =
+  match Flow_key.Hashtbl.find_opt t.refs key with
+  | None -> ()
+  | Some r ->
+    decr r;
+    if !r <= 0 then begin
+      Flow_key.Hashtbl.remove t.refs key;
+      leave_universe t dirty key
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Model editing and the per-table rule stores *)
+
+let slot_of (r : Flow_table.rule) = (r.Flow_table.priority, r.Flow_table.match_)
+
+let set_node t (n : S.node) =
+  let rest = List.filter (fun (o : S.node) -> o.S.dpid <> n.S.dpid) t.model.S.nodes in
+  t.model <-
+    { t.model with
+      S.nodes = List.sort (fun (a : S.node) b -> compare a.S.dpid b.S.dpid) (n :: rest) }
+
+(* Deterministic materialization order: descending priority (the walk
+   index builder's contract), ties by structural match compare.  Cheap
+   on purpose — this order is internal to the verifier; snapshot
+   capture keeps its own canonical order. *)
+let store_order (a : Flow_table.rule) (b : Flow_table.rule) =
+  match compare b.Flow_table.priority a.Flow_table.priority with
+  | 0 -> compare a.Flow_table.match_ b.Flow_table.match_
+  | c -> c
+
+(* The store is seeded from the model, so it must be created before its
+   table's model list first goes stale. *)
+let store_of t dpid table_id =
+  let k = (dpid, table_id) in
+  match Hashtbl.find_opt t.stores k with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.create 64 in
+    (match S.node t.model dpid with
+    | Some n ->
+      List.iter
+        (fun r -> Hashtbl.replace s (slot_of r) r)
+        (Option.value (List.assoc_opt table_id n.S.rules) ~default:[])
+    | None -> ());
+    Hashtbl.replace t.stores k s;
+    s
+
+let materialize_store s =
+  List.sort store_order (Hashtbl.fold (fun _ r acc -> r :: acc) s [])
+
+let flush_table t ((dpid, table_id) as k) =
+  if Hashtbl.mem t.stale k then begin
+    Hashtbl.remove t.stale k;
+    match S.node t.model dpid with
+    | None -> ()
+    | Some n ->
+      let rules = materialize_store (store_of t dpid table_id) in
+      set_node t
+        { n with
+          S.rules =
+            List.sort
+              (fun (a, _) (b, _) -> compare a b)
+              ((table_id, rules) :: List.remove_assoc table_id n.S.rules) }
+  end
+
+let flush_node t dpid =
+  List.iter (flush_table t)
+    (Hashtbl.fold (fun ((d, _) as k) () acc -> if d = dpid then k :: acc else acc) t.stale [])
+
+let flush_all t =
+  List.iter (flush_table t) (Hashtbl.fold (fun k () acc -> k :: acc) t.stale [])
+
+(* ------------------------------------------------------------------ *)
+(* Per-invariant recomputation via the shared oracles *)
+
+(* --- blackhole: per-rule, only violating rules stored --- *)
+
+let bh_rule t lc (n : S.node) ~table_id r =
+  let k = (table_id, slot_of r) in
+  (match Hashtbl.find_opt lc.lc_bh k with
+  | Some old -> ledger_remove t old
+  | None -> ());
+  match Inv_blackhole.rule t.model n ~table_id r with
+  | [] -> Hashtbl.remove lc.lc_bh k
+  | ds ->
+    Hashtbl.replace lc.lc_bh k ds;
+    ledger_add t ds
+
+let bh_remove t lc ~table_id r =
+  let k = (table_id, slot_of r) in
+  match Hashtbl.find_opt lc.lc_bh k with
+  | Some ds ->
+    Hashtbl.remove lc.lc_bh k;
+    ledger_remove t ds
+  | None -> ()
+
+let rebuild_blackhole t lc (n : S.node) =
+  Hashtbl.iter (fun _ ds -> ledger_remove t ds) lc.lc_bh;
+  Hashtbl.reset lc.lc_bh;
+  if not n.S.failed then
+    List.iter
+      (fun (table_id, rules) -> List.iter (fun r -> bh_rule t lc n ~table_id r) rules)
+      n.S.rules
+
+(* --- shadow: exact-key buckets with pair-tagged findings --- *)
+
+let shadow_pair (n : S.node) ~table_id (hi : Flow_table.rule) (lo : Flow_table.rule) =
+  if
+    hi.Flow_table.priority > lo.Flow_table.priority
+    && Inv_common.covers hi.Flow_table.match_ lo.Flow_table.match_
+  then Some (slot_of hi, slot_of lo, Inv_shadow.shadow_diag n ~table_id hi lo)
+  else None
+
+(* Pair the incoming rule against exactly the rules the snapshot pass
+   would: its own exact-key bucket (both directions) plus the non-exact
+   rules as higher-priority candidates — or, for a non-exact rule, the
+   whole table.  Cross-bucket exact pairs are (deliberately) not
+   considered, mirroring {!Inv_shadow.table}. *)
+let shadow_add t st n ~table_id (r : Flow_table.rule) =
+  let pair hi lo =
+    match shadow_pair n ~table_id hi lo with
+    | Some ((_, _, d) as tagged) ->
+      st.sh_diags <- tagged :: st.sh_diags;
+      ledger_add t [ d ]
+    | None -> ()
+  in
+  match Inv_common.flow_key_of_match r.Flow_table.match_ with
+  | Some key ->
+    let bucket = Option.value (Flow_key.Hashtbl.find_opt st.sh_buckets key) ~default:[] in
+    List.iter
+      (fun m ->
+        pair r m;
+        pair m r)
+      bucket;
+    List.iter (fun ne -> pair ne r) st.sh_nonexact;
+    Flow_key.Hashtbl.replace st.sh_buckets key (r :: bucket)
+  | None ->
+    Flow_key.Hashtbl.iter (fun _ l -> List.iter (fun lo -> pair r lo) l) st.sh_buckets;
+    List.iter
+      (fun x ->
+        pair r x;
+        pair x r)
+      st.sh_nonexact;
+    pair r r;
+    st.sh_nonexact <- r :: st.sh_nonexact
+
+let shadow_remove t st (r : Flow_table.rule) =
+  let id = slot_of r in
+  let keep (h, l, _) = h <> id && l <> id in
+  let dropped, kept = List.partition (fun p -> not (keep p)) st.sh_diags in
+  if dropped <> [] then begin
+    st.sh_diags <- kept;
+    ledger_remove t (List.map (fun (_, _, d) -> d) dropped)
+  end;
+  match Inv_common.flow_key_of_match r.Flow_table.match_ with
+  | Some key -> (
+    match Flow_key.Hashtbl.find_opt st.sh_buckets key with
+    | None -> ()
+    | Some l -> (
+      match List.filter (fun x -> slot_of x <> id) l with
+      | [] -> Flow_key.Hashtbl.remove st.sh_buckets key
+      | l' -> Flow_key.Hashtbl.replace st.sh_buckets key l'))
+  | None -> st.sh_nonexact <- List.filter (fun x -> slot_of x <> id) st.sh_nonexact
+
+let fresh_shadow () =
+  { sh_buckets = Flow_key.Hashtbl.create 16; sh_nonexact = []; sh_diags = [] }
+
+let shadow_tbl_of lc table_id =
+  match Hashtbl.find_opt lc.lc_shadow table_id with
+  | Some st -> st
+  | None ->
+    let st = fresh_shadow () in
+    Hashtbl.replace lc.lc_shadow table_id st;
+    st
+
+(* --- whole-node (re)builds --- *)
+
+let build_local t (n : S.node) =
+  let lc = { lc_grp = []; lc_bh = Hashtbl.create 8; lc_shadow = Hashtbl.create 4 } in
+  if not n.S.failed then begin
+    lc.lc_grp <- Inv_group.node t.model n;
+    ledger_add t lc.lc_grp;
+    List.iter
+      (fun (table_id, rules) ->
+        let st = fresh_shadow () in
+        Hashtbl.replace lc.lc_shadow table_id st;
+        List.iter
+          (fun r ->
+            bh_rule t lc n ~table_id r;
+            shadow_add t st n ~table_id r)
+          rules)
+      n.S.rules
+  end;
+  lc
+
+let retract_local t lc =
+  ledger_remove t lc.lc_grp;
+  Hashtbl.iter (fun _ ds -> ledger_remove t ds) lc.lc_bh;
+  Hashtbl.iter
+    (fun _ st -> List.iter (fun (_, _, d) -> ledger_remove t [ d ]) st.sh_diags)
+    lc.lc_shadow
+
+let recompute_all_local t =
+  flush_all t;
+  Hashtbl.iter (fun _ lc -> retract_local t lc) t.local;
+  Hashtbl.reset t.local;
+  List.iter
+    (fun (n : S.node) -> Hashtbl.replace t.local n.S.dpid (build_local t n))
+    t.model.S.nodes
+
+(* --- divergence --- *)
+
+let recompute_divergence t dpid =
+  let clear () =
+    (match Hashtbl.find_opt t.div dpid with
+    | Some ((_ :: _) as old) -> ledger_remove t old
+    | _ -> ());
+    Hashtbl.remove t.div dpid;
+    Hashtbl.remove t.div_deadlines dpid
+  in
+  match t.model.S.intents with
+  | None -> clear ()
+  | Some st -> (
+    match List.find_opt (fun (i : S.intent_node) -> i.S.int_dpid = dpid) st.S.per_switch with
+    | None -> clear ()
+    | Some inode ->
+      flush_node t dpid; (* the oracle diffs intents against device rules *)
+      let ds = Inv_divergence.node t.model st inode in
+      (match (Hashtbl.find_opt t.div dpid, ds) with
+      | None, [] -> ()
+      | Some old, _ when old = ds -> ()
+      | old, _ ->
+        Option.iter (ledger_remove t) old;
+        ledger_add t ds);
+      if ds = [] then Hashtbl.remove t.div dpid else Hashtbl.replace t.div dpid ds;
+      (match Inv_divergence.deadline t.model st inode with
+      | Some due -> Hashtbl.replace t.div_deadlines dpid due
+      | None -> Hashtbl.remove t.div_deadlines dpid))
+
+let recompute_all_divergence t =
+  Hashtbl.iter (fun _ ds -> ledger_remove t ds) t.div;
+  Hashtbl.reset t.div;
+  Hashtbl.reset t.div_deadlines;
+  match t.model.S.intents with
+  | None -> ()
+  | Some st ->
+    List.iter (fun (i : S.intent_node) -> recompute_divergence t i.S.int_dpid) st.S.per_switch
+
+(* --- coverage --- *)
+
+let recompute_coverage t =
+  flush_all t;
+  let c = Inv_coverage.snapshot t.model in
+  if c <> t.coverage then begin
+    ledger_remove t t.coverage;
+    ledger_add t c;
+    t.coverage <- c
+  end
+
+(* A rule that can change table-miss coverage: the priority-0 wildcard
+   the coverage invariant looks for. *)
+let miss_shaped (r : Flow_table.rule) =
+  r.Flow_table.priority = 0 && Of_match.is_wildcard r.Flow_table.match_
+
+(** Re-walk every class in [dirty]. *)
+let rewalk t dirty =
+  let env = Inv_loop.make_env ~indexes:t.indexes t.model in
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun key () ->
+      incr n;
+      match Flow_key.Hashtbl.find_opt t.classes key with
+      | None -> ()
+      | Some c ->
+        let diags, touched = Inv_loop.walk_class env ~key c.entry in
+        if diags <> c.cdiags then begin
+          ledger_remove t c.cdiags;
+          ledger_add t diags
+        end;
+        c.cdiags <- diags;
+        c.ctouched <- touched)
+    dirty;
+  t.n_last_classes <- !n;
+  t.n_classes_touched <- t.n_classes_touched + !n
+
+(** Classes whose last walk crossed [dpid]. *)
+let classes_touching t dirty dpid =
+  Flow_key.Hashtbl.iter
+    (fun key c -> if List.mem dpid c.ctouched then Hashtbl.replace dirty key ())
+    t.classes
+
+(* Reconcile the ledger churn since the last settle: stamp findings
+   whose refcount went 0->n as new first sightings, drop stamps for
+   findings that cleared (so a reappearance is a new sighting), and
+   rebuild [current] from the ledger's keys — already deduped and in
+   [D.compare] order, exactly what [D.normalize] produced from the old
+   full gather. *)
+let settle t ~now =
+  if not (DMap.is_empty t.changed) then begin
+    DMap.iter
+      (fun d () ->
+        if DMap.mem d t.ledger then begin
+          if not (DMap.mem d t.first_seen) then begin
+            t.first_seen <- DMap.add d now t.first_seen;
+            t.n_violations <- t.n_violations + 1
+          end
+        end
+        else t.first_seen <- DMap.remove d t.first_seen)
+      t.changed;
+    t.changed <- DMap.empty;
+    t.current <-
+      List.rev
+        (DMap.fold
+           (fun d _ acc -> D.with_first_at (DMap.find d t.first_seen) d :: acc)
+           t.ledger [])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Diffing full rule lists (the [Table] update shape) *)
+
+(* Semantic rule identity for diffing: counters are mutable telemetry,
+   not forwarding behavior. *)
+let rule_sig (r : Flow_table.rule) =
+  ( r.Flow_table.instructions,
+    r.Flow_table.idle_timeout,
+    r.Flow_table.hard_timeout,
+    r.Flow_table.cookie,
+    r.Flow_table.installed_at )
+
+(** Diff two rule lists of one table; returns the rules present on only
+    one side (changed rules appear on both sides of the diff). *)
+let diff_rules old_rules new_rules =
+  let tbl = Hashtbl.create (List.length old_rules * 2 + 1) in
+  List.iter
+    (fun (r : Flow_table.rule) ->
+      Hashtbl.replace tbl (r.Flow_table.priority, r.Flow_table.match_) r)
+    old_rules;
+  let added = ref [] in
+  List.iter
+    (fun (r : Flow_table.rule) ->
+      let k = (r.Flow_table.priority, r.Flow_table.match_) in
+      match Hashtbl.find_opt tbl k with
+      | Some o when rule_sig o = rule_sig r -> Hashtbl.remove tbl k
+      | Some _ -> added := r :: !added (* changed: old stays in [tbl] → lands in removed *)
+      | None -> added := r :: !added)
+    new_rules;
+  let removed = Hashtbl.fold (fun _ r acc -> r :: acc) tbl [] in
+  (!added, removed)
+
+(* ------------------------------------------------------------------ *)
+
+let record_latency t dt =
+  t.lat.(t.lat_total mod lat_cap) <- dt;
+  t.lat_total <- t.lat_total + 1
+
+let refresh_edges t = t.edges <- Inv_loop.edge_ports t.model
+
+let refresh_hosts_index t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun (host : S.host) -> Hashtbl.replace h host.S.host_ip host) t.model.S.hosts;
+  t.host_by_ip <- h
+
+(** Drop every cache and rebuild from the current model — the big
+    hammer for rare structural events (membership, hosts, node
+    joins). *)
+let reseed_all t dirty =
+  (* the model is authoritative here: callers either replaced it
+     wholesale or flushed every store first *)
+  Hashtbl.reset t.stores;
+  Hashtbl.reset t.stale;
+  Hashtbl.reset t.indexes;
+  Flow_key.Hashtbl.iter (fun _ c -> ledger_remove t c.cdiags) t.classes;
+  Flow_key.Hashtbl.reset t.classes;
+  Flow_key.Hashtbl.reset t.refs;
+  t.trie <- Match_trie.create ();
+  t.known_active <- Flow_key.Set.empty;
+  t.known_overflow <- Flow_key.Set.empty;
+  t.orphan_active <- Flow_key.Set.empty;
+  t.orphan_overflow <- Flow_key.Set.empty;
+  t.n_known_active <- 0;
+  t.n_orphan_active <- 0;
+  Hashtbl.reset dirty;
+  refresh_hosts_index t;
+  refresh_edges t;
+  t.host_keys <- Flow_key.Set.of_list (Inv_loop.host_pair_keys t.model);
+  Flow_key.Set.iter (fun k -> ref_key t dirty k) t.host_keys;
+  List.iter
+    (fun (n : S.node) ->
+      List.iter
+        (fun (_, rules) ->
+          List.iter
+            (fun (r : Flow_table.rule) ->
+              match Inv_common.flow_key_of_match r.Flow_table.match_ with
+              | Some key -> ref_key t dirty key
+              | None -> ())
+            rules)
+        n.S.rules)
+    t.model.S.nodes;
+  recompute_all_local t;
+  ledger_remove t t.coverage;
+  t.coverage <- Inv_coverage.snapshot t.model;
+  ledger_add t t.coverage;
+  recompute_all_divergence t
+
+(* The shared Table guts: fold one table's rule delta into the store,
+   the walk index, the class universe and every per-invariant cache —
+   O(delta) except where an environment shift (an empty<->nonempty
+   flip, a miss-rule change) forces a scoped rebuild.  The model's rule
+   list for the table is only marked stale; whole-model readers flush
+   it on demand. *)
+let table_delta t dirty ~dpid ~table_id ~added ~removed =
+  match S.node t.model dpid with
+  | None -> ()
+  | Some _ ->
+    let store = store_of t dpid table_id in
+    let was_empty = Hashtbl.length store = 0 in
+    (* Normalize against the store: removing an absent slot (say, a
+       sweep reaping a rule a refresh already dropped) is a no-op, and
+       adding over a live slot is a replace — retract the stored rule,
+       then grade the new one. *)
+    let removed = List.filter_map (fun r -> Hashtbl.find_opt store (slot_of r)) removed in
+    List.iter (fun r -> Hashtbl.remove store (slot_of r)) removed;
+    let replaced = List.filter_map (fun r -> Hashtbl.find_opt store (slot_of r)) added in
+    List.iter (fun r -> Hashtbl.remove store (slot_of r)) replaced;
+    List.iter (fun r -> Hashtbl.replace store (slot_of r) r) added;
+    let removed = replaced @ removed in
+    if added <> [] || removed <> [] then begin
+      let now_empty = Hashtbl.length store = 0 in
+      Hashtbl.replace t.stale (dpid, table_id) ();
+      (* keep the shared walk index in lockstep with the store; a stale
+         table must always have one, else a walk would rebuild it from
+         the lagging model list *)
+      let rebuilt () = Inv_loop.index_table (materialize_store store) in
+      (match Hashtbl.find_opt t.indexes (dpid, table_id) with
+      | Some idx ->
+        if not (Inv_loop.index_delta idx ~added ~removed) then
+          Hashtbl.replace t.indexes (dpid, table_id) (rebuilt ())
+      | None -> Hashtbl.replace t.indexes (dpid, table_id) (rebuilt ()));
+      (* universe: additions before removals, so a replace keeps its
+         key's refcount above zero throughout (no activation churn) *)
+      List.iter
+        (fun (r : Flow_table.rule) ->
+          match Inv_common.flow_key_of_match r.Flow_table.match_ with
+          | Some key -> ref_key t dirty key
+          | None -> ())
+        added;
+      List.iter
+        (fun (r : Flow_table.rule) ->
+          match Inv_common.flow_key_of_match r.Flow_table.match_ with
+          | Some key -> unref_key t dirty key
+          | None -> ())
+        removed;
+      List.iter
+        (fun (r : Flow_table.rule) ->
+          List.iter
+            (fun key -> Hashtbl.replace dirty key ())
+            (Match_trie.affected t.trie r.Flow_table.match_))
+        (added @ removed);
+      (* local invariants, delta-driven *)
+      (match Hashtbl.find_opt t.local dpid with
+      | None ->
+        flush_node t dpid;
+        (match S.node t.model dpid with
+        | Some n' -> Hashtbl.replace t.local dpid (build_local t n')
+        | None -> ())
+      | Some lc -> (
+        match S.node t.model dpid with
+        | None -> ()
+        | Some n' ->
+          if not n'.S.failed then
+            if was_empty <> now_empty then begin
+              (* an empty<->nonempty flip regrades gotos into this
+                 table from the node's other tables *)
+              flush_node t dpid;
+              match S.node t.model dpid with
+              | None -> ()
+              | Some n2 ->
+                rebuild_blackhole t lc n2;
+                let st = shadow_tbl_of lc table_id in
+                List.iter (fun r -> shadow_remove t st r) removed;
+                List.iter (fun r -> shadow_add t st n2 ~table_id r) added
+            end
+            else begin
+              List.iter (fun r -> bh_remove t lc ~table_id r) removed;
+              List.iter (fun r -> bh_rule t lc n' ~table_id r) added;
+              let st = shadow_tbl_of lc table_id in
+              List.iter (fun r -> shadow_remove t st r) removed;
+              List.iter (fun r -> shadow_add t st n' ~table_id r) added
+            end));
+      if table_id = 0 && List.exists miss_shaped (added @ removed) then
+        recompute_coverage t;
+      recompute_divergence t dpid
+    end
+
+let apply_update t dirty u =
+  match u with
+  | Tick -> ()
+  | Table { dpid; table_id; rules } -> (
+    match S.node t.model dpid with
+    | None -> ()
+    | Some _ ->
+      let store = store_of t dpid table_id in
+      let old_rules = Hashtbl.fold (fun _ r acc -> r :: acc) store [] in
+      let added, removed = diff_rules old_rules rules in
+      table_delta t dirty ~dpid ~table_id ~added ~removed)
+  | Table_delta { dpid; table_id; added; removed } ->
+    table_delta t dirty ~dpid ~table_id ~added ~removed
+  | Groups { dpid; groups } -> (
+    flush_node t dpid; (* group sanity and goto grading read the node's rules *)
+    match S.node t.model dpid with
+    | None -> ()
+    | Some n ->
+      set_node t { n with S.groups };
+      classes_touching t dirty dpid;
+      (match S.node t.model dpid with
+      | Some n' when not n'.S.failed -> (
+        match Hashtbl.find_opt t.local dpid with
+        | None -> Hashtbl.replace t.local dpid (build_local t n')
+        | Some lc ->
+          let grp = Inv_group.node t.model n' in
+          if grp <> lc.lc_grp then begin
+            ledger_remove t lc.lc_grp;
+            ledger_add t grp;
+            lc.lc_grp <- grp
+          end;
+          (* rules may point at groups that just (dis)appeared *)
+          rebuild_blackhole t lc n')
+      | _ -> ());
+      recompute_divergence t dpid)
+  | Ports { dpid; ports; failed } -> (
+    flush_node t dpid;
+    match S.node t.model dpid with
+    | None -> ()
+    | Some n ->
+      set_node t { n with S.ports; S.failed };
+      classes_touching t dirty dpid;
+      let edges = Inv_loop.edge_ports t.model in
+      if edges <> t.edges then begin
+        t.edges <- edges;
+        Flow_key.Hashtbl.iter
+          (fun key c ->
+            if not (is_known t key) then begin
+              c.entry <- edges;
+              Hashtbl.replace dirty key ()
+            end)
+          t.classes
+      end;
+      recompute_all_local t;
+      recompute_coverage t;
+      recompute_divergence t dpid)
+  | Node _ | Remove_node _ | Hosts _ | Managed _ ->
+    flush_all t; (* the reseed below reads every node's rules *)
+    (match u with
+    | Node n -> set_node t n
+    | Remove_node dpid ->
+      t.model <-
+        { t.model with
+          S.nodes = List.filter (fun (o : S.node) -> o.S.dpid <> dpid) t.model.S.nodes }
+    | Hosts hosts -> t.model <- { t.model with S.hosts = hosts }
+    | Managed { managed; vswitch_dpids } ->
+      t.model <- { t.model with S.managed = managed; S.vswitch_dpids = vswitch_dpids }
+    | _ -> ());
+    reseed_all t dirty
+  | Overlay overlay ->
+    t.model <- { t.model with S.overlay = overlay };
+    recompute_all_local t;
+    recompute_coverage t
+  | Intents intents -> (
+    let old = t.model.S.intents in
+    t.model <- { t.model with S.intents = intents };
+    match (old, intents) with
+    | None, None -> ()
+    | Some o, Some nw when o.S.grace = nw.S.grace && o.S.owned = nw.S.owned ->
+      (* re-diff only the switches whose intent node changed *)
+      let node_of (st : S.intent_state) d =
+        List.find_opt (fun (i : S.intent_node) -> i.S.int_dpid = d) st.S.per_switch
+      in
+      let dpids =
+        List.sort_uniq compare
+          (List.map (fun (i : S.intent_node) -> i.S.int_dpid) o.S.per_switch
+          @ List.map (fun (i : S.intent_node) -> i.S.int_dpid) nw.S.per_switch)
+      in
+      List.iter (fun d -> if node_of o d <> node_of nw d then recompute_divergence t d) dpids
+    | _ -> recompute_all_divergence t)
+
+let due_divergence t ~now =
+  let due =
+    Hashtbl.fold (fun d t' acc -> if t' <= now then d :: acc else acc) t.div_deadlines []
+  in
+  List.iter (fun dpid -> recompute_divergence t dpid) due
+
+let apply t ~now u =
+  let t0 = Unix.gettimeofday () in
+  t.model <- { t.model with S.now = now };
+  let dirty : (Flow_key.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  due_divergence t ~now;
+  apply_update t dirty u;
+  rewalk t dirty;
+  settle t ~now;
+  t.n_updates <- t.n_updates + 1;
+  record_latency t (Unix.gettimeofday () -. t0);
+  t.current
+
+let create ?(now = 0.0) snap =
+  let t =
+    { model = { snap with S.now = now };
+      trie = Match_trie.create ();
+      refs = Flow_key.Hashtbl.create 256;
+      host_keys = Flow_key.Set.empty;
+      host_by_ip = Hashtbl.create 64;
+      edges = [];
+      known_active = Flow_key.Set.empty;
+      known_overflow = Flow_key.Set.empty;
+      orphan_active = Flow_key.Set.empty;
+      orphan_overflow = Flow_key.Set.empty;
+      n_known_active = 0;
+      n_orphan_active = 0;
+      classes = Flow_key.Hashtbl.create 256;
+      indexes = Hashtbl.create 64;
+      stores = Hashtbl.create 64;
+      stale = Hashtbl.create 64;
+      local = Hashtbl.create 64;
+      coverage = [];
+      div = Hashtbl.create 16;
+      div_deadlines = Hashtbl.create 16;
+      ledger = DMap.empty;
+      changed = DMap.empty;
+      first_seen = DMap.empty;
+      current = [];
+      n_updates = 0;
+      n_classes_touched = 0;
+      n_last_classes = 0;
+      n_violations = 0;
+      n_equiv_checks = 0;
+      n_equiv_mismatches = 0;
+      lat = Array.make lat_cap 0.0;
+      lat_total = 0 }
+  in
+  let dirty = Hashtbl.create 256 in
+  reseed_all t dirty;
+  rewalk t dirty;
+  settle t ~now;
+  t
+
+(** Full resync against a freshly captured snapshot — used at phase
+    boundaries to fold in events no tap covers (link flaps, lazy rule
+    expiry). *)
+let refresh t ~now snap =
+  t.model <- { snap with S.now = now };
+  let dirty = Hashtbl.create 256 in
+  reseed_all t dirty;
+  rewalk t dirty;
+  settle t ~now
+
+let diagnostics t = t.current
+
+let model t =
+  flush_all t;
+  t.model
+
+let class_count t = Flow_key.Hashtbl.length t.classes
+
+(** Audit: does the incremental diagnostic set equal a fresh
+    whole-snapshot rescan of the same model?  (Equality modulo
+    [first_at], which the rescan cannot know.) *)
+let check_equivalence t =
+  flush_all t;
+  let full = Checker.check t.model in
+  let ok =
+    List.compare_lengths full t.current = 0
+    && List.for_all2 (fun a b -> D.compare a b = 0) full t.current
+  in
+  t.n_equiv_checks <- t.n_equiv_checks + 1;
+  if not ok then t.n_equiv_mismatches <- t.n_equiv_mismatches + 1;
+  ok
+
+let percentile t q =
+  let n = min t.lat_total lat_cap in
+  if n = 0 then 0.0
+  else begin
+    let a = Array.sub t.lat 0 n in
+    Array.sort compare a;
+    let i = int_of_float (q *. float_of_int (n - 1)) in
+    a.(max 0 (min (n - 1) i))
+  end
+
+let stats t =
+  { updates = t.n_updates;
+    classes_touched = t.n_classes_touched;
+    last_classes_touched = t.n_last_classes;
+    class_count = class_count t;
+    violations_seen = t.n_violations;
+    equiv_checks = t.n_equiv_checks;
+    equiv_mismatches = t.n_equiv_mismatches;
+    p50_us = percentile t 0.5 *. 1e6;
+    p99_us = percentile t 0.99 *. 1e6 }

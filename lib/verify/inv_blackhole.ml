@@ -1,0 +1,62 @@
+(** Invariant: no blackholes (local, per rule).  Every table hit must
+    end somewhere — a rule with no actions and no goto, an output to an
+    unknown/disconnected port or unknown group, or a goto outside the
+    pipeline or into an empty table all silently drop traffic. *)
+
+open Scotch_openflow
+open Scotch_switch
+module D = Diagnostic
+module S = Snapshot
+
+let name = "blackhole"
+
+let rule snap (n : S.node) ~table_id (r : Flow_table.rule) =
+  let mk = D.make ~dpid:n.S.dpid ~table_id ~rule:(Inv_common.pp_rule r) in
+  let actions = Of_action.actions_of_instructions r.Flow_table.instructions in
+  let goto = Of_action.goto_of_instructions r.Flow_table.instructions in
+  let empty =
+    if actions = [] && goto = None then
+      [ mk ~severity:D.Error ~invariant:D.Blackhole
+          "rule has no actions and no goto: every hit is silently dropped" ]
+    else []
+  in
+  let outputs =
+    List.concat_map
+      (function
+        | Of_action.Output (Of_types.Port_no.Physical p) ->
+          Inv_common.check_output snap n ~invariant:D.Blackhole ~dead_severity:D.Warning
+            ~table_id ~rule:(Inv_common.pp_rule r) p
+        | Of_action.Group gid ->
+          if List.exists (fun (g : S.group) -> g.S.group_id = gid) n.S.groups then []
+          else
+            [ mk ~severity:D.Error ~invariant:D.Blackhole
+                (Printf.sprintf "rule points at unknown group %d" gid) ]
+        | _ -> [])
+      actions
+  in
+  let goto_diags =
+    match goto with
+    | None -> []
+    | Some next ->
+      if next <= table_id || next >= n.S.num_tables then
+        [ mk ~severity:D.Error ~invariant:D.Blackhole
+            (Printf.sprintf "goto table %d is outside the pipeline (tables %d..%d)" next
+               (table_id + 1) (n.S.num_tables - 1)) ]
+      else begin
+        match List.assoc_opt next n.S.rules with
+        | Some [] | None ->
+          [ mk ~severity:D.Error ~invariant:D.Blackhole
+              (Printf.sprintf "goto into empty table %d: every hit misses and is dropped" next) ]
+        | Some _ -> []
+      end
+  in
+  empty @ outputs @ goto_diags
+
+(** All blackhole findings local to one (non-failed) node. *)
+let node snap (n : S.node) =
+  List.concat_map
+    (fun (table_id, rules) -> List.concat_map (fun r -> rule snap n ~table_id r) rules)
+    n.S.rules
+
+let snapshot snap =
+  List.concat_map (fun (n : S.node) -> if n.S.failed then [] else node snap n) snap.S.nodes

@@ -1,0 +1,45 @@
+(** Invariant: group sanity.  Select groups are non-empty with positive
+    weights, and every bucket output lands on a live endpoint — dead
+    bucket targets are errors, because groups never expire and only a
+    failover rebalance can fix them (§5.1, §5.6). *)
+
+open Scotch_openflow
+module D = Diagnostic
+module S = Snapshot
+
+let name = "group-sanity"
+
+(** All group findings local to one (non-failed) node. *)
+let node snap (n : S.node) =
+  List.concat_map
+    (fun (g : S.group) ->
+      let mk = D.make ~dpid:n.S.dpid ~invariant:D.Group_sanity in
+      let label = Printf.sprintf "group %d" g.S.group_id in
+      if g.S.buckets = [] then
+        [ mk ~severity:D.Error (label ^ " has an empty bucket list") ]
+      else begin
+        let weights =
+          if
+            List.exists (fun (b : Of_msg.Group_mod.bucket) -> b.Of_msg.Group_mod.weight <= 0)
+              g.S.buckets
+          then [ mk ~severity:D.Error (label ^ " has a bucket with non-positive weight") ]
+          else []
+        in
+        let targets =
+          List.concat_map
+            (fun (b : Of_msg.Group_mod.bucket) ->
+              List.concat_map
+                (function
+                  | Of_action.Output (Of_types.Port_no.Physical p) ->
+                    Inv_common.check_output snap n ~invariant:D.Group_sanity
+                      ~dead_severity:D.Error ~rule:label p
+                  | _ -> [])
+                b.Of_msg.Group_mod.actions)
+            g.S.buckets
+        in
+        weights @ targets
+      end)
+    n.S.groups
+
+let snapshot snap =
+  List.concat_map (fun (n : S.node) -> if n.S.failed then [] else node snap n) snap.S.nodes

@@ -1,0 +1,159 @@
+(** Multi-field match trie over the flow-key equivalence classes
+    (VeriFlow-style).
+
+    The verifier's header-space partition is the set of exact 5-tuple
+    classes ({!Scotch_packet.Flow_key.t}) the loop walk seeds.  This
+    trie indexes them by source and destination IP — a 64-level binary
+    trie, src bits then dst bits — so that, given an OpenFlow match, the
+    classes whose packets could hit it are found by descending: a
+    masked-out bit explores both branches, a constrained bit follows
+    the rule's value.  The remaining fields (protocol, L4 ports) are
+    filtered at the leaves; context-dependent fields (in-port, MPLS,
+    GRE, tunnel id) never exclude a class, because a class's packet can
+    acquire any of them along its walk — the result is a tight superset
+    of the classes a rule delta can affect. *)
+
+open Scotch_packet
+open Scotch_openflow
+
+type node = {
+  mutable zero : node option;
+  mutable one : node option;
+  mutable keys : Flow_key.t list; (* non-empty only at depth [depth_max] *)
+}
+
+let depth_max = 64
+
+type t = {
+  root : node;
+  mutable count : int;
+}
+
+let fresh () = { zero = None; one = None; keys = [] }
+
+let create () = { root = fresh (); count = 0 }
+
+let cardinal t = t.count
+
+(* Bit of the (src, dst) concatenation probed at [depth]: src bits
+   31..0 first, then dst bits 31..0, most-significant first. *)
+let key_bit (key : Flow_key.t) depth =
+  if depth < 32 then (Ipv4_addr.to_int key.Flow_key.ip_src lsr (31 - depth)) land 1
+  else (Ipv4_addr.to_int key.Flow_key.ip_dst lsr (63 - depth)) land 1
+
+let rec leaf_of node key depth =
+  if depth = depth_max then node
+  else begin
+    let next =
+      if key_bit key depth = 0 then begin
+        match node.zero with
+        | Some n -> n
+        | None ->
+          let n = fresh () in
+          node.zero <- Some n;
+          n
+      end
+      else begin
+        match node.one with
+        | Some n -> n
+        | None ->
+          let n = fresh () in
+          node.one <- Some n;
+          n
+      end
+    in
+    leaf_of next key (depth + 1)
+  end
+
+let mem t key =
+  let rec go node depth =
+    if depth = depth_max then List.exists (Flow_key.equal key) node.keys
+    else
+      match (if key_bit key depth = 0 then node.zero else node.one) with
+      | None -> false
+      | Some n -> go n (depth + 1)
+  in
+  go t.root 0
+
+let add t key =
+  let leaf = leaf_of t.root key 0 in
+  if not (List.exists (Flow_key.equal key) leaf.keys) then begin
+    leaf.keys <- key :: leaf.keys;
+    t.count <- t.count + 1
+  end
+
+(** Remove a class, pruning emptied branches so long-lived verifiers
+    don't accumulate dead chains under flow churn. *)
+let remove t key =
+  let rec go node depth =
+    (* returns true when [node] became empty and can be pruned *)
+    if depth = depth_max then begin
+      let n = List.length node.keys in
+      node.keys <- List.filter (fun k -> not (Flow_key.equal key k)) node.keys;
+      if List.length node.keys < n then t.count <- t.count - 1;
+      node.keys = []
+    end
+    else begin
+      let bit = key_bit key depth in
+      let child = if bit = 0 then node.zero else node.one in
+      match child with
+      | None -> node.zero = None && node.one = None && node.keys = []
+      | Some c ->
+        if go c (depth + 1) then begin
+          if bit = 0 then node.zero <- None else node.one <- None
+        end;
+        node.zero = None && node.one = None && node.keys = []
+    end
+  in
+  ignore (go t.root 0)
+
+let iter t f =
+  let rec go node =
+    List.iter f node.keys;
+    (match node.zero with Some n -> go n | None -> ());
+    match node.one with Some n -> go n | None -> ()
+  in
+  go t.root
+
+(* The (value, mask) the match imposes on the probe bit at [depth];
+   an absent field is fully wildcarded. *)
+let masked_of = function
+  | None -> { Of_match.value = 0; mask = 0 }
+  | Some m -> m
+
+let leaf_matches (m : Of_match.t) (key : Flow_key.t) =
+  (match m.Of_match.ip_proto with None -> true | Some p -> p = key.Flow_key.proto)
+  && (match m.Of_match.l4_src with None -> true | Some p -> p = key.Flow_key.l4_src)
+  && match m.Of_match.l4_dst with None -> true | Some p -> p = key.Flow_key.l4_dst
+
+(** [affected t m] — every indexed class whose packets could match [m]
+    (a tight superset: IP and proto/port constraints are applied,
+    context-dependent fields are not). *)
+let affected t (m : Of_match.t) =
+  let src = masked_of m.Of_match.ip_src and dst = masked_of m.Of_match.ip_dst in
+  let constraint_at depth =
+    if depth < 32 then
+      let b = 31 - depth in
+      if (src.Of_match.mask lsr b) land 1 = 1 then Some ((src.Of_match.value lsr b) land 1)
+      else None
+    else
+      let b = 63 - depth in
+      if (dst.Of_match.mask lsr b) land 1 = 1 then Some ((dst.Of_match.value lsr b) land 1)
+      else None
+  in
+  let acc = ref [] in
+  let rec go node depth =
+    if depth = depth_max then
+      List.iter (fun k -> if leaf_matches m k then acc := k :: !acc) node.keys
+    else begin
+      let visit = function Some n -> go n (depth + 1) | None -> () in
+      match constraint_at depth with
+      | Some 0 -> visit node.zero
+      | Some _ -> visit node.one
+      | None ->
+        visit node.zero;
+        visit node.one
+    end
+  in
+  go t.root 0;
+  !acc

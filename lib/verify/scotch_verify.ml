@@ -20,7 +20,10 @@
 
 module Diagnostic = Diagnostic
 module Snapshot = Snapshot
+module Invariant = Invariant
 module Checker = Checker
+module Match_trie = Match_trie
+module Incremental = Incremental
 module Hooks = Hooks
 
 (** [check snap] runs the invariants — no loops, no blackholes, no

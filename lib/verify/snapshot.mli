@@ -121,4 +121,9 @@ val controlled : t -> int list
     managed/vswitch dpid sets. *)
 val capture : ?scotch:Scotch_core.Scotch.t -> now:float -> Scotch_topo.Topology.t -> t
 
+(** Freeze just the reliable layer's intent stores — the incremental
+    verifier's per-install intent resync ({!capture} does this as part
+    of a full capture). *)
+val capture_intents : now:float -> Scotch_reliable.Reliable.t -> intent_state
+
 val pp_endpoint : Format.formatter -> endpoint -> unit

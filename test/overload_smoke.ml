@@ -19,8 +19,8 @@ let fail fmt =
 let scale = 0.5
 
 let () =
-  let o = Overload.run_outcome ~scale () in
-  let o2 = Overload.run_outcome ~scale () in
+  let o = Overload.run_outcome ~scale ~verify:Scotch_core.Config.Continuous () in
+  let o2 = Overload.run_outcome ~scale ~verify:Scotch_core.Config.Continuous () in
   let st = Overload.run_outcome ~scale ~elastic:false () in
   Printf.printf
     "overload_smoke: p99=%s launched=%d delivered=%d shed=%d actions=%d ejects=%d \
@@ -111,5 +111,28 @@ let () =
     fail "ledger digest differs across same-seed runs";
   if o.Overload.trace_digest <> o2.Overload.trace_digest then
     fail "obs trace digest differs across same-seed runs";
+
+  (* the run was continuously verified and stayed invariant-clean:
+     autoscaling, breaker ejections and the gray failure never left a
+     loop, blackhole or divergent rule behind *)
+  (match o.Overload.net.Testbed.verify with
+  | None -> fail "verification hooks not installed despite Continuous config"
+  | Some v ->
+    if Scotch_verify.Hooks.checks_run v = 0 then fail "verifier never checked";
+    if Scotch_verify.Hooks.error_count v > 0 then
+      fail "%d dataplane invariant errors under overload"
+        (Scotch_verify.Hooks.error_count v);
+    (match Scotch_verify.Hooks.incremental v with
+    | None -> fail "no incremental verifier in Continuous mode"
+    | Some incr ->
+      let s = Scotch_verify.Incremental.stats incr in
+      Printf.printf
+        "overload_smoke: verify updates=%d classes=%d equiv=%d/%d p50=%.0fus p99=%.0fus\n%!"
+        s.Scotch_verify.Incremental.updates s.Scotch_verify.Incremental.classes_touched
+        s.Scotch_verify.Incremental.equiv_checks s.Scotch_verify.Incremental.equiv_mismatches
+        s.Scotch_verify.Incremental.p50_us s.Scotch_verify.Incremental.p99_us;
+      if s.Scotch_verify.Incremental.equiv_mismatches > 0 then
+        fail "incremental verifier disagreed with full rescan %d times"
+          s.Scotch_verify.Incremental.equiv_mismatches));
 
   print_endline "overload_smoke: OK"

@@ -18,7 +18,9 @@ let fail fmt =
 let scale = 0.25
 
 let () =
-  let exact, sampled = Telemetry.summary ~scale () in
+  let exact, sampled =
+    Telemetry.summary ~scale ~verify:Scotch_core.Config.Continuous ()
+  in
   let reduction = Telemetry.reduction ~exact ~sampled in
   Printf.printf
     "telemetry_smoke: exact %d/%d detected ttd=%.2fs %d msgs %d bytes | sampled@%g %d/%d \
@@ -48,8 +50,17 @@ let () =
     fail "wire-byte reduction below 10x (%d vs %d)" exact.Telemetry.o_bytes
       sampled.Telemetry.o_bytes;
 
-  (* same-seed determinism of the full sampled pipeline *)
-  let _, sampled2 = Telemetry.summary ~scale () in
+  (* both runs were continuously verified and stayed invariant-clean *)
+  if exact.Telemetry.o_verify_checks = 0 then fail "exact run: verifier never checked";
+  if sampled.Telemetry.o_verify_checks = 0 then fail "sampled run: verifier never checked";
+  if exact.Telemetry.o_verify_errors > 0 then
+    fail "exact run: %d dataplane invariant errors" exact.Telemetry.o_verify_errors;
+  if sampled.Telemetry.o_verify_errors > 0 then
+    fail "sampled run: %d dataplane invariant errors" sampled.Telemetry.o_verify_errors;
+
+  (* same-seed determinism of the full sampled pipeline (including the
+     verification check/error counts in the outcome) *)
+  let _, sampled2 = Telemetry.summary ~scale ~verify:Scotch_core.Config.Continuous () in
   if sampled2 <> sampled then fail "same-seed sampled runs diverged";
 
   print_endline "telemetry_smoke: OK"

@@ -222,6 +222,204 @@ let test_uplink_missing_origin () =
   ignore (check_one ~inv:D.Coverage ~sev:D.Error s)
 
 (* ------------------------------------------------------------------ *)
+(* Differential property: after any churn sequence, the incremental
+   verifier's violation set equals a fresh whole-snapshot Checker run
+   on the same model (same diagnostics modulo ordering/first_at). *)
+
+module Incr = V.Incremental
+
+(* Small random topologies: [n] switches in a ring of data links plus a
+   host per switch; churn mutates rules, groups, ports and liveness. *)
+
+let gen_ip i = 0x0A000000 lor (i + 1)
+
+let gen_base_snap ~switches =
+  let hosts =
+    List.init switches (fun i -> host ~id:(i + 1) ~ip:(gen_ip i) ~dpid:(i + 1) ~port:1)
+  in
+  let nodes =
+    List.init switches (fun i ->
+        let dpid = i + 1 in
+        let next = (dpid mod switches) + 1 and prev = ((dpid + switches - 2) mod switches) + 1 in
+        node dpid
+          ~rules:[ (0, [ miss_rule () ]); (1, []) ]
+          ~ports:
+            [ port 1 ~endpoint:(S.To_host dpid);
+              port 2 ~endpoint:(S.To_switch { peer = next; peer_in_port = 3 });
+              port 3 ~endpoint:(S.To_switch { peer = prev; peer_in_port = 2 }) ])
+  in
+  snap ~hosts ~managed:(List.init switches (fun i -> i + 1)) nodes
+
+(* A churn step, encoded as data so qcheck can shrink sequences.
+   [delta] picks the update encoding: the full post-change rule list
+   ([Incr.Table], diffed inside the verifier) or the rule delta itself
+   ([Incr.Table_delta], the switch tap's production shape). *)
+type churn =
+  | Add_rule of {
+      dpid : int; table : int; prio : int; src : int; dst : int; out : int; delta : bool;
+    }
+  | Add_wild of { dpid : int; prio : int; proto : int; out : int }
+  | Del_rule of { dpid : int; table : int; idx : int; delta : bool }
+  | Set_group of { dpid : int; gid : int; out : int; weight : int }
+  | Drop_groups of { dpid : int }
+  | Flip_failed of { dpid : int }
+  | Drop_port of { dpid : int; idx : int }
+
+let churn_gen ~switches =
+  let open QCheck2.Gen in
+  let dpid = int_range 1 switches in
+  oneof
+    [ (let* d = dpid and* tbl = int_range 0 1 and* p = int_range 1 30
+       and* s = int_range 0 (switches - 1) and* dst = int_range 0 (switches - 1)
+       and* out = int_range 1 4 and* delta = bool in
+       return (Add_rule { dpid = d; table = tbl; prio = p; src = s; dst; out; delta }));
+      (let* d = dpid and* p = int_range 1 30 and* proto = oneofl [ 6; 17 ]
+       and* out = int_range 1 4 in
+       return (Add_wild { dpid = d; prio = p; proto; out }));
+      (let* d = dpid and* tbl = int_range 0 1 and* idx = int_range 0 5 and* delta = bool in
+       return (Del_rule { dpid = d; table = tbl; idx; delta }));
+      (let* d = dpid and* gid = int_range 1 3 and* out = int_range 1 4
+       and* w = int_range 0 2 in
+       return (Set_group { dpid = d; gid; out; weight = w }));
+      (let* d = dpid in
+       return (Drop_groups { dpid = d }));
+      (let* d = dpid in
+       return (Flip_failed { dpid = d }));
+      (let* d = dpid and* idx = int_range 0 3 in
+       return (Drop_port { dpid = d; idx })) ]
+
+(* Apply one churn step to the pure model, returning the matching
+   incremental update. *)
+let step_of_churn model = function
+  | Add_rule { dpid; table; prio; src; dst; out; delta } ->
+    Option.map
+      (fun (n : S.node) ->
+        let r =
+          rule ~priority:prio
+            ~match_:(exact_match ~src:(gen_ip src) ~dst:(gen_ip dst))
+            ~instructions:(output out) ()
+        in
+        if delta then Incr.Table_delta { dpid; table_id = table; added = [ r ]; removed = [] }
+        else begin
+          let old = Option.value (List.assoc_opt table n.S.rules) ~default:[] in
+          (* Flow_table ADD semantics: equal (match, priority) replaces *)
+          let old =
+            List.filter
+              (fun (o : Flow_table.rule) ->
+                not (o.Flow_table.priority = prio && o.Flow_table.match_ = r.Flow_table.match_))
+              old
+          in
+          let rules =
+            List.stable_sort
+              (fun (a : Flow_table.rule) b -> compare b.Flow_table.priority a.Flow_table.priority)
+              (r :: old)
+          in
+          Incr.Table { dpid; table_id = table; rules }
+        end)
+      (S.node model dpid)
+  | Add_wild { dpid; prio; proto; out } ->
+    Option.map
+      (fun (n : S.node) ->
+        let r =
+          rule ~priority:prio
+            ~match_:(Of_match.with_ip_proto proto Of_match.wildcard)
+            ~instructions:(output out) ()
+        in
+        let old = Option.value (List.assoc_opt 0 n.S.rules) ~default:[] in
+        let old =
+          List.filter
+            (fun (o : Flow_table.rule) ->
+              not (o.Flow_table.priority = prio && o.Flow_table.match_ = r.Flow_table.match_))
+            old
+        in
+        let rules =
+          List.stable_sort
+            (fun (a : Flow_table.rule) b -> compare b.Flow_table.priority a.Flow_table.priority)
+            (r :: old)
+        in
+        Incr.Table { dpid; table_id = 0; rules })
+      (S.node model dpid)
+  | Del_rule { dpid; table; idx; delta } ->
+    Option.map
+      (fun (n : S.node) ->
+        let old = Option.value (List.assoc_opt table n.S.rules) ~default:[] in
+        if delta then
+          let removed = if old = [] then [] else [ List.nth old (idx mod List.length old) ] in
+          Incr.Table_delta { dpid; table_id = table; added = []; removed }
+        else
+          let rules = List.filteri (fun i _ -> i <> idx mod max 1 (List.length old)) old in
+          Incr.Table { dpid; table_id = table; rules = (if old = [] then [] else rules) })
+      (S.node model dpid)
+  | Set_group { dpid; gid; out; weight } ->
+    Option.map
+      (fun (n : S.node) ->
+        let g = group gid ~buckets:[ bucket ~weight [ Of_action.Output (Of_types.Port_no.Physical out) ] ] in
+        let groups =
+          g :: List.filter (fun (o : S.group) -> o.S.group_id <> gid) n.S.groups
+          |> List.sort (fun (a : S.group) b -> compare a.S.group_id b.S.group_id)
+        in
+        Incr.Groups { dpid; groups })
+      (S.node model dpid)
+  | Drop_groups { dpid } ->
+    Option.map (fun (_ : S.node) -> Incr.Groups { dpid; groups = [] }) (S.node model dpid)
+  | Flip_failed { dpid } ->
+    Option.map
+      (fun (n : S.node) -> Incr.Ports { dpid; ports = n.S.ports; failed = not n.S.failed })
+      (S.node model dpid)
+  | Drop_port { dpid; idx } ->
+    Option.map
+      (fun (n : S.node) ->
+        let ports =
+          if n.S.ports = [] then []
+          else List.filteri (fun i _ -> i <> idx mod List.length n.S.ports) n.S.ports
+        in
+        Incr.Ports { dpid; ports; failed = n.S.failed })
+      (S.node model dpid)
+
+let pp_diag_set ds = String.concat "\n" (List.map D.to_string ds)
+
+let differential_prop (switches, steps) =
+  let base = gen_base_snap ~switches in
+  let incr = Incr.create ~now:0.0 base in
+  let ok0 =
+    let full = V.check (Incr.model incr) in
+    List.length full = List.length (Incr.diagnostics incr)
+    && List.for_all2 (fun a b -> D.compare a b = 0) full (Incr.diagnostics incr)
+  in
+  if not ok0 then
+    QCheck2.Test.fail_reportf "initial state diverges:@.full:@.%s@.incr:@.%s"
+      (pp_diag_set (V.check (Incr.model incr)))
+      (pp_diag_set (Incr.diagnostics incr));
+  List.iteri
+    (fun i step ->
+      match step_of_churn (Incr.model incr) step with
+      | None -> ()
+      | Some u ->
+        let now = 0.1 *. float_of_int (i + 1) in
+        let got = Incr.apply incr ~now u in
+        let want = V.check (Incr.model incr) in
+        let same =
+          List.length want = List.length got
+          && List.for_all2 (fun a b -> D.compare a b = 0) want got
+        in
+        if not same then
+          QCheck2.Test.fail_reportf
+            "after churn step %d the sets diverge:@.full rescan:@.%s@.incremental:@.%s" i
+            (pp_diag_set want) (pp_diag_set got))
+    steps;
+  (* the audit the bench/CI gate counts must agree too *)
+  Incr.check_equivalence incr
+
+let test_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"incremental == snapshot after every delta"
+       QCheck2.Gen.(
+         let* switches = int_range 2 4 in
+         let* steps = list_size (int_range 1 25) (churn_gen ~switches) in
+         return (switches, steps))
+       differential_prop)
+
+(* ------------------------------------------------------------------ *)
 (* Clean real topologies: the lint scenarios must stay diagnostic-free *)
 
 let test_lint_scenarios_clean () =
@@ -257,5 +455,6 @@ let () =
           Alcotest.test_case "table-miss present" `Quick test_table_miss_present_is_clean;
           Alcotest.test_case "dead cover" `Quick test_cover_without_alive_vswitch;
           Alcotest.test_case "uplink origin missing" `Quick test_uplink_missing_origin ] );
+      ("incremental", [ test_differential ]);
       ( "clean-topologies",
         [ Alcotest.test_case "lint scenarios" `Quick test_lint_scenarios_clean ] ) ]
