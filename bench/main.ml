@@ -32,6 +32,7 @@ let figures :
     ("fig15", fun ~seed ~scale -> Fig15.run ~seed ~scale ());
     ("resilience", fun ~seed ~scale -> Resilience.run ~seed ~scale ());
     ("telemetry", fun ~seed ~scale -> Telemetry.run ~seed ~scale ());
+    ("isolation", fun ~seed ~scale -> Isolation.run ~seed ~scale ());
     ("exp-fabric", fun ~seed ~scale -> Exp_fabric.run ~seed ~scale ());
     ("ablation-lb", fun ~seed ~scale -> Ablation.run_lb ~seed ~scale ());
     ("ablation-dedicated-port", fun ~seed ~scale -> Ablation.run_dedicated_port ~seed ~scale ());
@@ -164,7 +165,7 @@ let bench_simulation_throughput () =
   Bechamel.Test.make ~name:"1 simulated second of scotch under 500 fl/s"
     (Bechamel.Staged.stage (fun () ->
          let net = Testbed.scotch_net () in
-         let attack = Testbed.attack_source net ~rate:500.0 in
+         let attack = Testbed.attack_source net ~rate:500.0 () in
          Scotch_workload.Source.start attack;
          Testbed.run_until net ~until:1.0))
 
@@ -315,6 +316,39 @@ let telemetry_probe ~seed =
     (if sampled.Telemetry.o_bytes = 0 then Float.infinity
      else float_of_int exact.Telemetry.o_bytes /. float_of_int sampled.Telemetry.o_bytes)
 
+(* The tenant-isolation probe: the blast-radius experiment in smoke
+   configuration — same-seed no-attack baseline vs spoofed-SYN tenant
+   flood, with continuous dataplane verification on — reporting the
+   victim's p99 movement and delivery, the attacker's shed count and
+   the per-function-breaker observation so CI can gate on the
+   isolation contract (victim p99 delta within bound, delivery above
+   floor, every shed the attacker's own, zero invariant errors under
+   the flood). *)
+let isolation_probe ~seed =
+  let p = Isolation.run_pair ~seed ~scale:0.5 ~verify:Scotch_core.Config.Continuous () in
+  let b = p.Isolation.baseline and a = p.Isolation.attacked in
+  let side (o : Isolation.outcome) =
+    Printf.sprintf
+      "{\"victim_p99_s\":%s,\"victim_delivery\":%.6g,\"victim_launched\":%d,\"victim_shed\":%d,\"attacker_launched\":%d,\"attacker_shed\":%d,\"drained_forwarding\":%d,\"quarantines\":%d,\"readmits\":%d,\"data_ejects\":%d,\"final_pool\":%d,\"verify_checks\":%d,\"verify_errors\":%d,\"ledger_digest\":\"%s\",\"trace_digest\":\"%s\"}"
+      (json_opt_float o.Isolation.victim_p99)
+      o.Isolation.victim_delivery o.Isolation.victim_launched o.Isolation.victim_shed
+      o.Isolation.attacker_launched o.Isolation.attacker_shed o.Isolation.drained_forwarding
+      o.Isolation.quarantines o.Isolation.readmits o.Isolation.data_ejects
+      o.Isolation.final_pool o.Isolation.verify_checks o.Isolation.verify_errors
+      (json_escape o.Isolation.ledger_digest)
+      (json_escape o.Isolation.trace_digest)
+  in
+  let within =
+    Float.is_finite p.Isolation.p99_delta
+    && p.Isolation.p99_delta <= Isolation.p99_delta_bound
+  in
+  Printf.sprintf
+    "{\"p99_delta\":%s,\"p99_delta_bound\":%.6g,\"within_bound\":%b,\"delivery_floor\":%.6g,\"baseline\":%s,\"attacked\":%s}"
+    (if Float.is_finite p.Isolation.p99_delta then
+       Printf.sprintf "%.6g" p.Isolation.p99_delta
+     else "null")
+    Isolation.p99_delta_bound within Isolation.delivery_floor (side b) (side a)
+
 (* The incremental-verification probe: the resilience workload in smoke
    configuration run twice — [Config.verify = Off], then [Continuous] —
    reporting engine events/sec for both plus the verifier's per-update
@@ -405,7 +439,7 @@ let obs_probe_run ~seed ~enabled =
   if enabled then O.enable () else O.disable ();
   let t0 = Unix.gettimeofday () in
   let net = Testbed.scotch_net ~seed () in
-  let attack = Testbed.attack_source net ~rate:500.0 in
+  let attack = Testbed.attack_source net ~rate:500.0 () in
   let client = Testbed.client_source net ~i:0 ~rate:20.0 () in
   Scotch_workload.Source.start attack;
   Scotch_workload.Source.start client;
@@ -472,6 +506,7 @@ let write_json ~seed ~scale ~figures:figs ~micro =
   let reconcile_block = reconcile_probe ~seed in
   let overload_block = overload_probe ~seed in
   let telemetry_block = telemetry_probe ~seed in
+  let isolation_block = isolation_probe ~seed in
   let module O = Scotch_obs.Obs in
   O.disable ();
   O.reset ();
@@ -492,7 +527,8 @@ let write_json ~seed ~scale ~figures:figs ~micro =
   Printf.fprintf oc "  \"fault_recovery\": %s,\n" fault_block;
   Printf.fprintf oc "  \"reconciliation\": %s,\n" reconcile_block;
   Printf.fprintf oc "  \"overload\": %s,\n" overload_block;
-  Printf.fprintf oc "  \"telemetry\": %s\n}\n" telemetry_block;
+  Printf.fprintf oc "  \"telemetry\": %s,\n" telemetry_block;
+  Printf.fprintf oc "  \"isolation\": %s\n}\n" isolation_block;
   close_out oc;
   Printf.printf "wrote %s\n%!" file
 

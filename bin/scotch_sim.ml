@@ -63,7 +63,13 @@ let specs =
       doc =
         "Graceful degradation under overload: 3x flash crowd + gray failure, admission \
          control, breaker-guarded pool and the elastic autoscaler vs a static pool";
-      run = (fun ~seed ~scale -> Overload.run ~seed ~scale ()) } ]
+      run = (fun ~seed ~scale -> Overload.run ~seed ~scale ()) };
+    { name = "isolation";
+      doc =
+        "Multi-tenant blast-radius isolation: a spoofed-SYN tenant flood vs per-tenant \
+         budgets, reserved shares and tenant-scoped eviction; the victim tenant's p99 and \
+         delivery must not move";
+      run = (fun ~seed ~scale -> Isolation.run ~seed ~scale ()) } ]
 
 (* Reject bad values at the parse layer so every experiment sees sane
    inputs: a negative rate or NaN scale is a usage error (exit code 2,
@@ -235,7 +241,7 @@ let obs_cmd =
     O.enable ();
     let net = Testbed.scotch_net ~seed () in
     let client = Testbed.client_source net ~i:0 ~rate:20.0 () in
-    let attack = Testbed.attack_source net ~rate in
+    let attack = Testbed.attack_source net ~rate () in
     Scotch_workload.Source.start client;
     Scotch_workload.Source.start attack;
     Testbed.run_until net ~until:duration;

@@ -17,7 +17,7 @@ let duration = 15.0
 let run ~scotch =
   let net = Testbed.scotch_net ~scotch_enabled:scotch () in
   let client = Testbed.client_source net ~i:0 ~rate:client_rate () in
-  let attack = Testbed.attack_source net ~rate:attack_rate in
+  let attack = Testbed.attack_source net ~rate:attack_rate () in
   Source.start client;
   Source.start attack;
   Testbed.run_until net ~until:duration;

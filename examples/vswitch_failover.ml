@@ -33,7 +33,7 @@ let () =
   let victim = Testbed.vswitch_dpid 0 in
   let plan = Plan.of_list [ Fault.vswitch_crash ~at:15.0 ~duration:12.0 victim ] in
   Format.printf "fault plan: %a@.@." Plan.pp plan;
-  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan in
   let rng = Scotch_util.Rng.create 99 in
   let trace = Tracegen.generate rng params in
   let sources =

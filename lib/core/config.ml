@@ -45,6 +45,17 @@ type verify =
   | Phases
   | Continuous
 
+(** Multi-tenant control-plane isolation.  [tenants] fixes the tenant
+    set (and, by list order, the per-tenant select-group ids);
+    [tenant_of] attributes a new flow to its tenant from the first-hop
+    switch and ingress port — the same attribution the §5.2
+    ingress-differentiation already relies on, so spoofed source
+    addresses cannot escape their tenant. *)
+type tenancy = {
+  tenants : Tenant.spec list;
+  tenant_of : first_hop:int -> ingress_port:int -> Tenant.id;
+}
+
 type t = {
   rule_rate : float;
       (** R: per-switch physical rule-install service rate (Fig. 7).
@@ -104,6 +115,10 @@ type t = {
   verify : verify;
       (** dataplane verification mode — see {!verify}; [Off] keeps runs
           bit-identical to the unverified build *)
+  tenancy : tenancy option;
+      (** per-tenant budgets, select-group shares and blast-radius
+          isolation — see {!tenancy}; [None] (the default) keeps the
+          single-tenant behaviour bit-identical to the seed *)
 }
 
 let default =
@@ -130,7 +145,8 @@ let default =
     shed_policy = Sched.Drop_new;
     ingress_deadline = 0.0;
     flow_group = None;
-    verify = Off }
+    verify = Off;
+    tenancy = None }
 
 (** Cookie values tagging Scotch-owned rules, so overlay (green) rules
     can be withdrawn wholesale and told apart from per-flow (red)

@@ -32,6 +32,16 @@ type verify =
   | Phases
   | Continuous
 
+(** Multi-tenant control-plane isolation: the tenant set (list order
+    fixes per-tenant select-group ids) and the attribution function
+    mapping a new flow's first-hop switch and ingress port to its
+    tenant.  Port-based attribution means spoofed source addresses
+    cannot escape their tenant. *)
+type tenancy = {
+  tenants : Tenant.spec list;
+  tenant_of : first_hop:int -> ingress_port:int -> Tenant.id;
+}
+
 type t = {
   rule_rate : float;
       (** R: per-switch physical rule-install service rate (Fig. 7).
@@ -85,6 +95,10 @@ type t = {
           port of the first-hop switch (the paper's example). *)
   verify : verify;
       (** dataplane verification mode — see {!verify} *)
+  tenancy : tenancy option;
+      (** per-tenant budgets, select-group shares and blast-radius
+          isolation — see {!tenancy}; [None] (the default) keeps the
+          single-tenant behaviour bit-identical to the seed *)
 }
 
 val default : t

@@ -18,6 +18,7 @@ type entry = {
   key : Flow_key.t;
   first_hop : int;       (* physical switch the flow entered the network at *)
   ingress_port : int;    (* ingress port at that switch *)
+  tenant : int;          (* owning tenant (Tenant.default_id when untenanted) *)
   created : float;
   mutable kind : path_kind;
   mutable migrating : bool;
@@ -45,13 +46,13 @@ let count_kind t kind delta =
 (** [admit t ~key ~first_hop ~ingress_port ~now] records a new flow in
     [Pending] state; returns the entry (existing entry wins — Packet-In
     duplicates are common while a flow awaits setup). *)
-let admit t ~key ~first_hop ~ingress_port ~now =
+let admit t ?(tenant = Tenant.default_id) ~key ~first_hop ~ingress_port ~now () =
   match find t key with
   | Some e -> e
   | None ->
     let e =
-      { key; first_hop; ingress_port; created = now; kind = Pending; migrating = false;
-        last_packet_count = 0; last_active = now; last_poll_at = 0.0 }
+      { key; first_hop; ingress_port; tenant; created = now; kind = Pending;
+        migrating = false; last_packet_count = 0; last_active = now; last_poll_at = 0.0 }
     in
     Flow_key.Hashtbl.replace t.flows key e;
     e

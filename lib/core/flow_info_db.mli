@@ -15,6 +15,7 @@ type entry = {
   key : Flow_key.t;
   first_hop : int;
   ingress_port : int;
+  tenant : int; (** owning tenant ({!Tenant.default_id} when untenanted) *)
   created : float;
   mutable kind : path_kind;
   mutable migrating : bool;
@@ -29,8 +30,11 @@ val create : unit -> t
 val find : t -> Flow_key.t -> entry option
 
 (** Record a new flow in [Pending] state; an existing entry wins
-    (Packet-In duplicates are common while a flow awaits setup). *)
-val admit : t -> key:Flow_key.t -> first_hop:int -> ingress_port:int -> now:float -> entry
+    (Packet-In duplicates are common while a flow awaits setup).
+    [tenant] defaults to {!Tenant.default_id}. *)
+val admit :
+  t -> ?tenant:int -> key:Flow_key.t -> first_hop:int -> ingress_port:int -> now:float ->
+  unit -> entry
 
 (** Transition a flow's path kind, keeping the per-kind counts
     consistent. *)

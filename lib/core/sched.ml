@@ -19,7 +19,24 @@
     {e deadline}: a queued Packet-In whose decision would land later
     than [deadline] seconds after enqueue is stale — the flow's first
     packets have long been overlay-forwarded or retransmitted — so it
-    is shed at serve time instead of wasting a service slot. *)
+    is shed at serve time instead of wasting a service slot.
+
+    Tenancy: each submission may carry a tenant id.  A tenant with an
+    admission {e budget} is refused (its own newcomer shed) once it
+    holds that many queued slots, regardless of how empty the shared
+    thresholds are — and with {e isolation} on, the shelter policies
+    ([Drop_oldest]/[Priority_preserving]) never evict a queued item
+    belonging to a different tenant than the newcomer.  With tenant
+    {e shares} set, the whole service — admitted installs, migrations
+    and ingress alike — is partitioned: serve ticks follow a fixed
+    frame with each tenant holding slots in proportion to its share,
+    each tick serves only the slot tenant's work, and a tenant's
+    unused ticks idle rather than serve anyone else — deliberately
+    non-work-conserving across the tenant boundary, so one tenant's
+    backlog or install burst can never stretch another's decision
+    latency.  With no budgets, isolation off and no
+    shares (the default) behaviour is bit-identical to the
+    single-tenant scheduler. *)
 
 type shed_policy = Drop_new | Drop_oldest | Priority_preserving
 
@@ -31,9 +48,10 @@ type counters = {
   mutable dropped : int;          (* ingress submissions past the dropping threshold *)
   mutable evicted : int;          (* queued items shed to make room (Drop_oldest/Priority_preserving) *)
   mutable expired : int;          (* queued items shed at serve time past the deadline *)
+  mutable budget_dropped : int;   (* submissions refused by the submitter's own tenant budget *)
 }
 
-type item = { enqueued_at : float; run : unit -> unit; shed : unit -> unit }
+type item = { enqueued_at : float; tenant : int; run : unit -> unit; shed : unit -> unit }
 
 type t = {
   engine : Scotch_sim.Engine.t;
@@ -43,102 +61,297 @@ type t = {
   differentiate : bool;
   shed_policy : shed_policy;
   deadline : float; (* 0. = disabled *)
-  admitted : (unit -> unit) Queue.t;
-  large : (unit -> unit) Queue.t;
-  ingress : (int, item Queue.t) Hashtbl.t;
-  mutable rr_order : int list; (* ports, round-robin cursor at head *)
+  admitted : (int * (unit -> unit)) Queue.t; (* shared FIFO (frame off); tenant kept for drains *)
+  large : (int * (unit -> unit)) Queue.t;
+  admitted_t : (int, (unit -> unit) Queue.t) Hashtbl.t; (* per-tenant (frame on) *)
+  large_t : (int, (unit -> unit) Queue.t) Hashtbl.t;
+  (* ingress queues keyed by (port, lane): lane is the submitter's
+     tenant when shares are on, 0 otherwise — partitioning the lanes
+     kills cross-tenant head-of-line blocking inside a port's FIFO *)
+  ingress : (int * int, item Queue.t) Hashtbl.t;
+  mutable rr_order : (int * int) list; (* (port, lane), round-robin cursor at head *)
   mutable stop : (unit -> unit) option;
+  mutable isolate : bool; (* tenant-scoped eviction under the shelter policies *)
+  mutable frame : int array; (* reserved serve-tick frame, tenant per slot; [||] = shared *)
+  mutable frame_pos : int;
+  tenant_budgets : (int, int) Hashtbl.t;
+  tenant_queued : (int, int) Hashtbl.t;
+  tenant_submitted : (int, int) Hashtbl.t;
+  tenant_shed_tbl : (int, int) Hashtbl.t;
   counters : counters;
 }
+
+let bump tbl tenant n =
+  let cur = match Hashtbl.find_opt tbl tenant with Some c -> c | None -> 0 in
+  Hashtbl.replace tbl tenant (cur + n)
+
+let tbl_count tbl tenant =
+  match Hashtbl.find_opt tbl tenant with Some c -> c | None -> 0
 
 let create ?(shed_policy = Drop_new) ?(deadline = 0.0) engine ~rate ~overlay_threshold
     ~drop_threshold ~differentiate =
   if rate <= 0.0 then invalid_arg "Sched.create: rate must be positive";
   if deadline < 0.0 then invalid_arg "Sched.create: deadline must be >= 0";
   { engine; rate; overlay_threshold; drop_threshold; differentiate; shed_policy; deadline;
-    admitted = Queue.create (); large = Queue.create (); ingress = Hashtbl.create 8;
-    rr_order = []; stop = None;
+    admitted = Queue.create (); large = Queue.create ();
+    admitted_t = Hashtbl.create 4; large_t = Hashtbl.create 4; ingress = Hashtbl.create 8;
+    rr_order = []; stop = None; isolate = false; frame = [||]; frame_pos = 0;
+    tenant_budgets = Hashtbl.create 4; tenant_queued = Hashtbl.create 4;
+    tenant_submitted = Hashtbl.create 4; tenant_shed_tbl = Hashtbl.create 4;
     counters =
       { served_admitted = 0; served_large = 0; served_ingress = 0; diverted_overlay = 0;
-        dropped = 0; evicted = 0; expired = 0 } }
+        dropped = 0; evicted = 0; expired = 0; budget_dropped = 0 } }
 
-let counters t = t.counters
+(** [set_tenant_budget t ~tenant budget] caps how many ingress slots
+    [tenant] may hold at once; [None] removes the cap.  Setting any
+    budget also turns tenant isolation on. *)
+let set_tenant_budget t ~tenant budget =
+  (match budget with
+  | Some b when b < 1 -> invalid_arg "Sched.set_tenant_budget: budget must be >= 1"
+  | Some b -> Hashtbl.replace t.tenant_budgets tenant b
+  | None -> Hashtbl.remove t.tenant_budgets tenant);
+  if budget <> None then t.isolate <- true
 
-let ingress_queue t port =
-  let port = if t.differentiate then port else 0 in
-  match Hashtbl.find_opt t.ingress port with
+(** Tenant-scoped eviction: the shelter policies never shed a queued
+    item of another tenant to admit this one. *)
+let set_tenant_isolation t on = t.isolate <- on
+
+let tenant_q tbl tenant =
+  match Hashtbl.find_opt tbl tenant with
   | Some q -> q
   | None ->
     let q = Queue.create () in
-    Hashtbl.replace t.ingress port q;
-    t.rr_order <- t.rr_order @ [ port ];
+    Hashtbl.replace tbl tenant q;
     q
 
-(* The ingress queue to steal a slot from under [Priority_preserving]:
-   the longest one, ties broken by lowest port for determinism.  A
-   newcomer on a quiet port then displaces the oldest item of the most
-   backlogged port rather than being refused outright — per-port
-   fairness is preserved under overload. *)
+let tenant_submitted t ~tenant = tbl_count t.tenant_submitted tenant
+
+let tenant_queued t ~tenant = tbl_count t.tenant_queued tenant
+
+(** Everything shed that is attributable to [tenant]: budget refusals,
+    threshold refusals, evictions of its queued items and serve-time
+    expiries. *)
+let tenant_shed t ~tenant = tbl_count t.tenant_shed_tbl tenant
+
+let counters t = t.counters
+
+(* Ingress lane for a submission: the port (collapsed unless
+   differentiating), paired with the submitter's tenant when shares
+   are on so one tenant's backlog can never sit in front of another's
+   items — lane 0 otherwise, which is the single-tenant layout. *)
+let ingress_key t ~port ~tenant =
+  ((if t.differentiate then port else 0), if Array.length t.frame = 0 then 0 else tenant)
+
+let ingress_queue t ~port ~tenant =
+  let key = ingress_key t ~port ~tenant in
+  match Hashtbl.find_opt t.ingress key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.ingress key q;
+    t.rr_order <- t.rr_order @ [ key ];
+    q
+
+(* The ingress lane to steal a slot from under [Priority_preserving]:
+   the longest one, ties broken by lowest (port, lane) for
+   determinism.  A newcomer on a quiet port then displaces the oldest
+   item of the most backlogged lane rather than being refused outright
+   — per-port fairness is preserved under overload. *)
 let longest_ingress t =
   Hashtbl.fold
-    (fun port q best ->
+    (fun key q best ->
       let len = Queue.length q in
       match best with
-      | Some (_, blen) when blen > len -> best
-      | Some (bport, blen) when blen = len && bport < port -> best
-      | _ -> if len > 0 then Some (port, len) else best)
+      | Some (_, _, blen) when blen > len -> best
+      | Some (bkey, _, blen) when blen = len && bkey < key -> best
+      | _ -> if len > 0 then Some (key, q, len) else best)
     t.ingress None
+
+(* The longest ingress lane whose head belongs to [tenant] — the only
+   eviction victims isolation permits.  Ties break by lowest key. *)
+let longest_ingress_of_tenant t ~tenant =
+  Hashtbl.fold
+    (fun key q best ->
+      let len = Queue.length q in
+      let eligible =
+        match Queue.peek_opt q with Some head -> head.tenant = tenant | None -> false
+      in
+      if not eligible then best
+      else
+        match best with
+        | Some (_, _, blen) when blen > len -> best
+        | Some (bkey, _, blen) when blen = len && bkey < key -> best
+        | _ -> Some (key, q, len))
+    t.ingress None
+
+(* Re-bucket every queued ingress item for the current lane layout
+   (called when shares flip on or off): items keep global arrival
+   order — a stable sort on enqueue time — and land back via
+   {!ingress_queue}, which rebuilds the round-robin order
+   first-touch-first. *)
+let rebucket_ingress t =
+  let items =
+    List.concat_map
+      (fun ((port, _) as key) ->
+        match Hashtbl.find_opt t.ingress key with
+        | None -> []
+        | Some q ->
+          let l = List.of_seq (Queue.to_seq q) in
+          Queue.clear q;
+          List.map (fun it -> (port, it)) l)
+      t.rr_order
+  in
+  Hashtbl.reset t.ingress;
+  t.rr_order <- [];
+  let items =
+    List.stable_sort (fun (_, a) (_, b) -> compare a.enqueued_at b.enqueued_at) items
+  in
+  List.iter (fun (port, it) -> Queue.push it (ingress_queue t ~port ~tenant:it.tenant)) items
+
+(** [set_tenant_shares t shares] reserves the {e whole} service — the
+    admitted, large and ingress levels alike — in proportion to each
+    tenant's share: serve ticks walk a fixed frame holding [share]
+    consecutive slots per tenant (list order), each tick serves only
+    the slot tenant's work (its admitted installs first, then its
+    migrations, then its own ingress lanes), and a slot whose tenant
+    has nothing queued idles instead of serving anyone else.  Total
+    capacity is conserved — the frame has exactly [share_i] of every
+    [sum shares] slots per tenant — and the partition is
+    non-work-conserving across tenants by design: a flooded tenant's
+    rule installs and backlog cannot consume a quiet tenant's slots,
+    so the quiet tenant's serve times are independent of everyone
+    else's load.  [[]] (the default) restores the shared scheduler.
+    Items already queued migrate to the new structure in arrival
+    order. *)
+let set_tenant_shares t shares =
+  (match shares with
+  | [] ->
+    t.frame <- [||];
+    t.frame_pos <- 0;
+    (* fold per-tenant leftovers back into the shared FIFOs, in tenant
+       order for determinism *)
+    let drain_back tbl shared =
+      let tenants = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) in
+      List.iter
+        (fun tn ->
+          let q = tenant_q tbl tn in
+          Queue.iter (fun run -> Queue.push (tn, run) shared) q;
+          Queue.clear q)
+        tenants
+    in
+    drain_back t.admitted_t t.admitted;
+    drain_back t.large_t t.large
+  | _ ->
+    List.iter
+      (fun (_, s) -> if s < 1 then invalid_arg "Sched.set_tenant_shares: share must be >= 1")
+      shares;
+    t.frame <- Array.concat (List.map (fun (tenant, s) -> Array.make s tenant) shares);
+    t.frame_pos <- 0;
+    Queue.iter (fun (tn, run) -> Queue.push run (tenant_q t.admitted_t tn)) t.admitted;
+    Queue.clear t.admitted;
+    Queue.iter (fun (tn, run) -> Queue.push run (tenant_q t.large_t tn)) t.large;
+    Queue.clear t.large);
+  rebucket_ingress t
 
 let evict_head t q =
   match Queue.take_opt q with
   | None -> ()
   | Some victim ->
     t.counters.evicted <- t.counters.evicted + 1;
+    bump t.tenant_queued victim.tenant (-1);
+    bump t.tenant_shed_tbl victim.tenant 1;
     victim.shed ()
 
-(** [submit_ingress t ~port ?shed run] applies the Fig. 7 thresholds:
-    [`Queued] (item will run when served), [`Overlay] (past the overlay
-    threshold — caller must route the flow over the Scotch overlay) or
-    [`Drop] (past the dropping threshold under [Drop_new]).  Under
+(** [submit_ingress t ~port ?tenant ?shed run] applies the Fig. 7
+    thresholds: [`Queued] (item will run when served), [`Overlay]
+    (past the overlay threshold — caller must route the flow over the
+    Scotch overlay) or [`Drop] (past the dropping threshold under
+    [Drop_new], refused by the tenant's own budget, or no same-tenant
+    eviction victim under isolation).  Under
     [Drop_oldest]/[Priority_preserving] a full queue shelters the
     newcomer by shedding a queued victim (its [shed] callback runs)
-    and still returns [`Queued]. *)
-let submit_ingress t ~port ?(shed = fun () -> ()) run =
-  let q = ingress_queue t port in
-  let len = Queue.length q in
-  if len >= t.drop_threshold then begin
-    match t.shed_policy with
-    | Drop_new ->
-      t.counters.dropped <- t.counters.dropped + 1;
-      `Drop
-    | Drop_oldest ->
-      evict_head t q;
-      Queue.push { enqueued_at = Scotch_sim.Engine.now t.engine; run; shed } q;
-      `Queued
-    | Priority_preserving ->
-      (match longest_ingress t with
-      | Some (vport, _) when vport <> (if t.differentiate then port else 0) ->
-        (match Hashtbl.find_opt t.ingress vport with
-        | Some vq -> evict_head t vq
-        | None -> evict_head t q)
-      | _ -> evict_head t q);
-      Queue.push { enqueued_at = Scotch_sim.Engine.now t.engine; run; shed } q;
-      `Queued
-  end
-  else if len >= t.overlay_threshold then begin
-    t.counters.diverted_overlay <- t.counters.diverted_overlay + 1;
-    `Overlay
+    and still returns [`Queued] — with isolation on, only a victim of
+    the newcomer's own tenant. *)
+let submit_ingress t ~port ?(tenant = 0) ?(shed = fun () -> ()) run =
+  bump t.tenant_submitted tenant 1;
+  let over_budget =
+    match Hashtbl.find_opt t.tenant_budgets tenant with
+    | Some b -> tbl_count t.tenant_queued tenant >= b
+    | None -> false
+  in
+  if over_budget then begin
+    (* the tenant's admission budget bit: shed its own newcomer without
+       touching the shared thresholds or anyone else's queue slots *)
+    t.counters.budget_dropped <- t.counters.budget_dropped + 1;
+    bump t.tenant_shed_tbl tenant 1;
+    `Drop
   end
   else begin
-    Queue.push { enqueued_at = Scotch_sim.Engine.now t.engine; run; shed } q;
-    `Queued
+    let q = ingress_queue t ~port ~tenant in
+    let len = Queue.length q in
+    let push () =
+      Queue.push { enqueued_at = Scotch_sim.Engine.now t.engine; tenant; run; shed } q;
+      bump t.tenant_queued tenant 1
+    in
+    let refuse () =
+      t.counters.dropped <- t.counters.dropped + 1;
+      bump t.tenant_shed_tbl tenant 1;
+      `Drop
+    in
+    if len >= t.drop_threshold then begin
+      match t.shed_policy with
+      | Drop_new -> refuse ()
+      | Drop_oldest ->
+        let foreign_head =
+          t.isolate
+          && (match Queue.peek_opt q with Some head -> head.tenant <> tenant | None -> false)
+        in
+        if foreign_head then refuse ()
+        else begin
+          evict_head t q;
+          push ();
+          `Queued
+        end
+      | Priority_preserving ->
+        if t.isolate then begin
+          match longest_ingress_of_tenant t ~tenant with
+          | Some (_, vq, _) ->
+            evict_head t vq;
+            push ();
+            `Queued
+          | None -> refuse ()
+        end
+        else begin
+          (match longest_ingress t with
+          | Some (vkey, vq, _) when vkey <> ingress_key t ~port ~tenant -> evict_head t vq
+          | _ -> evict_head t q);
+          push ();
+          `Queued
+        end
+    end
+    else if len >= t.overlay_threshold then begin
+      t.counters.diverted_overlay <- t.counters.diverted_overlay + 1;
+      `Overlay
+    end
+    else begin
+      push ();
+      `Queued
+    end
   end
 
-(** Enqueue a rule install for an admitted (physical-path) flow. *)
-let submit_admitted t item = Queue.push item t.admitted
+(** Enqueue a rule install for an admitted (physical-path) flow.  With
+    shares set the install lands in [tenant]'s own reserved queue;
+    otherwise [tenant] is recorded but the queue is a single shared
+    FIFO (identical to the untagged scheduler). *)
+let submit_admitted t ?(tenant = 0) item =
+  if Array.length t.frame = 0 then Queue.push (tenant, item) t.admitted
+  else Queue.push item (tenant_q t.admitted_t tenant)
 
-(** Enqueue a large-flow migration request. *)
-let submit_large t item = Queue.push item t.large
+(** Enqueue a large-flow migration request (same tenant routing as
+    {!submit_admitted}). *)
+let submit_large t ?(tenant = 0) item =
+  if Array.length t.frame = 0 then Queue.push (tenant, item) t.large
+  else Queue.push item (tenant_q t.large_t tenant)
 
 (* Pop the next fresh item from [q], expiring stale heads.  Deadline
    checks happen at serve time only: expiry never reorders the queue,
@@ -147,24 +360,26 @@ let rec take_fresh t q =
   match Queue.take_opt q with
   | None -> None
   | Some item ->
+    bump t.tenant_queued item.tenant (-1);
     if t.deadline > 0.0 && Scotch_sim.Engine.now t.engine -. item.enqueued_at > t.deadline
     then begin
       t.counters.expired <- t.counters.expired + 1;
+      bump t.tenant_shed_tbl item.tenant 1;
       item.shed ();
       take_fresh t q
     end
     else Some item
 
 let next_ingress t =
-  (* rotate through ports, skipping empty queues *)
+  (* rotate through lanes, skipping empty queues *)
   let rec go n order =
     if n = 0 then None
     else
       match order with
       | [] -> None
-      | port :: rest -> (
-        let order' = rest @ [ port ] in
-        match Hashtbl.find_opt t.ingress port with
+      | key :: rest -> (
+        let order' = rest @ [ key ] in
+        match Hashtbl.find_opt t.ingress key with
         | Some q when not (Queue.is_empty q) -> (
           t.rr_order <- order';
           match take_fresh t q with
@@ -174,22 +389,70 @@ let next_ingress t =
   in
   go (List.length t.rr_order) t.rr_order
 
+(* Round-robin restricted to [tenant]'s own lanes — with shares on,
+   lanes are tenant-pure, so foreign lanes are skipped outright
+   (without disturbing their round-robin position) and a foreign
+   backlog can never block this tenant's slot. *)
+let next_ingress_of_tenant t ~tenant =
+  let rec go n order =
+    if n = 0 then None
+    else
+      match order with
+      | [] -> None
+      | ((_, lane) as key) :: rest -> (
+        let order' = rest @ [ key ] in
+        if lane <> tenant then go (n - 1) order'
+        else
+          match Hashtbl.find_opt t.ingress key with
+          | Some q when not (Queue.is_empty q) -> (
+            t.rr_order <- order';
+            match take_fresh t q with
+            | Some item -> Some item
+            | None -> go (n - 1) order')
+          | _ -> go (n - 1) order')
+  in
+  go (List.length t.rr_order) t.rr_order
+
 let serve_one t =
-  match Queue.take_opt t.admitted with
-  | Some item ->
-    t.counters.served_admitted <- t.counters.served_admitted + 1;
-    item ()
-  | None -> (
-    match Queue.take_opt t.large with
-    | Some item ->
-      t.counters.served_large <- t.counters.served_large + 1;
+  if Array.length t.frame = 0 then (
+    match Queue.take_opt t.admitted with
+    | Some (_, item) ->
+      t.counters.served_admitted <- t.counters.served_admitted + 1;
       item ()
     | None -> (
-      match next_ingress t with
+      match Queue.take_opt t.large with
+      | Some (_, item) ->
+        t.counters.served_large <- t.counters.served_large + 1;
+        item ()
+      | None -> (
+        match next_ingress t with
+        | Some item ->
+          t.counters.served_ingress <- t.counters.served_ingress + 1;
+          item.run ()
+        | None -> ())))
+  else begin
+    (* reserved shares: this tick belongs to one tenant and serves only
+       that tenant's work, in the paper's priority order.  The frame
+       advances whether or not the tenant has anything queued, so a
+       quiet tenant's slot positions never depend on anyone's load. *)
+    let tenant = t.frame.(t.frame_pos) in
+    t.frame_pos <- (t.frame_pos + 1) mod Array.length t.frame;
+    match Queue.take_opt (tenant_q t.admitted_t tenant) with
+    | Some item ->
+      t.counters.served_admitted <- t.counters.served_admitted + 1;
+      item ()
+    | None -> (
+      match Queue.take_opt (tenant_q t.large_t tenant) with
       | Some item ->
-        t.counters.served_ingress <- t.counters.served_ingress + 1;
-        item.run ()
-      | None -> ()))
+        t.counters.served_large <- t.counters.served_large + 1;
+        item ()
+      | None -> (
+        match next_ingress_of_tenant t ~tenant with
+        | Some item ->
+          t.counters.served_ingress <- t.counters.served_ingress + 1;
+          item.run ()
+        | None -> ()))
+  end
 
 (** [start t] begins serving at rate R.  Idempotent. *)
 let start t =
@@ -206,17 +469,33 @@ let stop t =
     f ();
     t.stop <- None
 
-(** Pending rule installs in the admitted queue — the §5.3 signal that
-    a switch's control plane cannot absorb more physical-path setups. *)
-let admitted_backlog t = Queue.length t.admitted
+(** Pending rule installs in the admitted queue (all tenants) — the
+    §5.3 signal that a switch's control plane cannot absorb more
+    physical-path setups. *)
+let admitted_backlog t =
+  Queue.length t.admitted
+  + Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.admitted_t 0
+
+(** Pending rule installs attributable to [tenant] alone.  With shares
+    on this is the tenant's reserved queue — the §5.3 signal scoped to
+    the capacity the tenant actually contends for, so one tenant's
+    install burst cannot make another's physical path look loaded. *)
+let admitted_backlog_of_tenant t ~tenant =
+  if Array.length t.frame = 0 then
+    Queue.fold (fun acc (tn, _) -> if tn = tenant then acc + 1 else acc) 0 t.admitted
+  else Queue.length (tenant_q t.admitted_t tenant)
 
 (** Total backlog across ingress queues (observability/tests). *)
 let ingress_backlog t =
   Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.ingress 0
 
+(** Backlog on [port] across every tenant lane. *)
 let ingress_queue_length t ~port =
   let port = if t.differentiate then port else 0 in
-  match Hashtbl.find_opt t.ingress port with None -> 0 | Some q -> Queue.length q
+  Hashtbl.fold (fun (p, _) q acc -> if p = port then acc + Queue.length q else acc) t.ingress 0
 
-(** Submissions shed in any way: refused, evicted or expired. *)
+(** Submissions shed by the {e shared} thresholds: refused, evicted or
+    expired.  Deliberately excludes [budget_dropped] — a tenant hitting
+    its own admission budget is isolation working as designed, not
+    pool overload, so the autoscaler must not read it as such. *)
 let shed_total t = t.counters.dropped + t.counters.evicted + t.counters.expired

@@ -8,7 +8,17 @@
     physical paths only after all large flows are accommodated."
 
     Items are thunks supplied by the Scotch application; this module
-    owns ordering, thresholds and pacing only. *)
+    owns ordering, thresholds and pacing only.
+
+    Tenancy (blast-radius isolation): submissions may carry a tenant
+    id.  Per-tenant {e budgets} cap how many queued slots a tenant may
+    hold — past its budget a tenant sheds only its own newcomers —
+    {e isolation} keeps the shelter policies from ever evicting across
+    a tenant boundary, and {e shares} reserve the ingress serve ticks
+    per tenant (non-work-conserving across tenants, so a quiet
+    tenant's decision latency is independent of everyone else's
+    backlog).  All default off, leaving single-tenant behaviour
+    bit-identical. *)
 
 (** What happens to an ingress submission past the dropping threshold:
     refuse the newcomer ([Drop_new], the paper's behaviour and the
@@ -26,6 +36,9 @@ type counters = {
   mutable dropped : int;          (** submissions refused past the dropping threshold *)
   mutable evicted : int;          (** queued items shed to make room for a newcomer *)
   mutable expired : int;          (** queued items shed at serve time past the deadline *)
+  mutable budget_dropped : int;
+      (** submissions refused by the submitter's own tenant budget —
+          excluded from {!shed_total} on purpose *)
 }
 
 type t
@@ -43,16 +56,57 @@ val counters : t -> counters
 
 (** Apply the Fig. 7 thresholds: [`Queued] (runs when served),
     [`Overlay] (route the flow over the Scotch overlay now) or
-    [`Drop].  [shed] fires if the item is later evicted or expires
-    without being served (never after [run]). *)
+    [`Drop] (shared threshold, the tenant's own budget, or no
+    same-tenant eviction victim under isolation).  [shed] fires if the
+    item is later evicted or expires without being served (never after
+    [run]).  [tenant] defaults to {!Tenant.default_id}. *)
 val submit_ingress :
-  t -> port:int -> ?shed:(unit -> unit) -> (unit -> unit) -> [ `Queued | `Overlay | `Drop ]
+  t -> port:int -> ?tenant:int -> ?shed:(unit -> unit) -> (unit -> unit) ->
+  [ `Queued | `Overlay | `Drop ]
 
-(** Enqueue a rule install for an admitted (physical-path) flow. *)
-val submit_admitted : t -> (unit -> unit) -> unit
+(** {2 Tenancy} *)
 
-(** Enqueue a large-flow migration request. *)
-val submit_large : t -> (unit -> unit) -> unit
+(** Cap how many ingress slots [tenant] may hold at once ([None]
+    removes the cap).  Setting any budget also turns isolation on. *)
+val set_tenant_budget : t -> tenant:int -> int option -> unit
+
+(** Tenant-scoped eviction: with isolation on, [Drop_oldest] and
+    [Priority_preserving] never shed another tenant's queued item to
+    admit a newcomer — if no same-tenant victim exists, the newcomer
+    is refused instead. *)
+val set_tenant_isolation : t -> bool -> unit
+
+(** Reserve the whole service per tenant — admitted installs,
+    migrations and ingress alike: serve ticks walk a fixed frame with
+    [share] consecutive slots per tenant in list order, each tick
+    serves only the slot tenant's work (in the paper's priority
+    order), and an idle tenant's slot serves nobody else — capacity is
+    conserved ([share_i] of every [sum shares] ticks each) and the
+    partition is non-work-conserving across the tenant boundary by
+    design.  [[]] (the default) restores the shared scheduler.
+    Already-queued items migrate (FIFO per tenant).  Raises
+    [Invalid_argument] on a share below 1. *)
+val set_tenant_shares : t -> (int * int) list -> unit
+
+(** Ingress submissions attributed to [tenant] so far. *)
+val tenant_submitted : t -> tenant:int -> int
+
+(** Queue slots [tenant] holds right now. *)
+val tenant_queued : t -> tenant:int -> int
+
+(** Everything shed attributable to [tenant]: budget refusals,
+    threshold refusals, evictions of its items and expiries. *)
+val tenant_shed : t -> tenant:int -> int
+
+(** Enqueue a rule install for an admitted (physical-path) flow.  With
+    shares set the install lands in [tenant]'s reserved queue;
+    otherwise the queue is a single shared FIFO and [tenant] is
+    immaterial.  [tenant] defaults to {!Tenant.default_id}. *)
+val submit_admitted : t -> ?tenant:int -> (unit -> unit) -> unit
+
+(** Enqueue a large-flow migration request (same tenant routing as
+    {!submit_admitted}). *)
+val submit_large : t -> ?tenant:int -> (unit -> unit) -> unit
 
 (** Begin serving at rate R.  Idempotent. *)
 val start : t -> unit
@@ -63,10 +117,17 @@ val stop : t -> unit
     a switch's control plane cannot absorb more physical-path setups. *)
 val admitted_backlog : t -> int
 
+(** Pending rule installs attributable to [tenant] alone — with shares
+    on, the overload signal scoped to the capacity that tenant
+    actually contends for. *)
+val admitted_backlog_of_tenant : t -> tenant:int -> int
+
 (** Total ingress backlog across ports. *)
 val ingress_backlog : t -> int
 
 val ingress_queue_length : t -> port:int -> int
 
-(** Submissions shed in any way: refused, evicted or expired. *)
+(** Submissions shed by the shared thresholds: refused, evicted or
+    expired.  Excludes [budget_dropped] — a tenant hitting its own
+    budget is isolation working, not pool overload. *)
 val shed_total : t -> int

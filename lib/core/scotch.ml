@@ -26,7 +26,7 @@ type managed = {
   mutable active : bool;           (* overlay redirection installed *)
   mutable activated_at : float;
   mutable assigned : (int * int) list; (* (vswitch dpid, uplink tunnel id) in the group *)
-  mutable group_installed : bool;
+  mutable groups_installed : int list; (* select-group ids already added at the switch *)
 }
 
 (** Phase boundaries at which debug-mode verification hooks fire
@@ -101,6 +101,9 @@ type t = {
   mutable ch_exact_bytes : int;
   mutable ch_sampled_msgs : int;
   mutable ch_sampled_bytes : int;
+  decision_tenant_h : (int, Scotch_obs.Registry.histogram) Hashtbl.t;
+      (* per-tenant admit → decision histograms; populated only when
+         tenancy is configured *)
 }
 
 let create ?reliable ctrl overlay policy config =
@@ -125,7 +128,8 @@ let create ?reliable ctrl overlay policy config =
           ~bins:50 "scotch_core_decision_latency_seconds";
       samplers = Hashtbl.create 16; duty = Scotch_telemetry.Assignment.create ();
       on_elephant = (fun _ -> ());
-      ch_exact_msgs = 0; ch_exact_bytes = 0; ch_sampled_msgs = 0; ch_sampled_bytes = 0 }
+      ch_exact_msgs = 0; ch_exact_bytes = 0; ch_sampled_msgs = 0; ch_sampled_bytes = 0;
+      decision_tenant_h = Hashtbl.create 4 }
   in
   (* re-express the Scotch ledger on the registry (polled at snapshot) *)
   let c = t.counters in
@@ -169,6 +173,37 @@ let create ?reliable ctrl overlay policy config =
   O.counter_fn ~help:"Elephant-detection channel cost (wire bytes)"
     ~labels:[ ("mode", "sampled") ] "scotch_core_stats_channel_bytes_total"
     (fun () -> t.ch_sampled_bytes);
+  (* Per-tenant views of admissions, sheds, pin load and decision
+     latency.  Registered only under tenancy: untenanted runs export
+     exactly the metric set they always did. *)
+  (match config.Config.tenancy with
+  | None -> ()
+  | Some tn ->
+    List.iter
+      (fun (s : Tenant.spec) ->
+        let labels = [ ("tenant", s.Tenant.name) ] in
+        let tenant = s.Tenant.id in
+        Hashtbl.replace t.decision_tenant_h tenant
+          (O.histogram ~help:"Flow admit to routing decision (virtual seconds)" ~labels ~lo:0.0
+             ~hi:0.5 ~bins:50 "scotch_core_tenant_decision_latency_seconds");
+        O.counter_fn ~help:"New-flow requests submitted per tenant" ~labels
+          "scotch_core_tenant_admissions_total" (fun () ->
+            Hashtbl.fold (fun _ m acc -> acc + Sched.tenant_submitted m.sched ~tenant) t.managed 0);
+        O.counter_fn
+          ~help:"Flows shed per tenant (budget refusals, capacity drops, evictions, expiries)"
+          ~labels "scotch_core_tenant_sheds_total" (fun () ->
+            Hashtbl.fold (fun _ m acc -> acc + Sched.tenant_shed m.sched ~tenant) t.managed 0
+            + Hashtbl.fold
+                (fun _ (sw : C.sw) acc ->
+                  acc + Ofa.pin_tenant_shed (Switch.ofa sw.C.device) ~tenant)
+                t.vswitch_handles 0);
+        O.counter_fn ~help:"Packet-In jobs attributed per tenant at the overlay pool" ~labels
+          "scotch_core_tenant_pins_total" (fun () ->
+            Hashtbl.fold
+              (fun _ (sw : C.sw) acc ->
+                acc + Ofa.pin_tenant_submitted (Switch.ofa sw.C.device) ~tenant)
+              t.vswitch_handles 0))
+      tn.Config.tenants);
   t
 
 let counters t = t.counters
@@ -180,15 +215,96 @@ let ctrl t = t.ctrl
 let engine t = C.engine t.ctrl
 let now t = Scotch_sim.Engine.now (engine t)
 
+(** {1 Tenancy (blast-radius isolation)}
+
+    All of these collapse to the single-tenant defaults when
+    [Config.tenancy] is [None]; every caller below branches on that so
+    untenanted runs emit byte-identical message sequences. *)
+
+let tenancy t = t.config.Config.tenancy
+
+let tenant_specs t =
+  match tenancy t with None -> [] | Some tn -> tn.Config.tenants
+
+let tenant_name t tenant =
+  let rec go = function
+    | [] -> string_of_int tenant
+    | (s : Tenant.spec) :: rest -> if s.Tenant.id = tenant then s.Tenant.name else go rest
+  in
+  go (tenant_specs t)
+
+(* The tenant at index [i] of the config list owns select group
+   [group_id + i]; an unknown tenant falls back to the first group. *)
+let group_of_tenant t tenant =
+  match tenancy t with
+  | None -> group_id
+  | Some tn ->
+    let rec go i = function
+      | [] -> group_id
+      | (s : Tenant.spec) :: rest ->
+        if s.Tenant.id = tenant then group_id + i else go (i + 1) rest
+    in
+    go 0 tn.Config.tenants
+
+let tenant_of_flow t ~first_hop ~ingress_port =
+  match tenancy t with
+  | None -> Tenant.default_id
+  | Some tn -> tn.Config.tenant_of ~first_hop ~ingress_port
+
+(* Disjoint contiguous slices of the (rotated) assignment, apportioned
+   by share with largest remainder; a tenant whose slice would be empty
+   (pool smaller than the tenant count) shares the whole assignment
+   rather than losing overlay service. *)
+let tenant_slices t assigned =
+  match tenancy t with
+  | None -> []
+  | Some tn ->
+    let shares =
+      List.map (fun (s : Tenant.spec) -> (s.Tenant.id, s.Tenant.share)) tn.Config.tenants
+    in
+    let counts = Tenant.apportion ~slots:(List.length assigned) ~shares in
+    let rec split n xs =
+      if n = 0 then ([], xs)
+      else
+        match xs with
+        | [] -> ([], [])
+        | x :: tl ->
+          let a, b = split (n - 1) tl in
+          (x :: a, b)
+    in
+    let rec go acc remaining = function
+      | [] -> List.rev acc
+      | (id, n) :: more ->
+        let sl, rest = split n remaining in
+        let sl = if sl = [] then assigned else sl in
+        go ((id, sl) :: acc) rest more
+    in
+    go [] assigned counts
+
+let slice_of_tenant t assigned tenant =
+  match List.assoc_opt tenant (tenant_slices t assigned) with
+  | Some slice -> slice
+  | None -> assigned
+
 (* Routing-decision span: flow admit ([e.created]) to the moment the
-   flow's fate is settled; one per decision outcome. *)
+   flow's fate is settled; one per decision outcome.  Under tenancy the
+   span carries a tenant arg and also lands in the tenant's own
+   histogram — untenanted spans are unchanged. *)
 let decision_span t (e : Flow_info_db.entry) outcome =
   if Scotch_obs.Obs.is_enabled () then begin
     let dur = now t -. e.Flow_info_db.created in
     Scotch_obs.Registry.observe t.decision_h dur;
+    let args =
+      match tenancy t with
+      | None -> [ ("outcome", outcome) ]
+      | Some _ ->
+        (match Hashtbl.find_opt t.decision_tenant_h e.Flow_info_db.tenant with
+        | Some h -> Scotch_obs.Registry.observe h dur
+        | None -> ());
+        [ ("outcome", outcome); ("tenant", tenant_name t e.Flow_info_db.tenant) ]
+    in
     Scotch_obs.Obs.span ~name:"scotch.decision" ~cat:"core" ~ts:e.Flow_info_db.created ~dur
-      ~tid:e.Flow_info_db.first_hop
-      ~args:[ ("outcome", outcome) ]
+      ~tid:e.Flow_info_db.first_hop ~args
   end
 
 let managed_of t dpid = Hashtbl.find_opt t.managed dpid
@@ -326,6 +442,33 @@ let register_vswitch t dev ~channel_latency =
   let sw = C.connect t.ctrl dev ~latency:channel_latency in
   Hashtbl.replace t.vswitch_handles (Switch.dpid dev) sw;
   attach_sampler t dev;
+  (match tenancy t with
+  | None -> ()
+  | Some tn ->
+    (* Pin jobs at a pool member arrive over uplink tunnels; recover
+       the origin switch from the tunnel and the ingress port from the
+       outer MPLS tag pushed by the redirect, then attribute exactly as
+       at the edge.  Mesh-repair arrivals (no known origin) stay on the
+       default tenant. *)
+    let ofa = Switch.ofa dev in
+    Ofa.set_pin_tenant_classifier ofa
+      (Some
+         (fun (j : Ofa.pin_job) ->
+           match j.Ofa.tunnel_id with
+           | Some tid -> (
+             match Overlay.origin_of_tunnel t.overlay tid with
+             | Some origin ->
+               tn.Config.tenant_of ~first_hop:origin
+                 ~ingress_port:
+                   (Option.value (Packet.outer_mpls_label j.Ofa.packet) ~default:0)
+             | None -> Tenant.default_id)
+           | None -> Tenant.default_id));
+    List.iter
+      (fun (s : Tenant.spec) ->
+        Option.iter
+          (fun b -> Ofa.set_pin_budget ofa ~tenant:s.Tenant.id (Some b))
+          s.Tenant.pin_budget)
+      tn.Config.tenants);
   install t sw ~table_id:0 ~priority:0 ~cookie:Config.cookie_miss ~match_:Of_match.wildcard
     ~instructions:Of_action.to_controller ();
   sw
@@ -343,9 +486,39 @@ let manage_switch t dev ~channel_latency =
       ~differentiate:cfg.Config.ingress_differentiation
   in
   Sched.start sched;
+  (match cfg.Config.tenancy with
+  | None -> ()
+  | Some tn ->
+    (* Shedding must never cross a tenant boundary, a tenant past its
+       budget sheds only its own flows, and serve capacity is reserved
+       per share — a flooded tenant's backlog cannot stretch a quiet
+       tenant's decision latency. *)
+    Sched.set_tenant_isolation sched true;
+    Sched.set_tenant_shares sched
+      (List.map (fun (s : Tenant.spec) -> (s.Tenant.id, s.Tenant.share)) tn.Config.tenants);
+    List.iter
+      (fun (s : Tenant.spec) ->
+        Option.iter
+          (fun b -> Sched.set_tenant_budget sched ~tenant:s.Tenant.id (Some b))
+          s.Tenant.sched_budget)
+      tn.Config.tenants;
+    (* Direct Packet-Ins at the physical edge are attributed by their
+       in_port — spoofed sources cannot escape their tenant. *)
+    let ofa = Switch.ofa dev in
+    let dpid = Switch.dpid dev in
+    Ofa.set_pin_tenant_classifier ofa
+      (Some
+         (fun (j : Ofa.pin_job) ->
+           tn.Config.tenant_of ~first_hop:dpid ~ingress_port:j.Ofa.in_port));
+    List.iter
+      (fun (s : Tenant.spec) ->
+        Option.iter
+          (fun b -> Ofa.set_pin_budget ofa ~tenant:s.Tenant.id (Some b))
+          s.Tenant.pin_budget)
+      tn.Config.tenants);
   let m =
     { msw = sw; sched; attributed = Stats.Rate_meter.create ~window:1.0; active = false;
-      activated_at = 0.0; assigned = []; group_installed = false }
+      activated_at = 0.0; assigned = []; groups_installed = [] }
   in
   Hashtbl.replace t.managed (Switch.dpid dev) m;
   install t sw ~table_id:0 ~priority:0 ~cookie:Config.cookie_miss ~match_:Of_match.wildcard
@@ -390,20 +563,35 @@ let buckets_of_assignment assigned =
 (* An empty assignment would produce an empty-bucket Group_mod, which
    the switch rejects (OFPGMFC_INVALID_GROUP); keep the previous group
    contents until a non-empty assignment replaces them. *)
-let group_mod_for m =
-  if m.assigned = [] then None
+let group_mod_of m ~gid ~buckets =
+  if buckets = [] then None
   else begin
     let gm =
-      if m.group_installed then
-        Of_msg.Group_mod.modify_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
-      else Of_msg.Group_mod.add_select ~group_id ~buckets:(buckets_of_assignment m.assigned)
+      if List.mem gid m.groups_installed then Of_msg.Group_mod.modify_select ~group_id:gid ~buckets
+      else begin
+        m.groups_installed <- m.groups_installed @ [ gid ];
+        Of_msg.Group_mod.add_select ~group_id:gid ~buckets
+      end
     in
-    m.group_installed <- true;
     Some gm
   end
 
-let install_group t m =
-  match group_mod_for m with None -> () | Some gm -> send_gm t m.msw gm
+(* Untenanted: the single shared select group over the whole
+   assignment.  Tenanted: one select group per tenant over its
+   apportioned slice — weight-1 buckets, so the datapath's
+   [hash mod slice_len] pick is exactly mirrored by
+   {!predicted_entry}. *)
+let group_mods_for t m =
+  match tenancy t with
+  | None ->
+    Option.to_list (group_mod_of m ~gid:group_id ~buckets:(buckets_of_assignment m.assigned))
+  | Some _ ->
+    List.filter_map
+      (fun (tenant, slice) ->
+        group_mod_of m ~gid:(group_of_tenant t tenant) ~buckets:(buckets_of_assignment slice))
+      (tenant_slices t m.assigned)
+
+let install_group t m = List.iter (fun gm -> send_gm t m.msw gm) (group_mods_for t m)
 
 (** [activate t m] turns on overlay redirection at a congested switch:
     the two-table pipeline of §5.2 — table 0 tags the ingress port with
@@ -419,31 +607,46 @@ let activate t m =
     if Scotch_obs.Obs.is_enabled () then
       Scotch_obs.Obs.instant ~name:"scotch.activate" ~cat:"core" ~ts:(now t) ~tid:dpid
         ~args:[ ("vswitches", string_of_int (List.length m.assigned)) ];
-    (* the whole pipeline (select group, table-1 balancer, per-port
+    (* the whole pipeline (select groups, table-1 balancer, per-port
        redirects) ships as one batch: under the reliable layer it is a
        single barrier-acked transaction, otherwise it degenerates to the
        same message sequence as before *)
-    let gm = group_mod_for m in
+    let gms = group_mods_for t m in
+    (* Untenanted, table 1's single rule balances everything into the
+       shared group.  Under tenancy that shared balancer cannot
+       discriminate tenants, so each redirect jumps straight into its
+       tenant's own select group instead. *)
     let table1 =
-      Of_msg.Flow_mod.add ~table_id:1 ~priority:0 ~cookie:Config.cookie_green
-        ~match_:Of_match.wildcard
-        ~instructions:[ Of_action.Apply_actions [ Of_action.Group group_id ] ]
-        ()
+      match tenancy t with
+      | None ->
+        [ Of_msg.Flow_mod.add ~table_id:1 ~priority:0 ~cookie:Config.cookie_green
+            ~match_:Of_match.wildcard
+            ~instructions:[ Of_action.Apply_actions [ Of_action.Group group_id ] ]
+            () ]
+      | Some _ -> []
     in
     let redirects =
       List.map
         (fun port ->
+          let instructions =
+            match tenancy t with
+            | None ->
+              [ Of_action.Apply_actions [ Of_action.Push_mpls port ]; Of_action.Goto_table 1 ]
+            | Some _ ->
+              let gid =
+                group_of_tenant t (tenant_of_flow t ~first_hop:dpid ~ingress_port:port)
+              in
+              [ Of_action.Apply_actions [ Of_action.Push_mpls port; Of_action.Group gid ] ]
+          in
           Of_msg.Flow_mod.add ~table_id:0 ~priority:redirect_priority
             ~cookie:Config.cookie_green
             ~match_:(Of_match.with_in_port port Of_match.wildcard)
-            ~instructions:
-              [ Of_action.Apply_actions [ Of_action.Push_mpls port ]; Of_action.Goto_table 1 ]
-            ())
+            ~instructions ())
         (Switch.normal_ports m.msw.C.device)
     in
     send_batch t m.msw
-      (List.map (fun g -> Of_msg.Group_mod g) (Option.to_list gm)
-      @ List.map (fun fm -> Of_msg.Flow_mod fm) (table1 :: redirects));
+      (List.map (fun g -> Of_msg.Group_mod g) gms
+      @ List.map (fun fm -> Of_msg.Flow_mod fm) (table1 @ redirects));
     notify_phase t `Post_redirect
   end
 
@@ -476,14 +679,21 @@ let withdraw t m =
   else
     List.iter
       (fun (e : Flow_info_db.entry) ->
-        Sched.submit_admitted m.sched (fun () ->
+        Sched.submit_admitted m.sched ~tenant:e.Flow_info_db.tenant (fun () ->
+            let instructions =
+              match tenancy t with
+              | None ->
+                [ Of_action.Apply_actions [ Of_action.Push_mpls e.Flow_info_db.ingress_port ];
+                  Of_action.Goto_table 1 ]
+              | Some _ ->
+                [ Of_action.Apply_actions
+                    [ Of_action.Push_mpls e.Flow_info_db.ingress_port;
+                      Of_action.Group (group_of_tenant t e.Flow_info_db.tenant) ] ]
+            in
             install t m.msw ~table_id:0 ~priority:Policy.green_priority
               ~cookie:Config.cookie_green ~idle_timeout:t.config.Config.pin_rule_idle
               ~match_:(Of_match.exact_flow e.Flow_info_db.key)
-              ~instructions:
-                [ Of_action.Apply_actions [ Of_action.Push_mpls e.Flow_info_db.ingress_port ];
-                  Of_action.Goto_table 1 ]
-              ();
+              ~instructions ();
             decr remaining;
             if !remaining = 0 then remove_redirects ()))
       pins
@@ -494,14 +704,21 @@ let vswitch_handle t vdpid = Hashtbl.find_opt t.vswitch_handles vdpid
 
 (** Entry vswitch the switch's select group will hash this flow to —
     used when the first packet arrived directly (pre-activation) so the
-    controller's choice agrees with the data plane's. *)
-let predicted_entry t m key =
+    controller's choice agrees with the data plane's.  Under tenancy the
+    hash runs over the flow's tenant slice, mirroring the per-tenant
+    select group the datapath would use. *)
+let predicted_entry t m (e : Flow_info_db.entry) =
   let assigned = if m.assigned <> [] then m.assigned else select_assignment t m.msw.C.dpid in
   match assigned with
   | [] -> None
   | _ ->
-    let n = List.length assigned in
-    let vdpid, _ = List.nth assigned (Flow_key.hash key mod n) in
+    let pool =
+      match tenancy t with
+      | None -> assigned
+      | Some _ -> slice_of_tenant t assigned e.Flow_info_db.tenant
+    in
+    let n = List.length pool in
+    let vdpid, _ = List.nth pool (Flow_key.hash e.Flow_info_db.key mod n) in
     Some vdpid
 
 (** [route_overlay t e pkt ~entry] installs the overlay path for flow
@@ -660,7 +877,7 @@ let install_physical t (e : Flow_info_db.entry) ~first_packet ~on_complete =
             if !remaining = 0 then finish ()
           in
           match managed_of t d with
-          | Some dm -> Sched.submit_admitted dm.sched send
+          | Some dm -> Sched.submit_admitted dm.sched ~tenant:e.Flow_info_db.tenant send
           | None -> send ())
         (List.rev downstream)
     end
@@ -684,7 +901,14 @@ let do_migration ?(detected_at = 0.0) t (e : Flow_info_db.entry) =
             && (match managed_of t d with
                | None -> true
                | Some dm ->
-                 float_of_int (Sched.admitted_backlog dm.sched) <= t.config.Config.rule_rate))
+                 let backlog =
+                   match tenancy t with
+                   | None -> Sched.admitted_backlog dm.sched
+                   | Some _ ->
+                     Sched.admitted_backlog_of_tenant dm.sched
+                       ~tenant:e.Flow_info_db.tenant
+                 in
+                 float_of_int backlog <= t.config.Config.rule_rate))
         hops
   in
   if not path_ok then e.Flow_info_db.migrating <- false (* retry at next poll *)
@@ -725,7 +949,9 @@ let launch_migration t ~vdpid (e : Flow_info_db.entry) =
   in
   t.on_elephant e.Flow_info_db.key;
   match managed_of t e.Flow_info_db.first_hop with
-  | Some m -> Sched.submit_large m.sched (fun () -> do_migration ~detected_at t e)
+  | Some m ->
+    Sched.submit_large m.sched ~tenant:e.Flow_info_db.tenant (fun () ->
+        do_migration ~detected_at t e)
   | None -> e.Flow_info_db.migrating <- false
 
 let poll_vswitch_stats t vdpid =
@@ -861,8 +1087,10 @@ let poll_vswitch_telemetry t vdpid =
     make sure their control plane is not overloaded").  Two signals per
     hop: the Packet-In rate and the admitted-queue backlog (more than a
     second of pending installs means the switch cannot absorb another
-    path). *)
-let path_overloaded t ~first_hop ~dst_ip =
+    path).  Under tenancy the backlog signal is scoped to the flow's
+    own tenant — another tenant's install burst must not push this
+    tenant's flows off their physical paths. *)
+let path_overloaded t ~first_hop ~dst_ip ~tenant =
   match Scotch_topo.Topology.route_to_host (C.topo t.ctrl) ~src:first_hop ~dst_ip with
   | None -> false (* unroutable is handled downstream *)
   | Some hops ->
@@ -871,8 +1099,13 @@ let path_overloaded t ~first_hop ~dst_ip =
         match managed_of t d with
         | None -> false
         | Some dm ->
+          let backlog =
+            match tenancy t with
+            | None -> Sched.admitted_backlog dm.sched
+            | Some _ -> Sched.admitted_backlog_of_tenant dm.sched ~tenant
+          in
           C.pin_rate t.ctrl dm.msw > t.config.Config.path_load_threshold
-          || float_of_int (Sched.admitted_backlog dm.sched) > t.config.Config.rule_rate)
+          || float_of_int backlog > t.config.Config.rule_rate)
       hops
 
 (** {1 Packet-In handling} *)
@@ -891,7 +1124,7 @@ let serve_new_flow t m (e : Flow_info_db.entry) pkt ~entry_vswitch =
     let entry =
       match entry_vswitch with
       | Some v -> Some v
-      | None -> predicted_entry t m e.Flow_info_db.key
+      | None -> predicted_entry t m e
     in
     if not m.active then activate t m;
     match entry with
@@ -912,7 +1145,7 @@ let serve_new_flow t m (e : Flow_info_db.entry) pkt ~entry_vswitch =
     | Flow_info_db.Overlay _ | Flow_info_db.Physical | Flow_info_db.Dropped -> ()
   in
   let submit =
-    Sched.submit_ingress m.sched ~port:group ~shed (fun () ->
+    Sched.submit_ingress m.sched ~port:group ~tenant:e.Flow_info_db.tenant ~shed (fun () ->
         match e.Flow_info_db.kind with
         | Flow_info_db.Pending ->
           (* §5.3's path-load check applies to any physical setup: when a
@@ -921,7 +1154,10 @@ let serve_new_flow t m (e : Flow_info_db.entry) pkt ~entry_vswitch =
           let dst_ip =
             Ipv4_addr.of_int (Ipv4_addr.to_int e.Flow_info_db.key.Flow_key.ip_dst)
           in
-          if path_overloaded t ~first_hop:e.Flow_info_db.first_hop ~dst_ip then
+          if
+            path_overloaded t ~first_hop:e.Flow_info_db.first_hop ~dst_ip
+              ~tenant:e.Flow_info_db.tenant
+          then
             route_via_overlay ()
           else install_physical t e ~first_packet:(Some pkt) ~on_complete:(fun () -> ())
         | Flow_info_db.Overlay _ | Flow_info_db.Physical | Flow_info_db.Dropped -> ())
@@ -993,21 +1229,34 @@ let handle_packet_in t (sw : C.sw) (pi : Of_msg.Packet_in.t) =
           match entry_vswitch with
           | Some entry -> route_overlay t e pkt ~entry
           | None -> (
-            match predicted_entry t m key with
+            match predicted_entry t m e with
             | Some entry -> route_overlay t e pkt ~entry
             | None -> ()))
         | Flow_info_db.Physical | Flow_info_db.Dropped ->
-          (* red rule expired or flow retrying after shed: treat as new *)
+          (* red rule expired or flow retrying after shed: treat as new.
+             Tenancy is decided once, at the flow's original ingress — a
+             downstream switch re-seeing the flow (its packet racing the
+             path install) must not re-attribute it to whoever owns the
+             inter-switch port. *)
+          let prev_tenant = e.Flow_info_db.tenant in
           Flow_info_db.remove t.db key;
           t.counters.flows_seen <- t.counters.flows_seen + 1;
+          let tenant =
+            match tenancy t with
+            | None -> tenant_of_flow t ~first_hop:origin_dpid ~ingress_port
+            | Some _ -> prev_tenant
+          in
           let e =
-            Flow_info_db.admit t.db ~key ~first_hop:origin_dpid ~ingress_port ~now:(now t)
+            Flow_info_db.admit t.db ~tenant ~key ~first_hop:origin_dpid ~ingress_port
+              ~now:(now t) ()
           in
           serve_new_flow t m e pkt ~entry_vswitch)
       | None ->
         t.counters.flows_seen <- t.counters.flows_seen + 1;
+        let tenant = tenant_of_flow t ~first_hop:origin_dpid ~ingress_port in
         let e =
-          Flow_info_db.admit t.db ~key ~first_hop:origin_dpid ~ingress_port ~now:(now t)
+          Flow_info_db.admit t.db ~tenant ~key ~first_hop:origin_dpid ~ingress_port ~now:(now t)
+            ()
         in
         serve_new_flow t m e pkt ~entry_vswitch);
       true)
@@ -1031,18 +1280,31 @@ let rebalance_groups t =
   (* monitoring duty follows select-group membership *)
   refresh_sampling_duty t
 
-let handle_switch_dead t (sw : C.sw) =
-  let dpid = sw.C.dpid in
+(** [fail_vswitch t dpid] removes a pool member from forwarding duty as
+    if its heartbeat had died: mark it dead in the overlay and replace
+    it in every select group (the backup treats affected flows as new
+    flows).  Entry point for the elastic layer's data-path breaker. *)
+let fail_vswitch t dpid =
   if Hashtbl.mem t.vswitch_handles dpid then begin
     t.counters.vswitch_failures <- t.counters.vswitch_failures + 1;
     if Scotch_obs.Obs.is_enabled () then
       Scotch_obs.Obs.instant ~name:"scotch.vswitch_dead" ~cat:"core" ~ts:(now t) ~tid:dpid
         ~args:[];
     ignore (Overlay.mark_dead t.overlay dpid);
-    (* replace the failed vswitch in every select group (the backup
-       treats affected flows as new flows) *)
     rebalance_groups t
   end
+
+(** [revive_vswitch t dpid] returns a previously failed member to the
+    forwarding pool (the §5.6 recovery path) — the data-path breaker's
+    half-open probe succeeded. *)
+let revive_vswitch t dpid =
+  if Hashtbl.mem t.vswitch_handles dpid then begin
+    Overlay.mark_recovered t.overlay dpid;
+    rebalance_groups t;
+    notify_phase t `Post_recovery
+  end
+
+let handle_switch_dead t (sw : C.sw) = fail_vswitch t sw.C.dpid
 
 (** {1 Policy green rules} *)
 

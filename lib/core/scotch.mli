@@ -103,6 +103,18 @@ val promote_vswitch : t -> int -> unit
     for future promotion or failover. *)
 val demote_vswitch : t -> int -> unit
 
+(** Data-path breaker open: remove a member from forwarding duty as if
+    its heartbeat had died — marked dead in the overlay, replaced in
+    every select group (backups cover affected flows).  Harsher than
+    {!quarantine_vswitch}, which leaves forwarding intact.  No-op for
+    unknown dpids. *)
+val fail_vswitch : t -> int -> unit
+
+(** Data-path breaker closed again: return a previously failed member
+    to the forwarding pool (the §5.6 recovery path) and announce
+    [`Post_recovery]. *)
+val revive_vswitch : t -> int -> unit
+
 (** Pool-manager handoff: [bench_standbys t true] holds backups in
     reserve — out of every select group until promoted (autoscaler
     mode); [false] (default) lets them share load like any other

@@ -109,3 +109,27 @@ let observe t ~now probe =
       t.healthy_streak <- 0;
       None
     end
+
+(** {1 Per-function split (§5.6 refinement)}
+
+    One breaker per member function: [Control] scores the control path
+    (Echo RTT — can this member absorb flow-setup duty?) and [Data]
+    scores the data path (delivery probes — does it still forward?).
+    The axes are fully independent state machines, so a member that is
+    control-degraded but still forwarding is drained from flow-setup
+    duty without being ejected from forwarding, and vice versa. *)
+
+type axis = Control | Data
+
+type split = { control : t; data : t }
+
+let create_split ?control ?data () =
+  { control = create ?config:control (); data = create ?config:data () }
+
+let axis_breaker split = function Control -> split.control | Data -> split.data
+
+let observe_split split axis ~now probe = observe (axis_breaker split axis) ~now probe
+
+let axis_state split axis = state (axis_breaker split axis)
+
+let axis_score split axis = score (axis_breaker split axis)

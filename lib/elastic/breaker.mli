@@ -44,3 +44,27 @@ val score : t -> float
 (** Fold one probe outcome in ([now] is virtual time); returns the
     pool-membership change it triggers, if any. *)
 val observe : t -> now:float -> probe -> event option
+
+(** {1 Per-function split}
+
+    Control-path health (Echo RTT: can the member absorb flow-setup
+    duty?) and data-path health (delivery probes: does it still
+    forward?) scored by independent breakers, so a member degraded on
+    one axis keeps serving the other. *)
+
+type axis = Control | Data
+
+type split = { control : t; data : t }
+
+(** [create_split ?control ?data ()] builds two independent breakers;
+    each config defaults to {!default_config}. *)
+val create_split : ?control:config -> ?data:config -> unit -> split
+
+val axis_breaker : split -> axis -> t
+
+(** Fold a probe into one axis only; the other axis is untouched. *)
+val observe_split : split -> axis -> now:float -> probe -> event option
+
+val axis_state : split -> axis -> state
+
+val axis_score : split -> axis -> float

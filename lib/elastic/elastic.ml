@@ -35,7 +35,23 @@ module Sched = Scotch_core.Sched
 type config = {
   probe_period : float;      (** control-loop tick, s *)
   probe_timeout : float;     (** Echo probe deadline (a miss = Timeout), s *)
-  breaker : Breaker.config;  (** per-member breaker parameters *)
+  breaker : Breaker.config;  (** per-member control-path breaker parameters *)
+  data_breaker : Breaker.config;
+      (** per-member data-path (forwarding) breaker parameters *)
+  data_probe : (int -> Breaker.probe) option;
+      (** synchronous per-tick delivery probe of a member's data path
+          (argument: member dpid); [None] (default) disables the data
+          axis entirely.  A data-axis ejection removes the member from
+          forwarding ({!Scotch.fail_vswitch}); a control-axis ejection
+          only quarantines it — degraded-but-forwarding members keep
+          carrying traffic while drained from flow-setup duty. *)
+  tenant_shares : (int * int) list;
+      (** [(tenant, share)] weights for per-tenant autoscaler views;
+          [[]] (default) keeps the aggregate view.  When set, each
+          tenant's demand and fresh shedding count toward scaling only
+          up to its entitlement (its share of [max_pool ×
+          vswitch_capacity]), so one tenant's flash crowd cannot starve
+          another's pool headroom or burn the shared scale-up budget. *)
   vswitch_capacity : float;  (** new-flow/s one pool member absorbs *)
   high_water : float;        (** utilization above this counts toward scale-up *)
   low_water : float;         (** utilization below this counts toward scale-down *)
@@ -48,6 +64,7 @@ type config = {
 
 let default_config =
   { probe_period = 0.25; probe_timeout = 0.1; breaker = Breaker.default_config;
+    data_breaker = Breaker.default_config; data_probe = None; tenant_shares = [];
     vswitch_capacity = 1000.0; high_water = 0.8; low_water = 0.3; sustain_up = 3;
     sustain_down = 8; cooldown = 2.0; min_pool = 1; max_pool = 8 }
 
@@ -61,13 +78,19 @@ let check_config c =
     invalid_arg "Elastic: sustain counts must be >= 1";
   if c.cooldown < 0.0 then invalid_arg "Elastic: cooldown must be >= 0";
   if c.min_pool < 1 || c.max_pool < c.min_pool then
-    invalid_arg "Elastic: need 1 <= min_pool <= max_pool"
+    invalid_arg "Elastic: need 1 <= min_pool <= max_pool";
+  List.iter
+    (fun (_, share) ->
+      if share < 1 then invalid_arg "Elastic: tenant shares must be >= 1")
+    c.tenant_shares
 
 type action = { time : float; dir : [ `Up | `Down ]; dpid : int }
 
 type counters = {
   mutable ejects : int;
   mutable readmits : int;
+  mutable data_ejects : int;   (* data-axis breaker removals from forwarding *)
+  mutable data_readmits : int;
   mutable scale_ups : int;
   mutable scale_downs : int;
   mutable probes_sent : int;
@@ -79,13 +102,15 @@ type t = {
   app : Scotch.t;
   ctrl : C.t;
   provision : (unit -> C.sw option) option;
-  breakers : (int, Breaker.t) Hashtbl.t;
+  breakers : (int, Breaker.split) Hashtbl.t;
   mutable up_streak : int;
   mutable down_streak : int;
   mutable last_action : float;
   mutable actions_rev : action list;
   mutable last_util : float;
   mutable last_shed : int; (* admission-layer shed total at the last tick *)
+  last_tenant_pins : (int, int) Hashtbl.t;  (* per-tenant pin totals at the last tick *)
+  last_tenant_shed : (int, int) Hashtbl.t;  (* per-tenant shed totals at the last tick *)
   mutable stop : (unit -> unit) option;
   counters : counters;
 }
@@ -103,10 +128,11 @@ let create ?(config = default_config) ?provision app =
   let t =
     { config; app; ctrl = Scotch.ctrl app; provision; breakers = Hashtbl.create 16;
       up_streak = 0; down_streak = 0; last_action = neg_infinity; actions_rev = [];
-      last_util = 0.0; last_shed = 0; stop = None;
+      last_util = 0.0; last_shed = 0; last_tenant_pins = Hashtbl.create 4;
+      last_tenant_shed = Hashtbl.create 4; stop = None;
       counters =
-        { ejects = 0; readmits = 0; scale_ups = 0; scale_downs = 0; probes_sent = 0;
-          probe_timeouts = 0 } }
+        { ejects = 0; readmits = 0; data_ejects = 0; data_readmits = 0; scale_ups = 0;
+          scale_downs = 0; probes_sent = 0; probe_timeouts = 0 } }
   in
   let module O = Scotch_obs.Obs in
   let c = t.counters in
@@ -134,15 +160,28 @@ let breaker_of t dpid =
   match Hashtbl.find_opt t.breakers dpid with
   | Some b -> b
   | None ->
-    let b = Breaker.create ~config:t.config.breaker () in
+    let b = Breaker.create_split ~control:t.config.breaker ~data:t.config.data_breaker () in
     Hashtbl.replace t.breakers dpid b;
     Scotch_obs.Obs.gauge_fn ~help:"EWMA vswitch health score"
       ~labels:[ ("dpid", string_of_int dpid) ] "scotch_elastic_health_score"
-      (fun () -> Breaker.score b);
+      (fun () -> Breaker.axis_score b Breaker.Control);
+    if t.config.data_probe <> None then
+      Scotch_obs.Obs.gauge_fn ~help:"EWMA vswitch data-path (forwarding) health score"
+        ~labels:[ ("dpid", string_of_int dpid) ] "scotch_elastic_data_health_score"
+        (fun () -> Breaker.axis_score b Breaker.Data);
     b
 
-let health_score t dpid = Option.map Breaker.score (Hashtbl.find_opt t.breakers dpid)
-let breaker_state t dpid = Option.map Breaker.state (Hashtbl.find_opt t.breakers dpid)
+let health_score t dpid =
+  Option.map (fun b -> Breaker.axis_score b Breaker.Control) (Hashtbl.find_opt t.breakers dpid)
+
+let breaker_state t dpid =
+  Option.map (fun b -> Breaker.axis_state b Breaker.Control) (Hashtbl.find_opt t.breakers dpid)
+
+let data_health_score t dpid =
+  Option.map (fun b -> Breaker.axis_score b Breaker.Data) (Hashtbl.find_opt t.breakers dpid)
+
+let data_breaker_state t dpid =
+  Option.map (fun b -> Breaker.axis_state b Breaker.Data) (Hashtbl.find_opt t.breakers dpid)
 
 (** Autoscaler actions taken so far, oldest first. *)
 let actions t = List.rev t.actions_rev
@@ -155,13 +194,27 @@ let feed_probe t dpid probe =
   (match probe with
   | Breaker.Timeout -> t.counters.probe_timeouts <- t.counters.probe_timeouts + 1
   | Breaker.Reply _ -> ());
-  match Breaker.observe b ~now:(now t) probe with
+  match Breaker.observe_split b Breaker.Control ~now:(now t) probe with
   | Some Breaker.Ejected ->
     t.counters.ejects <- t.counters.ejects + 1;
     Scotch.quarantine_vswitch t.app dpid
   | Some Breaker.Readmitted ->
     t.counters.readmits <- t.counters.readmits + 1;
     Scotch.readmit_vswitch t.app dpid
+  | None -> ()
+
+(* Data-path (forwarding) health: a member whose data breaker opens is
+   removed from forwarding outright — unlike a control-axis ejection,
+   which drains it from flow-setup duty while it keeps forwarding. *)
+let feed_data_probe t dpid probe =
+  let b = breaker_of t dpid in
+  match Breaker.observe_split b Breaker.Data ~now:(now t) probe with
+  | Some Breaker.Ejected ->
+    t.counters.data_ejects <- t.counters.data_ejects + 1;
+    Scotch.fail_vswitch t.app dpid
+  | Some Breaker.Readmitted ->
+    t.counters.data_readmits <- t.counters.data_readmits + 1;
+    Scotch.revive_vswitch t.app dpid
   | None -> ()
 
 (* Probe every registered vswitch the heartbeat still considers alive.
@@ -177,7 +230,10 @@ let probe_pool t =
         C.request ~deadline:t.config.probe_timeout
           ~on_timeout:(fun () -> feed_probe t dpid Breaker.Timeout)
           t.ctrl sw Scotch_openflow.Of_msg.Echo_request
-          (fun _ -> feed_probe t dpid (Breaker.Reply (now t -. sent)))
+          (fun _ -> feed_probe t dpid (Breaker.Reply (now t -. sent)));
+        (match t.config.data_probe with
+        | None -> ()
+        | Some f -> feed_data_probe t dpid (f dpid))
       | Some _ | None -> ())
     (Scotch.vswitch_dpids t.app)
 
@@ -201,6 +257,37 @@ let shed_now t =
       | Some sw ->
         let c = Ofa.counters (Switch.ofa sw.C.device) in
         acc + c.Ofa.pin_dropped + c.Ofa.pin_expired
+      | None -> acc)
+    sched_shed
+    (Scotch.vswitch_dpids t.app)
+
+(* Per-tenant totals for the tenant-aware autoscaler view: Packet-In
+   jobs attributed to [tenant] across the pool, and everything shed on
+   its behalf (scheduler budgets/evictions/expiries at the managed
+   switches plus pin-queue losses at the vswitch OFAs). *)
+let tenant_pin_total t tenant =
+  List.fold_left
+    (fun acc dpid ->
+      match Scotch.vswitch_handle_of t.app dpid with
+      | Some sw -> acc + Ofa.pin_tenant_submitted (Switch.ofa sw.C.device) ~tenant
+      | None -> acc)
+    0
+    (Scotch.vswitch_dpids t.app)
+
+let tenant_shed_total t tenant =
+  let sched_shed =
+    List.fold_left
+      (fun acc dpid ->
+        match Scotch.sched_of t.app dpid with
+        | Some s -> acc + Sched.tenant_shed s ~tenant
+        | None -> acc)
+      0
+      (Scotch.managed_dpids t.app)
+  in
+  List.fold_left
+    (fun acc dpid ->
+      match Scotch.vswitch_handle_of t.app dpid with
+      | Some sw -> acc + Ofa.pin_tenant_shed (Switch.ofa sw.C.device) ~tenant
       | None -> acc)
     sched_shed
     (Scotch.vswitch_dpids t.app)
@@ -255,26 +342,68 @@ let autoscale_tick t =
   let ov = Scotch.overlay t.app in
   let active = Overlay.active_vswitches ov in
   let n = List.length active in
-  (* demand: every alive member's Packet-In rate — quarantined and
-     draining members still carry flows whose load would shift onto
-     the active set *)
-  let demand =
-    List.fold_left
-      (fun acc dpid ->
-        match Scotch.vswitch_handle_of t.app dpid with
-        | Some sw when sw.C.alive -> acc +. C.pin_rate t.ctrl sw
-        | Some _ | None -> acc)
-      0.0
-      (Scotch.vswitch_dpids t.app)
-  in
-  let util =
-    if n = 0 then if demand > 0.0 then infinity else 0.0
-    else demand /. (float_of_int n *. t.config.vswitch_capacity)
+  let util, fresh_shed =
+    match t.config.tenant_shares with
+    | [] ->
+      (* demand: every alive member's Packet-In rate — quarantined and
+         draining members still carry flows whose load would shift onto
+         the active set *)
+      let demand =
+        List.fold_left
+          (fun acc dpid ->
+            match Scotch.vswitch_handle_of t.app dpid with
+            | Some sw when sw.C.alive -> acc +. C.pin_rate t.ctrl sw
+            | Some _ | None -> acc)
+          0.0
+          (Scotch.vswitch_dpids t.app)
+      in
+      let util =
+        if n = 0 then if demand > 0.0 then infinity else 0.0
+        else demand /. (float_of_int n *. t.config.vswitch_capacity)
+      in
+      let shed = shed_now t in
+      let fresh_shed = shed - t.last_shed in
+      t.last_shed <- shed;
+      (util, fresh_shed)
+    | shares ->
+      (* Per-tenant view: each tenant's demand counts toward scaling
+         only up to its entitlement (its share of the maximum pool
+         capacity), and shedding only triggers scale-up for tenants
+         operating within entitlement — an attacker flooding past its
+         share sheds its own flows without buying the pool any growth
+         or starving the victims' headroom. *)
+      let total_share = List.fold_left (fun acc (_, s) -> acc + Stdlib.max 1 s) 0 shares in
+      let cap = float_of_int t.config.max_pool *. t.config.vswitch_capacity in
+      let demand, fresh =
+        List.fold_left
+          (fun (d_acc, f_acc) (tenant, share) ->
+            let entitlement =
+              cap *. float_of_int (Stdlib.max 1 share) /. float_of_int total_share
+            in
+            let pins = tenant_pin_total t tenant in
+            let last_pins =
+              Option.value (Hashtbl.find_opt t.last_tenant_pins tenant) ~default:0
+            in
+            Hashtbl.replace t.last_tenant_pins tenant pins;
+            let rate = float_of_int (pins - last_pins) /. t.config.probe_period in
+            let shed = tenant_shed_total t tenant in
+            let last_shed =
+              Option.value (Hashtbl.find_opt t.last_tenant_shed tenant) ~default:0
+            in
+            Hashtbl.replace t.last_tenant_shed tenant shed;
+            let fresh = shed - last_shed in
+            let within_entitlement = rate <= entitlement in
+            ( d_acc +. Float.min rate entitlement,
+              f_acc + (if within_entitlement then fresh else 0) ))
+          (0.0, 0) shares
+      in
+      let util =
+        if n = 0 then if demand > 0.0 then infinity else 0.0
+        else demand /. (float_of_int n *. t.config.vswitch_capacity)
+      in
+      (util, fresh)
   in
   t.last_util <- util;
-  let shed = shed_now t in
-  let fresh_shed = shed - t.last_shed in
-  t.last_shed <- shed;
   let overloaded = util > t.config.high_water || fresh_shed > 0 in
   let idle = util < t.config.low_water && fresh_shed = 0 in
   if overloaded then begin

@@ -21,7 +21,21 @@ module Scotch = Scotch_core.Scotch
 type config = {
   probe_period : float;      (** control-loop tick, s *)
   probe_timeout : float;     (** Echo probe deadline (a miss = Timeout), s *)
-  breaker : Breaker.config;  (** per-member breaker parameters *)
+  breaker : Breaker.config;  (** per-member control-path breaker parameters *)
+  data_breaker : Breaker.config;
+      (** per-member data-path (forwarding) breaker parameters *)
+  data_probe : (int -> Breaker.probe) option;
+      (** synchronous per-tick delivery probe of a member's data path
+          (argument: member dpid); [None] (default) disables the data
+          axis.  Data-axis ejection removes the member from forwarding
+          ({!Scotch.fail_vswitch}); control-axis ejection only drains
+          it from flow-setup duty. *)
+  tenant_shares : (int * int) list;
+      (** [(tenant, share)] weights for per-tenant autoscaler views;
+          [[]] (default) keeps the aggregate view.  Demand and fresh
+          shedding count toward scaling only up to each tenant's
+          entitlement, so one tenant's flash crowd cannot starve
+          another's pool headroom. *)
   vswitch_capacity : float;  (** new-flow/s one pool member absorbs *)
   high_water : float;        (** utilization above this counts toward scale-up *)
   low_water : float;         (** utilization below this counts toward scale-down *)
@@ -40,6 +54,8 @@ type action = { time : float; dir : [ `Up | `Down ]; dpid : int }
 type counters = {
   mutable ejects : int;
   mutable readmits : int;
+  mutable data_ejects : int;   (** data-axis breaker removals from forwarding *)
+  mutable data_readmits : int;
   mutable scale_ups : int;
   mutable scale_downs : int;
   mutable probes_sent : int;
@@ -67,7 +83,12 @@ val counters : t -> counters
 (** Utilization computed at the last tick. *)
 val utilization : t -> float
 
-(** EWMA health score of a probed member. *)
+(** EWMA control-path health score of a probed member. *)
 val health_score : t -> int -> float option
 
 val breaker_state : t -> int -> Breaker.state option
+
+(** EWMA data-path (forwarding) health score of a probed member. *)
+val data_health_score : t -> int -> float option
+
+val data_breaker_state : t -> int -> Breaker.state option

@@ -105,7 +105,7 @@ let run_dedicated_point ?(seed = 42) ~offered ~duration () =
             ~actions:[ Of_action.Output (Of_types.Port_no.Physical 50) ]
             pkt)
   in
-  let src = Testbed.attack_source net ~rate:offered in
+  let src = Testbed.attack_source net ~rate:offered () in
   Source.start src;
   Testbed.run_until net ~until:1.5;
   let f0 = Scotch_topo.Host.flows_seen net.Testbed.server in
@@ -114,7 +114,7 @@ let run_dedicated_point ?(seed = 42) ~offered ~duration () =
 
 let run_scotch_point ?(seed = 42) ~offered ~duration () =
   let net = Testbed.scotch_net ~seed () in
-  let src = Testbed.attack_source net ~rate:offered in
+  let src = Testbed.attack_source net ~rate:offered () in
   Source.start src;
   Testbed.run_until net ~until:1.5;
   let f0 = Scotch_topo.Host.flows_seen net.Testbed.server in
@@ -123,7 +123,7 @@ let run_scotch_point ?(seed = 42) ~offered ~duration () =
 
 let run_reactive_point ?(seed = 42) ~offered ~duration () =
   let net = Testbed.scotch_net ~seed ~scotch_enabled:false () in
-  let src = Testbed.attack_source net ~rate:offered in
+  let src = Testbed.attack_source net ~rate:offered () in
   Source.start src;
   Testbed.run_until net ~until:1.5;
   let f0 = Scotch_topo.Host.flows_seen net.Testbed.server in
@@ -150,7 +150,7 @@ let run_withdrawal ?(seed = 42) ?(scale = 1.0) () : Report.figure =
   let attack_stop = duration /. 2.0 in
   let net = Testbed.scotch_net ~seed () in
   let client = Testbed.client_source net ~i:0 ~rate:10.0 () in
-  let attack = Testbed.attack_source net ~rate:1500.0 in
+  let attack = Testbed.attack_source net ~rate:1500.0 () in
   Source.start client;
   Source.start attack;
   ignore

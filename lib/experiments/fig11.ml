@@ -28,7 +28,7 @@ let run_point ?(seed = 42) ~differentiate ~attack_rate ~duration () =
   let config = { Config.default with Config.ingress_differentiation = differentiate } in
   let net = Testbed.scotch_net ~seed ~config () in
   let client = Testbed.client_source net ~i:0 ~rate:client_rate () in
-  let attack = Testbed.attack_source net ~rate:attack_rate in
+  let attack = Testbed.attack_source net ~rate:attack_rate () in
   Source.start client;
   Source.start attack;
   Testbed.run_until net ~until:(duration +. 1.0);

@@ -56,7 +56,7 @@ let active_net ?config ~seed ?(num_backups = 0) () =
   let net =
     Testbed.scotch_net ?config ~seed ~num_vswitches:4 ~num_backups ~num_clients:2 ()
   in
-  Scotch_workload.Source.start (Testbed.attack_source net ~rate:attack_rate);
+  Scotch_workload.Source.start (Testbed.attack_source net ~rate:attack_rate ());
   Scotch_workload.Source.start (Testbed.client_source net ~i:0 ~rate:client_rate ());
   Scotch_workload.Source.start (Testbed.client_source net ~i:1 ~rate:client_rate ());
   net

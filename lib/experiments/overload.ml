@@ -106,6 +106,9 @@ let elastic_config =
        (unhealthy above 75 ms), timeout 300 ms. *)
     probe_timeout = 0.3;
     breaker = { Breaker.default_config with Breaker.rtt_budget = 0.05 };
+    data_breaker = Breaker.default_config;
+    data_probe = None;
+    tenant_shares = [];
     high_water = 0.8;
     low_water = 0.3;
     sustain_up = 3;
@@ -247,7 +250,7 @@ let run_variant ?(elastic = true) ?(verify = Scotch_core.Config.Off) ~seed ~plan
     end
   in
   let ledger =
-    Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan
+    Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan
   in
   let timeline = ref [] in
   let stop_sampler =

@@ -112,7 +112,7 @@ let run_variant ?config ?(reconcile = false) ~seed ~plan ~(params : Tracegen.par
       ~num_clients:params.Tracegen.num_sources ~num_servers:params.Tracegen.num_destinations
       ~reconcile ()
   in
-  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan in
   let rng = Scotch_util.Rng.create (seed + 17) in
   let trace = Tracegen.generate rng params in
   let sources =

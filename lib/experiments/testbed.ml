@@ -221,15 +221,16 @@ let scotch_net ?(seed = 42) ?(profile = Profile.pica8) ?(vswitch_profile = Profi
     servers; server; verify = !verify; reliable }
 
 (** A client traffic source on client [i]. *)
-let client_source (net : scotch_net) ~i ~rate ?arrival ?spec_of () =
+let client_source (net : scotch_net) ~i ~rate ?arrival ?spec_of ?tenant () =
   let rng = Rng.split (Scotch_sim.Engine.rng net.engine) in
   Source.create net.engine ~rng ~host:net.clients.(i) ~dst:net.server ~rate ?arrival ?spec_of
-    ()
+    ?tenant ()
 
 (** The spoofed-source attacker. *)
-let attack_source (net : scotch_net) ~rate =
+let attack_source (net : scotch_net) ?tenant ~rate () =
   let rng = Rng.split (Scotch_sim.Engine.rng net.engine) in
-  Source.create net.engine ~rng ~host:net.attacker ~dst:net.server ~rate ~spoof_sources:true ()
+  Source.create net.engine ~rng ~host:net.attacker ~dst:net.server ~rate ?tenant
+    ~spoof_sources:true ()
 
 (** Run the simulation to absolute time [until]. *)
 let run_until (net : scotch_net) ~until = Scotch_sim.Engine.run ~until net.engine

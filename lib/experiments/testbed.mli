@@ -88,10 +88,10 @@ val scotch_net :
 (** A client traffic source on client [i] toward the first server. *)
 val client_source :
   scotch_net -> i:int -> rate:float -> ?arrival:Source.arrival ->
-  ?spec_of:(Scotch_util.Rng.t -> Flow_gen.flow_spec) -> unit -> Source.t
+  ?spec_of:(Scotch_util.Rng.t -> Flow_gen.flow_spec) -> ?tenant:int -> unit -> Source.t
 
 (** The spoofed-source attacker. *)
-val attack_source : scotch_net -> rate:float -> Source.t
+val attack_source : scotch_net -> ?tenant:int -> rate:float -> unit -> Source.t
 
 (** Run the simulation to absolute time [until]. *)
 val run_until : scotch_net -> until:float -> unit

@@ -37,6 +37,7 @@ type kind =
   | Stats_outage
   | Vswitch_degrade of float (* peak service-time multiplier, > 1; ramps *)
   | Controller_pause
+  | Tenant_flood of float   (* spoofed new-flow flood, flows/s; target = tenant id *)
 
 type t = {
   at : float;       (* injection time (absolute simulation seconds) *)
@@ -103,6 +104,17 @@ let controller_pause ~at ~duration =
     invalid_arg "Fault.controller_pause: duration must be finite";
   { at; duration; target = 0; kind = Controller_pause }
 
+(** [tenant_flood ~at ~duration ~rate tenant] — a spoofed-source
+    new-flow flood ([rate] flows/s of one-packet probes) attributed to
+    tenant [tenant]: the blast-radius-isolation attack of the
+    [isolation] experiment.  Requires a finite duration (the attack
+    source is started and stopped around the window). *)
+let tenant_flood ~at ~duration ~rate target =
+  check ~at ~duration "Fault.tenant_flood";
+  if duration = infinity then invalid_arg "Fault.tenant_flood: duration must be finite";
+  if rate <= 0.0 then invalid_arg "Fault.tenant_flood: rate must be positive";
+  { at; duration; target; kind = Tenant_flood rate }
+
 (** End of the fault's active window ([infinity] for permanent ones). *)
 let ends_at t = t.at +. t.duration
 
@@ -116,6 +128,7 @@ let kind_label = function
   | Stats_outage -> "stats-outage"
   | Vswitch_degrade p -> Printf.sprintf "vswitch-degrade-x%g" p
   | Controller_pause -> "controller-pause"
+  | Tenant_flood r -> Printf.sprintf "tenant-flood-%gfps" r
 
 (** Human/ledger label, e.g. ["vswitch-crash@101"]. *)
 let label t =

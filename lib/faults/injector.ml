@@ -39,11 +39,17 @@ type env = {
   engine : Scotch_sim.Engine.t;
   ctrl : C.t;
   app : Scotch.t;
+  flood : (tenant:int -> rate:float -> active:bool -> unit) option;
+      (* drives the experiment's attack traffic source for
+         {!Fault.Tenant_flood} faults; [None] makes them no-ops *)
 }
 
 (** Build an injection environment from a controller and its Scotch
-    app (the engine and topology come from the controller). *)
-let env ~ctrl ~app = { engine = C.engine ctrl; ctrl; app }
+    app (the engine and topology come from the controller).  [flood],
+    when given, is called with [active:true] at a
+    {!Fault.Tenant_flood}'s injection time and [active:false] at its
+    clear — the experiment wires it to its attack traffic source. *)
+let env ?flood ~ctrl ~app () = { engine = C.engine ctrl; ctrl; app; flood }
 
 type pending_crash = {
   record : Ledger.record;
@@ -187,7 +193,11 @@ let clear t (f : Fault.t) (r : Ledger.record) =
     | None -> ())
   | Fault.Stats_outage -> Scotch.set_stats_polling t.e.app true
   | Fault.Vswitch_degrade _ -> Ofa.set_slowdown (Switch.ofa (device t f.Fault.target)) 1.0
-  | Fault.Controller_pause -> () (* the pause deadline passes by itself *));
+  | Fault.Controller_pause -> () (* the pause deadline passes by itself *)
+  | Fault.Tenant_flood rate -> (
+    match t.e.flood with
+    | Some drive -> drive ~tenant:f.Fault.target ~rate ~active:false
+    | None -> ()));
   r.Ledger.cleared_at <- Some (now t)
 
 let inject t (id, (f : Fault.t)) =
@@ -242,6 +252,10 @@ let inject t (id, (f : Fault.t)) =
                Ofa.set_slowdown ofa factor))
       done
     | Fault.Controller_pause -> C.pause t.e.ctrl ~until:(Fault.ends_at f)
+    | Fault.Tenant_flood rate -> (
+      match t.e.flood with
+      | Some drive -> drive ~tenant:f.Fault.target ~rate ~active:true
+      | None -> ())
   in
   ignore (Scotch_sim.Engine.schedule_at t.e.engine ~at:f.Fault.at fire);
   if Fault.ends_at f < infinity then

@@ -110,6 +110,26 @@ let gray_failures ~rng ~targets ~start ~until ~mtbf ~mttr =
   in
   go start []
 
+(** [tenant_floods ~rng ~tenant ~rate ~start ~until ~mtbf ~mttr]
+    generates repeated spoofed-SYN flood bursts attributed to [tenant]:
+    bursts arrive as a Poisson process with mean inter-arrival [mtbf],
+    each lasting Exp([mttr]) (floored at a tenth of [mttr]) at a
+    jittered rate between 0.5x and 1.5x of [rate] flows/s.  Reusable
+    as background attack weather by the resilience/overload runs. *)
+let tenant_floods ~rng ~tenant ~rate ~start ~until ~mtbf ~mttr =
+  if rate <= 0.0 then invalid_arg "Plan.tenant_floods: rate must be positive";
+  if mtbf <= 0.0 || mttr <= 0.0 then invalid_arg "Plan.tenant_floods: mtbf/mttr must be positive";
+  let rec go t acc =
+    let t = t +. Rng.exponential rng ~rate:(1.0 /. mtbf) in
+    if t >= until then List.rev acc
+    else begin
+      let duration = Stdlib.max (0.1 *. mttr) (Rng.exponential rng ~rate:(1.0 /. mttr)) in
+      let burst_rate = rate *. (0.5 +. Rng.float rng 1.0) in
+      go t (Fault.tenant_flood ~at:t ~duration ~rate:burst_rate tenant :: acc)
+    end
+  in
+  go start []
+
 let pp fmt t =
   Format.fprintf fmt "plan[%d faults]" (length t);
   List.iter (fun (i, f) -> Format.fprintf fmt "@ #%d %a" i Fault.pp f) t.faults

@@ -43,6 +43,7 @@ type counters = {
   mutable pin_sent : int;          (* Packet-In messages emitted *)
   mutable pin_dropped : int;       (* new-flow packets lost at the pin queue *)
   mutable pin_expired : int;       (* queued pin jobs shed past the deadline *)
+  mutable pin_budget_dropped : int; (* refused by the submitter's own tenant budget *)
   mutable flow_mods_handled : int;
   mutable flow_mods_dropped : int; (* controller messages lost at the queue *)
   mutable msgs_handled : int;
@@ -69,6 +70,12 @@ type t = {
   cmsg_queue : Of_msg.t Queue.t;
   mutable pin_policy : pin_policy;
   mutable pin_deadline : float; (* 0. = disabled *)
+  mutable pin_tenant_of : (pin_job -> int) option;
+      (* tenant attribution of a pin job; None = untenanted (default) *)
+  pin_budgets : (int, int) Hashtbl.t;   (* tenant -> max queued pin jobs *)
+  pin_queued_t : (int, int) Hashtbl.t;  (* tenant -> slots held right now *)
+  pin_submitted_t : (int, int) Hashtbl.t;
+  pin_shed_t : (int, int) Hashtbl.t;
   mutable busy : bool;
   mutable to_controller : Of_msg.t -> unit;
   handler : handler;
@@ -102,6 +109,8 @@ let register_metrics t =
     "scotch_ofa_pin_dropped_total" (fun () -> c.pin_dropped);
   O.counter_fn ~help:"Queued Packet-In jobs shed past the pin deadline" ~labels
     "scotch_ofa_pin_expired_total" (fun () -> c.pin_expired);
+  O.counter_fn ~help:"Pin jobs refused by the submitter's own tenant budget" ~labels
+    "scotch_ofa_pin_budget_dropped_total" (fun () -> c.pin_budget_dropped);
   O.counter_fn ~help:"FlowMods applied by the OFA" ~labels
     "scotch_ofa_flow_mods_handled_total" (fun () -> c.flow_mods_handled);
   O.counter_fn ~help:"Controller messages lost at the OFA queue" ~labels
@@ -118,10 +127,13 @@ let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) ?(dpid = 0) engine ~pr
     { engine; profile; housekeeping_phase; rng = Scotch_util.Rng.create (jitter_seed lxor 0x0FA);
       pin_queue = Queue.create (); cmsg_queue = Queue.create ();
       pin_policy = Pin_drop_new; pin_deadline = 0.0;
+      pin_tenant_of = None; pin_budgets = Hashtbl.create 4;
+      pin_queued_t = Hashtbl.create 4; pin_submitted_t = Hashtbl.create 4;
+      pin_shed_t = Hashtbl.create 4;
       busy = false; to_controller = (fun _ -> ()); handler;
       counters =
-        { pin_sent = 0; pin_dropped = 0; pin_expired = 0; flow_mods_handled = 0;
-          flow_mods_dropped = 0; msgs_handled = 0 };
+        { pin_sent = 0; pin_dropped = 0; pin_expired = 0; pin_budget_dropped = 0;
+          flow_mods_handled = 0; flow_mods_dropped = 0; msgs_handled = 0 };
       next_xid = 1; dead = false; slowdown = 1.0; stalled_until = 0.0; dpid;
       service_h =
         Scotch_obs.Obs.histogram ~help:"OFA job service time (virtual seconds)"
@@ -236,6 +248,60 @@ let set_pin_deadline t d =
 
 let pin_deadline t = t.pin_deadline
 
+(** {2 Tenancy: per-tenant pin-queue budgets} *)
+
+let bump tbl tenant n =
+  let cur = match Hashtbl.find_opt tbl tenant with Some c -> c | None -> 0 in
+  Hashtbl.replace tbl tenant (cur + n)
+
+let tbl_count tbl tenant =
+  match Hashtbl.find_opt tbl tenant with Some c -> c | None -> 0
+
+(** Attribute pin jobs to tenants ([None] restores the untenanted
+    default).  The classifier must be pure — it may be re-applied to a
+    job already in the queue. *)
+let set_pin_tenant_classifier t f = t.pin_tenant_of <- f
+
+(** Cap how many pin-queue slots [tenant] may hold at once ([None]
+    removes the cap).  Only effective with a classifier installed. *)
+let set_pin_budget t ~tenant budget =
+  match budget with
+  | Some b when b < 1 -> invalid_arg "Ofa.set_pin_budget: budget must be >= 1"
+  | Some b -> Hashtbl.replace t.pin_budgets tenant b
+  | None -> Hashtbl.remove t.pin_budgets tenant
+
+let pin_tenant t job = match t.pin_tenant_of with None -> None | Some f -> Some (f job)
+
+let pin_tenant_submitted t ~tenant = tbl_count t.pin_submitted_t tenant
+
+let pin_tenant_queued t ~tenant = tbl_count t.pin_queued_t tenant
+
+(** Pin jobs shed attributable to [tenant]: budget refusals, capacity
+    drops and deadline expiries of its queued jobs. *)
+let pin_tenant_shed t ~tenant = tbl_count t.pin_shed_t tenant
+
+(* Evict the oldest queued pin job belonging to [tenant] (isolation:
+   a newcomer may only displace its own tenant's work).  Returns false
+   when the tenant holds no queued job. *)
+let evict_oldest_pin_of t tenant =
+  match t.pin_tenant_of with
+  | None -> false
+  | Some classify ->
+    let tmp = Queue.create () in
+    let found = ref false in
+    while not (Queue.is_empty t.pin_queue) do
+      let ((_, j) as entry) = Queue.pop t.pin_queue in
+      if (not !found) && classify j = tenant then begin
+        found := true;
+        t.counters.pin_dropped <- t.counters.pin_dropped + 1;
+        bump t.pin_queued_t tenant (-1);
+        bump t.pin_shed_t tenant 1
+      end
+      else Queue.push entry tmp
+    done;
+    Queue.transfer tmp t.pin_queue;
+    !found
+
 (* Pop the next pin job still worth emitting: stale entries (queued
    longer than [pin_deadline] ago) are shed without burning a service
    slot — the controller would only see them after the flow's packets
@@ -244,10 +310,13 @@ let rec take_fresh_pin t =
   match Queue.take_opt t.pin_queue with
   | None -> None
   | Some (at, j) ->
+    let tenant = pin_tenant t j in
+    (match tenant with Some tn -> bump t.pin_queued_t tn (-1) | None -> ());
     if t.pin_deadline > 0.0
        && Scotch_sim.Engine.now t.engine -. at > t.pin_deadline
     then begin
       t.counters.pin_expired <- t.counters.pin_expired + 1;
+      (match tenant with Some tn -> bump t.pin_shed_t tn 1 | None -> ());
       take_fresh_pin t
     end
     else Some j
@@ -297,23 +366,62 @@ let kick t = if not t.busy then serve t
 
 (** [submit_packet_in t job] queues a new-flow packet for Packet-In
     generation; drops it (counted) when the queue is full — this is the
-    control-path loss at the heart of §3.2. *)
+    control-path loss at the heart of §3.2.  With a tenant classifier
+    installed, a tenant past its pin budget sheds only its own job, and
+    [Pin_drop_oldest] never evicts another tenant's queued work. *)
 let submit_packet_in t (job : pin_job) =
-  if t.dead then t.counters.pin_dropped <- t.counters.pin_dropped + 1
-  else if Queue.length t.pin_queue >= t.profile.Profile.pin_queue_capacity then begin
-    match t.pin_policy with
-    | Pin_drop_new -> t.counters.pin_dropped <- t.counters.pin_dropped + 1
-    | Pin_drop_oldest ->
-      (* the victim is counted as dropped; the newcomer takes its slot *)
-      (match Queue.take_opt t.pin_queue with
-      | Some _ -> t.counters.pin_dropped <- t.counters.pin_dropped + 1
-      | None -> ());
-      Queue.push (Scotch_sim.Engine.now t.engine, job) t.pin_queue;
-      kick t
+  let tenant = pin_tenant t job in
+  (match tenant with Some tn -> bump t.pin_submitted_t tn 1 | None -> ());
+  let shed_tenant () =
+    match tenant with Some tn -> bump t.pin_shed_t tn 1 | None -> ()
+  in
+  let push () =
+    Queue.push (Scotch_sim.Engine.now t.engine, job) t.pin_queue;
+    (match tenant with Some tn -> bump t.pin_queued_t tn 1 | None -> ());
+    kick t
+  in
+  if t.dead then begin
+    t.counters.pin_dropped <- t.counters.pin_dropped + 1;
+    shed_tenant ()
   end
   else begin
-    Queue.push (Scotch_sim.Engine.now t.engine, job) t.pin_queue;
-    kick t
+    let over_budget =
+      match tenant with
+      | Some tn -> (
+        match Hashtbl.find_opt t.pin_budgets tn with
+        | Some b -> tbl_count t.pin_queued_t tn >= b
+        | None -> false)
+      | None -> false
+    in
+    if over_budget then begin
+      (* the tenant's own pin budget bit: refuse its newcomer without
+         touching the shared queue — kept out of [pin_dropped] so the
+         autoscaler never reads budget enforcement as pool overload *)
+      t.counters.pin_budget_dropped <- t.counters.pin_budget_dropped + 1;
+      shed_tenant ()
+    end
+    else if Queue.length t.pin_queue >= t.profile.Profile.pin_queue_capacity then begin
+      match t.pin_policy with
+      | Pin_drop_new ->
+        t.counters.pin_dropped <- t.counters.pin_dropped + 1;
+        shed_tenant ()
+      | Pin_drop_oldest -> (
+        match tenant with
+        | None ->
+          (* the victim is counted as dropped; the newcomer takes its slot *)
+          (match Queue.take_opt t.pin_queue with
+          | Some _ -> t.counters.pin_dropped <- t.counters.pin_dropped + 1
+          | None -> ());
+          push ()
+        | Some tn ->
+          (* isolation: only displace the newcomer's own tenant *)
+          if evict_oldest_pin_of t tn then push ()
+          else begin
+            t.counters.pin_dropped <- t.counters.pin_dropped + 1;
+            shed_tenant ()
+          end)
+    end
+    else push ()
   end
 
 (** [deliver_message t msg] is the controller→switch direction.  A full

@@ -36,6 +36,9 @@ type counters = {
   mutable pin_sent : int;          (** Packet-In messages emitted *)
   mutable pin_dropped : int;       (** new-flow packets lost at the pin queue *)
   mutable pin_expired : int;       (** queued pin jobs shed past the deadline *)
+  mutable pin_budget_dropped : int;
+      (** refused by the submitter's own tenant budget — kept out of
+          [pin_dropped] so budget enforcement never reads as overload *)
   mutable flow_mods_handled : int;
   mutable flow_mods_dropped : int; (** controller messages lost at the queue *)
   mutable msgs_handled : int;
@@ -93,6 +96,29 @@ val pin_policy : t -> pin_policy
 val set_pin_deadline : t -> float -> unit
 
 val pin_deadline : t -> float
+
+(** {2 Tenancy: per-tenant pin-queue budgets (blast-radius isolation)} *)
+
+(** Attribute pin jobs to tenants ([None] restores the untenanted
+    default).  Must be pure — it may be re-applied to queued jobs. *)
+val set_pin_tenant_classifier : t -> (pin_job -> int) option -> unit
+
+(** Cap how many pin-queue slots [tenant] may hold at once ([None]
+    removes the cap; raises on budgets below 1).  Only effective with
+    a classifier installed.  Past its budget a tenant sheds only its
+    own jobs, and [Pin_drop_oldest] never evicts across a tenant
+    boundary. *)
+val set_pin_budget : t -> tenant:int -> int option -> unit
+
+(** Pin jobs submitted attributable to [tenant] so far. *)
+val pin_tenant_submitted : t -> tenant:int -> int
+
+(** Pin-queue slots [tenant] holds right now. *)
+val pin_tenant_queued : t -> tenant:int -> int
+
+(** Pin jobs shed attributable to [tenant]: budget refusals, capacity
+    drops and deadline expiries. *)
+val pin_tenant_shed : t -> tenant:int -> int
 
 (** Queue a new-flow packet for Packet-In generation; dropped (counted)
     when the queue is full — the control-path loss of §3.2. *)

@@ -39,7 +39,7 @@ let () =
   Obs.enable ();
   let net = Scotch_experiments.Testbed.scotch_net ~seed:42 () in
   let client = Scotch_experiments.Testbed.client_source net ~i:0 ~rate:20.0 () in
-  let attack = Scotch_experiments.Testbed.attack_source net ~rate:400.0 in
+  let attack = Scotch_experiments.Testbed.attack_source net ~rate:400.0 () in
   Scotch_workload.Source.start client;
   Scotch_workload.Source.start attack;
   Scotch_experiments.Testbed.run_until net ~until:2.0;

@@ -28,16 +28,16 @@ let test_config_r_below_lossfree () =
 
 let test_db_admit_dedup () =
   let db = Flow_info_db.create () in
-  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:3 ~now:0.0 in
-  let e2 = Flow_info_db.admit db ~key:(key 1) ~first_hop:2 ~ingress_port:9 ~now:1.0 in
+  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:3 ~now:0.0 () in
+  let e2 = Flow_info_db.admit db ~key:(key 1) ~first_hop:2 ~ingress_port:9 ~now:1.0 () in
   Alcotest.(check bool) "same entry" true (e1 == e2);
   Alcotest.(check int) "original first hop" 1 e2.Flow_info_db.first_hop;
   Alcotest.(check int) "size" 1 (Flow_info_db.size db)
 
 let test_db_kind_accounting () =
   let db = Flow_info_db.create () in
-  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:1 ~now:0.0 in
-  let e2 = Flow_info_db.admit db ~key:(key 2) ~first_hop:1 ~ingress_port:1 ~now:0.0 in
+  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:1 ~now:0.0 () in
+  let e2 = Flow_info_db.admit db ~key:(key 2) ~first_hop:1 ~ingress_port:1 ~now:0.0 () in
   Flow_info_db.set_kind db e1 (Flow_info_db.Overlay { entry_vswitch = 100 });
   Flow_info_db.set_kind db e2 Flow_info_db.Physical;
   Alcotest.(check int) "overlay count" 1 (Flow_info_db.overlay_count db);
@@ -51,22 +51,22 @@ let test_db_kind_accounting () =
 let test_db_overlay_flows_filter () =
   let db = Flow_info_db.create () in
   (* flow 1: overlay, long-lived, recent *)
-  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:1 ~now:0.0 in
+  let e1 = Flow_info_db.admit db ~key:(key 1) ~first_hop:1 ~ingress_port:1 ~now:0.0 () in
   Flow_info_db.set_kind db e1 (Flow_info_db.Overlay { entry_vswitch = 100 });
   e1.Flow_info_db.last_packet_count <- 50;
   e1.Flow_info_db.last_active <- 9.5;
   (* flow 2: overlay single-packet probe (a spoofed SYN) *)
-  let e2 = Flow_info_db.admit db ~key:(key 2) ~first_hop:1 ~ingress_port:1 ~now:9.0 in
+  let e2 = Flow_info_db.admit db ~key:(key 2) ~first_hop:1 ~ingress_port:1 ~now:9.0 () in
   Flow_info_db.set_kind db e2 (Flow_info_db.Overlay { entry_vswitch = 100 });
   e2.Flow_info_db.last_packet_count <- 1;
   e2.Flow_info_db.last_active <- 9.0;
   (* flow 3: overlay but stale *)
-  let e3 = Flow_info_db.admit db ~key:(key 3) ~first_hop:1 ~ingress_port:1 ~now:0.0 in
+  let e3 = Flow_info_db.admit db ~key:(key 3) ~first_hop:1 ~ingress_port:1 ~now:0.0 () in
   Flow_info_db.set_kind db e3 (Flow_info_db.Overlay { entry_vswitch = 100 });
   e3.Flow_info_db.last_packet_count <- 50;
   e3.Flow_info_db.last_active <- 1.0;
   (* flow 4: overlay at a different switch *)
-  let e4 = Flow_info_db.admit db ~key:(key 4) ~first_hop:2 ~ingress_port:1 ~now:9.5 in
+  let e4 = Flow_info_db.admit db ~key:(key 4) ~first_hop:2 ~ingress_port:1 ~now:9.5 () in
   Flow_info_db.set_kind db e4 (Flow_info_db.Overlay { entry_vswitch = 100 });
   e4.Flow_info_db.last_packet_count <- 50;
   e4.Flow_info_db.last_active <- 9.5;
@@ -260,7 +260,7 @@ let test_select_assignment_agrees_with_group () =
   (* predicted_entry must agree with what the data plane's select group
      does, or pre-activation routing decisions contradict the switch *)
   let net = Scotch_experiments.Testbed.scotch_net ~num_vswitches:4 () in
-  let attack = Scotch_experiments.Testbed.attack_source net ~rate:1000.0 in
+  let attack = Scotch_experiments.Testbed.attack_source net ~rate:1000.0 () in
   Scotch_workload.Source.start attack;
   Scotch_experiments.Testbed.run_until net ~until:5.0;
   (* after activation, flows routed via the overlay carry an entry

@@ -114,6 +114,68 @@ let test_sustained_health_readmits () =
   Alcotest.(check bool) "hysteresis: readmit score above eject band" true
     (B.score b >= cfg.B.readmit_above)
 
+(* ------------------------------------------------------------------ *)
+(* Tenancy: the share arithmetic the autoscaler's per-tenant views and
+   the overlay's select-group split both rest on. *)
+
+module Tenant = Scotch_core.Tenant
+module Sched = Scotch_core.Sched
+
+(* qcheck: largest-remainder apportionment conserves capacity — the
+   per-tenant allocations always sum to exactly the slot count (no
+   slot is lost or minted by the split), every tenant is listed in
+   input order, nobody goes below zero, and whenever there are at
+   least as many slots as tenants nobody is starved to zero. *)
+let prop_apportion_conserves =
+  let gen =
+    QCheck.Gen.(pair (int_range 0 40) (list_size (int_range 1 6) (int_range 1 9)))
+  in
+  QCheck.Test.make ~name:"apportion conserves slots" ~count:500 (QCheck.make gen)
+    (fun (slots, weights) ->
+      let shares = List.mapi (fun i w -> (i, w)) weights in
+      let alloc = Tenant.apportion ~slots ~shares in
+      List.map fst alloc = List.map fst shares
+      && List.fold_left (fun acc (_, c) -> acc + c) 0 alloc = slots
+      && List.for_all (fun (_, c) -> c >= 0) alloc
+      && (slots < List.length shares || List.for_all (fun (_, c) -> c >= 1) alloc)
+      && alloc = Tenant.apportion ~slots ~shares)
+
+(* qcheck: the scheduler's tenant frame conserves total serve
+   capacity.  With every tenant holding deep backlog, no serve tick is
+   wasted (total served matches the untenanted rate) and each tenant
+   receives exactly its weighted fraction of the ticks, within one
+   frame position. *)
+let prop_frame_shares_conserve =
+  QCheck.Test.make ~name:"tenant frame conserves serve capacity" ~count:50
+    (QCheck.make QCheck.Gen.(list_size (int_range 2 4) (int_range 1 4)))
+    (fun weights ->
+      let e = Scotch_sim.Engine.create () in
+      let s =
+        Sched.create e ~rate:100.0 ~overlay_threshold:10_000 ~drop_threshold:20_000
+          ~differentiate:true
+      in
+      let shares = List.mapi (fun i w -> (i, w)) weights in
+      Sched.set_tenant_shares s shares;
+      let n = List.length shares in
+      let served = Array.make n 0 in
+      List.iter
+        (fun (t, _) ->
+          for _ = 1 to 400 do
+            Sched.submit_admitted s ~tenant:t (fun () -> served.(t) <- served.(t) + 1)
+          done)
+        shares;
+      Sched.start s;
+      Scotch_sim.Engine.run ~until:2.0 e;
+      let total_share = List.fold_left (fun acc (_, w) -> acc + w) 0 shares in
+      let ticks = Array.fold_left ( + ) 0 served in
+      (* conservation: ~200 ticks at R=100 over 2 s, none idled *)
+      abs (ticks - 200) <= 1
+      && List.for_all
+           (fun (t, w) ->
+             let expect = ticks * w / total_share in
+             abs (served.(t) - expect) <= w)
+           shares)
+
 let test_elastic_config_validation () =
   let net = Scotch_experiments.Testbed.scotch_net () in
   let app = net.Scotch_experiments.Testbed.app in
@@ -140,4 +202,7 @@ let () =
           Alcotest.test_case "sustained health readmits" `Quick
             test_sustained_health_readmits ] );
       ( "elastic",
-        [ Alcotest.test_case "config validation" `Quick test_elastic_config_validation ] ) ]
+        [ Alcotest.test_case "config validation" `Quick test_elastic_config_validation ] );
+      ( "tenancy",
+        [ QCheck_alcotest.to_alcotest prop_apportion_conserves;
+          QCheck_alcotest.to_alcotest prop_frame_shares_conserve ] ) ]

@@ -65,8 +65,8 @@ let killed_net ?(seed = 42) ~kill_at ~until () =
   let net = Testbed.scotch_net ~seed ~num_vswitches:4 ~num_backups:2 () in
   let victim = Testbed.vswitch_dpid 0 in
   let plan = Plan.of_list [ Fault.vswitch_crash ~at:kill_at victim ] in
-  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
-  let attack = Testbed.attack_source net ~rate:1500.0 in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan in
+  let attack = Testbed.attack_source net ~rate:1500.0 () in
   Source.start attack;
   Testbed.run_until net ~until;
   (net, victim, Option.get (Ledger.find ledger 0))
@@ -129,7 +129,7 @@ let test_recovered_vswitch_rejoins_as_backup () =
   let net = Testbed.scotch_net ~num_vswitches:4 ~num_backups:2 () in
   let victim = Testbed.vswitch_dpid 0 in
   let plan = Plan.of_list [ Fault.vswitch_crash ~at:2.0 ~duration:4.0 victim ] in
-  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan in
   Testbed.run_until net ~until:12.0;
   let r = Option.get (Ledger.find ledger 0) in
   Alcotest.(check bool) "cleared" true (r.Ledger.cleared_at <> None);
@@ -150,8 +150,8 @@ let test_channel_drop_plan () =
     Plan.of_list
       [ Fault.channel_drop ~at:2.0 ~duration:6.0 ~probability:0.3 Testbed.edge_dpid ]
   in
-  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
-  let attack = Testbed.attack_source net ~rate:1500.0 in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan in
+  let attack = Testbed.attack_source net ~rate:1500.0 () in
   Source.start attack;
   Testbed.run_until net ~until:5.0;
   let sw = Option.get (C.switch net.Testbed.ctrl Testbed.edge_dpid) in
@@ -165,8 +165,8 @@ let test_channel_drop_plan () =
 let test_ofa_stall_plan () =
   let net = Testbed.scotch_net ~seed:42 ~num_vswitches:4 ~num_backups:2 () in
   let plan = Plan.of_list [ Fault.ofa_stall ~at:4.0 ~duration:2.0 Testbed.edge_dpid ] in
-  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan in
-  let attack = Testbed.attack_source net ~rate:1500.0 in
+  let ledger = Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan in
+  let attack = Testbed.attack_source net ~rate:1500.0 () in
   Source.start attack;
   Testbed.run_until net ~until:5.0;
   let ofa = Scotch_switch.Switch.ofa net.Testbed.edge in
@@ -184,8 +184,8 @@ let test_channel_drop_deterministic () =
       Plan.of_list
         [ Fault.channel_drop ~at:2.0 ~duration:6.0 ~probability:0.3 Testbed.edge_dpid ]
     in
-    ignore (Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app) plan);
-    let attack = Testbed.attack_source net ~rate:1500.0 in
+    ignore (Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan);
+    let attack = Testbed.attack_source net ~rate:1500.0 () in
     Source.start attack;
     Testbed.run_until net ~until:10.0;
     (Option.get (C.switch net.Testbed.ctrl Testbed.edge_dpid)).C.chan_dropped

@@ -18,7 +18,7 @@ open Scotch_core
 let run_failure ~scotch ~attack_rate ~duration ?(seed = 42) () =
   let net = Testbed.scotch_net ~seed ~scotch_enabled:scotch () in
   let client = Testbed.client_source net ~i:0 ~rate:10.0 () in
-  let attack = Testbed.attack_source net ~rate:attack_rate in
+  let attack = Testbed.attack_source net ~rate:attack_rate () in
   Source.start client;
   Source.start attack;
   Testbed.run_until net ~until:duration;
@@ -45,7 +45,7 @@ let test_scotch_mitigates () =
 let test_activation_and_withdrawal () =
   let net = Testbed.scotch_net () in
   let client = Testbed.client_source net ~i:0 ~rate:10.0 () in
-  let attack = Testbed.attack_source net ~rate:1500.0 in
+  let attack = Testbed.attack_source net ~rate:1500.0 () in
   Source.start client;
   Source.start attack;
   ignore
@@ -158,7 +158,7 @@ let test_policy_consistency () =
 let test_vswitch_failure_masked () =
   let net = Testbed.scotch_net ~num_vswitches:4 () in
   let client = Testbed.client_source net ~i:0 ~rate:10.0 () in
-  let attack = Testbed.attack_source net ~rate:1500.0 in
+  let attack = Testbed.attack_source net ~rate:1500.0 () in
   Source.start client;
   Source.start attack;
   (* kill one active vswitch mid-attack *)
@@ -178,7 +178,7 @@ let test_vswitch_failure_masked () =
 
 let test_backup_promotion_end_to_end () =
   let net = Testbed.scotch_net ~num_vswitches:2 ~num_backups:1 () in
-  let attack = Testbed.attack_source net ~rate:1500.0 in
+  let attack = Testbed.attack_source net ~rate:1500.0 () in
   Source.start attack;
   ignore
     (Scotch_sim.Engine.schedule_at net.Testbed.engine ~at:5.0 (fun () ->
@@ -205,7 +205,7 @@ let test_live_vswitch_addition () =
     { Config.default with Config.vswitches_per_switch = 8; activate_pin_rate = 50.0 }
   in
   let net = Testbed.scotch_net ~config ~num_vswitches:1 () in
-  let attack = Testbed.attack_source net ~rate:9000.0 in
+  let attack = Testbed.attack_source net ~rate:9000.0 () in
   Source.start attack;
   Testbed.run_until net ~until:3.0;
   let before = Scotch_topo.Host.flows_seen net.Testbed.server in
@@ -288,7 +288,7 @@ let test_repeated_activation_cycles () =
   let client = Testbed.client_source net ~i:0 ~rate:10.0 () in
   Source.start client;
   let wave ~from ~till =
-    let a = Testbed.attack_source net ~rate:1500.0 in
+    let a = Testbed.attack_source net ~rate:1500.0 () in
     ignore (Scotch_sim.Engine.schedule_at net.Testbed.engine ~at:from (fun () -> Source.start a));
     ignore (Scotch_sim.Engine.schedule_at net.Testbed.engine ~at:till (fun () -> Source.stop a))
   in

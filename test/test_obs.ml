@@ -157,7 +157,7 @@ let flash_crowd_snapshot ~seed =
   Obs.reset ();
   Obs.enable ();
   let net = Scotch_experiments.Testbed.scotch_net ~seed () in
-  let attack = Scotch_experiments.Testbed.attack_source net ~rate:300.0 in
+  let attack = Scotch_experiments.Testbed.attack_source net ~rate:300.0 () in
   Scotch_workload.Source.start attack;
   Scotch_experiments.Testbed.run_until net ~until:1.5;
   let prom = Registry.to_prometheus (Obs.registry ()) in

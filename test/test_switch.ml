@@ -396,6 +396,107 @@ let prop_gt_churn_weights =
         ops;
       !ok)
 
+(* qcheck: per-tenant select-group shares stay exact under pool churn.
+   Weighted tenant shares are apportioned over the live pool by
+   largest remainder and realised as one weight-1-bucket select group
+   per tenant over its contiguous slice (how Scotch builds the
+   overlay's tenant groups).  After any add/remove sequence the slices
+   partition the pool exactly — allocations sum to the pool size,
+   every tenant keeps >= 1 member whenever the pool is big enough —
+   and each tenant's group hashes flows uniformly over its own slice
+   and never onto another tenant's member. *)
+let prop_gt_tenant_shares =
+  let op_gen =
+    QCheck.Gen.(
+      frequency [ (3, return `Add); (2, map (fun i -> `Remove i) (int_bound 40)) ])
+  in
+  let gen =
+    QCheck.Gen.(
+      pair (list_size (int_range 2 4) (int_range 1 4)) (list_size (int_range 1 20) op_gen))
+  in
+  QCheck.Test.make ~name:"tenant select shares exact under churn" ~count:100
+    (QCheck.make gen) (fun (shares, ops) ->
+      let shares = List.mapi (fun i w -> (i, w)) shares in
+      let ntenants = List.length shares in
+      let gt = Group_table.create () in
+      let pool = ref [ 100; 101; 102; 103 ] in
+      let next_port = ref 104 in
+      let ok = ref true in
+      let check () =
+        let slots = List.length !pool in
+        let counts = Scotch_core.Tenant.apportion ~slots ~shares in
+        if List.fold_left (fun acc (_, c) -> acc + c) 0 counts <> slots then ok := false;
+        if slots >= ntenants && List.exists (fun (_, c) -> c < 1) counts then ok := false;
+        (* deal contiguous slices in share order, one group per tenant *)
+        let rec deal remaining = function
+          | [] -> if remaining <> [] then ok := false
+          | (tenant, c) :: more ->
+            let rec take n xs =
+              if n = 0 then ([], xs)
+              else
+                match xs with
+                | [] -> ([], [])
+                | x :: tl ->
+                  let a, b = take (n - 1) tl in
+                  (x :: a, b)
+            in
+            let slice, rest = take c remaining in
+            if slice <> [] then begin
+              let buckets =
+                List.map
+                  (fun p ->
+                    Of_msg.Group_mod.bucket [ Of_action.Output (Of_types.Port_no.Physical p) ])
+                  slice
+              in
+              let mod_ =
+                if Group_table.find gt tenant = None then
+                  Of_msg.Group_mod.add_select ~group_id:tenant ~buckets
+                else Of_msg.Group_mod.modify_select ~group_id:tenant ~buckets
+              in
+              if Group_table.apply gt mod_ <> Ok () then ok := false
+              else
+                match Group_table.find gt tenant with
+                | None -> ok := false
+                | Some g ->
+                  let n = List.length slice in
+                  let hits = Hashtbl.create 8 in
+                  for h = 0 to (20 * n) - 1 do
+                    match Group_table.select_bucket g ~flow_hash:h with
+                    | [ b ] -> (
+                      match b.Of_msg.Group_mod.actions with
+                      | [ Of_action.Output (Of_types.Port_no.Physical p) ] ->
+                        Hashtbl.replace hits p
+                          (1 + Option.value ~default:0 (Hashtbl.find_opt hits p))
+                      | _ -> ok := false)
+                    | _ -> ok := false
+                  done;
+                  (* weight-1 buckets: exactly uniform over the slice,
+                     nothing for anyone outside it *)
+                  List.iter
+                    (fun p ->
+                      if Option.value ~default:0 (Hashtbl.find_opt hits p) <> 20 then
+                        ok := false)
+                    slice;
+                  if Hashtbl.length hits <> n then ok := false
+            end;
+            deal rest more
+        in
+        deal !pool counts
+      in
+      check ();
+      List.iter
+        (fun op ->
+          (match op with
+          | `Add ->
+            pool := !pool @ [ !next_port ];
+            incr next_port
+          | `Remove i when List.length !pool > ntenants ->
+            pool := List.filteri (fun j _ -> j <> i mod List.length !pool) !pool
+          | `Remove _ -> ());
+          check ())
+        ops;
+      !ok)
+
 let test_gt_all_type () =
   let gt = Group_table.create () in
   ignore
@@ -507,6 +608,65 @@ let test_profile_setup_rate () =
   Alcotest.(check bool) "pica8 ~135-145 flows/s" true (r > 130.0 && r < 150.0);
   Alcotest.(check bool) "ovs much faster" true
     (Profile.max_flow_setup_rate Profile.open_vswitch > 4000.0)
+
+(* qcheck: per-tenant pin budgets are blast-radius isolation.  Under
+   any interleaving of submissions from three tenants — one budgeted —
+   with [Pin_drop_oldest] shedding: the budgeted tenant never holds
+   more queue slots than its budget, a submission moves no OTHER
+   tenant's shed counter (eviction and budget refusal never cross the
+   tenant boundary), the shared capacity is conserved, and per-tenant
+   accounting closes — everything a tenant submitted is emitted as its
+   own Packet-In or counted in its own shed total. *)
+let prop_pin_tenant_isolation =
+  let gen =
+    QCheck.Gen.(pair (int_range 1 4) (list_size (int_range 1 40) (int_range 0 2)))
+  in
+  QCheck.Test.make ~name:"pin budgets shed only the offender" ~count:200 (QCheck.make gen)
+    (fun (budget, submits) ->
+      let e = Scotch_sim.Engine.create () in
+      let profile = { quiet_profile with Profile.pin_queue_capacity = 5 } in
+      let sw = Switch.create e ~dpid:1 ~name:"s" ~profile () in
+      let ofa = Switch.ofa sw in
+      let emitted = Array.make 3 0 in
+      Ofa.connect_controller ofa (fun msg ->
+          match msg.Of_msg.payload with
+          | Of_msg.Packet_in pi ->
+            let t = pi.Of_msg.Packet_in.in_port - 1 in
+            emitted.(t) <- emitted.(t) + 1
+          | _ -> ());
+      Ofa.set_pin_policy ofa Ofa.Pin_drop_oldest;
+      (* tenant = ingress port - 1: attribution the spoofed source
+         address cannot influence *)
+      Ofa.set_pin_tenant_classifier ofa (Some (fun j -> j.Ofa.in_port - 1));
+      Ofa.set_pin_budget ofa ~tenant:2 (Some budget);
+      let ok = ref true in
+      let fid = ref 0 in
+      List.iter
+        (fun tenant ->
+          let before = Array.init 3 (fun t -> Ofa.pin_tenant_shed ofa ~tenant:t) in
+          incr fid;
+          Ofa.submit_packet_in ofa
+            { Ofa.in_port = tenant + 1; tunnel_id = None;
+              reason = Of_types.Packet_in_reason.No_match;
+              packet = mk_packet ~flow_id:!fid () };
+          for t = 0 to 2 do
+            if t <> tenant && Ofa.pin_tenant_shed ofa ~tenant:t <> before.(t) then ok := false
+          done;
+          if Ofa.pin_tenant_queued ofa ~tenant:2 > budget then ok := false;
+          let total_queued =
+            Ofa.pin_tenant_queued ofa ~tenant:0
+            + Ofa.pin_tenant_queued ofa ~tenant:1
+            + Ofa.pin_tenant_queued ofa ~tenant:2
+          in
+          if total_queued > profile.Profile.pin_queue_capacity then ok := false)
+        submits;
+      Scotch_sim.Engine.run e;
+      for t = 0 to 2 do
+        if Ofa.pin_tenant_submitted ofa ~tenant:t
+           <> emitted.(t) + Ofa.pin_tenant_shed ofa ~tenant:t
+        then ok := false
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Switch pipeline *)
@@ -771,13 +931,15 @@ let () =
           Alcotest.test_case "select deterministic" `Quick test_gt_select_deterministic;
           Alcotest.test_case "select weights" `Quick test_gt_select_weights;
           Alcotest.test_case "all type" `Quick test_gt_all_type;
-          QCheck_alcotest.to_alcotest prop_gt_churn_weights ] );
+          QCheck_alcotest.to_alcotest prop_gt_churn_weights;
+          QCheck_alcotest.to_alcotest prop_gt_tenant_shares ] );
       ( "ofa",
         [ Alcotest.test_case "pin queue cap" `Quick test_ofa_pin_rate_cap;
           Alcotest.test_case "cmsg priority" `Quick test_ofa_cmsg_priority;
           Alcotest.test_case "dead agent" `Quick test_ofa_dead;
           Alcotest.test_case "housekeeping stall" `Quick test_ofa_housekeeping_stall;
-          Alcotest.test_case "profile setup rate" `Quick test_profile_setup_rate ] );
+          Alcotest.test_case "profile setup rate" `Quick test_profile_setup_rate;
+          QCheck_alcotest.to_alcotest prop_pin_tenant_isolation ] );
       ( "switch",
         [ Alcotest.test_case "forwarding" `Quick test_switch_forwarding;
           Alcotest.test_case "miss drops" `Quick test_switch_miss_drops;
