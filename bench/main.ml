@@ -349,6 +349,82 @@ let isolation_probe ~seed =
      else "null")
     Isolation.p99_delta_bound within Isolation.delivery_floor (side b) (side a)
 
+(* The predictive-scaling probe: the overload experiment at a moderate
+   (5x) flash crowd run twice on the same seed — [Config.scaling =
+   Reactive], then [Predictive] — so CI can gate on the predictive
+   autoscaler's contract: an earlier first scale-up, strictly less
+   shedding and an admitted-flow p99 no worse than reactive, at the
+   same peak pool size, with the pool still draining back down. *)
+let predictive_multiplier = 5.0
+
+let predictive_probe ~seed =
+  let run scaling =
+    Overload.run_outcome ~seed ~scale:0.5 ~multiplier:predictive_multiplier ~scaling ()
+  in
+  let react = run Scotch_core.Config.Reactive in
+  let pred = run Scotch_core.Config.Predictive in
+  let peak (o : Overload.outcome) =
+    List.fold_left (fun acc (_, n) -> Stdlib.max acc (int_of_float n)) 0 o.Overload.pool_timeline
+  in
+  let first_up (o : Overload.outcome) =
+    let module E = Scotch_elastic.Elastic in
+    match List.filter (fun a -> a.E.dir = `Up) o.Overload.actions with
+    | [] -> None
+    | a :: _ -> Some a.E.time
+  in
+  let side (o : Overload.outcome) =
+    Printf.sprintf
+      "{\"p99_decision_latency_s\":%s,\"shed\":%d,\"launched\":%d,\"delivered\":%d,\"peak_pool\":%d,\"final_pool\":%d,\"first_scale_up_s\":%s,\"autoscaler_actions\":%d,\"trace_digest\":\"%s\"}"
+      (json_opt_float o.Overload.p99) o.Overload.shed o.Overload.launched o.Overload.delivered
+      (peak o) o.Overload.final_pool
+      (json_opt_float (first_up o))
+      (List.length o.Overload.actions)
+      (json_escape o.Overload.trace_digest)
+  in
+  let le a b = match (a, b) with Some a, Some b -> a <= b | _ -> false in
+  Printf.sprintf
+    "{\"multiplier\":%.6g,\"reactive\":%s,\"predictive\":%s,\"equal_peak_pool\":%b,\"pred_sheds_less\":%b,\"pred_p99_not_worse\":%b,\"pred_scales_up_earlier\":%b,\"pred_drains_down\":%b}"
+    predictive_multiplier (side react) (side pred)
+    (peak pred = peak react)
+    (pred.Overload.shed < react.Overload.shed)
+    (le pred.Overload.p99 react.Overload.p99)
+    (match (first_up pred, first_up react) with Some p, Some r -> p < r | _ -> false)
+    (pred.Overload.final_pool = Overload.num_active)
+
+(* The model-validation probe: the analytic OFA queueing model swept
+   against the discrete-event OFA (lib/experiments/model_check.ml),
+   reporting per-point predicted vs simulated queue depth, Packet-In
+   latency and blocking with the worst sub-saturation relative errors
+   — CI gates on the 15 % acceptance band.  Written both as the
+   "model" block of BENCH_core.json and standalone as BENCH_model.json. *)
+let model_probe ~seed =
+  let o = Model_check.summary ~seed ~scale:0.5 () in
+  let points =
+    String.concat ","
+      (List.map
+         (fun (p : Model_check.point) ->
+           Printf.sprintf
+             "\n    {\"rho\":%.6g,\"sim_queue\":%.6g,\"model_queue\":%.6g,\"queue_err\":%.6g,\"sim_sojourn_s\":%.6g,\"model_sojourn_s\":%.6g,\"sojourn_err\":%.6g,\"sim_blocking\":%.6g,\"model_blocking\":%.6g,\"blocking_err\":%.6g}"
+             p.Model_check.rho p.Model_check.sim_queue p.Model_check.model_queue
+             p.Model_check.queue_err p.Model_check.sim_sojourn p.Model_check.model_sojourn
+             p.Model_check.sojourn_err p.Model_check.sim_blocking p.Model_check.model_blocking
+             p.Model_check.blocking_err)
+         o.Model_check.points)
+  in
+  Printf.sprintf
+    "{\"max_queue_err\":%.6g,\"max_sojourn_err\":%.6g,\"max_blocking_err\":%.6g,\"err_bound\":0.15,\"within_bound\":%b,\"saturation_cutoff\":%.6g,\"digest\":\"%s\",\"points\":[%s]}"
+    o.Model_check.max_queue_err o.Model_check.max_sojourn_err o.Model_check.max_blocking_err
+    (o.Model_check.max_queue_err <= 0.15 && o.Model_check.max_sojourn_err <= 0.15)
+    Model_check.saturation_cutoff o.Model_check.digest points
+
+let write_model_json ~seed ~model_block =
+  let file = "BENCH_model.json" in
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"bench\": \"scotch-model\",\n  \"seed\": %d,\n  \"model\": %s\n}\n"
+    seed model_block;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
 (* The incremental-verification probe: the resilience workload in smoke
    configuration run twice — [Config.verify = Off], then [Continuous] —
    reporting engine events/sec for both plus the verifier's per-update
@@ -477,6 +553,7 @@ let write_core_json ~seed =
   (* the verify probe resets/disables obs itself, so it must run after
      the obs measurements are captured *)
   let verify_block = verify_probe ~seed in
+  let model_block = model_probe ~seed in
   let rate n wall = float_of_int n /. wall in
   let overhead = (on_wall /. off_wall) -. 1.0 in
   let file = "BENCH_core.json" in
@@ -489,12 +566,14 @@ let write_core_json ~seed =
     \  \"obs_off\": {\"wall_s\":%.3f,\"engine_events\":%d,\"events_per_s\":%.0f,\"packet_ins\":%d,\"packet_ins_per_s\":%.0f},\n\
     \  \"obs_on\": {\"wall_s\":%.3f,\"engine_events\":%d,\"events_per_s\":%.0f,\"packet_ins\":%d,\"packet_ins_per_s\":%.0f,\"series\":%d,\"trace_events\":%d},\n\
     \  \"overhead_frac\": %.4f,\n\
-    \  \"verify\": %s\n\
+    \  \"verify\": %s,\n\
+    \  \"model\": %s\n\
      }\n"
     seed off_wall off_events (rate off_events off_wall) off_pins (rate off_pins off_wall)
     on_wall on_events (rate on_events on_wall) on_pins (rate on_pins on_wall) series
-    trace_events overhead verify_block;
+    trace_events overhead verify_block model_block;
   close_out oc;
+  write_model_json ~seed ~model_block;
   Printf.printf "wrote %s (obs overhead %+.1f%%: %.0f -> %.0f events/s)\n%!" file
     (100.0 *. overhead) (rate off_events off_wall) (rate on_events on_wall)
 
@@ -505,6 +584,7 @@ let write_json ~seed ~scale ~figures:figs ~micro =
   let fault_block = fault_probe ~seed in
   let reconcile_block = reconcile_probe ~seed in
   let overload_block = overload_probe ~seed in
+  let predictive_block = predictive_probe ~seed in
   let telemetry_block = telemetry_probe ~seed in
   let isolation_block = isolation_probe ~seed in
   let module O = Scotch_obs.Obs in
@@ -527,6 +607,7 @@ let write_json ~seed ~scale ~figures:figs ~micro =
   Printf.fprintf oc "  \"fault_recovery\": %s,\n" fault_block;
   Printf.fprintf oc "  \"reconciliation\": %s,\n" reconcile_block;
   Printf.fprintf oc "  \"overload\": %s,\n" overload_block;
+  Printf.fprintf oc "  \"predictive_overload\": %s,\n" predictive_block;
   Printf.fprintf oc "  \"telemetry\": %s,\n" telemetry_block;
   Printf.fprintf oc "  \"isolation\": %s\n}\n" isolation_block;
   close_out oc;

@@ -373,13 +373,55 @@ let verify_net_cmd =
   in
   Cmd.v (Cmd.info "verify-net" ~doc) Term.(const run $ seed_arg $ scenario_arg $ watch_arg)
 
+(* model-check gets its own command (not a bare spec) for the
+   tolerance gate: it exits 1 when model and simulation disagree, so it
+   doubles as a CI check. *)
+let model_check_cmd =
+  let doc =
+    "Analytic OFA queueing model vs simulation: sweep offered load over a standalone OFA pool \
+     and compare predicted vs simulated pin-queue depth, Packet-In latency and blocking.  \
+     Exits 1 when any sub-saturation relative error exceeds --tolerance, 2 on usage errors."
+  in
+  let tolerance_arg =
+    let doc =
+      "Acceptance band: fail (exit 1) when the relative error of queue depth or latency at any \
+       sub-saturation offered load exceeds $(docv)."
+    in
+    Arg.(value & opt (pos_float "--tolerance") 0.15 & info [ "tolerance" ] ~docv:"ERR" ~doc)
+  in
+  let run seed scale csv tolerance metrics trace =
+    with_obs ~metrics ~trace (fun () ->
+        let o = Model_check.summary ~seed ~scale () in
+        let fig = Model_check.figure_of o in
+        Report.print fig;
+        if csv then emit_csv fig;
+        Printf.printf
+          "model-check: below saturation queue err=%.1f%% sojourn err=%.1f%%; blocking (abs) \
+           err=%.2f%%; digest=%s\n"
+          (100.0 *. o.Model_check.max_queue_err)
+          (100.0 *. o.Model_check.max_sojourn_err)
+          (100.0 *. o.Model_check.max_blocking_err)
+          o.Model_check.digest;
+        if o.Model_check.max_queue_err > tolerance || o.Model_check.max_sojourn_err > tolerance
+        then begin
+          Printf.printf "model-check: FAIL — error exceeds tolerance %.1f%%\n"
+            (100.0 *. tolerance);
+          exit 1
+        end)
+  in
+  Cmd.v (Cmd.info "model-check" ~doc)
+    Term.(
+      const run $ seed_arg $ scale_arg $ csv_arg $ tolerance_arg $ metrics_arg $ trace_arg)
+
 let list_cmd =
   let doc = "List experiments with the paper artifact each regenerates." in
   let run () =
     List.iter (fun spec -> Printf.printf "%-24s %s\n" spec.name spec.doc) specs;
     Printf.printf "%-24s %s\n" "resilience"
       "Failure recovery: vswitch kills mid flash crowd (S5.6); --reconcile for the reliable \
-       layer"
+       layer";
+    Printf.printf "%-24s %s\n" "model-check"
+      "Analytic OFA queueing model vs simulation; exits 1 past --tolerance"
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -387,7 +429,7 @@ let main =
   let doc = "Scotch (CoNEXT 2014) reproduction: elastic SDN control-plane scaling" in
   let info = Cmd.info "scotch-sim" ~version:"1.0.0" ~doc in
   Cmd.group info
-    (list_cmd :: all_cmd :: verify_net_cmd :: resilience_cmd :: obs_cmd
+    (list_cmd :: all_cmd :: verify_net_cmd :: resilience_cmd :: model_check_cmd :: obs_cmd
     :: List.map cmd_of_spec specs)
 
 (* Usage errors — unknown subcommands or flags, malformed or

@@ -45,6 +45,22 @@ type verify =
   | Phases
   | Continuous
 
+(** How the elastic autoscaler decides.
+
+    [Reactive] is the PR-5 behaviour — observed utilization against
+    the high/low watermarks plus sustain counts and a cooldown; it
+    only grows the pool {e after} a flash crowd has already queued
+    Packet-Ins.  [Predictive] additionally feeds per-member Holt
+    (level + trend) arrival-rate estimates into the analytic OFA
+    queueing model ({!Scotch_model.Ofa_model}), forecasts each
+    member's queue over the probe horizon, and triggers growth as soon
+    as the model says blocking is otherwise inevitable — before the
+    watermarks trip.  The reactive triggers stay armed underneath as a
+    safety net, and drains keep the reactive pacing in both modes. *)
+type scaling =
+  | Reactive
+  | Predictive
+
 (** Multi-tenant control-plane isolation.  [tenants] fixes the tenant
     set (and, by list order, the per-tenant select-group ids);
     [tenant_of] attributes a new flow to its tenant from the first-hop
@@ -119,6 +135,9 @@ type t = {
       (** per-tenant budgets, select-group shares and blast-radius
           isolation — see {!tenancy}; [None] (the default) keeps the
           single-tenant behaviour bit-identical to the seed *)
+  scaling : scaling;
+      (** autoscaler decision mode — see {!scaling}; [Reactive] (the
+          default) keeps the watermark-driven PR-5 loop bit-identical *)
 }
 
 let default =
@@ -146,7 +165,8 @@ let default =
     ingress_deadline = 0.0;
     flow_group = None;
     verify = Off;
-    tenancy = None }
+    tenancy = None;
+    scaling = Reactive }
 
 (** Cookie values tagging Scotch-owned rules, so overlay (green) rules
     can be withdrawn wholesale and told apart from per-flow (red)

@@ -32,6 +32,18 @@ type verify =
   | Phases
   | Continuous
 
+(** How the elastic autoscaler decides.  [Reactive] (the default) is
+    the watermark-driven loop: observed utilization against high/low
+    watermarks, sustain counts, cooldown.  [Predictive] additionally
+    feeds per-member Holt arrival-rate estimates into the analytic OFA
+    queueing model, forecasts each member's Packet-In queue over the
+    probe horizon, and grows the pool as soon as blocking is otherwise
+    inevitable — before the watermarks trip.  Reactive triggers stay
+    armed underneath; drains keep reactive pacing in both modes. *)
+type scaling =
+  | Reactive
+  | Predictive
+
 (** Multi-tenant control-plane isolation: the tenant set (list order
     fixes per-tenant select-group ids) and the attribution function
     mapping a new flow's first-hop switch and ingress port to its
@@ -99,6 +111,9 @@ type t = {
       (** per-tenant budgets, select-group shares and blast-radius
           isolation — see {!tenancy}; [None] (the default) keeps the
           single-tenant behaviour bit-identical to the seed *)
+  scaling : scaling;
+      (** autoscaler decision mode — see {!scaling}; [Reactive] (the
+          default) keeps the watermark-driven PR-5 loop bit-identical *)
 }
 
 val default : t

@@ -294,14 +294,19 @@ let decision_span t (e : Flow_info_db.entry) outcome =
   if Scotch_obs.Obs.is_enabled () then begin
     let dur = now t -. e.Flow_info_db.created in
     Scotch_obs.Registry.observe t.decision_h dur;
+    (* pool dimension: the active vswitch count the decision ran
+       against, so latency can be sliced by pool size offline *)
+    let pool =
+      ("pool", string_of_int (List.length (Overlay.active_vswitches t.overlay)))
+    in
     let args =
       match tenancy t with
-      | None -> [ ("outcome", outcome) ]
+      | None -> [ ("outcome", outcome); pool ]
       | Some _ ->
         (match Hashtbl.find_opt t.decision_tenant_h e.Flow_info_db.tenant with
         | Some h -> Scotch_obs.Registry.observe h dur
         | None -> ());
-        [ ("outcome", outcome); ("tenant", tenant_name t e.Flow_info_db.tenant) ]
+        [ ("outcome", outcome); ("tenant", tenant_name t e.Flow_info_db.tenant); pool ]
     in
     Scotch_obs.Obs.span ~name:"scotch.decision" ~cat:"core" ~ts:e.Flow_info_db.created ~dur
       ~tid:e.Flow_info_db.first_hop ~args

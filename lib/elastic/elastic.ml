@@ -24,13 +24,33 @@
     standby, falling back to the [provision] callback; scale-down
     demotes the highest-dpid active member to draining standby (its
     per-flow rules idle out, and it remains available for failover or
-    future promotion). *)
+    future promotion).
+
+    {b Predictive mode.}  With [Config.scaling = Predictive] the tick
+    additionally maintains a Holt (level + trend) arrival-rate
+    estimate per pool member — differencing each OFA's [pin_submitted]
+    arrival counter — and runs the analytic OFA queueing model's fluid
+    forecast ({!Scotch_model.Ofa_model}) over the next [horizon]
+    seconds.  When the forecast says a member's pin queue reaches its
+    capacity within the horizon, or pool-wide forecast demand exceeds
+    pool capacity outright (λ̂ ≥ nμ: the queues grow without bound),
+    shedding is inevitable on the current pool and growth happens
+    {e now}: such urgent scale-ups bypass the sustain count and the
+    cooldown (still at most one action per tick), which is what lets
+    the pool finish growing while a reactive loop would still be
+    waiting out its first cooldown.  Everything else — watermark
+    triggers as the safety net, drain pacing, breakers, tenancy views,
+    drain-then-demote — is unchanged, and [Reactive] mode executes
+    exactly the PR-5 loop. *)
 
 open Scotch_switch
 module C = Scotch_controller.Controller
 module Scotch = Scotch_core.Scotch
+module Config = Scotch_core.Config
 module Overlay = Scotch_core.Overlay
 module Sched = Scotch_core.Sched
+module Ofa_model = Scotch_model.Ofa_model
+module Arrival = Scotch_model.Arrival
 
 type config = {
   probe_period : float;      (** control-loop tick, s *)
@@ -53,6 +73,14 @@ type config = {
           vswitch_capacity]), so one tenant's flash crowd cannot starve
           another's pool headroom or burn the shared scale-up budget. *)
   vswitch_capacity : float;  (** new-flow/s one pool member absorbs *)
+  horizon : float;
+      (** predictive look-ahead, s: how far the Holt estimate and the
+          fluid queue forecast extrapolate.  Only read under
+          [Config.scaling = Predictive]. *)
+  arrival_alpha : float;
+      (** level-smoothing factor of the per-member Holt arrival-rate
+          estimator, in (0, 1] (trend uses [arrival_alpha /. 2.]).
+          Only read under [Predictive]. *)
   high_water : float;        (** utilization above this counts toward scale-up *)
   low_water : float;         (** utilization below this counts toward scale-down *)
   sustain_up : int;          (** consecutive overloaded ticks before scaling up *)
@@ -65,13 +93,17 @@ type config = {
 let default_config =
   { probe_period = 0.25; probe_timeout = 0.1; breaker = Breaker.default_config;
     data_breaker = Breaker.default_config; data_probe = None; tenant_shares = [];
-    vswitch_capacity = 1000.0; high_water = 0.8; low_water = 0.3; sustain_up = 3;
-    sustain_down = 8; cooldown = 2.0; min_pool = 1; max_pool = 8 }
+    vswitch_capacity = 1000.0; horizon = 2.0; arrival_alpha = 0.5; high_water = 0.8;
+    low_water = 0.3; sustain_up = 3; sustain_down = 8; cooldown = 2.0; min_pool = 1;
+    max_pool = 8 }
 
 let check_config c =
   if c.probe_period <= 0.0 then invalid_arg "Elastic: probe_period must be positive";
   if c.probe_timeout <= 0.0 then invalid_arg "Elastic: probe_timeout must be positive";
   if c.vswitch_capacity <= 0.0 then invalid_arg "Elastic: vswitch_capacity must be positive";
+  if c.horizon <= 0.0 then invalid_arg "Elastic: horizon must be positive";
+  if c.arrival_alpha <= 0.0 || c.arrival_alpha > 1.0 then
+    invalid_arg "Elastic: arrival_alpha must be in (0, 1]";
   if c.low_water < 0.0 || c.high_water <= c.low_water then
     invalid_arg "Elastic: need 0 <= low_water < high_water";
   if c.sustain_up < 1 || c.sustain_down < 1 then
@@ -101,6 +133,7 @@ type t = {
   config : config;
   app : Scotch.t;
   ctrl : C.t;
+  mode : Config.scaling;
   provision : (unit -> C.sw option) option;
   breakers : (int, Breaker.split) Hashtbl.t;
   mutable up_streak : int;
@@ -108,9 +141,17 @@ type t = {
   mutable last_action : float;
   mutable actions_rev : action list;
   mutable last_util : float;
+  mutable last_forecast : float; (* predicted pool utilization at the horizon *)
   mutable last_shed : int; (* admission-layer shed total at the last tick *)
   last_tenant_pins : (int, int) Hashtbl.t;  (* per-tenant pin totals at the last tick *)
   last_tenant_shed : (int, int) Hashtbl.t;  (* per-tenant shed totals at the last tick *)
+  (* predictive state, touched only under Config.Predictive *)
+  arrivals : (int, Arrival.t) Hashtbl.t;    (* per-member Holt rate estimators *)
+  last_submitted : (int, int) Hashtbl.t;    (* per-member pin_submitted at the last tick *)
+  predicted_q : (int, float) Hashtbl.t;     (* per-member forecast queue at the horizon *)
+  action_c : (string * int, Scotch_obs.Registry.counter) Hashtbl.t;
+      (* (direction, pool-size-at-decision)-labelled action counters,
+         created lazily per observed pool size *)
   mutable stop : (unit -> unit) option;
   counters : counters;
 }
@@ -126,10 +167,15 @@ let create ?(config = default_config) ?provision app =
   check_config config;
   Breaker.check_config config.breaker;
   let t =
-    { config; app; ctrl = Scotch.ctrl app; provision; breakers = Hashtbl.create 16;
+    { config; app; ctrl = Scotch.ctrl app;
+      mode = (Scotch.config app).Config.scaling; provision;
+      breakers = Hashtbl.create 16;
       up_streak = 0; down_streak = 0; last_action = neg_infinity; actions_rev = [];
-      last_util = 0.0; last_shed = 0; last_tenant_pins = Hashtbl.create 4;
-      last_tenant_shed = Hashtbl.create 4; stop = None;
+      last_util = 0.0; last_forecast = 0.0; last_shed = 0;
+      last_tenant_pins = Hashtbl.create 4;
+      last_tenant_shed = Hashtbl.create 4; arrivals = Hashtbl.create 16;
+      last_submitted = Hashtbl.create 16; predicted_q = Hashtbl.create 16;
+      action_c = Hashtbl.create 8; stop = None;
       counters =
         { ejects = 0; readmits = 0; data_ejects = 0; data_readmits = 0; scale_ups = 0;
           scale_downs = 0; probes_sent = 0; probe_timeouts = 0 } }
@@ -154,6 +200,9 @@ let create ?(config = default_config) ?provision app =
     (fun () -> float_of_int (Overlay.quarantined_count (Scotch.overlay app)));
   O.gauge_fn ~help:"Pool utilization (demand over active capacity)"
     "scotch_elastic_utilization" (fun () -> t.last_util);
+  if t.mode = Config.Predictive then
+    O.gauge_fn ~help:"Model-forecast pool utilization at the probe horizon"
+      "scotch_elastic_utilization_forecast" (fun () -> t.last_forecast);
   t
 
 let breaker_of t dpid =
@@ -188,6 +237,15 @@ let actions t = List.rev t.actions_rev
 
 let counters t = t.counters
 let utilization t = t.last_util
+let mode t = t.mode
+
+(** Forecast pool utilization at the horizon, from the last predictive
+    tick (0 before the first tick, and always 0 under [Reactive]). *)
+let forecast_utilization t = t.last_forecast
+
+(** Model-forecast pin-queue length of a member at the horizon, from
+    the last predictive tick. *)
+let predicted_queue t dpid = Hashtbl.find_opt t.predicted_q dpid
 
 let feed_probe t dpid probe =
   let b = breaker_of t dpid in
@@ -309,16 +367,41 @@ let standby_candidate t =
     None
     (Scotch.vswitch_dpids t.app)
 
-let record_action t dir dpid =
+(* Record one autoscaler action, with its obs footprint: an
+   "elastic.decision" trace instant carrying the pool size the
+   decision ran against, and a (dir, pool)-labelled action counter —
+   the pool dimension ROADMAP reserved part of the obs headroom for. *)
+let record_action t dir ~pool dpid =
   t.last_action <- now t;
-  t.actions_rev <- { time = now t; dir; dpid } :: t.actions_rev
+  t.actions_rev <- { time = now t; dir; dpid } :: t.actions_rev;
+  if Scotch_obs.Obs.is_enabled () then begin
+    let dir_s = match dir with `Up -> "up" | `Down -> "down" in
+    let c =
+      match Hashtbl.find_opt t.action_c (dir_s, pool) with
+      | Some c -> c
+      | None ->
+        let c =
+          Scotch_obs.Obs.counter ~help:"Autoscaler actions by direction and pool size"
+            ~labels:[ ("dir", dir_s); ("pool", string_of_int pool) ]
+            "scotch_elastic_actions_total"
+        in
+        Hashtbl.replace t.action_c (dir_s, pool) c;
+        c
+    in
+    Scotch_obs.Registry.incr c;
+    Scotch_obs.Obs.instant ~name:"elastic.decision" ~cat:"elastic" ~ts:(now t) ~tid:dpid
+      ~args:
+        [ ("dir", dir_s); ("dpid", string_of_int dpid);
+          ("pool", string_of_int pool);
+          ("mode", match t.mode with Config.Reactive -> "reactive" | Config.Predictive -> "predictive") ]
+  end
 
-let scale_up t =
+let scale_up t ~pool =
   match standby_candidate t with
   | Some dpid ->
     t.counters.scale_ups <- t.counters.scale_ups + 1;
     Scotch.promote_vswitch t.app dpid;
-    record_action t `Up dpid
+    record_action t `Up ~pool dpid
   | None -> (
     match t.provision with
     | None -> ()
@@ -326,17 +409,78 @@ let scale_up t =
       match f () with
       | Some sw ->
         t.counters.scale_ups <- t.counters.scale_ups + 1;
-        record_action t `Up sw.C.dpid
+        record_action t `Up ~pool sw.C.dpid
       | None -> ()))
 
-let scale_down t =
+let scale_down t ~pool =
   match List.rev (Overlay.active_vswitches (Scotch.overlay t.app)) with
   | [] -> ()
   | v :: _ ->
     let dpid = Switch.dpid v.Overlay.vsw in
     t.counters.scale_downs <- t.counters.scale_downs + 1;
     Scotch.demote_vswitch t.app dpid;
-    record_action t `Down dpid
+    record_action t `Down ~pool dpid
+
+(* Predictive look-ahead, one pass over the alive membership:
+   difference each member's pin_submitted arrival counter into its
+   Holt estimator, forecast its arrival rate λ̂ at the horizon, and run
+   the fluid queue forecast against the member's actual backlog and
+   pin-queue capacity.  Returns the pool-level forecast utilization
+   (Σλ̂ / nμ) and whether growth is urgent: some member's queue reaches
+   its capacity within the horizon, or forecast demand exceeds pool
+   capacity outright (λ̂ ≥ nμ — queues then grow without bound and
+   shedding on the current pool is inevitable, whatever the watermarks
+   currently read). *)
+let predictive_outlook t ~n =
+  let cfg = t.config in
+  let ts = now t in
+  let demand_hat = ref 0.0 in
+  let urgent = ref false in
+  List.iter
+    (fun dpid ->
+      match Scotch.vswitch_handle_of t.app dpid with
+      | Some sw when sw.C.alive ->
+        let ofa = Switch.ofa sw.C.device in
+        let submitted = (Ofa.counters ofa).Ofa.pin_submitted in
+        let last =
+          Option.value (Hashtbl.find_opt t.last_submitted dpid) ~default:0
+        in
+        Hashtbl.replace t.last_submitted dpid submitted;
+        let sample = float_of_int (submitted - last) /. cfg.probe_period in
+        let est =
+          match Hashtbl.find_opt t.arrivals dpid with
+          | Some e -> e
+          | None ->
+            let e = Arrival.create ~alpha:cfg.arrival_alpha () in
+            Hashtbl.replace t.arrivals dpid e;
+            Scotch_obs.Obs.gauge_fn
+              ~help:"Model-forecast OFA pin-queue length at the probe horizon"
+              ~labels:[ ("dpid", string_of_int dpid) ]
+              "scotch_elastic_predicted_queue"
+              (fun () ->
+                Option.value (Hashtbl.find_opt t.predicted_q dpid) ~default:0.0);
+            e
+        in
+        Arrival.observe est ~now:ts ~rate:sample;
+        let lam = Arrival.forecast est ~horizon:cfg.horizon in
+        demand_hat := !demand_hat +. lam;
+        let backlog = float_of_int (snd (Ofa.queue_depths ofa)) in
+        let prm =
+          { Ofa_model.rate = lam; service_rate = cfg.vswitch_capacity;
+            capacity = (Switch.profile sw.C.device).Profile.pin_queue_capacity }
+        in
+        Hashtbl.replace t.predicted_q dpid
+          (Ofa_model.forecast_queue prm ~backlog ~horizon:cfg.horizon);
+        (match Ofa_model.time_to_block prm ~backlog with
+        | Some ttb when ttb <= cfg.horizon -> urgent := true
+        | Some _ | None -> ())
+      | Some _ | None -> ())
+    (Scotch.vswitch_dpids t.app);
+  let util_hat =
+    if n = 0 then if !demand_hat > 0.0 then infinity else 0.0
+    else !demand_hat /. (float_of_int n *. cfg.vswitch_capacity)
+  in
+  (util_hat, !urgent || util_hat >= 1.0)
 
 let autoscale_tick t =
   let ov = Scotch.overlay t.app in
@@ -404,8 +548,23 @@ let autoscale_tick t =
       (util, fresh)
   in
   t.last_util <- util;
-  let overloaded = util > t.config.high_water || fresh_shed > 0 in
-  let idle = util < t.config.low_water && fresh_shed = 0 in
+  (* the predictive outlook widens both triggers: forecast overload
+     counts toward the up-streak, and a member must look idle at the
+     horizon too before it counts toward the down-streak *)
+  let util_hat, urgent =
+    match t.mode with
+    | Config.Reactive -> (util, false)
+    | Config.Predictive ->
+      let util_hat, urgent = predictive_outlook t ~n in
+      t.last_forecast <- util_hat;
+      (util_hat, urgent)
+  in
+  let overloaded =
+    util > t.config.high_water || util_hat > t.config.high_water || fresh_shed > 0
+  in
+  let idle =
+    util < t.config.low_water && util_hat < t.config.low_water && fresh_shed = 0
+  in
   if overloaded then begin
     t.up_streak <- t.up_streak + 1;
     t.down_streak <- 0
@@ -419,13 +578,22 @@ let autoscale_tick t =
     t.down_streak <- 0
   end;
   let cooled = now t -. t.last_action >= t.config.cooldown in
-  if t.up_streak >= t.config.sustain_up && cooled && n < t.config.max_pool then begin
-    scale_up t;
+  if urgent && n < t.config.max_pool then begin
+    (* the model says blocking arrives within the horizon: grow now,
+       skipping sustain and cooldown (still one action per tick) —
+       successive urgent ticks finish growing the pool at probe-tick
+       cadence while a reactive loop would wait out its cooldown *)
+    scale_up t ~pool:n;
+    t.up_streak <- 0
+  end
+  else if t.up_streak >= t.config.sustain_up && cooled && n < t.config.max_pool
+  then begin
+    scale_up t ~pool:n;
     t.up_streak <- 0
   end
   else if t.down_streak >= t.config.sustain_down && cooled && n > t.config.min_pool
   then begin
-    scale_down t;
+    scale_down t ~pool:n;
     t.down_streak <- 0
   end
 

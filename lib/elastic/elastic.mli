@@ -13,7 +13,17 @@
     lowest-dpid standby or calling [provision]; sustained idleness
     below [low_water] demotes the highest-dpid active member to
     draining standby.  Hysteresis bands, sustain counts and a cooldown
-    make the loop deterministic and oscillation-free. *)
+    make the loop deterministic and oscillation-free.
+
+    Under [Config.scaling = Predictive] the tick also differences each
+    member's OFA arrival counter into a Holt (level + trend) rate
+    estimate and runs {!Scotch_model.Ofa_model}'s fluid forecast over
+    [horizon]: when a member's pin queue is forecast to hit capacity
+    within the horizon — or forecast demand exceeds pool capacity
+    outright — scale-up happens immediately, bypassing sustain and
+    cooldown (one action per tick), growing the pool {e before} the
+    watermarks trip.  [Reactive] (the default) executes exactly the
+    watermark loop. *)
 
 module C = Scotch_controller.Controller
 module Scotch = Scotch_core.Scotch
@@ -37,6 +47,11 @@ type config = {
           entitlement, so one tenant's flash crowd cannot starve
           another's pool headroom. *)
   vswitch_capacity : float;  (** new-flow/s one pool member absorbs *)
+  horizon : float;
+      (** predictive look-ahead, s (only read under [Predictive]) *)
+  arrival_alpha : float;
+      (** Holt level-smoothing factor in (0, 1], trend smooths at half
+          of it (only read under [Predictive]) *)
   high_water : float;        (** utilization above this counts toward scale-up *)
   low_water : float;         (** utilization below this counts toward scale-down *)
   sustain_up : int;          (** consecutive overloaded ticks before scaling up *)
@@ -82,6 +97,19 @@ val counters : t -> counters
 
 (** Utilization computed at the last tick. *)
 val utilization : t -> float
+
+(** The decision mode this autoscaler was created under (read from
+    [Config.scaling] at {!create} time). *)
+val mode : t -> Scotch_core.Config.scaling
+
+(** Model-forecast pool utilization at the horizon, from the last
+    predictive tick (always 0 under [Reactive]). *)
+val forecast_utilization : t -> float
+
+(** Model-forecast pin-queue length of a member at the horizon, from
+    the last predictive tick ([None] for members never seen, and
+    always under [Reactive]). *)
+val predicted_queue : t -> int -> float option
 
 (** EWMA control-path health score of a probed member. *)
 val health_score : t -> int -> float option

@@ -132,6 +132,8 @@ let elastic_config =
     data_breaker = Breaker.default_config;
     data_probe = None (* installed per run: it closes over the net *);
     tenant_shares = [ (victim, victim_share); (attacker, attacker_share) ];
+    horizon = 2.0;
+    arrival_alpha = 0.5;
     high_water = 0.8;
     low_water = 0.05; (* steady victim load must never drain the pool mid-run *)
     sustain_up = 3;

@@ -109,6 +109,11 @@ let elastic_config =
     data_breaker = Breaker.default_config;
     data_probe = None;
     tenant_shares = [];
+    (* predictive mode only: look ahead one cooldown's worth — far
+       enough to see the step crowd saturating the pool, short enough
+       that the trend extrapolation stays honest *)
+    horizon = 2.0;
+    arrival_alpha = 0.5;
     high_water = 0.8;
     low_water = 0.3;
     sustain_up = 3;
@@ -221,7 +226,8 @@ type outcome = {
   elastic : Elastic.t option;
 }
 
-let run_variant ?(elastic = true) ?(verify = Scotch_core.Config.Off) ~seed ~plan
+let run_variant ?(elastic = true) ?(verify = Scotch_core.Config.Off)
+    ?(scaling = Scotch_core.Config.Reactive) ~seed ~plan
     ~(params : Tracegen.params) () =
   (* fresh obs world per run: the trace feeds both the admitted-flow
      p99 (decision spans) and the determinism digest; size the ring so
@@ -230,7 +236,7 @@ let run_variant ?(elastic = true) ?(verify = Scotch_core.Config.Off) ~seed ~plan
   O.enable ();
   let net =
     Testbed.scotch_net ~seed ~vswitch_profile:weak_vswitch
-      ~config:{ scotch_config with Scotch_core.Config.verify }
+      ~config:{ scotch_config with Scotch_core.Config.verify; scaling }
       ~num_vswitches:num_active ~num_backups ~num_clients:params.Tracegen.num_sources
       ~num_servers:params.Tracegen.num_destinations ()
   in
@@ -320,10 +326,11 @@ let run_variant ?(elastic = true) ?(verify = Scotch_core.Config.Off) ~seed ~plan
     [multiplier] tunes crowd intensity (default 7.5 = 3x pool
     capacity); [peak] the gray failure's severity. *)
 let run_outcome ?(seed = 42) ?(scale = 1.0) ?(multiplier = 7.5) ?(peak = 40.0)
-    ?(elastic = true) ?(verify = Scotch_core.Config.Off) () =
+    ?(elastic = true) ?(verify = Scotch_core.Config.Off)
+    ?(scaling = Scotch_core.Config.Reactive) () =
   let params = trace_params ~scale ~multiplier in
   let plan = degrade_plan ~params ~peak in
-  run_variant ~elastic ~verify ~seed ~plan ~params ()
+  run_variant ~elastic ~verify ~scaling ~seed ~plan ~params ()
 
 let run ?(seed = 42) ?(scale = 1.0) () : Report.figure =
   let params = trace_params ~scale ~multiplier:7.5 in

@@ -1,0 +1,73 @@
+(** Closed-form queueing model of a single OFA (the "single node case"
+    of the OpenFlow modeling literature): one server at rate [mu], a
+    finite waiting room of [capacity] jobs, Poisson Packet-In arrivals
+    at rate [lambda].
+
+    The OFA's serve loop ({!Scotch_switch.Ofa}) draws service times
+    with ±5 % uniform jitter around the profile's per-message service
+    time — squared coefficient of variation ≈ 8×10⁻⁴, i.e. effectively
+    deterministic — so the defensible steady-state abstraction is
+    M/D/1/K, not M/M/1/K (whose queue predictions overshoot by ~80 % at
+    ρ = 0.9 against a near-deterministic server).  {!evaluate} solves
+    the embedded Markov chain of the general M/G/1/K system exactly for
+    either service law; [Exponential] exists as a differential check
+    against the textbook {!mm1k} closed form.
+
+    Two time scales, two tools:
+    - {!evaluate}: steady-state predictions (queue length, sojourn,
+      blocking) for model-vs-sim validation and capacity planning;
+    - {!forecast_queue}/{!time_to_block}: a transient fluid
+      approximation for the autoscaler's look-ahead — where the
+      interesting question is "does this backlog reach the queue cap
+      within the horizon", not the equilibrium it would settle to. *)
+
+(** Service-time law of the single server. *)
+type service =
+  | Deterministic  (** fixed [1/mu] per job — the OFA's actual behaviour *)
+  | Exponential    (** memoryless at rate [mu] — M/M/1/K, for cross-checks *)
+
+type params = {
+  rate : float;          (** λ: offered Packet-In arrival rate, jobs/s (≥ 0) *)
+  service_rate : float;  (** μ: service rate, jobs/s (> 0) *)
+  capacity : int;        (** K: waiting-room slots, excluding the job in
+                             service — maps to [Profile.pin_queue_capacity] (≥ 1) *)
+}
+
+(** Raises [Invalid_argument] on a non-finite or negative rate, a
+    non-positive service rate, or a capacity below 1. *)
+val check_params : params -> unit
+
+type prediction = {
+  offered : float;      (** ρ = λ/μ, the offered load *)
+  utilization : float;  (** P(server busy) = 1 − p₀ = ρ(1 − blocking) *)
+  blocking : float;     (** P(an arrival finds the waiting room full) *)
+  throughput : float;   (** admitted-job completion rate λ(1 − blocking) *)
+  queue_len : float;    (** Lq: mean jobs {e waiting} (excludes in-service) *)
+  system_len : float;   (** L = Lq + utilization *)
+  wait : float;         (** Wq: mean wait before service of an {e admitted} job, s *)
+  sojourn : float;      (** W = Wq + 1/μ: mean admit-to-completion time, s *)
+}
+
+(** Exact steady state of the M/G/1/K queue under [service] (default
+    [Deterministic]), via the embedded Markov chain at departure
+    epochs.  O(K²) — fine for validation sweeps, too slow for a
+    per-tick control loop (use the fluid forecast there).  Raises like
+    {!check_params}. *)
+val evaluate : ?service:service -> params -> prediction
+
+(** Textbook closed-form M/M/1/K solution — the differential oracle
+    for [evaluate ~service:Exponential]. *)
+val mm1k : params -> prediction
+
+(** [forecast_queue p ~backlog ~horizon] — deterministic fluid
+    transient: a backlog served at [service_rate] and fed at [rate]
+    moves at λ − μ, clamped to [0, capacity].  The autoscaler's
+    look-ahead primitive: cheap, monotone in λ, exact for the
+    step-overload case that matters.  Raises like {!check_params} or
+    on a negative backlog/horizon. *)
+val forecast_queue : params -> backlog:float -> horizon:float -> float
+
+(** Time until the fluid backlog reaches [capacity], or [None] when it
+    never does (λ ≤ μ, or already draining).  [Some 0.] when the
+    backlog is already at (or past) capacity. *)
+val time_to_block : params -> backlog:float -> float option

@@ -40,6 +40,7 @@ type handler = {
 }
 
 type counters = {
+  mutable pin_submitted : int;     (* new-flow packets offered to the pin queue *)
   mutable pin_sent : int;          (* Packet-In messages emitted *)
   mutable pin_dropped : int;       (* new-flow packets lost at the pin queue *)
   mutable pin_expired : int;       (* queued pin jobs shed past the deadline *)
@@ -103,6 +104,8 @@ let register_metrics t =
   let module O = Scotch_obs.Obs in
   let labels = [ ("dpid", string_of_int t.dpid) ] in
   let c = t.counters in
+  O.counter_fn ~help:"New-flow packets offered to the OFA's Packet-In queue" ~labels
+    "scotch_ofa_pin_submitted_total" (fun () -> c.pin_submitted);
   O.counter_fn ~help:"Packet-In messages emitted by the OFA" ~labels
     "scotch_ofa_pin_sent_total" (fun () -> c.pin_sent);
   O.counter_fn ~help:"New-flow packets lost at the Packet-In queue" ~labels
@@ -132,7 +135,8 @@ let create ?(housekeeping_phase = 0.0) ?(jitter_seed = 0) ?(dpid = 0) engine ~pr
       pin_shed_t = Hashtbl.create 4;
       busy = false; to_controller = (fun _ -> ()); handler;
       counters =
-        { pin_sent = 0; pin_dropped = 0; pin_expired = 0; pin_budget_dropped = 0;
+        { pin_submitted = 0; pin_sent = 0; pin_dropped = 0; pin_expired = 0;
+          pin_budget_dropped = 0;
           flow_mods_handled = 0; flow_mods_dropped = 0; msgs_handled = 0 };
       next_xid = 1; dead = false; slowdown = 1.0; stalled_until = 0.0; dpid;
       service_h =
@@ -370,6 +374,9 @@ let kick t = if not t.busy then serve t
     installed, a tenant past its pin budget sheds only its own job, and
     [Pin_drop_oldest] never evicts another tenant's queued work. *)
 let submit_packet_in t (job : pin_job) =
+  (* the arrival-process counter the predictive autoscaler's λ̂
+     estimator differences: offered load, before any admission verdict *)
+  t.counters.pin_submitted <- t.counters.pin_submitted + 1;
   let tenant = pin_tenant t job in
   (match tenant with Some tn -> bump t.pin_submitted_t tn 1 | None -> ());
   let shed_tenant () =

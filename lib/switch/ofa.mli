@@ -33,6 +33,10 @@ type handler = {
 }
 
 type counters = {
+  mutable pin_submitted : int;
+      (** new-flow packets offered to the pin queue (the arrival
+          process, before any admission verdict) — what the predictive
+          autoscaler's rate estimator differences *)
   mutable pin_sent : int;          (** Packet-In messages emitted *)
   mutable pin_dropped : int;       (** new-flow packets lost at the pin queue *)
   mutable pin_expired : int;       (** queued pin jobs shed past the deadline *)

@@ -176,6 +176,44 @@ let prop_frame_shares_conserve =
              abs (served.(t) - expect) <= w)
            shares)
 
+(* qcheck: Schmitt-band hysteresis.  Over any probe sequence the
+   breaker's membership events strictly alternate Ejected/Readmitted
+   (starting with Ejected); an ejection only fires with the score
+   below [eject_below], a readmission only with it at or above
+   [readmit_above]; and a score that never pierces the lower threshold
+   produces no events at all — hovering inside the band cannot flap
+   the pool. *)
+let prop_breaker_hysteresis =
+  (* (probe, dt): probe 0 = Timeout, 1..10 = Reply at 0.2..2x the rtt
+     budget; dt in 0.1..3.0 s so sequences straddle half_open_after *)
+  let gen = QCheck.Gen.(list_size (int_range 1 300) (pair (int_range 0 10) (int_range 1 30))) in
+  QCheck.Test.make ~name:"breaker hysteresis never flaps inside the band" ~count:300
+    (QCheck.make gen)
+    (fun steps ->
+      let b = B.create () in
+      let now = ref 0.0 in
+      let min_score = ref (B.score b) in
+      let last = ref None in
+      let ok = ref true in
+      List.iter
+        (fun (p, dt) ->
+          now := !now +. (float_of_int dt /. 10.0);
+          let probe =
+            if p = 0 then B.Timeout
+            else B.Reply (float_of_int p *. cfg.B.rtt_budget /. 5.0)
+          in
+          (match B.observe b ~now:!now probe with
+          | Some B.Ejected ->
+            ok := !ok && !last <> Some B.Ejected && B.score b < cfg.B.eject_below;
+            last := Some B.Ejected
+          | Some B.Readmitted ->
+            ok := !ok && !last = Some B.Ejected && B.score b >= cfg.B.readmit_above;
+            last := Some B.Readmitted
+          | None -> ());
+          min_score := Float.min !min_score (B.score b))
+        steps;
+      if !min_score >= cfg.B.eject_below then !ok && !last = None else !ok)
+
 let test_elastic_config_validation () =
   let net = Scotch_experiments.Testbed.scotch_net () in
   let app = net.Scotch_experiments.Testbed.app in
@@ -200,7 +238,8 @@ let () =
           Alcotest.test_case "relapse restarts quarantine" `Quick
             test_relapse_restarts_quarantine;
           Alcotest.test_case "sustained health readmits" `Quick
-            test_sustained_health_readmits ] );
+            test_sustained_health_readmits;
+          QCheck_alcotest.to_alcotest prop_breaker_hysteresis ] );
       ( "elastic",
         [ Alcotest.test_case "config validation" `Quick test_elastic_config_validation ] );
       ( "tenancy",
