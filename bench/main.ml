@@ -349,6 +349,43 @@ let isolation_probe ~seed =
      else "null")
     Isolation.p99_delta_bound within Isolation.delivery_floor (side b) (side a)
 
+(* The chaos probe: the deterministic chaos search in smoke
+   configuration — a fixed budget of seeded random fault schedules
+   judged by the full oracle suite, plus the canary (a deliberately
+   broken config the shrinker must reduce and whose repro must replay
+   to the same verdict).  CI gates on the pass rate being exactly 1,
+   the canary shrinking to <= 3 faults and the repro replaying. *)
+let chaos_probe ~seed =
+  let module Search = Scotch_chaos.Search in
+  let o = Chaos.search ~seed ~schedules:30 () in
+  let repro_path = Filename.temp_file "scotch-chaos-canary" ".txt" in
+  let c = Chaos.run_canary ~seed ~repro_path () in
+  let canary_original, canary_minimal, shrink_tests =
+    match c.Search.shrunk with
+    | Some s ->
+      ( List.length s.Search.original.Scotch_chaos.Schedule.faults,
+        List.length s.Search.minimal.Scotch_chaos.Schedule.faults,
+        s.Search.shrink_tests )
+    | None -> (0, 0, 0)
+  in
+  let replayed =
+    match Chaos.replay_file repro_path with
+    | Ok (r, violations) -> Chaos.replay_faithful r violations
+    | Error _ -> false
+  in
+  Sys.remove repro_path;
+  let shrink_ratio =
+    if canary_original > 0 then
+      float_of_int canary_minimal /. float_of_int canary_original
+    else 0.0
+  in
+  Printf.sprintf
+    "{\"schedules\":%d,\"faults_injected\":%d,\"determinism_checks\":%d,\"violated_schedules\":%d,\"pass_rate\":%.6g,\"wall_s\":%.3f,\"canary_caught\":%b,\"canary_faults_original\":%d,\"canary_faults_minimal\":%d,\"canary_shrink_tests\":%d,\"shrink_ratio\":%.6g,\"repro_replayed\":%b}"
+    o.Search.explored o.Search.faults_injected o.Search.determinism_checks
+    o.Search.violated_schedules (Search.pass_rate o) o.Search.elapsed
+    (c.Search.violated_schedules > 0)
+    canary_original canary_minimal shrink_tests shrink_ratio replayed
+
 (* The predictive-scaling probe: the overload experiment at a moderate
    (5x) flash crowd run twice on the same seed — [Config.scaling =
    Reactive], then [Predictive] — so CI can gate on the predictive
@@ -587,6 +624,7 @@ let write_json ~seed ~scale ~figures:figs ~micro =
   let predictive_block = predictive_probe ~seed in
   let telemetry_block = telemetry_probe ~seed in
   let isolation_block = isolation_probe ~seed in
+  let chaos_block = chaos_probe ~seed in
   let module O = Scotch_obs.Obs in
   O.disable ();
   O.reset ();
@@ -609,7 +647,8 @@ let write_json ~seed ~scale ~figures:figs ~micro =
   Printf.fprintf oc "  \"overload\": %s,\n" overload_block;
   Printf.fprintf oc "  \"predictive_overload\": %s,\n" predictive_block;
   Printf.fprintf oc "  \"telemetry\": %s,\n" telemetry_block;
-  Printf.fprintf oc "  \"isolation\": %s\n}\n" isolation_block;
+  Printf.fprintf oc "  \"isolation\": %s,\n" isolation_block;
+  Printf.fprintf oc "  \"chaos\": %s\n}\n" chaos_block;
   close_out oc;
   Printf.printf "wrote %s\n%!" file
 

@@ -413,6 +413,147 @@ let model_check_cmd =
     Term.(
       const run $ seed_arg $ scale_arg $ csv_arg $ tolerance_arg $ metrics_arg $ trace_arg)
 
+(* The chaos search: its own command for the budgets, the canary and
+   replay.  Exit codes double as the CI contract: 0 = every trial
+   clean (or canary caught + shrunk, or replay reproduced), 1 = an
+   oracle violation survived (or the canary/replay failed), 2 usage. *)
+let chaos_cmd =
+  let doc =
+    "Deterministic chaos search: seeded random fault schedules over the full fault \
+     vocabulary, executed on the evaluation network under a flash-crowd workload and judged \
+     by the end-to-end safety oracles (dataplane verification, reconciler convergence, \
+     bounded flow loss, breaker liveness, tenant isolation, same-seed determinism).  The \
+     first violating schedule is delta-debugged to a minimal failing subsequence and written \
+     as a replayable repro (--repro).  --canary runs a deliberately broken configuration the \
+     shrinker must catch; --replay re-executes a repro file and checks it reproduces its \
+     recorded verdict."
+  in
+  let schedules_arg =
+    let doc = "Number of random schedules to explore." in
+    Arg.(value & opt int 50 & info [ "schedules" ] ~docv:"N" ~doc)
+  in
+  let time_budget_arg =
+    let doc = "Stop exploring after this many CPU seconds (the schedule budget still caps)." in
+    Arg.(
+      value
+      & opt (some (pos_float "--time-budget")) None
+      & info [ "time-budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let repro_arg =
+    let doc = "Write the minimized repro of the first violation to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "repro" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc = "Re-execute the repro file $(docv) and verify it reproduces its verdict." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let canary_arg =
+    let doc =
+      "Run the canary: a zero-tolerance schedule that must violate Bounded_loss and shrink \
+       to at most 3 faults — a self-test that the search can still catch and minimize bugs."
+    in
+    Arg.(value & flag & info [ "canary" ] ~doc)
+  in
+  let reconcile_arg =
+    let doc = "Explore schedules with the reliable control-channel layer on." in
+    Arg.(value & flag & info [ "reconcile" ] ~doc)
+  in
+  let tenancy_arg =
+    let doc = "Explore schedules on the two-tenant deployment (adds tenant-flood faults)." in
+    Arg.(value & flag & info [ "tenancy" ] ~doc)
+  in
+  let det_arg =
+    let doc = "Double-run every $(docv)-th trial and compare digests (0 disables)." in
+    Arg.(value & opt int 7 & info [ "determinism-every" ] ~docv:"N" ~doc)
+  in
+  let module Ch = Scotch_chaos in
+  let print_violations vs =
+    List.iter
+      (fun v -> Format.printf "  %a@." Ch.Oracle.pp_violation v)
+      (vs : Ch.Oracle.violation list)
+  in
+  let do_replay path =
+    match Chaos.replay_file path with
+    | Error e ->
+      Printf.eprintf "chaos --replay: %s\n" e;
+      exit 2
+    | Ok (r, vs) ->
+      Printf.printf "chaos: replayed %s (%d fault(s), seed %d)\n" path
+        (List.length r.Ch.Repro.schedule.Ch.Schedule.faults)
+        r.Ch.Repro.schedule.Ch.Schedule.seed;
+      print_violations vs;
+      if Chaos.replay_faithful r vs then begin
+        Printf.printf "chaos: verdict reproduced (%s)\n"
+          (String.concat ", " (List.map Ch.Oracle.oracle_name r.Ch.Repro.violated));
+        exit 0
+      end
+      else begin
+        Printf.printf "chaos: verdict NOT reproduced\n";
+        exit 1
+      end
+  in
+  let do_canary ~seed ~repro_path =
+    let o = Chaos.run_canary ~seed ?repro_path ~log:print_endline () in
+    match o.Ch.Search.shrunk with
+    | Some s ->
+      let original = List.length s.Ch.Search.original.Ch.Schedule.faults in
+      let minimal = List.length s.Ch.Search.minimal.Ch.Schedule.faults in
+      Printf.printf "chaos: canary violated and shrunk %d -> %d fault(s) in %d runs\n"
+        original minimal s.Ch.Search.shrink_tests;
+      print_violations s.Ch.Search.minimal_violations;
+      if minimal > 3 then begin
+        Printf.printf "chaos: canary FAILED — minimum %d faults exceeds 3\n" minimal;
+        exit 1
+      end;
+      Option.iter (fun p -> do_replay p) s.Ch.Search.repro_path;
+      exit 0
+    | None ->
+      Printf.printf
+        "chaos: canary FAILED — the broken configuration produced no shrinkable violation\n";
+      exit 1
+  in
+  let run seed schedules time_budget repro_path replay canary reconcile tenancy det =
+    match replay with
+    | Some path -> do_replay path
+    | None ->
+      if canary then do_canary ~seed ~repro_path
+      else begin
+        let cfg = { Ch.Schedule.default_cfg with Ch.Schedule.reconcile; tenancy } in
+        let spec = Chaos.default_spec ~cfg () in
+        let o =
+          Chaos.search ~seed ~schedules ~spec ?time_budget ~determinism_every:det
+            ?repro_path ~log:print_endline ()
+        in
+        Printf.printf
+          "chaos: %d/%d schedule(s) explored (%d fault(s) injected, %d determinism \
+           double-run(s), %.1f s cpu%s)\n"
+          o.Ch.Search.explored schedules o.Ch.Search.faults_injected
+          o.Ch.Search.determinism_checks o.Ch.Search.elapsed
+          (if o.Ch.Search.budget_exhausted then ", time budget hit" else "");
+        Printf.printf "chaos: oracle pass rate %.4f (%d violating schedule(s))\n"
+          (Ch.Search.pass_rate o) o.Ch.Search.violated_schedules;
+        List.iter
+          (fun (index, vs) ->
+            Printf.printf "chaos: trial %d:\n" index;
+            print_violations vs)
+          o.Ch.Search.violations;
+        (match o.Ch.Search.shrunk with
+        | Some s ->
+          Printf.printf "chaos: first violation shrunk %d -> %d fault(s)%s\n"
+            (List.length s.Ch.Search.original.Ch.Schedule.faults)
+            (List.length s.Ch.Search.minimal.Ch.Schedule.faults)
+            (match s.Ch.Search.repro_path with
+            | Some p -> Printf.sprintf "; repro: %s" p
+            | None -> "")
+        | None -> ());
+        exit (if o.Ch.Search.violated_schedules = 0 then 0 else 1)
+      end
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ seed_arg $ schedules_arg $ time_budget_arg $ repro_arg $ replay_arg
+      $ canary_arg $ reconcile_arg $ tenancy_arg $ det_arg)
+
 let list_cmd =
   let doc = "List experiments with the paper artifact each regenerates." in
   let run () =
@@ -430,7 +571,7 @@ let main =
   let info = Cmd.info "scotch-sim" ~version:"1.0.0" ~doc in
   Cmd.group info
     (list_cmd :: all_cmd :: verify_net_cmd :: resilience_cmd :: model_check_cmd :: obs_cmd
-    :: List.map cmd_of_spec specs)
+    :: chaos_cmd :: List.map cmd_of_spec specs)
 
 (* Usage errors — unknown subcommands or flags, malformed or
    out-of-range values — exit 2 uniformly (cmdliner's defaults split

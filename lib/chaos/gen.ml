@@ -1,0 +1,109 @@
+(** Seeded random fault-schedule generation.
+
+    Each schedule index yields an independent, reproducible trial:
+    the PRNG is derived from (seed, index) alone, so schedule 17 of
+    seed 42 is the same schedule forever — on any machine, in any
+    order, which is what lets a repro file name a trial by its
+    schedule rather than by the search that found it.
+
+    The generator covers the full {!Scotch_faults.Fault.kind}
+    vocabulary (tenant floods only when the spec's deployment has
+    tenancy on).  Two rules keep the trials meaningful rather than
+    merely loud:
+
+    - {e no overlapping same-category faults on one target} — the
+      injector's idempotency rule unions overlapping identical faults,
+      and overlapping same-kind-different-parameter faults would
+      last-writer-win through the same setter; disjoint windows keep
+      every fault's effect attributable.
+    - {e fault windows end well before the workload does} — the oracle
+      judges the {e recovered} system, so every window closes by 80 %
+      of the workload and the runner extends the horizon past the
+      last clearing. *)
+
+open Scotch_faults
+open Scotch_util
+
+type spec = {
+  vswitches : int array;  (* overlay pool dpids: crash/degrade/slowdown/stall *)
+  phys : int array;       (* managed physical dpids: OFA + channel faults *)
+  links : (int * int) array; (* (dpid, port) flappable data links *)
+  tenants : int array;    (* flood targets; used only when cfg.tenancy *)
+  flood_rate : float;     (* nominal tenant-flood intensity, flows/s *)
+  min_faults : int;
+  max_faults : int;
+  cfg : Schedule.cfg;
+  workload : Schedule.workload;
+}
+
+(** Golden-ratio mixing of (seed, index) into one splitmix seed. *)
+let trial_seed ~seed ~index = seed + ((index + 1) * 0x9E3779B97F4A7C1)
+
+type window = { w_target : int; w_tag : string; w_from : float; w_to : float }
+
+let overlaps ws ~target ~tag ~from_ ~to_ =
+  List.exists
+    (fun w -> w.w_target = target && w.w_tag = tag && from_ < w.w_to && w.w_from < to_)
+    ws
+
+(** One candidate fault.  [rng] draws are unconditional per branch so
+    the stream stays aligned whether or not the candidate is kept. *)
+let candidate spec rng =
+  let d = spec.workload.Schedule.duration in
+  let at = 0.15 *. d +. Rng.float rng (0.55 *. d) in
+  let dur = 0.3 +. Rng.float rng (Float.min 1.7 (0.25 *. d)) in
+  (* clip the window inside 80% of the workload so recovery happens
+     under load, not after it *)
+  let dur = Float.min dur (Float.max 0.2 ((0.8 *. d) -. at)) in
+  let vsw () = Rng.choice rng spec.vswitches in
+  let any () =
+    let n = Array.length spec.vswitches + Array.length spec.phys in
+    let i = Rng.int rng n in
+    if i < Array.length spec.vswitches then spec.vswitches.(i)
+    else spec.phys.(i - Array.length spec.vswitches)
+  in
+  let kinds = if Array.length spec.links = 0 then 10 else 11 in
+  let kinds = if spec.cfg.Schedule.tenancy && Array.length spec.tenants > 0 then kinds + 1 else kinds in
+  match Rng.int rng kinds with
+  | 0 -> Fault.vswitch_crash ~at ~duration:dur (vsw ())
+  | 1 -> Fault.ofa_slowdown ~at ~duration:dur ~factor:(2.0 +. Rng.float rng 4.0) (any ())
+  | 2 -> Fault.ofa_stall ~at ~duration:(Float.min dur 0.8) (any ())
+  | 3 -> Fault.channel_delay ~at ~duration:dur ~extra:(0.002 +. Rng.float rng 0.018) (any ())
+  | 4 -> Fault.channel_drop ~at ~duration:dur ~probability:(0.05 +. Rng.float rng 0.2) (any ())
+  | 5 -> Fault.channel_dup ~at ~duration:dur ~probability:(0.1 +. Rng.float rng 0.4) (any ())
+  | 6 ->
+    Fault.channel_reorder ~at ~duration:dur ~probability:(0.1 +. Rng.float rng 0.4) (any ())
+  | 7 -> Fault.stats_outage ~at ~duration:dur
+  | 8 -> Fault.vswitch_degrade ~at ~duration:dur ~peak:(2.5 +. Rng.float rng 5.5) (vsw ())
+  | 9 -> Fault.controller_pause ~at ~duration:(0.05 +. Rng.float rng 0.15)
+  | 10 when Array.length spec.links > 0 ->
+    let dpid, port = Rng.choice rng spec.links in
+    Fault.link_down ~at ~duration:(Float.min dur 1.0) ~port dpid
+  | _ ->
+    let tenant = Rng.choice rng spec.tenants in
+    Fault.tenant_flood ~at ~duration:dur
+      ~rate:(spec.flood_rate *. (0.5 +. Rng.float rng 1.0))
+      tenant
+
+let generate spec ~seed ~index =
+  if spec.min_faults < 1 || spec.max_faults < spec.min_faults then
+    invalid_arg "Gen.generate: need 1 <= min_faults <= max_faults";
+  if Array.length spec.vswitches = 0 || Array.length spec.phys = 0 then
+    invalid_arg "Gen.generate: need vswitch and phys targets";
+  let rng = Rng.create (trial_seed ~seed ~index) in
+  let n = spec.min_faults + Rng.int rng (spec.max_faults - spec.min_faults + 1) in
+  let rec fill tries windows acc =
+    if List.length acc >= n || tries > 8 * n then acc
+    else
+      let f = candidate spec rng in
+      let tag = Schedule.kind_tag f.Fault.kind in
+      let from_ = f.Fault.at and to_ = Fault.ends_at f in
+      if overlaps windows ~target:f.Fault.target ~tag ~from_ ~to_ then
+        fill (tries + 1) windows acc
+      else
+        fill (tries + 1)
+          ({ w_target = f.Fault.target; w_tag = tag; w_from = from_; w_to = to_ } :: windows)
+          (f :: acc)
+  in
+  let faults = fill 0 [] [] in
+  Schedule.make ~seed:(trial_seed ~seed ~index) ~cfg:spec.cfg ~workload:spec.workload faults

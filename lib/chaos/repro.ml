@@ -1,0 +1,68 @@
+(** Replayable repro files.
+
+    A repro is the minimized schedule plus the oracle verdict it
+    earned, in one text file: enough to re-execute the trial exactly
+    ([scotch_sim chaos --replay FILE]) and to assert that the replay
+    reproduces the {e same} violations.  The schedule body reuses
+    {!Schedule.print}'s exact (hex-float) format, so a replayed run is
+    bit-identical to the search run that wrote the file. *)
+
+type t = {
+  schedule : Schedule.t;
+  violated : Oracle.oracle list; (* the verdict the repro must reproduce *)
+  detail : string list;          (* human-readable violation lines *)
+}
+
+let make ~schedule violations =
+  { schedule;
+    violated = List.map (fun (x : Oracle.violation) -> x.Oracle.oracle) violations;
+    detail =
+      List.map
+        (fun (x : Oracle.violation) ->
+          Printf.sprintf "%s: %s" (Oracle.oracle_name x.Oracle.oracle) x.Oracle.detail)
+        violations }
+
+let print t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "scotch-chaos-repro v1\n";
+  List.iter
+    (fun o -> Buffer.add_string b (Printf.sprintf "violated %s\n" (Oracle.oracle_name o)))
+    t.violated;
+  List.iter (fun d -> Buffer.add_string b (Printf.sprintf "# %s\n" d)) t.detail;
+  Buffer.add_string b (Schedule.print t.schedule);
+  Buffer.contents b
+
+let parse s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | header :: rest when String.trim header = "scotch-chaos-repro v1" ->
+    let violated = ref [] and detail = ref [] and body = ref [] in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | "violated" :: name :: _ -> (
+          match Oracle.oracle_of_name name with
+          | Some o -> violated := o :: !violated
+          | None -> ())
+        | "#" :: _ -> detail := String.trim line :: !detail
+        | _ -> body := line :: !body)
+      rest;
+    Result.map
+      (fun schedule ->
+        { schedule; violated = List.rev !violated; detail = List.rev !detail })
+      (Schedule.parse (String.concat "\n" (List.rev !body)))
+  | header :: _ -> Error (Printf.sprintf "bad repro header %S" header)
+  | [] -> Error "empty repro"
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print t))
+
+let load path =
+  match open_in path with
+  | ic ->
+    let read () = really_input_string ic (in_channel_length ic) in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse (read ()))
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,15 @@
+(** Replayable repro files: the minimized schedule plus the oracle
+    verdict it must reproduce, in one exact-round-trip text file. *)
+
+type t = {
+  schedule : Schedule.t;
+  violated : Oracle.oracle list;
+      (** the verdict a replay must reproduce *)
+  detail : string list;  (** human-readable violation lines *)
+}
+
+val make : schedule:Schedule.t -> Oracle.violation list -> t
+val print : t -> string
+val parse : string -> (t, string) result
+val save : path:string -> t -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,158 @@
+(** The chaos search loop: generate → run → judge → (on violation)
+    shrink → serialize a repro.
+
+    The loop is generic over the runner — a function from schedule to
+    {!Oracle.observation} — so this library never depends on the
+    experiment harness; [Scotch_experiments.Chaos] supplies the real
+    simulator runner, and the tests supply synthetic ones.
+
+    Budgets: a schedule budget (how many trials) and an optional
+    wall-clock budget in CPU seconds; whichever runs out first ends
+    the search.  Every [determinism_every]-th trial is run twice and
+    its digests compared — the cheapest oracle to state and the most
+    expensive to run, so it is sampled rather than universal.
+
+    On the first violating trial the fault list is delta-debugged
+    ({!Shrink.ddmin}) against the {e same} oracle that fired and the
+    minimal schedule is written as a repro file; later violating
+    trials are recorded but not shrunk (one minimal repro per search
+    is what a human can act on). *)
+
+type runner = Schedule.t -> Oracle.observation
+
+type shrunk = {
+  original : Schedule.t;
+  minimal : Schedule.t;
+  minimal_violations : Oracle.violation list;
+  shrink_tests : int; (* simulated candidates ddmin burned *)
+  repro_path : string option;
+}
+
+type outcome = {
+  explored : int;
+  faults_injected : int;
+  violated_schedules : int;
+  violations : (int * Oracle.violation list) list; (* (trial index, verdict) *)
+  determinism_checks : int;
+  elapsed : float; (* CPU seconds *)
+  budget_exhausted : bool;
+  shrunk : shrunk option;
+}
+
+let pass_rate o =
+  if o.explored = 0 then 1.0
+  else float_of_int (o.explored - o.violated_schedules) /. float_of_int o.explored
+
+(** Violations of one trial against [primary] ([None] = all oracles,
+    plus a determinism double-run when [primary] is {!Oracle.Determinism}). *)
+let trial_violations ~runner ?primary s =
+  let o = runner s in
+  let vs = Oracle.check s o in
+  match primary with
+  | Some Oracle.Determinism -> (
+    let o2 = runner s in
+    match Oracle.check_determinism ~first:o ~second:o2 with
+    | Some v -> vs @ [ v ]
+    | None -> vs)
+  | _ -> vs
+
+let shrink_violation ~runner ~log ~repro_path s violations =
+  match (violations : Oracle.violation list) with
+  | [] -> None
+  | first :: _ when s.Schedule.faults <> [] -> (
+    let primary = first.Oracle.oracle in
+    let still_fails faults =
+      faults <> []
+      &&
+      let s' = Schedule.with_faults s faults in
+      List.exists
+        (fun (x : Oracle.violation) -> x.Oracle.oracle = primary)
+        (trial_violations ~runner ~primary s')
+    in
+    match Shrink.ddmin ~still_fails s.Schedule.faults with
+    | minimal_faults, stats ->
+      let minimal = Schedule.with_faults s minimal_faults in
+      let minimal_violations = trial_violations ~runner ~primary minimal in
+      let repro = Repro.make ~schedule:minimal minimal_violations in
+      let repro_path =
+        match repro_path with
+        | Some path ->
+          Repro.save ~path repro;
+          log (Printf.sprintf "chaos: repro written to %s" path);
+          Some path
+        | None -> None
+      in
+      log
+        (Printf.sprintf "chaos: shrunk %d faults -> %d (%d candidate runs) for %s"
+           (List.length s.Schedule.faults)
+           (List.length minimal_faults) stats.Shrink.tests (Oracle.oracle_name primary));
+      Some
+        { original = s; minimal; minimal_violations; shrink_tests = stats.Shrink.tests;
+          repro_path }
+    | exception Invalid_argument _ ->
+      (* the violation did not survive a re-run (a flaky oracle is
+         itself a determinism bug — but not one ddmin can minimize) *)
+      log "chaos: violation did not reproduce under shrinking";
+      None)
+  | _ -> None
+
+let run ~runner ~gen ~schedules ?time_budget ?(determinism_every = 7)
+    ?repro_path ?(log = fun (_ : string) -> ()) () =
+  let started = Sys.time () in
+  let out_of_budget () =
+    match time_budget with None -> false | Some b -> Sys.time () -. started > b
+  in
+  let violations = ref [] and violated = ref 0 in
+  let faults_injected = ref 0 and det_checks = ref 0 in
+  let shrunk = ref None and explored = ref 0 and exhausted = ref false in
+  (try
+     for index = 0 to schedules - 1 do
+       if out_of_budget () then begin
+         exhausted := true;
+         raise Exit
+       end;
+       let s : Schedule.t = gen ~index in
+       incr explored;
+       faults_injected := !faults_injected + List.length s.Schedule.faults;
+       let obs = runner s in
+       let vs = Oracle.check s obs in
+       let vs =
+         if determinism_every > 0 && index mod determinism_every = 0 then begin
+           incr det_checks;
+           let obs2 = runner s in
+           match Oracle.check_determinism ~first:obs ~second:obs2 with
+           | Some x -> vs @ [ x ]
+           | None -> vs
+         end
+         else vs
+       in
+       if vs <> [] then begin
+         incr violated;
+         violations := (index, vs) :: !violations;
+         log
+           (Printf.sprintf "chaos: trial %d violated %s" index
+              (String.concat ", "
+                 (List.map (fun (x : Oracle.violation) -> Oracle.oracle_name x.Oracle.oracle) vs)));
+         if !shrunk = None then
+           shrunk := shrink_violation ~runner ~log ~repro_path s vs
+       end
+     done
+   with Exit -> ());
+  { explored = !explored;
+    faults_injected = !faults_injected;
+    violated_schedules = !violated;
+    violations = List.rev !violations;
+    determinism_checks = !det_checks;
+    elapsed = Sys.time () -. started;
+    budget_exhausted = !exhausted;
+    shrunk = !shrunk }
+
+(** Replay one schedule and judge it, including a determinism
+    double-run — what [--replay] does with a repro's schedule. *)
+let replay ~runner (s : Schedule.t) =
+  let obs = runner s in
+  let vs = Oracle.check s obs in
+  let obs2 = runner s in
+  match Oracle.check_determinism ~first:obs ~second:obs2 with
+  | Some x -> vs @ [ x ]
+  | None -> vs

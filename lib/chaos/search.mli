@@ -1,0 +1,44 @@
+(** The chaos search loop: generate → run → judge → (on violation)
+    shrink → serialize a repro.  Generic over the runner so the
+    library never depends on the experiment harness. *)
+
+type runner = Schedule.t -> Oracle.observation
+
+type shrunk = {
+  original : Schedule.t;
+  minimal : Schedule.t;  (** 1-minimal for the oracle that fired *)
+  minimal_violations : Oracle.violation list;
+  shrink_tests : int;  (** simulated candidates ddmin burned *)
+  repro_path : string option;
+}
+
+type outcome = {
+  explored : int;
+  faults_injected : int;
+  violated_schedules : int;
+  violations : (int * Oracle.violation list) list;
+      (** (trial index, verdict), in trial order *)
+  determinism_checks : int;
+  elapsed : float;  (** CPU seconds *)
+  budget_exhausted : bool;  (** stopped by the time budget *)
+  shrunk : shrunk option;  (** first violation, minimized *)
+}
+
+(** Fraction of explored trials with a clean verdict. *)
+val pass_rate : outcome -> float
+
+(** [run ~runner ~gen ~schedules ()] explores [schedules] trials
+    ([gen ~index] names each one), stopping early after [time_budget]
+    CPU seconds.  Every [determinism_every]-th trial (default 7; 0
+    disables) is run twice and its digests compared.  The first
+    violating trial is delta-debugged against the oracle that fired
+    and, when [repro_path] is given, written there as a repro file.
+    [log] receives progress lines. *)
+val run :
+  runner:runner -> gen:(index:int -> Schedule.t) -> schedules:int ->
+  ?time_budget:float -> ?determinism_every:int -> ?repro_path:string ->
+  ?log:(string -> unit) -> unit -> outcome
+
+(** Replay one schedule and judge it, including a determinism
+    double-run — what [--replay] does with a repro's schedule. *)
+val replay : runner:runner -> Schedule.t -> Oracle.violation list

@@ -29,6 +29,10 @@ type sw = {
   mutable chan_extra_latency : float;
   mutable chan_drop_p : float;
   mutable chan_dropped : int; (* messages lost to the impairment *)
+  mutable chan_dup_p : float;
+  mutable chan_reorder_p : float;
+  mutable chan_duped : int; (* messages delivered twice by the impairment *)
+  mutable chan_reordered : int; (* messages held back past later sends *)
 }
 
 type app = {
@@ -194,33 +198,59 @@ let connect t device ~latency =
     sw.chan_drop_p > 0.0 && Scotch_util.Rng.bernoulli t.chan_rng sw.chan_drop_p
     && begin sw.chan_dropped <- sw.chan_dropped + 1; true end
   in
+  (* the dup and reorder coins follow the same rule as the drop coin:
+     tossed only while the matching impairment is active *)
+  let duped sw =
+    sw.chan_dup_p > 0.0 && Scotch_util.Rng.bernoulli t.chan_rng sw.chan_dup_p
+    && begin sw.chan_duped <- sw.chan_duped + 1; true end
+  in
+  let reorder_hold sw =
+    if sw.chan_reorder_p > 0.0 && Scotch_util.Rng.bernoulli t.chan_rng sw.chan_reorder_p
+    then begin
+      sw.chan_reordered <- sw.chan_reordered + 1;
+      (* held back several base latencies, so messages sent later
+         overtake this one *)
+      Scotch_util.Rng.float t.chan_rng (4.0 *. (latency +. sw.chan_extra_latency))
+    end
+    else 0.0
+  in
+  let transmit sw deliver =
+    if not (dropped sw) then begin
+      let once () =
+        ignore
+          (Scotch_sim.Engine.schedule t.engine
+             ~delay:(jittered sw +. reorder_hold sw)
+             deliver)
+      in
+      once ();
+      if duped sw then once ()
+    end
+  in
   let rec sw =
     { dpid; device;
       send_raw =
-        (fun msg ->
-          if not (dropped sw) then
-            ignore
-              (Scotch_sim.Engine.schedule t.engine ~delay:(jittered sw) (fun () ->
-                   Ofa.deliver_message (Switch.ofa device) msg)));
+        (fun msg -> transmit sw (fun () -> Ofa.deliver_message (Switch.ofa device) msg));
       pin_meter = Stats.Rate_meter.create ~window:t.pin_window;
       alive = true; last_echo_reply = 0.0; flow_mods_sent = 0; packet_outs_sent = 0;
-      chan_extra_latency = 0.0; chan_drop_p = 0.0; chan_dropped = 0 }
+      chan_extra_latency = 0.0; chan_drop_p = 0.0; chan_dropped = 0;
+      chan_dup_p = 0.0; chan_reorder_p = 0.0; chan_duped = 0; chan_reordered = 0 }
   in
   Hashtbl.replace t.switches dpid sw;
   let module O = Scotch_obs.Obs in
   let labels = [ ("dpid", string_of_int dpid) ] in
   O.counter_fn ~help:"Control-channel messages lost to impairment" ~labels
     "scotch_controller_chan_dropped_total" (fun () -> sw.chan_dropped);
+  O.counter_fn ~help:"Control-channel messages duplicated by impairment" ~labels
+    "scotch_controller_chan_duped_total" (fun () -> sw.chan_duped);
+  O.counter_fn ~help:"Control-channel messages reordered by impairment" ~labels
+    "scotch_controller_chan_reordered_total" (fun () -> sw.chan_reordered);
   O.counter_fn ~help:"FlowMods sent to this switch" ~labels
     "scotch_controller_flow_mods_sent_total" (fun () -> sw.flow_mods_sent);
   O.gauge_fn ~help:"Packet-In arrival rate over the monitoring window (1/s)" ~labels
     "scotch_controller_pin_rate" (fun () ->
       Stats.Rate_meter.rate sw.pin_meter ~now:(Scotch_sim.Engine.now t.engine));
   Ofa.connect_controller (Switch.ofa device) (fun msg ->
-      if not (dropped sw) then
-        ignore
-          (Scotch_sim.Engine.schedule t.engine ~delay:(jittered sw) (fun () ->
-               handle_message t sw msg)));
+      transmit sw (fun () -> handle_message t sw msg));
   sw
 
 (** Control-channel impairment (fault injection): add [extra_latency]
@@ -232,6 +262,20 @@ let set_channel_impairment (sw : sw) ~extra_latency ~drop_p =
   if drop_p < 0.0 || drop_p >= 1.0 then invalid_arg "set_channel_impairment: drop_p in [0,1)";
   sw.chan_extra_latency <- extra_latency;
   sw.chan_drop_p <- drop_p
+
+(** Control-channel chaos (fault injection): duplicate each message
+    with probability [dup_p] (delivered twice, independently jittered)
+    and hold each message back with probability [reorder_p] (an extra
+    uniform delay of up to four base latencies, so later messages
+    overtake it) — in both directions.  Like the drop coin, the chaos
+    coins are only tossed while the matching probability is nonzero, so
+    runs that never set them are bit-identical.  Pass zeros to clear. *)
+let set_channel_chaos (sw : sw) ~dup_p ~reorder_p =
+  if dup_p < 0.0 || dup_p >= 1.0 then invalid_arg "set_channel_chaos: dup_p in [0,1)";
+  if reorder_p < 0.0 || reorder_p >= 1.0 then
+    invalid_arg "set_channel_chaos: reorder_p in [0,1)";
+  sw.chan_dup_p <- dup_p;
+  sw.chan_reorder_p <- reorder_p
 
 (** Fault injection: freeze the controller until absolute time [until]
     (a stop-the-world GC pause, a failover hiccup).  Incoming messages

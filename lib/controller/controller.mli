@@ -30,6 +30,12 @@ type sw = {
   mutable chan_drop_p : float;
       (** control-channel impairment: per-message loss probability *)
   mutable chan_dropped : int;  (** messages lost to the impairment *)
+  mutable chan_dup_p : float;
+      (** control-channel chaos: per-message duplication probability *)
+  mutable chan_reorder_p : float;
+      (** control-channel chaos: per-message reorder (hold-back) probability *)
+  mutable chan_duped : int;  (** messages delivered twice by the impairment *)
+  mutable chan_reordered : int;  (** messages held back past later sends *)
 }
 
 type app = {
@@ -116,6 +122,16 @@ val pin_rate : t -> sw -> float
     loss coin is only tossed while an impairment is active, so
     unimpaired runs are bit-identical to runs without this call. *)
 val set_channel_impairment : sw -> extra_latency:float -> drop_p:float -> unit
+
+(** Control-channel chaos (fault injection): duplicate each message
+    with probability [dup_p] (delivered twice, independently jittered)
+    and hold each message back with probability [reorder_p] (an extra
+    uniform delay of up to four base latencies, so later messages
+    overtake it), in both directions ([0 <= p < 1] each).  Pass zeros
+    to clear.  Like {!set_channel_impairment}'s loss coin, the chaos
+    coins are only tossed while the matching probability is nonzero, so
+    runs that never set them are bit-identical. *)
+val set_channel_chaos : sw -> dup_p:float -> reorder_p:float -> unit
 
 (** Fault injection: freeze the controller until absolute time [until]
     (a stop-the-world GC pause).  Incoming messages are deferred in

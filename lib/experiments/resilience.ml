@@ -13,6 +13,7 @@
 open Scotch_workload
 open Scotch_faults
 module C = Scotch_controller.Controller
+module Ch = Scotch_chaos
 
 let bin_width = 2.0
 
@@ -67,6 +68,11 @@ let impairment_plan ~(params : Tracegen.params) ~drop_p =
 type outcome = {
   ledger : Ledger.t;
   success : (float * float) list; (* per-bin flow success fraction *)
+  launched : int;  (* admitted background flows *)
+  delivered : int; (* of those, delivered end-to-end *)
+  schedule : Ch.Schedule.t;
+      (* this run restated as a chaos schedule, so the oracle suite
+         prices its fault exposure exactly as it would a searched trial *)
   verify : Scotch_verify.Hooks.t option;
       (* debug-mode invariant checks (post-recovery + run-end), when enabled *)
   net : Testbed.scotch_net;
@@ -106,6 +112,76 @@ let record_convergence (net : Testbed.scotch_net) ledger =
         conv_windows = R.divergence_windows r;
         conv_digest = R.digest r }
 
+(* ------------------------------------------------------------------ *)
+(* Oracle-suite bridge: the scripted experiment is judged by the same
+   typed oracles ([Scotch_chaos.Oracle]) as the searched chaos trials,
+   so "the control plane recovered" has one definition in the tree.
+   The helpers below distill live simulator handles into the plain
+   observation the oracles take; the chaos runner reuses them. *)
+
+(** The reliable layer's end state, as the Reconcile_converged oracle
+    wants it ([None] when installs bypass the layer). *)
+let reconcile_obs (net : Testbed.scotch_net) =
+  match net.Testbed.reliable with
+  | None -> None
+  | Some r ->
+    let module R = Scotch_reliable.Reliable in
+    let module Sc = Scotch_core.Scotch in
+    let outstanding =
+      List.fold_left
+        (fun acc dpid -> acc + R.outstanding r dpid)
+        0
+        (Sc.managed_dpids net.Testbed.app @ Sc.vswitch_dpids net.Testbed.app)
+    in
+    Some { Ch.Oracle.converged = R.converged r; outstanding }
+
+(** The run's bit-identity fingerprint: recovery ledger (with its
+    convergence block), Scotch counters, event count and clock, flow
+    outcome and the reliable layer's own digest. *)
+let digest_of (net : Testbed.scotch_net) ledger ~launched ~delivered =
+  let module Sc = Scotch_core.Scotch in
+  let c = Sc.counters net.Testbed.app in
+  let counters =
+    Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d" c.Sc.flows_seen
+      c.Sc.flows_overlay c.Sc.flows_physical c.Sc.flows_dropped c.Sc.flows_unroutable
+      c.Sc.elephants_detected c.Sc.migrations_completed c.Sc.activations c.Sc.withdrawals
+      c.Sc.vswitch_failures c.Sc.quarantines c.Sc.readmissions c.Sc.promotions c.Sc.demotions
+  in
+  let reliable =
+    match net.Testbed.reliable with
+    | Some r -> Scotch_reliable.Reliable.digest r
+    | None -> "-"
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [ Ledger.canonical ledger; counters;
+            Printf.sprintf "%d/%d" delivered launched;
+            string_of_int (Scotch_sim.Engine.processed net.Testbed.engine);
+            Printf.sprintf "%h" (Scotch_sim.Engine.now net.Testbed.engine); reliable ]))
+
+(** Distill a finished run into the oracle suite's observation.  Reads
+    the network {e now}, so a test that drives extra reconcile rounds
+    past the experiment horizon observes the converged end state, not
+    the state at the horizon.  Feed the result to
+    [Scotch_chaos.Oracle.check] with [o.schedule]. *)
+let observation (o : outcome) =
+  let net = o.net in
+  let report =
+    Scotch_verify.check
+      (Scotch_verify.Snapshot.capture ~scotch:net.Testbed.app
+         ~now:(Scotch_sim.Engine.now net.Testbed.engine)
+         net.Testbed.topo)
+  in
+  { Ch.Oracle.launched = o.launched;
+    delivered = o.delivered;
+    verify_errors = List.length (Scotch_verify.Diagnostic.errors report);
+    verify_reports = List.length report;
+    reconcile = reconcile_obs net;
+    breakers = []; (* no elastic loop in this experiment *)
+    victim_sheds = None;
+    digest = digest_of net o.ledger ~launched:o.launched ~delivered:o.delivered }
+
 let run_variant ?config ?(reconcile = false) ~seed ~plan ~(params : Tracegen.params) () =
   let net =
     Testbed.scotch_net ?config ~seed ~num_vswitches ~num_backups
@@ -127,18 +203,20 @@ let run_variant ?config ?(reconcile = false) ~seed ~plan ~(params : Tracegen.par
   Testbed.run_until net ~until:horizon;
   let nbins = int_of_float (params.Tracegen.duration /. bin_width) + 1 in
   let total = Array.make nbins 0 and ok = Array.make nbins 0 in
+  let launched_n = ref 0 and delivered = ref 0 in
   List.iteri
     (fun i (ev : Tracegen.flow_event) ->
       match launched.(i) with
       | None -> ()
       | Some l ->
+        incr launched_n;
+        let dst = net.Testbed.servers.(ev.Tracegen.dst) in
+        let got = Scotch_topo.Host.flow_record dst l.Flow_gen.flow_id <> None in
+        if got then incr delivered;
         let bin = int_of_float (ev.Tracegen.at /. bin_width) in
         if bin < nbins then begin
           total.(bin) <- total.(bin) + 1;
-          let dst = net.Testbed.servers.(ev.Tracegen.dst) in
-          match Scotch_topo.Host.flow_record dst l.Flow_gen.flow_id with
-          | Some _ -> ok.(bin) <- ok.(bin) + 1
-          | None -> ()
+          if got then ok.(bin) <- ok.(bin) + 1
         end)
     trace;
   let points = ref [] in
@@ -149,7 +227,20 @@ let run_variant ?config ?(reconcile = false) ~seed ~plan ~(params : Tracegen.par
         :: !points
   done;
   record_convergence net ledger;
-  { ledger; success = !points; verify = net.Testbed.verify; net }
+  let schedule =
+    let workload =
+      { Ch.Schedule.duration = params.Tracegen.duration;
+        base_rate = params.Tracegen.base_rate;
+        flash_multiplier = params.Tracegen.flash_multiplier;
+        sources = params.Tracegen.num_sources }
+    in
+    Ch.Schedule.make ~seed
+      ~cfg:{ Ch.Schedule.default_cfg with Ch.Schedule.reconcile }
+      ~workload
+      (List.map snd (Plan.faults plan))
+  in
+  { ledger; success = !points; launched = !launched_n; delivered = !delivered; schedule;
+    verify = net.Testbed.verify; net }
 
 (** The faulted run alone, with its recovery ledger — what the tests
     and the smoke alias drive.  [multiplier] tunes the flash-crowd

@@ -12,6 +12,11 @@
       CPU-starved or freezes outright (queues keep overflowing).
     - {!Channel_delay} / {!Channel_drop}: the management network
       degrades — latency spikes or message loss on the control channel.
+    - {!Channel_dup} / {!Channel_reorder}: the management network
+      misbehaves without losing anything — a message is delivered twice
+      (TCP-below-the-app retransmit absorbed as two reads), or held
+      back long enough that later messages overtake it.  Both planes'
+      handlers must be idempotent and order-tolerant to survive these.
     - {!Link_down}: a data link flaps (addressed as a (switch, port)
       pair; tunnel ports flap the overlay legs).
     - {!Stats_outage}: the controller's vswitch stats polling stops
@@ -33,6 +38,8 @@ type kind =
   | Ofa_stall
   | Channel_delay of float  (* extra one-way latency, seconds *)
   | Channel_drop of float   (* per-message loss probability *)
+  | Channel_dup of float    (* per-message duplication probability *)
+  | Channel_reorder of float (* per-message reorder (hold-back) probability *)
   | Link_down of int        (* port id on the target switch *)
   | Stats_outage
   | Vswitch_degrade of float (* peak service-time multiplier, > 1; ramps *)
@@ -76,6 +83,18 @@ let channel_drop ~at ~duration ~probability target =
   if probability <= 0.0 || probability >= 1.0 then
     invalid_arg "Fault.channel_drop: probability must be in (0,1)";
   { at; duration; target; kind = Channel_drop probability }
+
+let channel_dup ~at ~duration ~probability target =
+  check ~at ~duration "Fault.channel_dup";
+  if probability <= 0.0 || probability >= 1.0 then
+    invalid_arg "Fault.channel_dup: probability must be in (0,1)";
+  { at; duration; target; kind = Channel_dup probability }
+
+let channel_reorder ~at ~duration ~probability target =
+  check ~at ~duration "Fault.channel_reorder";
+  if probability <= 0.0 || probability >= 1.0 then
+    invalid_arg "Fault.channel_reorder: probability must be in (0,1)";
+  { at; duration; target; kind = Channel_reorder probability }
 
 let link_down ~at ~duration ~port target =
   check ~at ~duration "Fault.link_down";
@@ -124,6 +143,8 @@ let kind_label = function
   | Ofa_stall -> "ofa-stall"
   | Channel_delay d -> Printf.sprintf "chan-delay+%gms" (1e3 *. d)
   | Channel_drop p -> Printf.sprintf "chan-drop-p%g" p
+  | Channel_dup p -> Printf.sprintf "chan-dup-p%g" p
+  | Channel_reorder p -> Printf.sprintf "chan-reorder-p%g" p
   | Link_down port -> Printf.sprintf "link-down-port%d" port
   | Stats_outage -> "stats-outage"
   | Vswitch_degrade p -> Printf.sprintf "vswitch-degrade-x%g" p

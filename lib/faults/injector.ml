@@ -19,6 +19,8 @@
       {!Scotch_switch.Ofa.stall}.
     - channel delay / drop →
       {!Scotch_controller.Controller.set_channel_impairment}.
+    - channel dup / reorder →
+      {!Scotch_controller.Controller.set_channel_chaos}.
     - link flap → {!Scotch_sim.Link.set_up} on the (switch, port) link.
     - stats-polling outage →
       {!Scotch_core.Scotch.set_stats_polling}. *)
@@ -62,7 +64,15 @@ type t = {
   e : env;
   ledger : Ledger.t;
   awaiting : (int, pending_crash) Hashtbl.t; (* dead dpid -> pending crash *)
+  active : (int * Fault.kind, int) Hashtbl.t;
+      (* (target, kind) -> number of live injections.  Duplicate
+         injection of the same fault on the same target is idempotent:
+         the side effect is applied on the 0->1 transition only, and
+         undone on the 1->0 transition only, so an early clear of one
+         copy cannot yank the state out from under the other. *)
 }
+
+let live_count t key = Option.value ~default:0 (Hashtbl.find_opt t.active key)
 
 let now t = Scotch_sim.Engine.now t.e.engine
 
@@ -169,6 +179,11 @@ let clear t (f : Fault.t) (r : Ledger.record) =
   if Scotch_obs.Obs.is_enabled () then
     Scotch_obs.Obs.instant ~name:"fault.clear" ~cat:"fault" ~ts:(now t) ~tid:f.Fault.target
       ~args:[ ("fault", Fault.label f) ];
+  let key = (f.Fault.target, f.Fault.kind) in
+  let live = max 0 (live_count t key - 1) in
+  if live = 0 then Hashtbl.remove t.active key else Hashtbl.replace t.active key live;
+  if live > 0 then r.Ledger.cleared_at <- Some (now t)
+  else begin
   (match f.Fault.kind with
   | Fault.Vswitch_crash ->
     let dev = device t f.Fault.target in
@@ -187,6 +202,12 @@ let clear t (f : Fault.t) (r : Ledger.record) =
   | Fault.Channel_drop _ ->
     let sw = handle t f.Fault.target in
     C.set_channel_impairment sw ~extra_latency:sw.C.chan_extra_latency ~drop_p:0.0
+  | Fault.Channel_dup _ ->
+    let sw = handle t f.Fault.target in
+    C.set_channel_chaos sw ~dup_p:0.0 ~reorder_p:sw.C.chan_reorder_p
+  | Fault.Channel_reorder _ ->
+    let sw = handle t f.Fault.target in
+    C.set_channel_chaos sw ~dup_p:sw.C.chan_dup_p ~reorder_p:0.0
   | Fault.Link_down port -> (
     match Switch.link_of_port (device t f.Fault.target) port with
     | Some link -> Scotch_sim.Link.set_up link true
@@ -199,6 +220,7 @@ let clear t (f : Fault.t) (r : Ledger.record) =
     | Some drive -> drive ~tenant:f.Fault.target ~rate ~active:false
     | None -> ()));
   r.Ledger.cleared_at <- Some (now t)
+  end
 
 let inject t (id, (f : Fault.t)) =
   let r = Ledger.add t.ledger ~id ~label:(Fault.label f) ~injected_at:f.Fault.at in
@@ -213,6 +235,11 @@ let inject t (id, (f : Fault.t)) =
     if Scotch_obs.Obs.is_enabled () then
       Scotch_obs.Obs.instant ~name:"fault.inject" ~cat:"fault" ~ts:(now t) ~tid:f.Fault.target
         ~args:[ ("fault", Fault.label f) ];
+    let key = (f.Fault.target, f.Fault.kind) in
+    let live = live_count t key in
+    Hashtbl.replace t.active key (live + 1);
+    if live > 0 then () (* already in force: duplicate injection is a no-op *)
+    else
     match f.Fault.kind with
     | Fault.Vswitch_crash ->
       let dev = device t f.Fault.target in
@@ -229,6 +256,12 @@ let inject t (id, (f : Fault.t)) =
     | Fault.Channel_drop p ->
       let sw = handle t f.Fault.target in
       C.set_channel_impairment sw ~extra_latency:sw.C.chan_extra_latency ~drop_p:p
+    | Fault.Channel_dup p ->
+      let sw = handle t f.Fault.target in
+      C.set_channel_chaos sw ~dup_p:p ~reorder_p:sw.C.chan_reorder_p
+    | Fault.Channel_reorder p ->
+      let sw = handle t f.Fault.target in
+      C.set_channel_chaos sw ~dup_p:sw.C.chan_dup_p ~reorder_p:p
     | Fault.Link_down port -> (
       match Switch.link_of_port (device t f.Fault.target) port with
       | Some link -> Scotch_sim.Link.set_up link false
@@ -271,7 +304,10 @@ let inject t (id, (f : Fault.t)) =
     fills in as simulation time passes the plan's events; read it after
     {!Scotch_sim.Engine.run}. *)
 let run env plan =
-  let t = { e = env; ledger = Ledger.create (); awaiting = Hashtbl.create 8 } in
+  let t =
+    { e = env; ledger = Ledger.create (); awaiting = Hashtbl.create 8;
+      active = Hashtbl.create 16 }
+  in
   C.register_app env.ctrl
     (C.app ~switch_dead:(fun sw -> on_switch_dead t sw) "fault-injector");
   List.iter (inject t) (Plan.faults plan);

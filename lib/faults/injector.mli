@@ -1,0 +1,35 @@
+(** The fault injector: executes a {!Plan.t} against a running Scotch
+    deployment and fills a recovery {!Ledger.t}.
+
+    The injector is driven entirely by the existing
+    {!Scotch_sim.Engine} — every injection, recovery and probe is an
+    ordinary simulation event, so a faulted run is exactly as
+    deterministic as a clean one.
+
+    Injection is {e idempotent} per (target, kind): while a fault of
+    some kind is in force on a target, injecting the same fault again
+    is a no-op, and the state is only restored when the {e last}
+    overlapping copy clears — an early clear of one copy cannot yank
+    the impairment out from under the other.  (Overlapping faults of
+    the same kind but different parameters are distinct kinds to this
+    rule, and plan generators should avoid them.) *)
+
+type env
+
+(** Build an injection environment from a controller and its Scotch
+    app (the engine and topology come from the controller).  [flood],
+    when given, is called with [active:true] at a
+    {!Fault.Tenant_flood}'s injection time and [active:false] at its
+    clear — the experiment wires it to its attack traffic source;
+    [None] makes tenant floods no-ops. *)
+val env :
+  ?flood:(tenant:int -> rate:float -> active:bool -> unit) ->
+  ctrl:Scotch_controller.Controller.t -> app:Scotch_core.Scotch.t -> unit -> env
+
+(** [run env plan] schedules every fault of [plan] on the engine and
+    registers the detection app with the controller (register the
+    Scotch app {e first} so §5.6 failover has already run when the
+    injector timestamps the detection).  Returns the ledger, which
+    fills in as simulation time passes the plan's events; read it
+    after {!Scotch_sim.Engine.run}. *)
+val run : env -> Plan.t -> Ledger.t

@@ -360,7 +360,13 @@ let rec serve t =
     end;
     ignore
       (Scotch_sim.Engine.schedule_at t.engine ~at:finish (fun () ->
-           if not t.dead then begin
+           if t.dead then
+             (* the agent died mid-service: the job is lost, but [busy]
+                must clear or a revived agent never serves again — it
+                would accept queue entries forever without draining
+                them (and so never answer another Echo) *)
+             t.busy <- false
+           else begin
              execute t job;
              serve t
            end))

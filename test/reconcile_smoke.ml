@@ -5,10 +5,12 @@
    crash/recovery.
 
    Run by plain `dune runtest` and under the `@reconcile` alias.
-   Asserts that the anti-entropy reconciler drives every switch's
-   device tables back to intent (zero invariant errors, including the
-   divergence class), that convergence lands within a bounded number
-   of reconcile rounds, and prints the reconciliation-ledger digest —
+   Asserts that convergence lands within a bounded number of reconcile
+   rounds and then hands the recovered end state to the shared chaos
+   oracle suite ([Scotch_chaos.Oracle.check]): reconciler convergence,
+   zero invariant errors (including the divergence class) and
+   exposure-bounded flow loss are judged by the same oracles as the
+   searched chaos trials.  Prints the reconciliation-ledger digest —
    the bit-identity check for seeded runs.  Exits non-zero on any
    miss. *)
 
@@ -48,15 +50,26 @@ let () =
       c.Ledger.conv_chan_dropped c.Ledger.conv_retries c.Ledger.conv_repaired_missing
       c.Ledger.conv_repaired_orphans c.Ledger.conv_repaired_groups c.Ledger.conv_resyncs
       c.Ledger.conv_expired_requests);
-  (* intent == actual, as the static verifier sees it *)
+  (* snapshot sanity the oracle cannot see: the reliable layer's
+     intent stores must actually be in the capture *)
   let snap =
     Scotch_verify.Snapshot.capture ~scotch:net.Scotch_experiments.Testbed.app
       ~now:(Scotch_sim.Engine.now engine) net.Scotch_experiments.Testbed.topo
   in
   if snap.Scotch_verify.Snapshot.intents = None then fail "snapshot carries no intent stores";
-  (match Scotch_verify.Diagnostic.errors (Scotch_verify.check snap) with
-  | [] -> ()
-  | errs ->
-    List.iter (fun d -> prerr_endline (Scotch_verify.Diagnostic.to_string d)) errs;
-    fail "%d invariant error(s) after convergence" (List.length errs));
+  (* the converged end state, judged by the shared oracle suite:
+     intent == actual (verify-clean, incl. divergence), reconciler
+     converged with nothing outstanding, loss within the priced
+     exposure of the storm *)
+  let module O = Scotch_chaos.Oracle in
+  (match
+     O.check o.Scotch_experiments.Resilience.schedule
+       (Scotch_experiments.Resilience.observation o)
+   with
+  | [] ->
+    Printf.printf "oracle suite: clean (%d/%d flows delivered)\n"
+      o.Scotch_experiments.Resilience.delivered o.Scotch_experiments.Resilience.launched
+  | vs ->
+    List.iter (fun v -> prerr_endline (Format.asprintf "%a" O.pp_violation v)) vs;
+    fail "%d oracle violation(s) after convergence" (List.length vs));
   Printf.printf "reconcile smoke OK (reconciliation digest %s)\n" (R.digest r)

@@ -5,10 +5,14 @@
    Asserts the full §5.6 story — heartbeat detection inside
    [timeout, timeout + period + slack], a backup promoted for every
    kill, every select group rebalanced, and both corpses revived — and
-   prints the recovery ledger.  With debug-mode verification enabled,
-   the dataplane invariant checker also runs after every recovery and
-   at run end, and must find zero errors.  Exits non-zero on any
-   miss. *)
+   prints the recovery ledger.  The recovered end state is judged by
+   the shared chaos oracle suite ([Scotch_chaos.Oracle.check] on the
+   run restated as a schedule): post-recovery dataplane cleanliness
+   and exposure-bounded flow loss use the same definition of healthy
+   as the searched chaos trials.  With debug-mode verification
+   enabled, the invariant checker additionally runs mid-run after
+   every recovery — states the end-state oracle cannot see — and must
+   find zero errors there too.  Exits non-zero on any miss. *)
 
 open Scotch_faults
 
@@ -34,6 +38,21 @@ let () =
       if r.Ledger.backup_promoted = None then fail "%s: no backup promoted" r.Ledger.label;
       if r.Ledger.cleared_at = None then fail "%s: vswitch never revived" r.Ledger.label)
     recs;
+  (* the end state, judged by the shared oracle suite: verify-clean,
+     bounded loss at this schedule's priced exposure, convergence *)
+  let module O = Scotch_chaos.Oracle in
+  (match
+     O.check o.Scotch_experiments.Resilience.schedule
+       (Scotch_experiments.Resilience.observation o)
+   with
+  | [] ->
+    Printf.printf "oracle suite: clean (%d/%d flows delivered)\n"
+      o.Scotch_experiments.Resilience.delivered o.Scotch_experiments.Resilience.launched
+  | vs ->
+    List.iter (fun v -> prerr_endline (Format.asprintf "%a" O.pp_violation v)) vs;
+    fail "%d oracle violation(s) in the recovered end state" (List.length vs));
+  (* mid-run checks the end-state oracle cannot express: the invariant
+     checker must have run (and passed) after each recovery *)
   (match o.Scotch_experiments.Resilience.verify with
   | None -> fail "invariant-checker hooks were not installed"
   | Some v ->

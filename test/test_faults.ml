@@ -220,6 +220,54 @@ let test_resilience_outcome_complete () =
     recs
 
 (* ------------------------------------------------------------------ *)
+(* Injector idempotency: duplicate injection of the same fault on the
+   same target must apply the effect once and only undo it when the
+   last overlapping copy clears. *)
+
+let test_duplicate_slowdown_idempotent () =
+  let net = Testbed.scotch_net ~seed:11 ~num_vswitches:2 () in
+  let victim = Testbed.vswitch_dpid 0 in
+  let plan =
+    Plan.of_list
+      [ Fault.ofa_slowdown ~at:1.0 ~duration:2.0 ~factor:4.0 victim; (* clears at 3.0 *)
+        Fault.ofa_slowdown ~at:1.5 ~duration:3.0 ~factor:4.0 victim ] (* clears at 4.5 *)
+  in
+  ignore (Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan);
+  let ofa = Scotch_switch.Switch.ofa net.Testbed.vswitches.(0) in
+  Testbed.run_until net ~until:3.5;
+  Alcotest.(check (float 1e-9)) "first clear leaves the overlapping copy in force" 4.0
+    (Scotch_switch.Ofa.slowdown ofa);
+  Testbed.run_until net ~until:5.0;
+  Alcotest.(check (float 1e-9)) "last clear restores" 1.0 (Scotch_switch.Ofa.slowdown ofa)
+
+let test_duplicate_crash_idempotent () =
+  let net = Testbed.scotch_net ~seed:11 ~num_vswitches:4 ~num_backups:2 () in
+  let victim = Testbed.vswitch_dpid 0 in
+  let plan =
+    Plan.of_list
+      [ Fault.vswitch_crash ~at:6.0 ~duration:2.0 victim; (* revives at 8.0 *)
+        Fault.vswitch_crash ~at:6.5 ~duration:4.0 victim ] (* revives at 10.5 *)
+  in
+  let ledger =
+    Injector.run (Injector.env ~ctrl:net.Testbed.ctrl ~app:net.Testbed.app ()) plan
+  in
+  let dev = net.Testbed.vswitches.(0) in
+  Testbed.run_until net ~until:8.5;
+  Alcotest.(check bool) "first revive is a no-op while the second copy holds" true
+    (Scotch_switch.Switch.is_failed dev);
+  Testbed.run_until net ~until:14.0;
+  Alcotest.(check bool) "revived when the last copy clears" false
+    (Scotch_switch.Switch.is_failed dev);
+  let alive = ref false in
+  Scotch_core.Overlay.iter_vswitches net.Testbed.overlay (fun v ->
+      if Scotch_switch.Switch.dpid v.Scotch_core.Overlay.vsw = victim then
+        alive := v.Scotch_core.Overlay.alive);
+  Alcotest.(check bool) "overlay sees the victim back" true !alive;
+  Alcotest.(check int) "both copies recorded" 2 (Ledger.length ledger);
+  let r0 = Option.get (Ledger.find ledger 0) in
+  Alcotest.(check bool) "the crash was detected once" true (r0.Ledger.detected_at <> None)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "scotch_faults"
@@ -238,6 +286,9 @@ let () =
         [ Alcotest.test_case "channel-drop plan" `Quick test_channel_drop_plan;
           Alcotest.test_case "ofa-stall plan" `Quick test_ofa_stall_plan;
           Alcotest.test_case "channel-drop determinism" `Quick test_channel_drop_deterministic ] );
+      ( "idempotency",
+        [ Alcotest.test_case "duplicate slowdown" `Quick test_duplicate_slowdown_idempotent;
+          Alcotest.test_case "duplicate crash" `Quick test_duplicate_crash_idempotent ] );
       ( "determinism",
         [ Alcotest.test_case "bit-identical ledger" `Quick test_ledger_deterministic;
           Alcotest.test_case "smoke outcome complete" `Quick test_resilience_outcome_complete ] ) ]
